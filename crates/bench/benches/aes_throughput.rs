@@ -1,0 +1,49 @@
+//! Criterion: throughput of the three AES shapes and PRESENT.
+
+use ciphers::{
+    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes,
+    TTableAes, TableImage,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_ciphers(c: &mut Criterion) {
+    let key = [7u8; 16];
+    let mut group = c.benchmark_group("encrypt_block");
+
+    let mut reference = ReferenceAes::new_128(&key);
+    group.bench_function("aes128_reference", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            reference.encrypt_block(black_box(&mut block));
+        })
+    });
+
+    let mut sbox = SboxAes::new_128(&key, RamTableSource::new(TableImage::sbox().to_vec()));
+    group.bench_function("aes128_sbox_table", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            sbox.encrypt_block(black_box(&mut block));
+        })
+    });
+
+    let mut ttable = TTableAes::new_128(&key, RamTableSource::new(TableImage::te_tables()));
+    group.bench_function("aes128_ttable", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            ttable.encrypt_block(black_box(&mut block));
+        })
+    });
+
+    let mut present =
+        Present80::new(&[7u8; 10], RamTableSource::new(present_sbox_image().to_vec()));
+    group.bench_function("present80", |b| {
+        let mut block = [0u8; 8];
+        b.iter(|| {
+            present.encrypt_block(black_box(&mut block));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ciphers);
+criterion_main!(benches);

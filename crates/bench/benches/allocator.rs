@@ -1,0 +1,43 @@
+//! Criterion: allocator fast/slow paths — the pcp hit is the property the
+//! attack exploits; it should dwarf the buddy path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsim::{CpuId, MemConfig, Order, ZonedAllocator};
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+
+    group.bench_function("pcp_alloc_free_roundtrip", |b| {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        // Prime the pcp list.
+        let p = a.alloc_pages(CpuId(0), Order(0)).unwrap();
+        a.free_pages(CpuId(0), p).unwrap();
+        b.iter(|| {
+            let p = a.alloc_pages(CpuId(0), Order(0)).unwrap();
+            a.free_pages(CpuId(0), black_box(p)).unwrap();
+        })
+    });
+
+    group.bench_function("buddy_order3_roundtrip", |b| {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        b.iter(|| {
+            let p = a.alloc_pages(CpuId(0), Order(3)).unwrap();
+            a.free_pages(CpuId(0), black_box(p)).unwrap();
+        })
+    });
+
+    group.bench_function("buddy_worst_case_split_merge", |b| {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        a.reclaim(CpuId(0)); // everything coalesced
+        b.iter(|| {
+            // Order-0 from a fully coalesced zone: maximum splits, then the
+            // free (drained immediately via tiny pcp) merges back.
+            let p = a.alloc_pages(CpuId(1), Order(6)).unwrap();
+            a.free_pages(CpuId(1), black_box(p)).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

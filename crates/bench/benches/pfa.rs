@@ -1,0 +1,45 @@
+//! Criterion: the offline analysis — PFA collection/recovery and the DFA
+//! comparator.
+
+use ciphers::{BlockCipher, RamTableSource, SboxAes, TableImage};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fault::PfaCollector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_pfa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfa");
+
+    group.bench_function("observe_2000_ciphertexts", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cts: Vec<[u8; 16]> = (0..2000).map(|_| rng.gen()).collect();
+        b.iter(|| {
+            let mut collector = PfaCollector::new();
+            for ct in &cts {
+                collector.observe(black_box(ct));
+            }
+            black_box(collector.determined_positions())
+        })
+    });
+
+    group.bench_function("full_recovery_from_scratch", |b| {
+        let key = [9u8; 16];
+        let mut image = TableImage::sbox().to_vec();
+        image[0x31] ^= 0x10;
+        let mut victim = SboxAes::new_128(&key, RamTableSource::new(image));
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut collector = PfaCollector::new();
+            while !collector.all_positions_determined() {
+                let mut block: [u8; 16] = rng.gen();
+                victim.encrypt_block(&mut block);
+                collector.observe(&block);
+            }
+            black_box(collector.analyze_known_fault(TableImage::sbox()[0x31]).master_key())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pfa);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! A1 — ablations over the design knobs DESIGN.md calls out:
+//!
+//! 1. pcp tuning (`batch`/`high`) vs steering success — the exploit rides
+//!    the LIFO head, so it survives any sane tuning; disabling the cache
+//!    (high = 0 behaviour approximated by batch=high=1 plus drain) kills it.
+//! 2. Refresh-rate scaling vs templating yield — the standard hardware
+//!    mitigation sweep.
+//! 3. Idle-drain policy vs a sleeping attacker — the §V caveat ablated.
+
+use explframe_bench::{banner, trials_arg, Table};
+use explframe_core::NoiseProcess;
+use machine::{IdleDrainPolicy, MachineConfig, SimMachine};
+use memsim::{CpuId, PcpConfig, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner("A1: ablations", "pcp tuning, refresh scaling, idle-drain policy");
+    let trials = trials_arg(100);
+
+    pcp_tuning(trials);
+    refresh_scaling();
+    idle_drain(trials);
+}
+
+/// Steering success vs pcp tuning.
+fn pcp_tuning(trials: u32) {
+    let mut table = Table::new(
+        "steering success vs per-CPU page cache tuning",
+        &["batch", "high", "steering success"],
+    );
+    for &(batch, high) in &[(31usize, 186usize), (8, 32), (1, 6), (1, 1)] {
+        let mut ok = 0u32;
+        for t in 0..trials {
+            let mut config = MachineConfig::small(100 + t as u64);
+            config.mem = config.mem.with_pcp(PcpConfig { batch, high });
+            let mut m = SimMachine::new(config);
+            let attacker = m.spawn(CpuId(0));
+            let buf = m.mmap(attacker, 2).unwrap();
+            m.fill(attacker, buf, 2 * PAGE_SIZE, 1).unwrap();
+            let released = m.translate(attacker, buf).unwrap();
+            m.munmap(attacker, buf, 1).unwrap();
+            let victim = m.spawn(CpuId(0));
+            let vb = m.mmap(victim, 1).unwrap();
+            m.write(victim, vb, b"t").unwrap();
+            if m.translate(victim, vb).unwrap().align_down(PAGE_SIZE)
+                == released.align_down(PAGE_SIZE)
+            {
+                ok += 1;
+            }
+        }
+        let rate = format!("{:.3}", ok as f64 / trials as f64);
+        table.row(&[&batch, &high, &rate]);
+    }
+    table.print();
+    table.write_csv("a1_pcp_tuning");
+    println!("the LIFO head property is tuning-independent: steering survives every sane setting");
+}
+
+/// Templates found vs refresh interval scaling.
+fn refresh_scaling() {
+    let mut table = Table::new(
+        "templating yield vs refresh rate (the hardware mitigation)",
+        &["refresh rate", "window (ms)", "max acts/window", "templates found"],
+    );
+    for &(scale, label) in &[
+        (1.0f64, "1x (64 ms)"),
+        (0.5, "2x"),
+        (0.25, "4x"),
+        (0.125, "8x"),
+        (1.0 / 32.0, "32x"),
+        (1.0 / 64.0, "64x"),
+    ] {
+        let mut config = MachineConfig::small(3);
+        config.dram.timing = config.dram.timing.with_refresh_scale(scale);
+        let mut m = SimMachine::new(config);
+        let attacker = m.spawn(CpuId(0));
+        let buffer = m.mmap(attacker, 2048).unwrap();
+        let scan =
+            explframe_core::template_scan(&mut m, attacker, buffer, 2048, 690_000, 0).unwrap();
+        let window_ms = m.config().dram.timing.refresh_window() as f64 / 1e6;
+        let max_acts = m.config().dram.timing.max_acts_per_window();
+        let w = format!("{window_ms:.1}");
+        let found = scan.templates.len();
+        table.row(&[&label, &w, &max_acts, &found]);
+    }
+    table.print();
+    table.write_csv("a1_refresh_scaling");
+    println!("flips die once the window holds fewer activations than the lowest cell threshold");
+}
+
+/// Sleeping-attacker success under both idle-drain policies.
+fn idle_drain(trials: u32) {
+    let mut table = Table::new(
+        "sleeping attacker: steering success by idle-drain policy (with CPU yield noise)",
+        &["policy", "steering success"],
+    );
+    for (policy, label) in [
+        (IdleDrainPolicy::DrainOnSleep, "DrainOnSleep (realistic)"),
+        (IdleDrainPolicy::Keep, "Keep (optimistic)"),
+    ] {
+        let mut ok = 0u32;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(7_000 + t as u64);
+            let mut m =
+                SimMachine::new(MachineConfig::small(500 + t as u64).with_idle_drain(policy));
+            let attacker = m.spawn(CpuId(0));
+            let buf = m.mmap(attacker, 2).unwrap();
+            m.fill(attacker, buf, 2 * PAGE_SIZE, 1).unwrap();
+            let released = m.translate(attacker, buf).unwrap();
+            m.munmap(attacker, buf, 1).unwrap();
+            m.sleep(attacker, 5_000_000).unwrap();
+            let mut other = NoiseProcess::spawn(&mut m, CpuId(0));
+            for _ in 0..2 {
+                other.burst(&mut m, &mut rng, 24).unwrap();
+            }
+            let victim = m.spawn(CpuId(0));
+            let vb = m.mmap(victim, 1).unwrap();
+            m.write(victim, vb, b"t").unwrap();
+            if m.translate(victim, vb).unwrap().align_down(PAGE_SIZE)
+                == released.align_down(PAGE_SIZE)
+            {
+                ok += 1;
+            }
+        }
+        let rate = format!("{:.3}", ok as f64 / trials as f64);
+        table.row(&[&label, &rate]);
+    }
+    table.print();
+    table.write_csv("a1_idle_drain");
+
+    // And the reference point: active attacker on the same machines.
+    let mut ok = 0u32;
+    for t in 0..trials {
+        let mut m = SimMachine::new(MachineConfig::small(500 + t as u64));
+        let attacker = m.spawn(CpuId(0));
+        let buf = m.mmap(attacker, 2).unwrap();
+        m.fill(attacker, buf, 2 * PAGE_SIZE, 1).unwrap();
+        let released = m.translate(attacker, buf).unwrap();
+        m.munmap(attacker, buf, 1).unwrap();
+        let victim = m.spawn(CpuId(0));
+        let vb = m.mmap(victim, 1).unwrap();
+        m.write(victim, vb, b"t").unwrap();
+        if m.translate(victim, vb).unwrap().align_down(PAGE_SIZE)
+            == released.align_down(PAGE_SIZE)
+        {
+            ok += 1;
+        }
+    }
+    println!(
+        "\nreference (active attacker, same machines): {:.3}",
+        ok as f64 / trials as f64
+    );
+}

@@ -1,0 +1,108 @@
+//! T1 — §V claim: "with a probability of almost 1, if the process requests
+//! for a few pages, the recently deallocated page frames will be
+//! reallocated".
+//!
+//! Measures P(reuse) of freshly freed frames as a function of how many
+//! frames were freed (k) and how many pages the follow-up request touches
+//! (m), with and without competing allocation noise on the CPU. Also
+//! verifies the LIFO order of reuse.
+
+use explframe_bench::{banner, trials_arg, Table};
+use machine::{MachineConfig, SimMachine};
+use memsim::{CpuId, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One trial: process frees `k` pages, then (maybe after noise) allocates
+/// `m`; returns the fraction of the k freed frames that came back.
+fn trial(seed: u64, k: u64, m: u64, noise_pages: u64) -> f64 {
+    let mut machine = SimMachine::new(MachineConfig::small(seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    let cpu = CpuId(0);
+    let proc_a = machine.spawn(cpu);
+
+    // Warm-up traffic so the machine is not pristine.
+    let warm = machine.mmap(proc_a, 64).unwrap();
+    machine.fill(proc_a, warm, 64 * PAGE_SIZE, 1).unwrap();
+
+    let buf = machine.mmap(proc_a, k).unwrap();
+    machine.fill(proc_a, buf, k * PAGE_SIZE, 2).unwrap();
+    let freed: Vec<u64> = (0..k)
+        .map(|i| machine.translate(proc_a, buf + i * PAGE_SIZE).unwrap().as_u64() / PAGE_SIZE)
+        .collect();
+    machine.munmap(proc_a, buf, k).unwrap();
+
+    if noise_pages > 0 {
+        let noise = machine.spawn(cpu);
+        let nb = machine.mmap(noise, noise_pages).unwrap();
+        let touch = rng.gen_range(0..=noise_pages);
+        if touch > 0 {
+            machine.fill(noise, nb, touch * PAGE_SIZE, 3).unwrap();
+        }
+    }
+
+    let re = machine.mmap(proc_a, m).unwrap();
+    machine.fill(proc_a, re, m * PAGE_SIZE, 4).unwrap();
+    let got: Vec<u64> = (0..m)
+        .map(|i| machine.translate(proc_a, re + i * PAGE_SIZE).unwrap().as_u64() / PAGE_SIZE)
+        .collect();
+
+    let hits = freed.iter().filter(|f| got.contains(f)).count();
+    hits as f64 / k as f64
+}
+
+fn main() {
+    banner(
+        "T1: page-frame-cache reuse probability",
+        "\"with a probability of almost 1 ... recently deallocated page frames will be reallocated\" (§V)",
+    );
+    let trials = trials_arg(200);
+    println!("trials per cell: {trials}   (override with first CLI argument)");
+
+    let mut table = Table::new(
+        "P(freed frame reused by the next request on the same CPU)",
+        &["k freed", "m requested", "quiet CPU", "noisy CPU (≤16 pages)", "noisy CPU (≤64 pages)"],
+    );
+    for &k in &[1u64, 2, 4, 8] {
+        for &m in &[1u64, 4, 16, 64] {
+            if m < k {
+                continue;
+            }
+            let run = |noise: u64| -> f64 {
+                (0..trials)
+                    .map(|t| trial(1000 + t as u64, k, m, noise))
+                    .sum::<f64>()
+                    / trials as f64
+            };
+            let quiet = format!("{:.3}", run(0));
+            let noisy16 = format!("{:.3}", run(16));
+            let noisy64 = format!("{:.3}", run(64));
+            table.row(&[&k, &m, &quiet, &noisy16, &noisy64]);
+        }
+    }
+    table.print();
+    table.write_csv("t1_pcp_reuse");
+
+    // LIFO check: the order of reuse is the reverse of the free order.
+    let mut machine = SimMachine::new(MachineConfig::small(99));
+    let p = machine.spawn(CpuId(0));
+    let buf = machine.mmap(p, 8).unwrap();
+    machine.fill(p, buf, 8 * PAGE_SIZE, 1).unwrap();
+    let frames: Vec<u64> = (0..8)
+        .map(|i| machine.translate(p, buf + i * PAGE_SIZE).unwrap().as_u64() / PAGE_SIZE)
+        .collect();
+    // Free pages one at a time, low to high.
+    for i in 0..8 {
+        machine.munmap(p, buf + i * PAGE_SIZE, 1).unwrap();
+    }
+    let re = machine.mmap(p, 8).unwrap();
+    machine.fill(p, re, 8 * PAGE_SIZE, 2).unwrap();
+    let reused: Vec<u64> = (0..8)
+        .map(|i| machine.translate(p, re + i * PAGE_SIZE).unwrap().as_u64() / PAGE_SIZE)
+        .collect();
+    let expected: Vec<u64> = frames.iter().rev().copied().collect();
+    println!("\nLIFO order check: freed {frames:?}");
+    println!("                  reused {reused:?}");
+    assert_eq!(reused, expected, "reuse must be last-freed-first");
+    println!("shape check PASS: reuse is LIFO and quiet-CPU reuse ≈ 1.0 for small requests");
+}

@@ -1,0 +1,102 @@
+//! T2 — §V cross-process steering: the adversary forces the kernel to give
+//! its released frame to the victim.
+//!
+//! Success matrix over the paper's conditions: {same CPU, different CPU} ×
+//! {attacker active, attacker sleeping} × {quiet, noisy}. The paper's
+//! claims: steering needs the same CPU, and "the adversarial process must
+//! remain active rather than going into inactive state (sleeping)".
+
+use explframe_bench::{banner, trials_arg, Table};
+use explframe_core::NoiseProcess;
+use machine::{MachineConfig, SimMachine};
+use memsim::{CpuId, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Copy)]
+struct Scenario {
+    same_cpu: bool,
+    attacker_sleeps: bool,
+    noisy: bool,
+}
+
+fn trial(seed: u64, s: Scenario) -> bool {
+    let mut machine = SimMachine::new(MachineConfig::small(seed));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let attacker_cpu = CpuId(0);
+    let victim_cpu = if s.same_cpu { CpuId(0) } else { CpuId(1) };
+    let attacker = machine.spawn(attacker_cpu);
+
+    // Prior system activity so the allocator state is not pristine.
+    let warm = machine.spawn(attacker_cpu);
+    let wb = machine.mmap(warm, 128).unwrap();
+    machine.fill(warm, wb, 128 * PAGE_SIZE, 1).unwrap();
+    machine.munmap(warm, wb, 100).unwrap();
+
+    let buf = machine.mmap(attacker, 4).unwrap();
+    machine.fill(attacker, buf, 4 * PAGE_SIZE, 2).unwrap();
+    let target = buf + PAGE_SIZE;
+    let released = machine.translate(attacker, target).unwrap().as_u64() / PAGE_SIZE;
+    machine.munmap(attacker, target, 1).unwrap();
+
+    if s.attacker_sleeps {
+        machine.sleep(attacker, 5_000_000).unwrap();
+        // A sleeping attacker cedes the CPU: whoever is ready runs.
+        let mut other = NoiseProcess::spawn(&mut machine, attacker_cpu);
+        for _ in 0..3 {
+            other.burst(&mut machine, &mut rng, 40).unwrap();
+        }
+    } else if s.noisy {
+        // Even an active attacker can face contention from the other
+        // hardware thread / interrupts; model light churn.
+        let mut other = NoiseProcess::spawn(&mut machine, attacker_cpu);
+        other.burst(&mut machine, &mut rng, 8).unwrap();
+    }
+
+    let victim = machine.spawn(victim_cpu);
+    let vb = machine.mmap(victim, 1).unwrap();
+    machine.write(victim, vb, b"sensitive tables").unwrap();
+    let got = machine.translate(victim, vb).unwrap().as_u64() / PAGE_SIZE;
+    got == released
+}
+
+fn main() {
+    banner(
+        "T2: cross-process page-frame steering",
+        "steering requires same CPU + active attacker (§V)",
+    );
+    let trials = trials_arg(300);
+    println!("trials per cell: {trials}");
+
+    let mut table = Table::new(
+        "P(victim receives the attacker's released frame)",
+        &["victim CPU", "attacker state", "contention", "success rate"],
+    );
+    let scenarios = [
+        (Scenario { same_cpu: true, attacker_sleeps: false, noisy: false }, "same", "active", "quiet"),
+        (Scenario { same_cpu: true, attacker_sleeps: false, noisy: true }, "same", "active", "light noise"),
+        (Scenario { same_cpu: true, attacker_sleeps: true, noisy: true }, "same", "sleeping", "CPU yielded"),
+        (Scenario { same_cpu: false, attacker_sleeps: false, noisy: false }, "different", "active", "quiet"),
+        (Scenario { same_cpu: false, attacker_sleeps: true, noisy: true }, "different", "sleeping", "CPU yielded"),
+    ];
+    let mut rates = Vec::new();
+    for (s, cpu, state, noise) in scenarios {
+        let successes =
+            (0..trials).filter(|&t| trial(5000 + t as u64, s)).count();
+        let rate = successes as f64 / trials as f64;
+        rates.push(rate);
+        let rate_s = format!("{rate:.3}");
+        table.row(&[&cpu, &state, &noise, &rate_s]);
+    }
+    table.print();
+    table.write_csv("t2_steering");
+
+    println!("\nshape checks:");
+    println!("  same CPU + active (quiet):   {:.3}  — expected ≈ 1.0", rates[0]);
+    println!("  same CPU + sleeping:         {:.3}  — expected ≪ active", rates[2]);
+    println!("  different CPU:               {:.3}  — expected ≈ 0.0", rates[3]);
+    assert!(rates[0] > 0.95, "active same-CPU steering should be near-certain");
+    assert!(rates[2] < rates[0] - 0.3, "sleeping must hurt substantially");
+    assert!(rates[3] < 0.05, "cross-CPU steering should essentially never work");
+    println!("shape check PASS");
+}

@@ -1,0 +1,224 @@
+//! T5 — fault analysis of block ciphers (the paper's title claim, via its
+//! reference \[12\]: Persistent Fault Analysis, Zhang et al., TCHES 2018).
+//!
+//! Series 1: P(full AES-128 key) vs number of faulty ciphertexts — the PFA
+//! curve with its knee around ~2000 ciphertexts.
+//! Series 2: the same for PRESENT-80 (16-value alphabets converge in
+//! tens of ciphertexts).
+//! Series 3: T-table AES — ciphertexts per 4-byte fault round.
+//! Series 4: the Giraud DFA comparator — pairs needed vs PFA's
+//! correct/faulty-pair-free operation.
+
+use ciphers::{
+    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes,
+    TTableAes, TableImage, FINAL_ROUND_S_LANE, PRESENT_SBOX,
+};
+use explframe_bench::{banner, mean_std, trials_arg, Table};
+use fault::{
+    encrypt_with_round10_input_fault, expected_ciphertexts_for_full_key, DfaAttack,
+    PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner(
+        "T5: key recovery by fault analysis",
+        "PFA success vs ciphertext budget (AES knee ≈ 2000, per Zhang et al.); DFA comparator",
+    );
+    let trials = trials_arg(100);
+    println!("keys per data point: {trials}");
+
+    aes_success_curve(trials);
+    present_success_curve(trials);
+    ttable_per_fault(trials);
+    dfa_comparator(trials.min(40));
+}
+
+fn aes_success_curve(trials: u32) {
+    let mut table = Table::new(
+        "AES-128 S-box PFA: success probability vs faulty ciphertexts",
+        &["ciphertexts", "P(full key)", "mean determined bytes"],
+    );
+    let mut rng = StdRng::seed_from_u64(0xAE5);
+    for &budget in &[250u64, 500, 1000, 1500, 2000, 2500, 3000, 4000, 6000, 8000] {
+        let mut full = 0u32;
+        let mut determined = Vec::new();
+        for _ in 0..trials {
+            let key: [u8; 16] = rng.gen();
+            let entry = rng.gen_range(0..256usize);
+            let bit = rng.gen_range(0..8u8);
+            let mut image = TableImage::sbox().to_vec();
+            image[entry] ^= 1 << bit;
+            let mut victim = SboxAes::new_128(&key, RamTableSource::new(image));
+            let mut collector = PfaCollector::new();
+            for _ in 0..budget {
+                let mut block: [u8; 16] = rng.gen();
+                victim.encrypt_block(&mut block);
+                collector.observe(&block);
+            }
+            determined.push(collector.determined_positions() as f64);
+            if collector.all_positions_determined() {
+                let analysis = collector.analyze_known_fault(TableImage::sbox()[entry]);
+                if analysis.master_key() == Some(key) {
+                    full += 1;
+                }
+            }
+        }
+        let rate = format!("{:.2}", full as f64 / trials as f64);
+        let (md, _) = mean_std(&determined);
+        let md_s = format!("{md:.1}");
+        table.row(&[&budget, &rate, &md_s]);
+    }
+    table.print();
+    table.write_csv("t5_aes_pfa_curve");
+    println!(
+        "coupon-collector estimate for the knee: {:.0} ciphertexts (paper [12]: ≈2000)",
+        expected_ciphertexts_for_full_key(16)
+    );
+}
+
+fn present_success_curve(trials: u32) {
+    let mut table = Table::new(
+        "PRESENT-80 PFA: success probability vs faulty ciphertexts",
+        &["ciphertexts", "P(round-32 key)", "P(master key)"],
+    );
+    let mut rng = StdRng::seed_from_u64(0x9E5E);
+    for &budget in &[25u64, 50, 75, 100, 150, 250, 500] {
+        let mut k32_ok = 0u32;
+        let mut master_ok = 0u32;
+        for _ in 0..trials {
+            let key: [u8; 10] = rng.gen();
+            let entry = rng.gen_range(0..16usize);
+            let bit = rng.gen_range(0..4u8);
+            let mut image = present_sbox_image().to_vec();
+            image[entry] ^= 1 << bit;
+            let mut victim = Present80::new(&key, RamTableSource::new(image));
+            let mut pfa = PresentPfa::new();
+            for _ in 0..budget {
+                let mut block: [u8; 8] = rng.gen();
+                victim.encrypt_block(&mut block);
+                pfa.observe(&block);
+            }
+            if !pfa.all_positions_determined() {
+                continue;
+            }
+            let v = PRESENT_SBOX[entry];
+            if pfa.recover_round32_key(v)
+                == Some(ciphers::present80_round_keys(&key)[31])
+            {
+                k32_ok += 1;
+                // Master key via known pre-fault pair + 2^16 search.
+                let plain: [u8; 8] = rng.gen();
+                let mut cipher = plain;
+                Present80::new(&key, RamTableSource::new(present_sbox_image().to_vec()))
+                    .encrypt_block(&mut cipher);
+                let rec = pfa.recover_master_key(v, |cand| {
+                    let mut b = plain;
+                    Present80::new(cand, RamTableSource::new(present_sbox_image().to_vec()))
+                        .encrypt_block(&mut b);
+                    b == cipher
+                });
+                if rec == Some(key) {
+                    master_ok += 1;
+                }
+            }
+        }
+        let r32 = format!("{:.2}", k32_ok as f64 / trials as f64);
+        let rm = format!("{:.2}", master_ok as f64 / trials as f64);
+        table.row(&[&budget, &r32, &rm]);
+    }
+    table.print();
+    table.write_csv("t5_present_pfa_curve");
+}
+
+fn ttable_per_fault(trials: u32) {
+    let mut rng = StdRng::seed_from_u64(0x77AB);
+    let mut cts_per_fault = Vec::new();
+    let mut total_for_full_key = Vec::new();
+    for _ in 0..trials.min(50) {
+        let key: [u8; 16] = rng.gen();
+        let mut driver = TTablePfa::new();
+        let mut total = 0u64;
+        for table in 0..4usize {
+            let entry = rng.gen_range(0..256usize);
+            let offset = TableImage::te_entry_offset(table, entry) + FINAL_ROUND_S_LANE[table];
+            let fault = TableFault { offset, bit: rng.gen_range(0..8u8) };
+            let TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
+                unreachable!("S-lane by construction");
+            };
+            let mut image = TableImage::te_tables();
+            fault.apply(&mut image);
+            let mut victim = TTableAes::new_128(&key, RamTableSource::new(image));
+            let mut collector = PfaCollector::new();
+            loop {
+                let mut block: [u8; 16] = rng.gen();
+                victim.encrypt_block(&mut block);
+                collector.observe(&block);
+                if positions.iter().all(|&p| collector.unseen_count(p) == 1) {
+                    break;
+                }
+            }
+            cts_per_fault.push(collector.total() as f64);
+            total += collector.total();
+            driver.absorb(fault, &collector).expect("S-lane fault");
+        }
+        assert_eq!(driver.master_key(), Some(key), "4 faults must complete the key");
+        total_for_full_key.push(total as f64);
+    }
+    let (per_fault, sd1) = mean_std(&cts_per_fault);
+    let (full, sd2) = mean_std(&total_for_full_key);
+    let mut table = Table::new(
+        "T-table AES: multi-fault PFA (4 bytes per steered fault)",
+        &["metric", "mean", "std"],
+    );
+    let a = format!("{per_fault:.0}");
+    let b = format!("{sd1:.0}");
+    let c = format!("{full:.0}");
+    let d = format!("{sd2:.0}");
+    table.row(&[&"ciphertexts per fault round (4 key bytes)", &a, &b]);
+    table.row(&[&"total ciphertexts for the full key (4 rounds)", &c, &d]);
+    table.print();
+    table.write_csv("t5_ttable_pfa");
+}
+
+fn dfa_comparator(trials: u32) {
+    let mut rng = StdRng::seed_from_u64(0xDFA);
+    let mut pairs_needed = Vec::new();
+    for _ in 0..trials {
+        let key: [u8; 16] = rng.gen();
+        let mut aes = ReferenceAes::new_128(&key);
+        let mut attack = DfaAttack::new();
+        let mut pairs = 0f64;
+        'outer: loop {
+            for pos in 0..16 {
+                let plain: [u8; 16] = rng.gen();
+                let mut correct = plain;
+                aes.encrypt_block(&mut correct);
+                let faulty = encrypt_with_round10_input_fault(
+                    &key,
+                    &plain,
+                    pos,
+                    rng.gen_range(0..8),
+                );
+                attack.observe_pair(&correct, &faulty);
+                pairs += 1.0;
+                if attack.master_key() == Some(key) {
+                    break 'outer;
+                }
+            }
+        }
+        pairs_needed.push(pairs);
+    }
+    let (mean, std) = mean_std(&pairs_needed);
+    let mut table = Table::new(
+        "DFA comparator (Giraud, single-bit round-10-input faults)",
+        &["metric", "value"],
+    );
+    let m = format!("{mean:.1} ± {std:.1}");
+    table.row(&[&"correct/faulty pairs for the full key", &m]);
+    table.row(&[&"requirements vs PFA", &"precise transient faults + paired correct ciphertexts; PFA needs neither"]);
+    table.print();
+    table.write_csv("t5_dfa_comparator");
+    println!("\nshape check: AES PFA knee in the 1500–2500 range, PRESENT ≲ 100, DFA ≈ tens of pairs");
+}

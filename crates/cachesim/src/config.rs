@@ -1,0 +1,89 @@
+//! Cache shape parameters.
+
+/// Geometry of one cache level.
+///
+/// All dimensions must be powers of two. Capacity is
+/// `sets × ways × line_bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::CacheConfig;
+/// assert_eq!(CacheConfig::l1_32k().capacity_bytes(), 32 * 1024);
+/// assert_eq!(CacheConfig::llc_8m().capacity_bytes(), 8 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity (lines per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way L1 data cache with 64-byte lines.
+    pub const fn l1_32k() -> Self {
+        CacheConfig { sets: 64, ways: 8, line_bytes: 64 }
+    }
+
+    /// An 8 MiB, 16-way last-level cache with 64-byte lines.
+    pub const fn llc_8m() -> Self {
+        CacheConfig { sets: 8192, ways: 16, line_bytes: 64 }
+    }
+
+    /// A 4-set, 2-way toy cache for unit tests.
+    pub const fn tiny() -> Self {
+        CacheConfig { sets: 4, ways: 2, line_bytes: 64 }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes as u64
+    }
+
+    /// Returns `true` if every dimension is a non-zero power of two.
+    pub const fn is_valid(&self) -> bool {
+        self.sets.is_power_of_two()
+            && self.ways.is_power_of_two()
+            && self.line_bytes.is_power_of_two()
+    }
+
+    /// Line-aligned base address of the line containing `addr`.
+    pub const fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes as u64 - 1)
+    }
+
+    /// Set index for `addr`.
+    pub const fn set_of(&self, addr: u64) -> u32 {
+        ((addr / self.line_bytes as u64) % self.sets as u64) as u32
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::llc_8m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(CacheConfig::l1_32k().is_valid());
+        assert!(CacheConfig::llc_8m().is_valid());
+        assert!(CacheConfig::tiny().is_valid());
+    }
+
+    #[test]
+    fn line_and_set_arithmetic() {
+        let c = CacheConfig::tiny();
+        assert_eq!(c.line_of(0x1037), 0x1000);
+        assert_eq!(c.set_of(0x0), 0);
+        assert_eq!(c.set_of(64), 1);
+        assert_eq!(c.set_of(64 * 4), 0); // wraps at `sets`
+    }
+}

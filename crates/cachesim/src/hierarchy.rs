@@ -1,0 +1,193 @@
+//! Two-level inclusive cache hierarchy.
+
+use crate::cache::{Cache, Lookup};
+use crate::config::CacheConfig;
+
+/// Where an access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// Hit in the L1.
+    L1,
+    /// Missed L1, hit the last-level cache.
+    Llc,
+    /// Missed the whole hierarchy; the access reaches DRAM.
+    Memory,
+}
+
+impl ServedBy {
+    /// Returns `true` if the access reached DRAM (and therefore activates a
+    /// row — the hammering-relevant case).
+    pub const fn reaches_dram(self) -> bool {
+        matches!(self, ServedBy::Memory)
+    }
+}
+
+/// An inclusive L1 + LLC hierarchy.
+///
+/// Inclusivity is enforced on LLC evictions: a line evicted from the LLC is
+/// back-invalidated from the L1, as on Intel parts — this is what makes
+/// eviction-based Rowhammer (without `clflush`) possible at all.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::{CacheHierarchy, ServedBy};
+/// let mut h = CacheHierarchy::intel_like();
+/// assert_eq!(h.access(0x2000), ServedBy::Memory);
+/// assert_eq!(h.access(0x2000), ServedBy::L1);
+/// h.clflush(0x2000);
+/// assert_eq!(h.access(0x2000), ServedBy::Memory);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    llc: Cache,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from explicit level configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration is invalid or the line sizes differ.
+    pub fn new(l1: CacheConfig, llc: CacheConfig) -> Self {
+        assert_eq!(l1.line_bytes, llc.line_bytes, "L1 and LLC line sizes must match");
+        CacheHierarchy { l1: Cache::new(l1), llc: Cache::new(llc) }
+    }
+
+    /// A 32 KiB L1 + 8 MiB LLC stack, the shape of a desktop Intel part.
+    pub fn intel_like() -> Self {
+        Self::new(CacheConfig::l1_32k(), CacheConfig::llc_8m())
+    }
+
+    /// A toy two-level hierarchy for tests.
+    pub fn tiny() -> Self {
+        Self::new(CacheConfig::tiny(), CacheConfig { sets: 16, ways: 4, line_bytes: 64 })
+    }
+
+    /// Performs a load/store lookup, installing the line on miss.
+    pub fn access(&mut self, addr: u64) -> ServedBy {
+        if matches!(self.l1.access(addr), Lookup::Hit) {
+            return ServedBy::L1;
+        }
+        match self.llc.access(addr) {
+            Lookup::Hit => ServedBy::Llc,
+            Lookup::Miss { evicted } => {
+                if let Some(line) = evicted {
+                    // Inclusive hierarchy: back-invalidate the L1 copy.
+                    self.l1.flush_line(line);
+                }
+                ServedBy::Memory
+            }
+        }
+    }
+
+    /// Flushes the line containing `addr` from every level (`clflush`).
+    /// Returns `true` if it was present anywhere.
+    pub fn clflush(&mut self, addr: u64) -> bool {
+        let in_l1 = self.l1.flush_line(addr);
+        let in_llc = self.llc.flush_line(addr);
+        in_l1 || in_llc
+    }
+
+    /// Empties both levels.
+    pub fn flush_all(&mut self) {
+        self.l1.flush_all();
+        self.llc.flush_all();
+    }
+
+    /// The L1 level.
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The last-level cache.
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_levels_in_order() {
+        let mut h = CacheHierarchy::tiny();
+        assert_eq!(h.access(0), ServedBy::Memory);
+        assert_eq!(h.access(0), ServedBy::L1);
+        // Evict from L1 only (L1 set 0 has 2 ways; lines at stride 256
+        // collide there while landing in distinct LLC sets).
+        h.access(256);
+        h.access(512);
+        assert_eq!(h.access(0), ServedBy::Llc);
+    }
+
+    #[test]
+    fn clflush_reaches_both_levels() {
+        let mut h = CacheHierarchy::tiny();
+        h.access(0x40);
+        assert!(h.clflush(0x40));
+        assert_eq!(h.access(0x40), ServedBy::Memory);
+        assert!(!h.clflush(0x9999_0000));
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_l1() {
+        let mut h = CacheHierarchy::tiny();
+        // Fill one LLC set (4 ways) past capacity; stride = 16 sets * 64 B.
+        let stride = 16 * 64u64;
+        for i in 0..5u64 {
+            h.access(i * stride);
+        }
+        // Line 0 was LRU in the LLC and must be gone from L1 as well.
+        assert!(!h.llc().contains(0));
+        assert!(!h.l1().contains(0));
+        assert_eq!(h.access(0), ServedBy::Memory);
+    }
+
+    #[test]
+    fn hammer_loop_without_flush_stops_reaching_dram() {
+        // The paper's observation: without clflush the second and later
+        // accesses are cache hits and never activate rows.
+        let mut h = CacheHierarchy::intel_like();
+        let (a, b) = (0x10_0000u64, 0x20_0000u64);
+        assert_eq!(h.access(a), ServedBy::Memory);
+        assert_eq!(h.access(b), ServedBy::Memory);
+        for _ in 0..100 {
+            assert_eq!(h.access(a), ServedBy::L1);
+            assert_eq!(h.access(b), ServedBy::L1);
+        }
+    }
+
+    #[test]
+    fn hammer_loop_with_flush_always_reaches_dram() {
+        let mut h = CacheHierarchy::intel_like();
+        let (a, b) = (0x10_0000u64, 0x20_0000u64);
+        for _ in 0..100 {
+            assert_eq!(h.access(a), ServedBy::Memory);
+            h.clflush(a);
+            assert_eq!(h.access(b), ServedBy::Memory);
+            h.clflush(b);
+        }
+    }
+
+    #[test]
+    fn flush_all_clears_both() {
+        let mut h = CacheHierarchy::tiny();
+        h.access(0);
+        h.access(64);
+        h.flush_all();
+        assert_eq!(h.l1().resident_lines(), 0);
+        assert_eq!(h.llc().resident_lines(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "line sizes must match")]
+    fn mismatched_line_sizes_panic() {
+        CacheHierarchy::new(
+            CacheConfig { sets: 4, ways: 2, line_bytes: 32 },
+            CacheConfig::tiny(),
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Cache counters.
+
+use std::fmt;
+
+/// Aggregate counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Lines evicted by replacement.
+    pub evictions: u64,
+    /// Flush operations (`clflush` / full flushes).
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0` when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} evictions={} flushes={} hit_rate={:.3}",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.flushes,
+            self.hit_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let s = CacheStats { accesses: 4, hits: 3, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(CacheStats::default().to_string().contains("accesses=0"));
+    }
+}

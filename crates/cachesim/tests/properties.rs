@@ -1,0 +1,112 @@
+//! Property-based tests: the cache against a naive reference model.
+
+use cachesim::{Cache, CacheConfig, CacheHierarchy, Lookup};
+use proptest::prelude::*;
+
+/// A trivially-correct LRU model: a vector of resident lines, MRU first.
+#[derive(Default)]
+struct NaiveLru {
+    lines: Vec<(u32, u64)>, // (set, line)
+}
+
+impl NaiveLru {
+    fn access(&mut self, cfg: &CacheConfig, addr: u64) -> bool {
+        let key = (cfg.set_of(addr), cfg.line_of(addr));
+        if let Some(pos) = self.lines.iter().position(|&k| k == key) {
+            let k = self.lines.remove(pos);
+            self.lines.insert(0, k);
+            return true;
+        }
+        self.lines.insert(0, key);
+        // Evict LRU of this set if over associativity.
+        let in_set: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.0 == key.0)
+            .map(|(i, _)| i)
+            .collect();
+        if in_set.len() > cfg.ways as usize {
+            self.lines.remove(*in_set.last().expect("non-empty"));
+        }
+        false
+    }
+
+    fn flush(&mut self, cfg: &CacheConfig, addr: u64) {
+        let key = (cfg.set_of(addr), cfg.line_of(addr));
+        self.lines.retain(|&k| k != key);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Flush(u64),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1 << 16).prop_map(Op::Access),
+            (0u64..1 << 16).prop_map(Op::Flush),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    /// Hit/miss decisions match the naive LRU model exactly.
+    #[test]
+    fn cache_matches_naive_lru(schedule in ops()) {
+        let cfg = CacheConfig::tiny();
+        let mut cache = Cache::new(cfg);
+        let mut model = NaiveLru::default();
+        for op in schedule {
+            match op {
+                Op::Access(a) => {
+                    let hit = matches!(cache.access(a), Lookup::Hit);
+                    prop_assert_eq!(hit, model.access(&cfg, a), "divergence at {:#x}", a);
+                }
+                Op::Flush(a) => {
+                    cache.flush_line(a);
+                    model.flush(&cfg, a);
+                }
+            }
+            prop_assert_eq!(cache.resident_lines(), model.lines.len());
+        }
+    }
+
+    /// The hierarchy never reports a hit for a line that was clflushed and
+    /// not re-accessed, and inclusive back-invalidation keeps L1 ⊆ LLC.
+    #[test]
+    fn hierarchy_inclusion_invariant(schedule in ops()) {
+        let mut h = CacheHierarchy::tiny();
+        for op in &schedule {
+            match op {
+                Op::Access(a) => {
+                    h.access(*a);
+                    // Inclusion: anything in L1 must be in the LLC.
+                    prop_assert!(
+                        !h.l1().contains(*a) || h.llc().contains(*a),
+                        "L1 line {a:#x} missing from LLC"
+                    );
+                }
+                Op::Flush(a) => {
+                    h.clflush(*a);
+                    prop_assert!(!h.l1().contains(*a));
+                    prop_assert!(!h.llc().contains(*a));
+                }
+            }
+        }
+    }
+
+    /// Accesses after a flush always reach memory — the hammer guarantee.
+    #[test]
+    fn flush_access_always_reaches_dram(addrs in prop::collection::vec(0u64..1 << 20, 1..50)) {
+        let mut h = CacheHierarchy::intel_like();
+        for a in addrs {
+            h.clflush(a);
+            prop_assert_eq!(h.access(a), cachesim::ServedBy::Memory);
+        }
+    }
+}

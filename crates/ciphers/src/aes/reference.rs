@@ -1,0 +1,228 @@
+//! FIPS-197 reference AES (in-code S-box) — the incorruptible ground truth.
+
+use crate::aes::keyschedule::{expand_key, AesKeySize, RoundKeys};
+use crate::aes::sbox::{gf_mul, inv_sbox, sbox};
+use crate::traits::BlockCipher;
+
+/// Reference AES implementation with encryption and decryption.
+///
+/// The state layout follows FIPS-197: byte `i` of the block is state row
+/// `i % 4`, column `i / 4`.
+///
+/// # Examples
+///
+/// ```
+/// use ciphers::{BlockCipher, ReferenceAes};
+/// let mut aes = ReferenceAes::new_128(&[0u8; 16]);
+/// let mut block = [0u8; 16];
+/// aes.encrypt_block(&mut block);
+/// aes.decrypt_block(&mut block);
+/// assert_eq!(block, [0u8; 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReferenceAes {
+    keys: RoundKeys,
+}
+
+fn sub_bytes(b: &mut [u8; 16]) {
+    let s = sbox();
+    for x in b.iter_mut() {
+        *x = s[*x as usize];
+    }
+}
+
+fn inv_sub_bytes(b: &mut [u8; 16]) {
+    let s = inv_sbox();
+    for x in b.iter_mut() {
+        *x = s[*x as usize];
+    }
+}
+
+fn shift_rows(b: &mut [u8; 16]) {
+    // Row r (bytes r, 4+r, 8+r, 12+r) rotates left by r.
+    for r in 1..4 {
+        let row = [b[r], b[4 + r], b[8 + r], b[12 + r]];
+        for c in 0..4 {
+            b[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(b: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [b[r], b[4 + r], b[8 + r], b[12 + r]];
+        for c in 0..4 {
+            b[4 * c + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        b[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        b[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        b[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        b[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        b[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        b[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+fn add_round_key(b: &mut [u8; 16], rk: &[u8; 16]) {
+    for (x, k) in b.iter_mut().zip(rk.iter()) {
+        *x ^= k;
+    }
+}
+
+impl ReferenceAes {
+    /// AES-128 from a 16-byte key.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        ReferenceAes { keys: expand_key(key, AesKeySize::Aes128) }
+    }
+
+    /// AES-192 from a 24-byte key.
+    pub fn new_192(key: &[u8; 24]) -> Self {
+        ReferenceAes { keys: expand_key(key, AesKeySize::Aes192) }
+    }
+
+    /// AES-256 from a 32-byte key.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        ReferenceAes { keys: expand_key(key, AesKeySize::Aes256) }
+    }
+
+    /// The expanded round keys.
+    pub fn round_keys(&self) -> &RoundKeys {
+        &self.keys
+    }
+
+    fn encrypt_array(&self, block: &mut [u8; 16]) {
+        let rounds = self.keys.size().rounds();
+        add_round_key(block, &self.keys.round_key(0));
+        for r in 1..rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.keys.round_key(r));
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.keys.round_key(rounds));
+    }
+
+    /// Decrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != 16`.
+    pub fn decrypt_block(&self, block: &mut [u8]) {
+        let block: &mut [u8; 16] = block.try_into().expect("AES blocks are 16 bytes");
+        let rounds = self.keys.size().rounds();
+        add_round_key(block, &self.keys.round_key(rounds));
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for r in (1..rounds).rev() {
+            add_round_key(block, &self.keys.round_key(r));
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.keys.round_key(0));
+    }
+}
+
+impl BlockCipher for ReferenceAes {
+    fn block_bytes(&self) -> usize {
+        16
+    }
+
+    fn encrypt_block(&mut self, block: &mut [u8]) {
+        let block: &mut [u8; 16] = block.try_into().expect("AES blocks are 16 bytes");
+        self.encrypt_array(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn fips_197_aes128_vector() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let mut aes = ReferenceAes::new_128(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips_197_aes192_vector() {
+        let key: [u8; 24] =
+            hex("000102030405060708090a0b0c0d0e0f1011121314151617").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        ReferenceAes::new_192(&key).encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+    }
+
+    #[test]
+    fn fips_197_aes256_vector() {
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        ReferenceAes::new_256(&key).encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let key: [u8; 16] = rng.gen();
+            let plain: [u8; 16] = rng.gen();
+            let mut aes = ReferenceAes::new_128(&key);
+            let mut block = plain;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, plain);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, plain);
+        }
+    }
+
+    #[test]
+    fn mix_columns_inverts() {
+        let mut b: [u8; 16] = *b"0123456789abcdef";
+        let orig = b;
+        mix_columns(&mut b);
+        inv_mix_columns(&mut b);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn shift_rows_inverts() {
+        let mut b: [u8; 16] = *b"0123456789abcdef";
+        let orig = b;
+        shift_rows(&mut b);
+        inv_shift_rows(&mut b);
+        assert_eq!(b, orig);
+    }
+}

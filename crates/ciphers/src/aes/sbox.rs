@@ -1,0 +1,145 @@
+//! The AES S-box, computed from first principles.
+//!
+//! Rather than embedding the 256-byte table, the S-box is derived from its
+//! definition (multiplicative inverse in GF(2⁸) followed by the affine
+//! transform) and verified against FIPS-197 known values in tests. The
+//! *attacked* copies of the S-box live in [`crate::TableImage`]s; this module
+//! is the incorruptible ground truth.
+
+use std::sync::OnceLock;
+
+/// Multiplies two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+pub const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let high = a & 0x80;
+        a <<= 1;
+        if high != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Doubles an element of GF(2⁸) (the `xtime` primitive).
+pub const fn xtime(a: u8) -> u8 {
+    gf_mul(a, 2)
+}
+
+/// Multiplicative inverse in GF(2⁸); 0 maps to 0 (as AES defines).
+const fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8): square-and-multiply over the exponent 254.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp != 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// The AES affine transform applied to `x`.
+const fn affine(x: u8) -> u8 {
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+fn compute_sbox() -> [u8; 256] {
+    let mut s = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        s[i] = affine(gf_inv(i as u8));
+        i += 1;
+    }
+    s
+}
+
+/// The forward S-box.
+pub fn sbox() -> &'static [u8; 256] {
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(compute_sbox)
+}
+
+/// The inverse S-box.
+pub fn inv_sbox() -> &'static [u8; 256] {
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let s = sbox();
+        let mut inv = [0u8; 256];
+        for (i, &v) in s.iter().enumerate() {
+            inv[v as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_197_known_values() {
+        let s = sbox();
+        // Appendix values from FIPS-197.
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+        assert_eq!(s[0x9a], 0xb8);
+    }
+
+    #[test]
+    fn sbox_is_a_bijection() {
+        let mut seen = [false; 256];
+        for &v in sbox().iter() {
+            assert!(!seen[v as usize], "duplicate S-box output {v:#x}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let (s, inv) = (sbox(), inv_sbox());
+        for x in 0..=255u8 {
+            assert_eq!(inv[s[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        for (x, &v) in sbox().iter().enumerate() {
+            assert_ne!(x as u8, v);
+            assert_ne!(x as u8 ^ 0xFF, v, "no anti-fixed points either");
+        }
+    }
+
+    #[test]
+    fn gf_mul_matches_known_products() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        assert_eq!(xtime(0x57), 0xAE);
+        assert_eq!(xtime(0xAE), 0x47);
+    }
+
+    #[test]
+    fn gf_mul_is_commutative_and_distributive() {
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+                for c in (0..=255u8).step_by(51) {
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! AES whose every S-box lookup goes through a [`TableSource`].
+//!
+//! This is the implementation shape targeted by Persistent Fault Analysis
+//! (Zhang et al., TCHES 2018, the paper's reference \[12\]): a single 256-byte
+//! S-box table in memory, consulted by every round including the last. One
+//! persistent bit flip in the table skews every ciphertext, and the
+//! last-round statistics reveal the key.
+
+use crate::aes::keyschedule::{expand_key, AesKeySize, RoundKeys};
+use crate::aes::sbox::gf_mul;
+use crate::source::TableSource;
+use crate::traits::BlockCipher;
+
+/// AES reading its S-box from a [`TableSource`] (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ciphers::{BlockCipher, RamTableSource, SboxAes, TableImage};
+/// let mut aes = SboxAes::new_128(&[7u8; 16], RamTableSource::new(TableImage::sbox().to_vec()));
+/// let mut block = [0u8; 16];
+/// aes.encrypt_block(&mut block);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SboxAes<S> {
+    keys: RoundKeys,
+    source: S,
+}
+
+impl<S: TableSource> SboxAes<S> {
+    /// AES-128 reading the S-box from `source` (a 256-byte image).
+    pub fn new_128(key: &[u8; 16], source: S) -> Self {
+        SboxAes { keys: expand_key(key, AesKeySize::Aes128), source }
+    }
+
+    /// AES-192 variant.
+    pub fn new_192(key: &[u8; 24], source: S) -> Self {
+        SboxAes { keys: expand_key(key, AesKeySize::Aes192), source }
+    }
+
+    /// AES-256 variant.
+    pub fn new_256(key: &[u8; 32], source: S) -> Self {
+        SboxAes { keys: expand_key(key, AesKeySize::Aes256), source }
+    }
+
+    /// The table source (e.g. for fault injection in tests).
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+
+    /// Consumes the cipher, returning the table source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+
+    fn sub_bytes(&mut self, b: &mut [u8; 16]) {
+        for x in b.iter_mut() {
+            *x = self.source.read_u8(*x as usize);
+        }
+    }
+}
+
+fn shift_rows(b: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [b[r], b[4 + r], b[8 + r], b[12 + r]];
+        for c in 0..4 {
+            b[4 * c + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        b[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        b[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        b[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn add_round_key(b: &mut [u8; 16], rk: &[u8; 16]) {
+    for (x, k) in b.iter_mut().zip(rk.iter()) {
+        *x ^= k;
+    }
+}
+
+impl<S: TableSource> BlockCipher for SboxAes<S> {
+    fn block_bytes(&self) -> usize {
+        16
+    }
+
+    fn encrypt_block(&mut self, block: &mut [u8]) {
+        let block: &mut [u8; 16] = block.try_into().expect("AES blocks are 16 bytes");
+        let rounds = self.keys.size().rounds();
+        add_round_key(block, &self.keys.round_key(0));
+        for r in 1..rounds {
+            self.sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.keys.round_key(r));
+        }
+        self.sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.keys.round_key(rounds));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::reference::ReferenceAes;
+    use crate::aes::tables::TableImage;
+    use crate::source::RamTableSource;
+    use rand::{Rng, SeedableRng};
+
+    fn fresh(key: &[u8; 16]) -> SboxAes<RamTableSource> {
+        SboxAes::new_128(key, RamTableSource::new(TableImage::sbox().to_vec()))
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let key: [u8; 16] = rng.gen();
+            let plain: [u8; 16] = rng.gen();
+            let mut a = plain;
+            let mut b = plain;
+            ReferenceAes::new_128(&key).encrypt_block(&mut a);
+            fresh(&key).encrypt_block(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn matches_reference_192_and_256() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let key192: [u8; 24] = rng.gen();
+        let key256: [u8; 32] = rng.gen();
+        let plain: [u8; 16] = rng.gen();
+        let (mut a, mut b) = (plain, plain);
+        ReferenceAes::new_192(&key192).encrypt_block(&mut a);
+        SboxAes::new_192(&key192, RamTableSource::new(TableImage::sbox().to_vec()))
+            .encrypt_block(&mut b);
+        assert_eq!(a, b);
+        let (mut a, mut b) = (plain, plain);
+        ReferenceAes::new_256(&key256).encrypt_block(&mut a);
+        SboxAes::new_256(&key256, RamTableSource::new(TableImage::sbox().to_vec()))
+            .encrypt_block(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulted_sbox_changes_ciphertexts_persistently() {
+        let key = [3u8; 16];
+        let mut good = fresh(&key);
+        let mut bad = fresh(&key);
+        bad.source_mut().flip_bit(0x42, 5);
+        let mut diffs = 0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..64 {
+            let plain: [u8; 16] = rng.gen();
+            let (mut a, mut b) = (plain, plain);
+            good.encrypt_block(&mut a);
+            bad.encrypt_block(&mut b);
+            if a != b {
+                diffs += 1;
+            }
+        }
+        // One S-box entry is consulted by at least one of the 160 encryption
+        // lookups with probability 1-(255/256)^160 ≈ 0.465, so roughly half
+        // of all ciphertexts are faulty — exactly the statistics PFA uses.
+        assert!(diffs > 20, "only {diffs} of 64 ciphertexts differed");
+    }
+
+    #[test]
+    fn missing_value_property_holds() {
+        // The PFA invariant: with S[j] changed to S[j]^delta, the value S[j]
+        // never appears as a last-round S-box output, so c[i] never equals
+        // S[j] ^ k10[i] for the positions... for SboxAes, *all* positions.
+        let key = [0x5Au8; 16];
+        let (j, bit) = (0x17usize, 2u8);
+        let mut bad = fresh(&key);
+        bad.source_mut().flip_bit(j, bit);
+        let missing = TableImage::sbox()[j];
+        let rk10 = ReferenceAes::new_128(&key).round_keys().round_key(10);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            let mut block: [u8; 16] = rng.gen();
+            bad.encrypt_block(&mut block);
+            for i in 0..16 {
+                assert_ne!(
+                    block[i],
+                    missing ^ rk10[i],
+                    "impossible ciphertext byte appeared at position {i}"
+                );
+            }
+        }
+    }
+}

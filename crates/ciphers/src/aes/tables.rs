@@ -1,0 +1,138 @@
+//! Generation of the in-memory table images the victim places in its pages.
+//!
+//! Two shapes are produced:
+//!
+//! * the 256-byte **S-box image** used by [`crate::SboxAes`], and
+//! * the 4096-byte **Te image** (`Te0..Te3`, 256 little-endian `u32` entries
+//!   each) used by [`crate::TTableAes`] — exactly one 4 KiB page, the
+//!   ExplFrame victim page.
+
+use crate::aes::sbox::{gf_mul, sbox};
+
+/// Byte length of one `Te` table.
+pub const TE_TABLE_BYTES_INNER: usize = 1024;
+
+/// Builders and offset arithmetic for cipher table images.
+///
+/// # Examples
+///
+/// ```
+/// use ciphers::TableImage;
+/// let te = TableImage::te_tables();
+/// assert_eq!(te.len(), 4096); // exactly one page
+/// let sb = TableImage::sbox();
+/// assert_eq!(sb[0x53], 0xed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableImage;
+
+impl TableImage {
+    /// The 256-byte forward S-box image.
+    pub fn sbox() -> [u8; 256] {
+        *sbox()
+    }
+
+    /// The `Te0..Te3` image: 4096 bytes, entries stored little-endian.
+    ///
+    /// `Te0[x]` packs `(2·S[x], S[x], S[x], 3·S[x])` from most to least
+    /// significant byte; `Te1..Te3` are successive 8-bit right rotations.
+    pub fn te_tables() -> Vec<u8> {
+        let s = sbox();
+        let mut image = Vec::with_capacity(4096);
+        let te0: Vec<u32> = (0..256)
+            .map(|x| {
+                let v = s[x];
+                u32::from_be_bytes([gf_mul(v, 2), v, v, gf_mul(v, 3)])
+            })
+            .collect();
+        for t in 0..4u32 {
+            for &w in &te0 {
+                image.extend_from_slice(&w.rotate_right(8 * t).to_le_bytes());
+            }
+        }
+        image
+    }
+
+    /// Byte offset of entry `index` of table `table` within the Te image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table >= 4` or `index >= 256`.
+    pub fn te_entry_offset(table: usize, index: usize) -> usize {
+        assert!(table < 4 && index < 256, "te entry ({table}, {index}) out of range");
+        table * TE_TABLE_BYTES_INNER + index * 4
+    }
+
+    /// Decomposes a byte offset in the Te image into `(table, index, lane)`,
+    /// where `lane` is the little-endian byte lane (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 4096`.
+    pub fn te_locate(offset: usize) -> (usize, usize, usize) {
+        assert!(offset < 4096, "offset {offset} outside the Te image");
+        (offset / TE_TABLE_BYTES_INNER, (offset % TE_TABLE_BYTES_INNER) / 4, offset % 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn te0_packs_mixcolumn_multiples() {
+        let image = TableImage::te_tables();
+        let s = sbox();
+        for x in [0usize, 1, 0x53, 0xff] {
+            let off = TableImage::te_entry_offset(0, x);
+            let w = u32::from_le_bytes(image[off..off + 4].try_into().unwrap());
+            let v = s[x];
+            assert_eq!(
+                w,
+                u32::from_be_bytes([gf_mul(v, 2), v, v, gf_mul(v, 3)]),
+                "Te0[{x:#x}] mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn te_tables_are_rotations() {
+        let image = TableImage::te_tables();
+        let get = |t: usize, x: usize| {
+            let off = TableImage::te_entry_offset(t, x);
+            u32::from_le_bytes(image[off..off + 4].try_into().unwrap())
+        };
+        for x in 0..256 {
+            let t0 = get(0, x);
+            assert_eq!(get(1, x), t0.rotate_right(8));
+            assert_eq!(get(2, x), t0.rotate_right(16));
+            assert_eq!(get(3, x), t0.rotate_right(24));
+        }
+    }
+
+    #[test]
+    fn locate_inverts_offset() {
+        for table in 0..4 {
+            for index in (0..256).step_by(37) {
+                for lane in 0..4 {
+                    let off = TableImage::te_entry_offset(table, index) + lane;
+                    assert_eq!(TableImage::te_locate(off), (table, index, lane));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s_lanes_carry_the_sbox() {
+        // The lanes used by the T-table final round must hold S[x] exactly.
+        use crate::aes::ttable::FINAL_ROUND_S_LANE;
+        let image = TableImage::te_tables();
+        let s = sbox();
+        for (table, &lane) in FINAL_ROUND_S_LANE.iter().enumerate() {
+            for x in 0..256 {
+                let off = TableImage::te_entry_offset(table, x) + lane;
+                assert_eq!(image[off], s[x], "table {table} lane {lane} entry {x:#x}");
+            }
+        }
+    }
+}

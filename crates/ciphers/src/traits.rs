@@ -1,0 +1,43 @@
+//! Common cipher interface.
+
+/// A block cipher operating in place on fixed-size blocks.
+///
+/// `encrypt_block` takes `&mut self` because table-sourced implementations
+/// perform stateful reads (simulated memory traffic) per encryption.
+pub trait BlockCipher {
+    /// Block size in bytes (16 for AES, 8 for PRESENT).
+    fn block_bytes(&self) -> usize;
+
+    /// Encrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.block_bytes()`.
+    fn encrypt_block(&mut self, block: &mut [u8]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct XorCipher(u8);
+    impl BlockCipher for XorCipher {
+        fn block_bytes(&self) -> usize {
+            4
+        }
+        fn encrypt_block(&mut self, block: &mut [u8]) {
+            assert_eq!(block.len(), 4);
+            for b in block {
+                *b ^= self.0;
+            }
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut c: Box<dyn BlockCipher> = Box::new(XorCipher(0xFF));
+        let mut block = [0u8; 4];
+        c.encrypt_block(&mut block);
+        assert_eq!(block, [0xFF; 4]);
+    }
+}

@@ -1,0 +1,147 @@
+//! The spray baseline: Rowhammer *without* page-frame-cache steering.
+//!
+//! This is the prior-work comparison the paper's introduction draws: an
+//! unprivileged attacker who cannot target a specific frame sprays — they
+//! template a large buffer, release all of it, and hope the victim's
+//! sensitive page lands on one of the vulnerable frames, then re-hammer
+//! every known aggressor pair. Success is a lottery over the vulnerable
+//! frame density; ExplFrame turns the same primitives into a targeted,
+//! single-page attack.
+
+use machine::SimMachine;
+use memsim::PAGE_SIZE;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ExplFrameConfig;
+use crate::error::AttackError;
+use crate::noise::NoiseProcess;
+use crate::template::template_scan;
+use crate::victim::{VictimCipherService, VictimKeys};
+
+/// Result of one spray-baseline run.
+#[derive(Debug, Clone)]
+pub struct SprayReport {
+    /// Templates found during the sweep.
+    pub templates_found: usize,
+    /// Whether the victim's table page landed on *any* templated frame.
+    pub victim_on_vulnerable_frame: bool,
+    /// Whether re-hammering corrupted the victim's table image (checked
+    /// against the pristine image through the DRAM oracle).
+    pub fault_landed: bool,
+    /// Aggressor pairs hammered during the spray phase.
+    pub spray_pairs: u64,
+}
+
+/// Runs the spray baseline once. Mirrors [`crate::ExplFrame`]'s phases but
+/// with the whole buffer released and allocator noise between release and
+/// victim arrival, so the victim's frame is effectively arbitrary.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Machine`] for substrate failures.
+pub fn run_spray_baseline(
+    config: &ExplFrameConfig,
+    machine: &mut SimMachine,
+    noise_bursts: u32,
+) -> Result<SprayReport, AttackError> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5924A);
+    let attacker = machine.spawn(config.attacker_cpu);
+    let buffer = machine.mmap(attacker, config.template_pages)?;
+    let scan = template_scan(
+        machine,
+        attacker,
+        buffer,
+        config.template_pages,
+        config.hammer_pairs,
+        config.reproducibility_rounds,
+    )?;
+
+    // Record the templated frames while still mapped (the sprayer knows its
+    // own templates' aggressors; frame identity below is oracle-only and
+    // used purely for reporting).
+    let vulnerable_frames: Vec<u64> = scan
+        .templates
+        .iter()
+        .filter_map(|t| machine.translate(attacker, t.page_va))
+        .map(|pa| pa.as_u64() / PAGE_SIZE)
+        .collect();
+
+    // Release everything — the sprayer cannot keep the frames and steer.
+    machine.munmap(attacker, buffer, config.template_pages)?;
+
+    // Allocator churn between release and the victim's arrival.
+    let mut noise = NoiseProcess::spawn(machine, config.victim_cpu);
+    for _ in 0..noise_bursts {
+        noise.burst(machine, &mut rng, 64)?;
+    }
+
+    let victim = VictimCipherService::start(
+        machine,
+        config.victim_cpu,
+        config.victim,
+        VictimKeys::from_seed(config.seed),
+    )?;
+    let victim_frame = victim.table_pfn(machine).map(|p| p.0);
+    let on_vulnerable =
+        victim_frame.is_some_and(|f| vulnerable_frames.contains(&f));
+
+    // Spray: re-hammer every templated aggressor pair. The aggressor pages
+    // were released too, so the sprayer re-maps a buffer and hammers the
+    // same *virtual* offsets — on real hardware the re-mapped buffer rarely
+    // reclaims the same frames, which is exactly why spraying needs the
+    // victim to sit inside the hammered physical neighbourhood. We model
+    // the strongest reasonable sprayer: aggressor rows re-acquired where
+    // the allocator happens to return them.
+    let spray_buffer = machine.mmap(attacker, config.template_pages)?;
+    machine.fill(attacker, spray_buffer, config.template_pages * PAGE_SIZE, 0xFF)?;
+    let mut spray_pairs = 0u64;
+    let mut failures = 0u64;
+    for t in &scan.templates {
+        let above = spray_buffer + (t.aggressor_above.0 - buffer.0);
+        let below = spray_buffer + (t.aggressor_below.0 - buffer.0);
+        match machine.hammer_pair_virt(attacker, above, below, config.rehammer_pairs) {
+            Ok(_) => spray_pairs += config.rehammer_pairs,
+            Err(_) => failures += 1,
+        }
+    }
+    let _ = failures;
+
+    // Oracle check: did the victim's table image get corrupted?
+    let fault_landed = table_image_corrupted(machine, &victim, config)?;
+    victim.stop(machine)?;
+    let _ = rng.gen::<u8>();
+
+    Ok(SprayReport {
+        templates_found: scan.templates.len(),
+        victim_on_vulnerable_frame: on_vulnerable,
+        fault_landed,
+        spray_pairs,
+    })
+}
+
+/// Compares the victim's in-DRAM table image with the pristine one.
+fn table_image_corrupted(
+    machine: &mut SimMachine,
+    victim: &VictimCipherService,
+    config: &ExplFrameConfig,
+) -> Result<bool, AttackError> {
+    use crate::config::VictimCipherKind;
+    use ciphers::{present_sbox_image, TableImage};
+    let pristine = match config.victim {
+        VictimCipherKind::AesSbox => TableImage::sbox().to_vec(),
+        VictimCipherKind::AesTtable => TableImage::te_tables(),
+        VictimCipherKind::Present => present_sbox_image().to_vec(),
+    };
+    let Some(pa) = machine.translate(victim.pid(), machine_base(victim)) else {
+        return Ok(false);
+    };
+    let mut current = vec![0u8; pristine.len()];
+    machine.dram_mut().read(pa, &mut current);
+    Ok(current != pristine)
+}
+
+/// The victim service's table base address (its only mapping).
+fn machine_base(victim: &VictimCipherService) -> machine::VirtAddr {
+    victim.table_base()
+}

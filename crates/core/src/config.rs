@@ -1,0 +1,141 @@
+//! Attack configuration.
+
+use machine::MachineConfig;
+use memsim::CpuId;
+
+/// Which cipher implementation the victim runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VictimCipherKind {
+    /// AES-128 with a 256-byte in-memory S-box (the PFA paper's shape).
+    #[default]
+    AesSbox,
+    /// AES-128 with the 4 KiB `Te0..Te3` page (the ExplFrame title shape).
+    AesTtable,
+    /// PRESENT-80 with a 16-byte in-memory S-box.
+    Present,
+}
+
+impl VictimCipherKind {
+    /// Byte length of the table image the victim installs at page start.
+    pub const fn image_len(self) -> usize {
+        match self {
+            VictimCipherKind::AesSbox => 256,
+            VictimCipherKind::AesTtable => 4096,
+            VictimCipherKind::Present => 16,
+        }
+    }
+}
+
+/// Full configuration of an [`crate::ExplFrame`] run.
+///
+/// # Examples
+///
+/// ```
+/// use explframe_core::ExplFrameConfig;
+/// let cfg = ExplFrameConfig::small_demo(7).with_template_pages(2048);
+/// assert_eq!(cfg.template_pages, 2048);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplFrameConfig {
+    /// The machine to attack (DRAM seed determines the weak-cell map).
+    pub machine: MachineConfig,
+    /// RNG seed for attacker choices (plaintexts, template order).
+    pub seed: u64,
+    /// CPU the attacker pins itself to.
+    pub attacker_cpu: CpuId,
+    /// CPU the victim runs on (the attack requires equality; experiments
+    /// vary it to reproduce the paper's same-CPU condition).
+    pub victim_cpu: CpuId,
+    /// Attacker buffer size in pages for the templating sweep.
+    pub template_pages: u64,
+    /// Aggressor pairs per double-sided hammer during templating.
+    pub hammer_pairs: u64,
+    /// Aggressor pairs when re-hammering the steered victim page.
+    pub rehammer_pairs: u64,
+    /// Re-hammer rounds used to score template reproducibility.
+    pub reproducibility_rounds: u32,
+    /// Victim cipher shape.
+    pub victim: VictimCipherKind,
+    /// Ciphertext budget per fault before giving up.
+    pub max_ciphertexts: u64,
+    /// Maximum steering (fault) rounds — T-table recovery needs several.
+    pub max_fault_rounds: u32,
+}
+
+impl ExplFrameConfig {
+    /// A fast demonstration setup: 256 MiB flippy machine, 16 MiB template
+    /// buffer, S-box AES victim.
+    pub fn small_demo(seed: u64) -> Self {
+        ExplFrameConfig {
+            machine: MachineConfig::small(seed),
+            seed,
+            attacker_cpu: CpuId(0),
+            victim_cpu: CpuId(0),
+            template_pages: 4096, // 16 MiB
+            hammer_pairs: 400_000,
+            rehammer_pairs: 400_000,
+            reproducibility_rounds: 3,
+            victim: VictimCipherKind::AesSbox,
+            max_ciphertexts: 60_000,
+            max_fault_rounds: 8,
+        }
+    }
+
+    /// Paper-scale setup: 1 GiB moderate machine, 256 MiB template buffer.
+    pub fn paper_scale(seed: u64) -> Self {
+        ExplFrameConfig {
+            machine: MachineConfig::medium(seed),
+            template_pages: 65_536, // 256 MiB
+            ..Self::small_demo(seed)
+        }
+    }
+
+    /// Returns a copy with a different victim cipher.
+    pub fn with_victim(mut self, victim: VictimCipherKind) -> Self {
+        self.victim = victim;
+        self
+    }
+
+    /// Returns a copy with a different template buffer size (pages).
+    pub fn with_template_pages(mut self, pages: u64) -> Self {
+        self.template_pages = pages;
+        self
+    }
+
+    /// Returns a copy with the victim pinned to `cpu`.
+    pub fn with_victim_cpu(mut self, cpu: CpuId) -> Self {
+        self.victim_cpu = cpu;
+        self
+    }
+
+    /// Returns a copy with a different hammer intensity.
+    pub fn with_hammer_pairs(mut self, pairs: u64) -> Self {
+        self.hammer_pairs = pairs;
+        self.rehammer_pairs = pairs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ExplFrameConfig::small_demo(1)
+            .with_victim(VictimCipherKind::Present)
+            .with_victim_cpu(CpuId(2))
+            .with_hammer_pairs(123);
+        assert_eq!(cfg.victim, VictimCipherKind::Present);
+        assert_eq!(cfg.victim_cpu, CpuId(2));
+        assert_eq!(cfg.hammer_pairs, 123);
+        assert_eq!(cfg.rehammer_pairs, 123);
+    }
+
+    #[test]
+    fn image_lengths() {
+        assert_eq!(VictimCipherKind::AesSbox.image_len(), 256);
+        assert_eq!(VictimCipherKind::AesTtable.image_len(), 4096);
+        assert_eq!(VictimCipherKind::Present.image_len(), 16);
+    }
+}

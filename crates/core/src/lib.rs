@@ -1,0 +1,62 @@
+//! # `explframe-core` — the ExplFrame attack
+//!
+//! Reproduction of the attack from *"ExplFrame: Exploiting Page Frame Cache
+//! for Fault Analysis of Block Ciphers"* (DATE 2020) on the fully simulated
+//! substrate built by the `dram`, `cachesim`, `memsim` and `machine` crates.
+//!
+//! The pipeline (paper §V–§VI):
+//!
+//! 1. **Template** ([`template_scan`]) — hammer the attacker's own large
+//!    buffer, read it back, and build a map of repeatable bit flips
+//!    ([`FlipTemplate`]). Unprivileged: no pagemap, no oracles.
+//! 2. **Release** — `munmap` one vulnerable page. The freed frame lands at
+//!    the *head* of this CPU's per-CPU page frame cache. The attacker stays
+//!    active; sleeping would let the idle kernel drain the cache (§V).
+//! 3. **Steer** — the victim's next small allocation on the same CPU pops
+//!    exactly that frame: its cipher tables now live in memory the attacker
+//!    knows how to flip.
+//! 4. **Hammer** — re-hammer the retained aggressor rows; the templated bit
+//!    flips inside the victim's table.
+//! 5. **Collect & analyze** — query encryptions and run Persistent Fault
+//!    Analysis (or its T-table/PRESENT variants) from the `fault` crate
+//!    until the key is out.
+//!
+//! [`ExplFrame`] orchestrates all phases; [`run_spray_baseline`] provides
+//! the untargeted prior-work comparison.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use explframe_core::{ExplFrame, ExplFrameConfig};
+//!
+//! let report = ExplFrame::new(ExplFrameConfig::small_demo(1)).run()?;
+//! println!(
+//!     "templates={} steered={} ciphertexts={} key={:02x?}",
+//!     report.templates_found,
+//!     report.steering_successes,
+//!     report.ciphertexts_collected,
+//!     report.recovered_aes_key,
+//! );
+//! # Ok::<(), explframe_core::AttackError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod baseline;
+mod config;
+mod error;
+mod memsource;
+mod noise;
+mod template;
+mod victim;
+
+pub use attack::{select_attack_pages, template_usable, AttackOutcome, AttackReport, ExplFrame};
+pub use baseline::{run_spray_baseline, SprayReport};
+pub use config::{ExplFrameConfig, VictimCipherKind};
+pub use error::AttackError;
+pub use memsource::MachineTableSource;
+pub use noise::NoiseProcess;
+pub use template::{template_scan, FlipTemplate, TemplateScan};
+pub use victim::{VictimCipherService, VictimKeys};

@@ -1,0 +1,71 @@
+//! A [`TableSource`] backed by simulated machine memory.
+
+use ciphers::TableSource;
+use machine::{Pid, SimMachine, VirtAddr};
+
+/// Reads cipher table bytes through a process's virtual memory on a
+/// [`SimMachine`] — the glue that makes a Rowhammer flip in the victim's
+/// page corrupt its encryptions.
+///
+/// Borrows the machine mutably for the duration of an encryption; construct
+/// one per call.
+#[derive(Debug)]
+pub struct MachineTableSource<'m> {
+    machine: &'m mut SimMachine,
+    pid: Pid,
+    base: VirtAddr,
+    len: usize,
+}
+
+impl<'m> MachineTableSource<'m> {
+    /// Creates a source reading `len` bytes starting at `base` in `pid`'s
+    /// address space.
+    pub fn new(machine: &'m mut SimMachine, pid: Pid, base: VirtAddr, len: usize) -> Self {
+        MachineTableSource { machine, pid, base, len }
+    }
+}
+
+impl TableSource for MachineTableSource<'_> {
+    fn read_u8(&mut self, offset: usize) -> u8 {
+        assert!(offset < self.len, "table read at {offset} beyond image length {}", self.len);
+        let mut byte = [0u8];
+        self.machine
+            .read(self.pid, self.base + offset as u64, &mut byte)
+            .expect("victim table page is mapped for the service lifetime");
+        byte[0]
+    }
+
+    fn len(&mut self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+    use memsim::CpuId;
+
+    #[test]
+    fn reads_installed_bytes() {
+        let mut m = SimMachine::new(MachineConfig::small(3));
+        let pid = m.spawn(CpuId(0));
+        let va = m.mmap(pid, 1).unwrap();
+        m.write(pid, va, &[10, 20, 30]).unwrap();
+        let mut src = MachineTableSource::new(&mut m, pid, va, 3);
+        assert_eq!(src.read_u8(0), 10);
+        assert_eq!(src.read_u8(2), 30);
+        assert_eq!(src.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond image length")]
+    fn out_of_image_read_panics() {
+        let mut m = SimMachine::new(MachineConfig::small(3));
+        let pid = m.spawn(CpuId(0));
+        let va = m.mmap(pid, 1).unwrap();
+        m.write(pid, va, &[0]).unwrap();
+        let mut src = MachineTableSource::new(&mut m, pid, va, 1);
+        src.read_u8(1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Background memory noise: other processes churning the allocator.
+//!
+//! The paper's steering step works when the victim's request hits the page
+//! frame cache *before* anyone else does. Experiments use this module to
+//! model contention: a noise process performing random small
+//! allocate/touch/free bursts on a CPU, consuming and refilling pcp entries.
+
+use machine::{MachineError, Pid, SimMachine, VirtAddr};
+use memsim::CpuId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A background process that churns memory on one CPU.
+#[derive(Debug)]
+pub struct NoiseProcess {
+    pid: Pid,
+    held: Vec<VirtAddr>,
+}
+
+impl NoiseProcess {
+    /// Spawns a noise process on `cpu`.
+    pub fn spawn(machine: &mut SimMachine, cpu: CpuId) -> Self {
+        NoiseProcess { pid: machine.spawn(cpu), held: Vec::new() }
+    }
+
+    /// The noise process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Performs one burst: allocates and touches `0..=max_pages` pages,
+    /// then frees a random subset of everything held.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors (OOM under extreme churn).
+    pub fn burst(
+        &mut self,
+        machine: &mut SimMachine,
+        rng: &mut StdRng,
+        max_pages: u64,
+    ) -> Result<(), MachineError> {
+        let take = rng.gen_range(0..=max_pages);
+        for _ in 0..take {
+            let va = machine.mmap(self.pid, 1)?;
+            machine.write(self.pid, va, &[0xA0])?;
+            self.held.push(va);
+        }
+        // Free roughly half of what we hold, newest first (hot frees).
+        let releases = rng.gen_range(0..=self.held.len());
+        for _ in 0..releases {
+            if let Some(va) = self.held.pop() {
+                machine.munmap(self.pid, va, 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Terminates the noise process, releasing everything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn stop(self, machine: &mut SimMachine) -> Result<(), MachineError> {
+        machine.exit(self.pid)
+    }
+}

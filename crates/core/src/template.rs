@@ -1,0 +1,288 @@
+//! DRAM templating: profiling the attacker's own memory for repeatable
+//! bit flips (paper §VI, first phase).
+//!
+//! The attacker allocates a large buffer, fills it with a test pattern, and
+//! double-side hammers every row, reading the buffer back to find flipped
+//! bits. No privileged interface is used: flips are *observed in the
+//! attacker's own data*, and aggressor selection relies only on the DIMM
+//! geometry (recoverable on real hardware with DRAMA-style timing analysis;
+//! here taken from the machine configuration).
+
+use dram::Nanos;
+use machine::{MachineError, Pid, SimMachine, VirtAddr};
+use memsim::PAGE_SIZE;
+
+/// One templated flip: a repeatable bit corruption the attacker can
+/// re-trigger on demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipTemplate {
+    /// Page index within the attacker's template buffer.
+    pub page_index: u64,
+    /// Base virtual address of the vulnerable page (attacker space).
+    pub page_va: VirtAddr,
+    /// Byte offset of the flip within the page.
+    pub page_offset: u16,
+    /// Bit within the byte (0 = LSB).
+    pub bit: u8,
+    /// `true` if the flip discharges a 1 to 0 (true cell); `false` for a
+    /// 0 → 1 flip (anti cell).
+    pub one_to_zero: bool,
+    /// Virtual address of the lower aggressor row (stays mapped).
+    pub aggressor_above: VirtAddr,
+    /// Virtual address of the upper aggressor row (stays mapped).
+    pub aggressor_below: VirtAddr,
+    /// Fraction of re-hammer rounds that reproduced the flip.
+    pub reproducibility: f32,
+}
+
+impl FlipTemplate {
+    /// The bit value the victim's data must hold at this location for the
+    /// flip to trigger.
+    pub const fn required_bit_value(&self) -> bool {
+        self.one_to_zero
+    }
+}
+
+/// Result of a templating sweep.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateScan {
+    /// Deduplicated templates, in discovery order.
+    pub templates: Vec<FlipTemplate>,
+    /// Aggressor pairs hammered.
+    pub rows_hammered: u64,
+    /// Hammer attempts rejected (aggressors not in one bank — buffer
+    /// fragmentation).
+    pub hammer_failures: u64,
+    /// Simulated time consumed by the sweep.
+    pub elapsed: Nanos,
+}
+
+/// Runs the templating sweep over `pages` pages at `base` in `pid`'s
+/// address space.
+///
+/// Two passes are made (fill `0xFF` to expose true cells, `0x00` for anti
+/// cells). After the sweep the buffer is left filled with zeroes and every
+/// discovered template has been reproduced `repro_rounds` times to score
+/// its reliability.
+///
+/// # Errors
+///
+/// Propagates machine errors (unmapped buffer, OOM on first touch).
+pub fn template_scan(
+    machine: &mut SimMachine,
+    pid: Pid,
+    base: VirtAddr,
+    pages: u64,
+    hammer_pairs: u64,
+    repro_rounds: u32,
+) -> Result<TemplateScan, MachineError> {
+    let start_time = machine.now();
+    let geometry = machine.config().dram.geometry;
+    let row_pages = (geometry.row_bytes as u64 / PAGE_SIZE).max(1);
+    // Consecutive physical rows of one bank are `banks` row-widths apart in
+    // the physical address space (banks interleave below the row bits).
+    let stride_pages = row_pages * geometry.banks as u64;
+
+    let mut scan = TemplateScan::default();
+    if pages < 2 * stride_pages + row_pages {
+        scan.elapsed = machine.now() - start_time;
+        return Ok(scan);
+    }
+
+    for pattern in [0xFFu8, 0x00u8] {
+        machine.fill(pid, base, pages * PAGE_SIZE, pattern)?;
+        let mut victim_start = stride_pages;
+        while victim_start + row_pages + stride_pages <= pages {
+            let above = base + (victim_start - stride_pages) * PAGE_SIZE;
+            let below = base + (victim_start + stride_pages) * PAGE_SIZE;
+            match machine.hammer_pair_virt(pid, above, below, hammer_pairs) {
+                Ok(_) => scan.rows_hammered += 1,
+                Err(MachineError::Dram(_)) => {
+                    scan.hammer_failures += 1;
+                    victim_start += row_pages;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            // Read back the sandwiched row and harvest flips from the
+            // attacker's own data. Collateral flips in outer rows (±2, ±3
+            // row distances) are deliberately not harvested here: every row
+            // gets its own double-sided turn in this sweep, which is both
+            // stronger than the collateral disturbance and attributes the
+            // flip to the aggressor pair that best reproduces it.
+            for page in victim_start..victim_start + row_pages {
+                harvest_page(machine, pid, base, page, pattern, above, below, &mut scan)?;
+            }
+            victim_start += row_pages;
+        }
+    }
+
+    dedupe(&mut scan.templates);
+    score_reproducibility(machine, pid, base, &mut scan.templates, hammer_pairs, repro_rounds)?;
+    scan.elapsed = machine.now() - start_time;
+    Ok(scan)
+}
+
+/// Reads one page, records any flips against `pattern`, and restores it.
+#[allow(clippy::too_many_arguments)]
+fn harvest_page(
+    machine: &mut SimMachine,
+    pid: Pid,
+    base: VirtAddr,
+    page: u64,
+    pattern: u8,
+    above: VirtAddr,
+    below: VirtAddr,
+    scan: &mut TemplateScan,
+) -> Result<(), MachineError> {
+    let va = base + page * PAGE_SIZE;
+    let mut buf = vec![0u8; PAGE_SIZE as usize];
+    machine.read(pid, va, &mut buf)?;
+    let mut dirty = false;
+    for (off, &byte) in buf.iter().enumerate() {
+        if byte == pattern {
+            continue;
+        }
+        dirty = true;
+        let diff = byte ^ pattern;
+        for bit in 0..8u8 {
+            if diff & (1 << bit) != 0 {
+                scan.templates.push(FlipTemplate {
+                    page_index: page,
+                    page_va: va,
+                    page_offset: off as u16,
+                    bit,
+                    one_to_zero: pattern & (1 << bit) != 0,
+                    aggressor_above: above,
+                    aggressor_below: below,
+                    reproducibility: 0.0,
+                });
+            }
+        }
+    }
+    if dirty {
+        machine.fill(pid, va, PAGE_SIZE, pattern)?;
+    }
+    Ok(())
+}
+
+fn dedupe(templates: &mut Vec<FlipTemplate>) {
+    let mut seen = std::collections::HashSet::new();
+    templates.retain(|t| seen.insert((t.page_index, t.page_offset, t.bit)));
+}
+
+/// Re-hammers each template `rounds` times and records the hit fraction.
+fn score_reproducibility(
+    machine: &mut SimMachine,
+    pid: Pid,
+    base: VirtAddr,
+    templates: &mut [FlipTemplate],
+    hammer_pairs: u64,
+    rounds: u32,
+) -> Result<(), MachineError> {
+    let _ = base;
+    let window = machine.config().dram.timing.refresh_window();
+    for t in templates.iter_mut() {
+        let pattern = if t.one_to_zero { 0xFF } else { 0x00 };
+        let mut hits = 0u32;
+        for _ in 0..rounds {
+            machine.fill(pid, t.page_va, PAGE_SIZE, pattern)?;
+            // Let all disturbance state from previous rounds refresh away.
+            machine.advance(window);
+            if machine
+                .hammer_pair_virt(pid, t.aggressor_above, t.aggressor_below, hammer_pairs)
+                .is_err()
+            {
+                break;
+            }
+            let mut byte = [0u8];
+            machine.read(pid, t.page_va + t.page_offset as u64, &mut byte)?;
+            let bit_now = byte[0] & (1 << t.bit) != 0;
+            if bit_now != t.required_bit_value() {
+                hits += 1;
+            }
+        }
+        t.reproducibility = if rounds == 0 { 0.0 } else { hits as f32 / rounds as f32 };
+        machine.fill(pid, t.page_va, PAGE_SIZE, 0)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::MachineConfig;
+    use memsim::CpuId;
+
+    fn scan_small(seed: u64, pages: u64, pairs: u64) -> (SimMachine, Pid, VirtAddr, TemplateScan) {
+        let mut m = SimMachine::new(MachineConfig::small(seed));
+        let pid = m.spawn(CpuId(0));
+        let base = m.mmap(pid, pages).unwrap();
+        let scan = template_scan(&mut m, pid, base, pages, pairs, 3).unwrap();
+        (m, pid, base, scan)
+    }
+
+    #[test]
+    fn finds_flips_on_flippy_module() {
+        // 16 MiB over the flippy small config: expect a healthy population.
+        let (_, _, _, scan) = scan_small(5, 4096, 400_000);
+        assert!(scan.rows_hammered > 100);
+        assert!(
+            !scan.templates.is_empty(),
+            "templating found nothing; rows={} fails={}",
+            scan.rows_hammered,
+            scan.hammer_failures
+        );
+        // Both directions should be represented eventually.
+        let ones = scan.templates.iter().filter(|t| t.one_to_zero).count();
+        assert!(ones > 0, "no true-cell flips found");
+    }
+
+    #[test]
+    fn templates_are_deduplicated_and_scored() {
+        let (_, _, _, scan) = scan_small(6, 4096, 400_000);
+        let mut keys: Vec<_> =
+            scan.templates.iter().map(|t| (t.page_index, t.page_offset, t.bit)).collect();
+        keys.sort();
+        let len = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), len, "duplicate templates survived");
+        // The weak-cell model is deterministic, so reproducibility is high.
+        assert!(
+            scan.templates.iter().any(|t| t.reproducibility >= 0.99),
+            "no template reproduced reliably"
+        );
+    }
+
+    #[test]
+    fn flips_match_ground_truth_locations() {
+        // Every template must correspond to a real weak cell (oracle check).
+        let (mut m, pid, _, scan) = scan_small(7, 2048, 400_000);
+        for t in &scan.templates {
+            let pa = m.translate(pid, t.page_va).expect("template page mapped");
+            let cells = m.dram_mut().weak_cells_at(pa + t.page_offset as u64);
+            let coord = m.dram().mapping().phys_to_coord(pa + t.page_offset as u64);
+            let bit_in_row = coord.col * 8 + t.bit as u32;
+            assert!(
+                cells.iter().any(|c| c.bit_in_row == bit_in_row),
+                "template at page {} offset {} bit {} has no weak cell",
+                t.page_index,
+                t.page_offset,
+                t.bit
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_yields_empty_scan() {
+        let (_, _, _, scan) = scan_small(8, 8, 1000);
+        assert!(scan.templates.is_empty());
+        assert_eq!(scan.rows_hammered, 0);
+    }
+
+    #[test]
+    fn insufficient_hammering_finds_nothing() {
+        let (_, _, _, scan) = scan_small(5, 1024, 500);
+        assert!(scan.templates.is_empty());
+    }
+}

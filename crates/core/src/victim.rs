@@ -1,0 +1,247 @@
+//! The victim: a cipher service whose lookup tables live in one page of
+//! (steered) memory.
+
+use ciphers::{
+    present_sbox_image, BlockCipher, Present80, SboxAes, TTableAes, TableImage,
+};
+use machine::{MachineError, Pid, SimMachine, VirtAddr};
+use memsim::{CpuId, Pfn, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::VictimCipherKind;
+use crate::memsource::MachineTableSource;
+
+/// Secret keys of a victim service (ground truth held by the experiment
+/// harness, never read by the attack code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimKeys {
+    /// AES-128 key.
+    pub aes: [u8; 16],
+    /// PRESENT-80 key.
+    pub present: [u8; 10],
+}
+
+impl VictimKeys {
+    /// Derives keys from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC2_E7C0_FFEE);
+        VictimKeys { aes: rng.gen(), present: rng.gen() }
+    }
+}
+
+/// A running victim process serving encryptions with in-memory tables.
+///
+/// `start` maps a single page and installs the cipher's table image with the
+/// service's *first touch* — which is the exact moment the kernel hands it
+/// the head of the CPU's page frame cache (the attack's steered frame).
+#[derive(Debug, Clone, Copy)]
+pub struct VictimCipherService {
+    pid: Pid,
+    cpu: CpuId,
+    base: VirtAddr,
+    kind: VictimCipherKind,
+    keys: VictimKeys,
+}
+
+impl VictimCipherService {
+    /// Spawns the victim on `cpu` and installs its table page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors (OOM on the table page's first touch).
+    pub fn start(
+        machine: &mut SimMachine,
+        cpu: CpuId,
+        kind: VictimCipherKind,
+        keys: VictimKeys,
+    ) -> Result<Self, MachineError> {
+        let pid = machine.spawn(cpu);
+        let base = machine.mmap(pid, 1)?;
+        let image = match kind {
+            VictimCipherKind::AesSbox => TableImage::sbox().to_vec(),
+            VictimCipherKind::AesTtable => TableImage::te_tables(),
+            VictimCipherKind::Present => present_sbox_image().to_vec(),
+        };
+        machine.write(pid, base, &image)?;
+        Ok(VictimCipherService { pid, cpu, base, kind, keys })
+    }
+
+    /// The victim's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The CPU the victim runs on.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// The cipher shape this service runs.
+    pub fn kind(&self) -> VictimCipherKind {
+        self.kind
+    }
+
+    /// Ground-truth keys (experiment oracle — the attack never calls this;
+    /// it is used to *verify* recovered keys).
+    pub fn keys(&self) -> VictimKeys {
+        self.keys
+    }
+
+    /// Block size of the service's cipher.
+    pub fn block_bytes(&self) -> usize {
+        match self.kind {
+            VictimCipherKind::AesSbox | VictimCipherKind::AesTtable => 16,
+            VictimCipherKind::Present => 8,
+        }
+    }
+
+    /// Encrypts one block, reading tables through simulated memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` differs from [`Self::block_bytes`].
+    pub fn encrypt(
+        &self,
+        machine: &mut SimMachine,
+        block: &mut [u8],
+    ) -> Result<(), MachineError> {
+        assert_eq!(block.len(), self.block_bytes(), "block size mismatch");
+        let len = self.kind.image_len();
+        match self.kind {
+            VictimCipherKind::AesSbox => {
+                let src = MachineTableSource::new(machine, self.pid, self.base, len);
+                SboxAes::new_128(&self.keys.aes, src).encrypt_block(block);
+            }
+            VictimCipherKind::AesTtable => {
+                let src = MachineTableSource::new(machine, self.pid, self.base, len);
+                TTableAes::new_128(&self.keys.aes, src).encrypt_block(block);
+            }
+            VictimCipherKind::Present => {
+                let src = MachineTableSource::new(machine, self.pid, self.base, len);
+                Present80::new(&self.keys.present, src).encrypt_block(block);
+            }
+        }
+        Ok(())
+    }
+
+    /// Base virtual address of the table page.
+    pub fn table_base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// The frame backing the table page (experiment oracle).
+    pub fn table_pfn(&self, machine: &SimMachine) -> Option<Pfn> {
+        machine.translate(self.pid, self.base).map(|pa| Pfn(pa.as_u64() / PAGE_SIZE))
+    }
+
+    /// Terminates the service, releasing its page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors.
+    pub fn stop(self, machine: &mut SimMachine) -> Result<(), MachineError> {
+        machine.exit(self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciphers::{RamTableSource, ReferenceAes};
+    use machine::MachineConfig;
+
+    fn machine() -> SimMachine {
+        SimMachine::new(MachineConfig::small(9))
+    }
+
+    #[test]
+    fn sbox_service_matches_reference_aes() {
+        let mut m = machine();
+        let keys = VictimKeys::from_seed(1);
+        let svc =
+            VictimCipherService::start(&mut m, CpuId(1), VictimCipherKind::AesSbox, keys)
+                .unwrap();
+        let mut block = *b"0123456789abcdef";
+        let mut expect = block;
+        svc.encrypt(&mut m, &mut block).unwrap();
+        ReferenceAes::new_128(&keys.aes).encrypt_block(&mut expect);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn ttable_service_matches_reference_aes() {
+        let mut m = machine();
+        let keys = VictimKeys::from_seed(2);
+        let svc =
+            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesTtable, keys)
+                .unwrap();
+        let mut block = [0xA5u8; 16];
+        let mut expect = block;
+        svc.encrypt(&mut m, &mut block).unwrap();
+        ReferenceAes::new_128(&keys.aes).encrypt_block(&mut expect);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn present_service_matches_plain_present() {
+        let mut m = machine();
+        let keys = VictimKeys::from_seed(3);
+        let svc =
+            VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::Present, keys)
+                .unwrap();
+        let mut block = [0x11u8; 8];
+        let mut expect = block;
+        svc.encrypt(&mut m, &mut block).unwrap();
+        Present80::new(&keys.present, RamTableSource::new(present_sbox_image().to_vec()))
+            .encrypt_block(&mut expect);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn corrupting_the_table_page_corrupts_ciphertexts() {
+        let mut m = machine();
+        let keys = VictimKeys::from_seed(4);
+        let svc =
+            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys)
+                .unwrap();
+        // Flip one bit of the S-box in DRAM directly (what the hammer does).
+        let pa = m.translate(svc.pid(), svc.base).unwrap();
+        let byte = m.dram_mut().read_byte(pa + 0x20);
+        m.dram_mut().write_byte(pa + 0x20, byte ^ 0x08);
+
+        let mut block = [0u8; 16];
+        let mut expect = [0u8; 16];
+        svc.encrypt(&mut m, &mut block).unwrap();
+        ReferenceAes::new_128(&keys.aes).encrypt_block(&mut expect);
+        // With high probability a random-ish block hits the entry at least
+        // once across 160 lookups... use several blocks to be sure.
+        let mut any_diff = block != expect;
+        for i in 1..32u8 {
+            let mut b = [i; 16];
+            let mut e = [i; 16];
+            svc.encrypt(&mut m, &mut b).unwrap();
+            ReferenceAes::new_128(&keys.aes).encrypt_block(&mut e);
+            any_diff |= b != e;
+        }
+        assert!(any_diff, "faulted table never influenced a ciphertext");
+    }
+
+    #[test]
+    fn stop_releases_the_table_frame() {
+        let mut m = machine();
+        let keys = VictimKeys::from_seed(5);
+        let svc =
+            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys)
+                .unwrap();
+        let pfn = svc.table_pfn(&m).unwrap();
+        svc.stop(&mut m).unwrap();
+        // The frame is back in cpu0's page frame cache.
+        let zone = m.allocator().zone_of(pfn).unwrap();
+        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(0)).contains(pfn));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the attack-layer helpers.
+
+use dram::WeakCellParams;
+use explframe_core::{
+    select_attack_pages, template_scan, template_usable, FlipTemplate, VictimCipherKind,
+};
+use machine::{MachineConfig, SimMachine, VirtAddr};
+use memsim::CpuId;
+use proptest::prelude::*;
+
+fn arb_template() -> impl Strategy<Value = FlipTemplate> {
+    (0u64..64, 0u16..4096, 0u8..8, any::<bool>(), 0.0f32..=1.0).prop_map(
+        |(page, offset, bit, dir, repro)| FlipTemplate {
+            page_index: page,
+            page_va: VirtAddr(0x7f00_0000_0000 + page * 4096),
+            page_offset: offset,
+            bit,
+            one_to_zero: dir,
+            aggressor_above: VirtAddr(0),
+            aggressor_below: VirtAddr(0),
+            reproducibility: repro,
+        },
+    )
+}
+
+proptest! {
+    /// Selected attack pages are unique, usable, and each had exactly one
+    /// firing flip among the inputs.
+    #[test]
+    fn selection_invariants(templates in prop::collection::vec(arb_template(), 0..80)) {
+        for kind in [
+            VictimCipherKind::AesSbox,
+            VictimCipherKind::AesTtable,
+            VictimCipherKind::Present,
+        ] {
+            let selected = select_attack_pages(&templates, kind);
+            let mut pages = std::collections::BTreeSet::new();
+            for t in &selected {
+                prop_assert!(pages.insert(t.page_index), "duplicate page selected");
+                prop_assert!(template_usable(t, kind));
+                // The selected flip must come from the input set.
+                prop_assert!(templates.iter().any(|u| (
+                    u.page_index, u.page_offset, u.bit
+                ) == (t.page_index, t.page_offset, t.bit)));
+            }
+        }
+    }
+
+    /// Usability implies the offset is inside the victim's image.
+    #[test]
+    fn usable_templates_are_in_image(t in arb_template()) {
+        for kind in [
+            VictimCipherKind::AesSbox,
+            VictimCipherKind::AesTtable,
+            VictimCipherKind::Present,
+        ] {
+            if template_usable(&t, kind) {
+                prop_assert!((t.page_offset as usize) < kind.image_len());
+                prop_assert!(t.reproducibility >= 0.5);
+            }
+        }
+    }
+
+    /// Templating output is internally consistent for arbitrary small
+    /// machines: unique locations, offsets within pages, aggressors mapped.
+    #[test]
+    fn template_scan_output_well_formed(seed in 0u64..12, density_exp in 0u32..2) {
+        let density = [1e-5f64, 5e-5][density_exp as usize];
+        let mut config = MachineConfig::small(seed);
+        config.dram = config.dram.with_cells(WeakCellParams::flippy().with_density(density));
+        let mut m = SimMachine::new(config);
+        let pid = m.spawn(CpuId(0));
+        let pages = 512u64;
+        let base = m.mmap(pid, pages).unwrap();
+        let scan = template_scan(&mut m, pid, base, pages, 400_000, 2).unwrap();
+
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &scan.templates {
+            prop_assert!(t.page_index < pages);
+            prop_assert!((t.page_offset as u64) < 4096);
+            prop_assert!(t.bit < 8);
+            prop_assert!(seen.insert((t.page_index, t.page_offset, t.bit)));
+            // Aggressors must still be translated (mapped) addresses.
+            prop_assert!(m.translate(pid, t.aggressor_above).is_some());
+            prop_assert!(m.translate(pid, t.aggressor_below).is_some());
+            // And they must actually share a bank with distinct rows —
+            // hammerable on demand.
+            let pa = m.translate(pid, t.aggressor_above).unwrap();
+            let pb = m.translate(pid, t.aggressor_below).unwrap();
+            let ca = m.dram().mapping().phys_to_coord(pa);
+            let cb = m.dram().mapping().phys_to_coord(pb);
+            prop_assert_eq!((ca.channel, ca.rank, ca.bank), (cb.channel, cb.rank, cb.bank));
+            prop_assert_ne!(ca.row, cb.row);
+        }
+    }
+}

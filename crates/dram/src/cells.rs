@@ -1,0 +1,369 @@
+//! Seeded weak-cell populations.
+//!
+//! Rowhammer flips are not uniform: only a sparse population of "weak" cells
+//! ever flips, each with its own disturbance threshold and direction. Kim et
+//! al. (ISCA 2014) showed these populations are stable per module — the same
+//! cells flip again under the same hammering, which is precisely the property
+//! ExplFrame's templating phase relies on. [`WeakCellMap`] reproduces that:
+//! the population is a pure function of `(seed, row)`, so re-hammering a row
+//! re-finds the same cells.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Disturbance units contributed by one ACT of an adjacent (distance-1) row.
+///
+/// Thresholds are stored in the same fixed-point units so that distance-2
+/// "blast radius" contributions can be represented as 1/16 of a near ACT.
+pub const DIST_UNITS_NEAR: u32 = 16;
+/// Disturbance units contributed by one ACT of a distance-2 row.
+pub const DIST_UNITS_FAR: u32 = 1;
+
+/// Whether a cell stores charge for logical `1` (true cell) or logical `0`
+/// (anti cell).
+///
+/// Disturbance leaks charge, so a true cell flips `1 → 0` and an anti cell
+/// flips `0 → 1`. A cell only flips if the victim data currently holds the
+/// cell's charged value — the data-pattern dependence observed on hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellPolarity {
+    /// Charged state encodes `1`; flips `1 → 0`.
+    True,
+    /// Charged state encodes `0`; flips `0 → 1`.
+    Anti,
+}
+
+impl CellPolarity {
+    /// The bit value this cell must hold for a flip to be possible.
+    pub const fn charged_value(self) -> bool {
+        matches!(self, CellPolarity::True)
+    }
+
+    /// The bit value after a flip.
+    pub const fn discharged_value(self) -> bool {
+        !self.charged_value()
+    }
+}
+
+/// One disturbance-susceptible cell within a DRAM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeakCell {
+    /// Bit index within the row, `0 .. row_bytes * 8`.
+    pub bit_in_row: u32,
+    /// True-cell or anti-cell orientation.
+    pub polarity: CellPolarity,
+    /// Flip threshold in disturbance units (see [`DIST_UNITS_NEAR`]):
+    /// accumulated units within one refresh window at or above this flip the
+    /// cell.
+    pub threshold_units: u64,
+}
+
+impl WeakCell {
+    /// Threshold expressed as equivalent adjacent-row activations.
+    pub const fn threshold_acts(&self) -> u64 {
+        self.threshold_units / DIST_UNITS_NEAR as u64
+    }
+}
+
+/// Parameters of the weak-cell population.
+///
+/// # Examples
+///
+/// ```
+/// use dram::WeakCellParams;
+/// let p = WeakCellParams::default();
+/// assert!(p.density > 0.0 && p.density < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakCellParams {
+    /// Probability that any given bit is a weak cell.
+    pub density: f64,
+    /// Mean flip threshold in adjacent-row activations.
+    pub mean_threshold_acts: u64,
+    /// Log-normal sigma of the threshold distribution.
+    pub threshold_sigma: f64,
+    /// Hard lower bound on thresholds (activations).
+    pub min_threshold_acts: u64,
+    /// Fraction of weak cells that are true cells (rest are anti cells).
+    pub true_cell_fraction: f64,
+}
+
+impl WeakCellParams {
+    /// A heavily vulnerable module (≈0.65 weak cells per 8 KiB row):
+    /// convenient for fast tests.
+    pub const fn flippy() -> Self {
+        WeakCellParams {
+            density: 1e-5,
+            mean_threshold_acts: 60_000,
+            threshold_sigma: 0.25,
+            min_threshold_acts: 25_000,
+            true_cell_fraction: 0.7,
+        }
+    }
+
+    /// A moderately vulnerable module (≈1 weak cell per 15 rows), the default
+    /// used by the paper-scale experiments.
+    pub const fn moderate() -> Self {
+        WeakCellParams {
+            density: 1e-6,
+            mean_threshold_acts: 60_000,
+            threshold_sigma: 0.25,
+            min_threshold_acts: 25_000,
+            true_cell_fraction: 0.7,
+        }
+    }
+
+    /// A nearly-immune module (≈1 weak cell per 1500 rows).
+    pub const fn rare() -> Self {
+        WeakCellParams {
+            density: 1e-8,
+            mean_threshold_acts: 120_000,
+            threshold_sigma: 0.25,
+            min_threshold_acts: 60_000,
+            true_cell_fraction: 0.7,
+        }
+    }
+
+    /// Returns a copy with a different weak-cell density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is not within `(0, 1)`.
+    pub fn with_density(mut self, density: f64) -> Self {
+        assert!(density > 0.0 && density < 1.0, "density must be in (0, 1)");
+        self.density = density;
+        self
+    }
+
+    /// Returns a copy with a different mean threshold.
+    pub fn with_mean_threshold_acts(mut self, acts: u64) -> Self {
+        self.mean_threshold_acts = acts;
+        self
+    }
+}
+
+impl Default for WeakCellParams {
+    fn default() -> Self {
+        Self::moderate()
+    }
+}
+
+/// Lazily generated, deterministic map from rows to their weak cells.
+///
+/// The cells of a row are a pure function of `(seed, global_row_id)`; the map
+/// memoises them so repeated hammering of the same row is cheap.
+#[derive(Debug, Clone)]
+pub struct WeakCellMap {
+    seed: u64,
+    params: WeakCellParams,
+    bits_per_row: u32,
+    cache: HashMap<u64, Arc<[WeakCell]>>,
+}
+
+/// SplitMix64 step — used to derive independent per-row seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Sample a Poisson variate with small λ via Knuth's algorithm.
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    debug_assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // λ is tiny in practice; guard against pathological parameters.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Standard normal variate via Box–Muller.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl WeakCellMap {
+    /// Creates a map for rows of `bits_per_row` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_row` is zero or `params.density` is outside
+    /// `(0, 1)`.
+    pub fn new(seed: u64, params: WeakCellParams, bits_per_row: u32) -> Self {
+        assert!(bits_per_row > 0, "rows must contain at least one bit");
+        assert!(
+            params.density > 0.0 && params.density < 1.0,
+            "density must be in (0, 1)"
+        );
+        WeakCellMap { seed, params, bits_per_row, cache: HashMap::new() }
+    }
+
+    /// The population parameters.
+    pub fn params(&self) -> &WeakCellParams {
+        &self.params
+    }
+
+    /// Returns the weak cells of the row identified by `global_row_id`,
+    /// generating and memoising them on first use.
+    pub fn cells_for_row(&mut self, global_row_id: u64) -> Arc<[WeakCell]> {
+        if let Some(c) = self.cache.get(&global_row_id) {
+            return Arc::clone(c);
+        }
+        let cells = self.generate(global_row_id);
+        self.cache.insert(global_row_id, Arc::clone(&cells));
+        cells
+    }
+
+    fn generate(&self, global_row_id: u64) -> Arc<[WeakCell]> {
+        let row_seed = splitmix64(self.seed ^ splitmix64(global_row_id.wrapping_add(0xA5A5)));
+        let mut rng = StdRng::seed_from_u64(row_seed);
+        let lambda = self.bits_per_row as f64 * self.params.density;
+        let count = sample_poisson(&mut rng, lambda);
+        let mut cells: Vec<WeakCell> = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let bit_in_row = rng.gen_range(0..self.bits_per_row);
+            if cells.iter().any(|c| c.bit_in_row == bit_in_row) {
+                continue; // collisions are vanishingly rare; skip rather than loop
+            }
+            let polarity = if rng.gen::<f64>() < self.params.true_cell_fraction {
+                CellPolarity::True
+            } else {
+                CellPolarity::Anti
+            };
+            let z = sample_standard_normal(&mut rng);
+            let acts = (self.params.mean_threshold_acts as f64
+                * (self.params.threshold_sigma * z).exp())
+            .max(self.params.min_threshold_acts as f64) as u64;
+            cells.push(WeakCell {
+                bit_in_row,
+                polarity,
+                threshold_units: acts * DIST_UNITS_NEAR as u64,
+            });
+        }
+        cells.sort_by_key(|c| c.bit_in_row);
+        cells.into()
+    }
+
+    /// Number of rows whose populations have been generated so far.
+    pub fn cached_rows(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_values() {
+        assert!(CellPolarity::True.charged_value());
+        assert!(!CellPolarity::True.discharged_value());
+        assert!(!CellPolarity::Anti.charged_value());
+        assert!(CellPolarity::Anti.discharged_value());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = WeakCellMap::new(42, WeakCellParams::flippy(), 65536);
+        let mut b = WeakCellMap::new(42, WeakCellParams::flippy(), 65536);
+        for row in 0..200u64 {
+            assert_eq!(a.cells_for_row(row)[..], b.cells_for_row(row)[..]);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WeakCellMap::new(1, WeakCellParams::flippy(), 65536);
+        let mut b = WeakCellMap::new(2, WeakCellParams::flippy(), 65536);
+        let differs = (0..500u64).any(|r| a.cells_for_row(r)[..] != b.cells_for_row(r)[..]);
+        assert!(differs);
+    }
+
+    #[test]
+    fn density_controls_population_size() {
+        let rows = 2000u64;
+        let count = |density: f64| -> usize {
+            let mut m =
+                WeakCellMap::new(7, WeakCellParams::flippy().with_density(density), 65536);
+            (0..rows).map(|r| m.cells_for_row(r).len()).sum()
+        };
+        let sparse = count(1e-7);
+        let dense = count(1e-4);
+        assert!(dense > sparse * 10, "dense={dense} sparse={sparse}");
+        // Sanity: 1e-4 * 65536 bits * 2000 rows ≈ 13k cells.
+        let expected = 1e-4 * 65536.0 * rows as f64;
+        assert!((dense as f64) > expected * 0.8 && (dense as f64) < expected * 1.2);
+    }
+
+    #[test]
+    fn thresholds_respect_floor() {
+        let params = WeakCellParams::flippy();
+        let mut m = WeakCellMap::new(3, params, 65536);
+        for row in 0..500u64 {
+            for c in m.cells_for_row(row).iter() {
+                assert!(c.threshold_acts() >= params.min_threshold_acts);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_sorted_and_unique() {
+        let mut m = WeakCellMap::new(9, WeakCellParams::flippy().with_density(1e-4), 65536);
+        for row in 0..100u64 {
+            let cells = m.cells_for_row(row);
+            for w in cells.windows(2) {
+                assert!(w[0].bit_in_row < w[1].bit_in_row);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_memoises() {
+        let mut m = WeakCellMap::new(11, WeakCellParams::flippy(), 65536);
+        let a = m.cells_for_row(5);
+        let b = m.cells_for_row(5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(m.cached_rows(), 1);
+    }
+
+    #[test]
+    fn true_cell_fraction_is_respected() {
+        let mut m = WeakCellMap::new(13, WeakCellParams::flippy().with_density(1e-4), 65536);
+        let mut true_cells = 0usize;
+        let mut total = 0usize;
+        for row in 0..2000u64 {
+            for c in m.cells_for_row(row).iter() {
+                total += 1;
+                if c.polarity == CellPolarity::True {
+                    true_cells += 1;
+                }
+            }
+        }
+        let frac = true_cells as f64 / total as f64;
+        assert!((frac - 0.7).abs() < 0.05, "true-cell fraction was {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1)")]
+    fn invalid_density_rejected() {
+        WeakCellParams::flippy().with_density(0.0);
+    }
+}

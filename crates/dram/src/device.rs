@@ -1,0 +1,718 @@
+//! The DRAM device: data plane, activation plane and Rowhammer physics.
+
+use std::sync::Arc;
+
+use crate::bank::{next_refresh_time, BankState};
+use crate::cells::{CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR};
+use crate::error::DramError;
+use crate::geometry::{DramCoord, DramGeometry, PhysAddr};
+use crate::mapping::{AddressMapping, MappingKind};
+use crate::sparse::SparseMemory;
+use crate::stats::DramStats;
+use crate::timing::{DramTiming, Nanos};
+
+/// Complete configuration of a [`DramDevice`].
+///
+/// # Examples
+///
+/// ```
+/// use dram::{DramConfig, WeakCellParams};
+/// let cfg = DramConfig::small().with_seed(99).with_cells(WeakCellParams::flippy());
+/// assert_eq!(cfg.seed, 99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Physical organisation.
+    pub geometry: DramGeometry,
+    /// Address scrambling scheme.
+    pub mapping: MappingKind,
+    /// Timing / refresh parameters.
+    pub timing: DramTiming,
+    /// Weak-cell population parameters.
+    pub cells: WeakCellParams,
+    /// Seed for the weak-cell population.
+    pub seed: u64,
+}
+
+impl DramConfig {
+    /// 256 MiB device with a flippy cell population — fast tests and demos.
+    pub fn small() -> Self {
+        DramConfig {
+            geometry: DramGeometry::small_256mib(),
+            mapping: MappingKind::Linear,
+            timing: DramTiming::ddr3_1600(),
+            cells: WeakCellParams::flippy(),
+            seed: 0xE49F_1A7E,
+        }
+    }
+
+    /// 1 GiB device with a moderate cell population — paper-scale runs.
+    pub fn medium_1gib() -> Self {
+        DramConfig { geometry: DramGeometry::medium_1gib(), cells: WeakCellParams::moderate(), ..Self::small() }
+    }
+
+    /// 4 GiB desktop device with a moderate cell population.
+    pub fn desktop_4gib() -> Self {
+        DramConfig { geometry: DramGeometry::desktop_4gib(), cells: WeakCellParams::moderate(), ..Self::small() }
+    }
+
+    /// Returns a copy with a different weak-cell seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with different weak-cell parameters.
+    pub fn with_cells(mut self, cells: WeakCellParams) -> Self {
+        self.cells = cells;
+        self
+    }
+
+    /// Returns a copy with a different address mapping.
+    pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Returns a copy with different timing parameters.
+    pub fn with_timing(mut self, timing: DramTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::desktop_4gib()
+    }
+}
+
+/// A bit flip induced by disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipEvent {
+    /// Physical byte address containing the flipped bit.
+    pub addr: PhysAddr,
+    /// Bit index within the byte (0 = LSB).
+    pub bit: u8,
+    /// Decoded DRAM location (`col` is the byte within the row).
+    pub coord: DramCoord,
+    /// Cell orientation; determines flip direction.
+    pub polarity: CellPolarity,
+    /// Simulated time of the flip.
+    pub time: Nanos,
+}
+
+impl FlipEvent {
+    /// The value the bit held before the flip.
+    pub const fn before(&self) -> bool {
+        self.polarity.charged_value()
+    }
+
+    /// The value the bit holds after the flip.
+    pub const fn after(&self) -> bool {
+        self.polarity.discharged_value()
+    }
+}
+
+/// Result of a bulk hammer operation.
+#[derive(Debug, Clone, Default)]
+pub struct HammerOutcome {
+    /// Flips induced during this hammer run.
+    pub flips: Vec<FlipEvent>,
+    /// ACT commands issued.
+    pub acts: u64,
+    /// Simulated time consumed.
+    pub elapsed: Nanos,
+}
+
+/// A simulated DRAM device.
+///
+/// Owns the data array, per-bank row buffers, the weak-cell population and
+/// the simulated clock. All mutation is through `&mut self`; the device is
+/// deterministic given its [`DramConfig`].
+#[derive(Debug)]
+pub struct DramDevice {
+    config: DramConfig,
+    mapping: Box<dyn AddressMapping>,
+    banks: Vec<BankState>,
+    mem: SparseMemory,
+    cells: WeakCellMap,
+    stats: DramStats,
+    flip_log: Vec<FlipEvent>,
+    now: Nanos,
+}
+
+impl DramDevice {
+    /// Builds a device from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (non-power-of-two dimensions) or the
+    /// cell density is out of range.
+    pub fn new(config: DramConfig) -> Self {
+        let mapping = config.mapping.build(config.geometry);
+        let banks = vec![BankState::default(); config.geometry.total_banks() as usize];
+        let mem = SparseMemory::new(config.geometry.capacity_bytes());
+        let cells = WeakCellMap::new(config.seed, config.cells, config.geometry.row_bytes * 8);
+        DramDevice {
+            config,
+            mapping,
+            banks,
+            mem,
+            cells,
+            stats: DramStats::default(),
+            flip_log: Vec::new(),
+            now: 0,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The address mapping in use.
+    pub fn mapping(&self) -> &dyn AddressMapping {
+        self.mapping.as_ref()
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.config.geometry.capacity_bytes()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the simulated clock by `ns` (e.g. for CPU-side work).
+    pub fn advance(&mut self, ns: Nanos) {
+        self.now += ns;
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// All flips induced since the last [`Self::take_flips`].
+    pub fn flips(&self) -> &[FlipEvent] {
+        &self.flip_log
+    }
+
+    /// Drains and returns the flip log.
+    pub fn take_flips(&mut self) -> Vec<FlipEvent> {
+        std::mem::take(&mut self.flip_log)
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes at `addr` (no activation accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn read(&mut self, addr: PhysAddr, buf: &mut [u8]) {
+        self.stats.reads += 1;
+        self.mem.read(addr, buf);
+    }
+
+    /// Writes `data` at `addr` (no activation accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.stats.writes += 1;
+        self.mem.write(addr, data);
+    }
+
+    /// Fills `len` bytes at `addr` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, value: u8) {
+        self.stats.writes += 1;
+        self.mem.fill(addr, len, value);
+    }
+
+    /// Reads one byte at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds capacity.
+    pub fn read_byte(&mut self, addr: PhysAddr) -> u8 {
+        self.stats.reads += 1;
+        self.mem.read_byte(addr)
+    }
+
+    /// Writes one byte at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds capacity.
+    pub fn write_byte(&mut self, addr: PhysAddr, value: u8) {
+        self.stats.writes += 1;
+        self.mem.write_byte(addr, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Activation plane
+    // ------------------------------------------------------------------
+
+    /// Performs a memory access at `addr` for timing and disturbance
+    /// purposes: opens the row (issuing an `ACT` on a row-buffer miss, which
+    /// disturbs neighbouring rows) and advances the clock. Returns the access
+    /// latency.
+    ///
+    /// Call this for every access that reaches DRAM (i.e. cache misses); use
+    /// [`Self::read`]/[`Self::write`] for the data itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds capacity.
+    pub fn access(&mut self, addr: PhysAddr) -> Nanos {
+        let coord = self.mapping.phys_to_coord(addr);
+        let bank_idx = self.config.geometry.bank_index(coord.channel, coord.rank, coord.bank);
+        let missed = self.banks[bank_idx].activate(coord.row);
+        let latency = if missed {
+            self.stats.acts += 1;
+            self.now += self.config.timing.t_rc;
+            // Activating a row restores its own cells' charge.
+            self.banks[bank_idx].clear_disturbance(coord.row);
+            self.disturb_neighbours(coord, 1);
+            self.config.timing.t_rc
+        } else {
+            self.stats.row_hits += 1;
+            self.now += self.config.timing.t_row_hit;
+            self.config.timing.t_row_hit
+        };
+        latency
+    }
+
+    /// Applies the disturbance of `acts` activations of `aggressor` to its
+    /// neighbouring rows and collects any resulting flips.
+    fn disturb_neighbours(&mut self, aggressor: DramCoord, acts: u64) {
+        for (delta, units) in
+            [(-2i64, DIST_UNITS_FAR), (-1, DIST_UNITS_NEAR), (1, DIST_UNITS_NEAR), (2, DIST_UNITS_FAR)]
+        {
+            if let Some(victim) = aggressor.neighbour_row(delta, &self.config.geometry) {
+                self.disturb_row(victim, units as u64 * acts);
+            }
+        }
+    }
+
+    /// Adds `units` of disturbance to the row containing `victim` and flips
+    /// any weak cells whose thresholds were crossed.
+    fn disturb_row(&mut self, victim: DramCoord, units: u64) {
+        let geometry = self.config.geometry;
+        let timing = self.config.timing;
+        let bank_idx = geometry.bank_index(victim.channel, victim.rank, victim.bank);
+        let delta = self.banks[bank_idx].add_disturbance(victim.row, units, self.now, &timing);
+        if delta.old_units == delta.new_units {
+            return;
+        }
+        let row_id = geometry.global_row_id(victim);
+        let cells: Arc<[WeakCell]> = self.cells.cells_for_row(row_id);
+        for cell in cells.iter() {
+            if delta.old_units < cell.threshold_units && cell.threshold_units <= delta.new_units {
+                self.try_flip(victim, cell);
+            }
+        }
+    }
+
+    /// Attempts to flip `cell` in the row containing `victim` — succeeds only
+    /// if the stored bit currently holds the cell's charged value.
+    fn try_flip(&mut self, victim: DramCoord, cell: &WeakCell) {
+        let byte_in_row = cell.bit_in_row / 8;
+        let bit = (cell.bit_in_row % 8) as u8;
+        let coord = DramCoord { col: byte_in_row, ..victim };
+        let addr = self.mapping.coord_to_phys(coord);
+        if self.mem.read_bit(addr, bit) == cell.polarity.charged_value() {
+            self.mem.write_bit(addr, bit, cell.polarity.discharged_value());
+            self.stats.flips += 1;
+            self.flip_log.push(FlipEvent {
+                addr,
+                bit,
+                coord,
+                polarity: cell.polarity,
+                time: self.now,
+            });
+        }
+    }
+
+    /// Double-sided (or generally, two-aggressor) bulk hammering: alternately
+    /// activates the rows containing `a` and `b`, `pairs` times, advancing
+    /// the simulated clock and racing refresh exactly as the per-access path
+    /// would — but in O(refresh boundaries) instead of O(accesses).
+    ///
+    /// Returns the flips induced by this run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AggressorsInDifferentBanks`] if the two addresses
+    /// decode to different banks, and [`DramError::AggressorsShareRow`] if
+    /// they decode to the same row (alternating accesses would be row-buffer
+    /// hits and hammer nothing).
+    pub fn hammer_pair(
+        &mut self,
+        a: PhysAddr,
+        b: PhysAddr,
+        pairs: u64,
+    ) -> Result<HammerOutcome, DramError> {
+        let ca = self.mapping.phys_to_coord(a);
+        let cb = self.mapping.phys_to_coord(b);
+        if (ca.channel, ca.rank, ca.bank) != (cb.channel, cb.rank, cb.bank) {
+            return Err(DramError::AggressorsInDifferentBanks { a: ca, b: cb });
+        }
+        if ca.row == cb.row {
+            return Err(DramError::AggressorsShareRow { coord: ca });
+        }
+        let geometry = self.config.geometry;
+        let timing = self.config.timing;
+
+        // Disturbance received by each victim row per aggressor pair. The
+        // aggressor rows themselves are excluded: every pair re-activates
+        // them, restoring their own charge.
+        let mut victims: Vec<(u32, u64)> = Vec::new();
+        for aggressor in [ca.row, cb.row] {
+            for (delta, units) in [
+                (-2i64, DIST_UNITS_FAR),
+                (-1, DIST_UNITS_NEAR),
+                (1, DIST_UNITS_NEAR),
+                (2, DIST_UNITS_FAR),
+            ] {
+                let row = aggressor as i64 + delta;
+                if row < 0 || row >= geometry.rows as i64 {
+                    continue;
+                }
+                let row = row as u32;
+                if row == ca.row || row == cb.row {
+                    continue;
+                }
+                match victims.iter_mut().find(|(r, _)| *r == row) {
+                    Some((_, u)) => *u += units as u64,
+                    None => victims.push((row, units as u64)),
+                }
+            }
+        }
+        let bank_idx = geometry.bank_index(ca.channel, ca.rank, ca.bank);
+        self.banks[bank_idx].clear_disturbance(ca.row);
+        self.banks[bank_idx].clear_disturbance(cb.row);
+
+        let pair_time = 2 * timing.t_rc;
+        let flips_before = self.flip_log.len();
+        let start = self.now;
+        let mut remaining = pairs;
+        while remaining > 0 {
+            let t = self.now;
+            let boundary = victims
+                .iter()
+                .map(|&(row, _)| next_refresh_time(row, t, &timing))
+                .min()
+                .expect("aggressors always have at least one neighbour");
+            // Pairs that complete before any victim row is refreshed. The
+            // boundary can coincide with `t` only after the clock lands
+            // exactly on it; force progress with at least one pair.
+            let chunk = remaining.min(((boundary - t) / pair_time).max(1));
+            for &(row, units_per_pair) in &victims {
+                let victim = DramCoord { row, col: 0, ..ca };
+                self.disturb_row(victim, units_per_pair * chunk);
+            }
+            self.now += chunk * pair_time;
+            remaining -= chunk;
+        }
+
+        self.banks[bank_idx].set_open_row(cb.row, pairs * 2);
+        self.stats.acts += pairs * 2;
+        self.stats.hammer_pairs += pairs;
+
+        Ok(HammerOutcome {
+            flips: self.flip_log[flips_before..].to_vec(),
+            acts: pairs * 2,
+            elapsed: self.now - start,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (experiment ground truth — not attacker-visible)
+    // ------------------------------------------------------------------
+
+    /// Weak cells in the row containing `addr`.
+    ///
+    /// This is an oracle for experiments and tests; the simulated attacker
+    /// never calls it (templating *discovers* flips by hammering).
+    pub fn weak_cells_at(&mut self, addr: PhysAddr) -> Arc<[WeakCell]> {
+        let coord = self.mapping.phys_to_coord(addr);
+        let row_id = self.config.geometry.global_row_id(coord);
+        self.cells.cells_for_row(row_id)
+    }
+
+    /// Enumerates `(address, bit, cell)` for every weak cell whose bit falls
+    /// inside `[start, start + len)`. Oracle for experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn weak_bits_in_range(
+        &mut self,
+        start: PhysAddr,
+        len: u64,
+    ) -> Vec<(PhysAddr, u8, WeakCell)> {
+        assert!(start.as_u64() + len <= self.capacity_bytes(), "range beyond capacity");
+        let row_bytes = self.config.geometry.row_bytes as u64;
+        let mut out = Vec::new();
+        let mut row_start = start.align_down(row_bytes);
+        while row_start.as_u64() < start.as_u64() + len {
+            let cells = self.weak_cells_at(row_start);
+            let coord = self.mapping.phys_to_coord(row_start);
+            for cell in cells.iter() {
+                let byte_in_row = cell.bit_in_row / 8;
+                let addr = self
+                    .mapping
+                    .coord_to_phys(DramCoord { col: byte_in_row, ..coord });
+                if addr >= start && addr.as_u64() < start.as_u64() + len {
+                    out.push((addr, (cell.bit_in_row % 8) as u8, *cell));
+                }
+            }
+            row_start = row_start + row_bytes;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord(bank: u32, row: u32, col: u32) -> DramCoord {
+        DramCoord { channel: 0, rank: 0, bank, row, col }
+    }
+
+    /// A config whose row 100/bank 0 victim can be fabricated precisely: we
+    /// use the oracle to find a row with a weak cell and hammer around it.
+    fn small_dev(seed: u64) -> DramDevice {
+        DramDevice::new(DramConfig::small().with_seed(seed))
+    }
+
+    /// Finds (victim_row, cell) with a weak cell in bank 0, away from edges.
+    fn find_weak_row(dev: &mut DramDevice) -> (u32, WeakCell) {
+        let g = dev.config().geometry;
+        for row in 2..g.rows - 2 {
+            let addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+            let cells = dev.weak_cells_at(addr);
+            if let Some(c) = cells.first() {
+                return (row, *c);
+            }
+        }
+        panic!("no weak cell found in bank 0 — increase density or rows");
+    }
+
+    #[test]
+    fn access_latency_depends_on_row_buffer() {
+        let mut dev = small_dev(1);
+        let a = dev.mapping().coord_to_phys(coord(0, 10, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, 10, 64));
+        let c = dev.mapping().coord_to_phys(coord(0, 11, 0));
+        let t_miss = dev.access(a);
+        let t_hit = dev.access(b);
+        let t_conflict = dev.access(c);
+        assert_eq!(t_miss, dev.config().timing.t_rc);
+        assert_eq!(t_hit, dev.config().timing.t_row_hit);
+        assert_eq!(t_conflict, dev.config().timing.t_rc);
+        assert_eq!(dev.stats().acts, 2);
+        assert_eq!(dev.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let mut dev = small_dev(2);
+        dev.write(PhysAddr::new(0x4000), b"explframe");
+        let mut buf = [0u8; 9];
+        dev.read(PhysAddr::new(0x4000), &mut buf);
+        assert_eq!(&buf, b"explframe");
+    }
+
+    #[test]
+    fn double_sided_hammer_flips_known_weak_cell() {
+        let mut dev = small_dev(3);
+        let (row, cell) = find_weak_row(&mut dev);
+        let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+        // Store the charged pattern so the cell can discharge.
+        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
+        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, fill);
+
+        // Hammer with more than threshold pairs (double-sided → 2 ACTs of
+        // near disturbance per pair on the sandwiched row).
+        let pairs = cell.threshold_acts(); // 2 units/pair ⇒ pairs = acts/2... use full to be safe
+        let outcome = dev.hammer_pair(a, b, pairs).unwrap();
+        assert!(
+            outcome.flips.iter().any(|f| f.coord.row == row
+                && f.coord.col == cell.bit_in_row / 8
+                && f.bit == (cell.bit_in_row % 8) as u8),
+            "expected flip of known weak cell, got {:?}",
+            outcome.flips
+        );
+        assert_eq!(dev.stats().flips as usize, dev.flips().len());
+    }
+
+    #[test]
+    fn hammer_without_charged_pattern_does_not_flip() {
+        let mut dev = small_dev(3);
+        let (row, cell) = find_weak_row(&mut dev);
+        let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+        // Store the *discharged* pattern — the flip must not happen.
+        let fill = if cell.polarity.charged_value() { 0x00 } else { 0xFF };
+        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, fill);
+        let outcome = dev.hammer_pair(a, b, cell.threshold_acts()).unwrap();
+        assert!(outcome
+            .flips
+            .iter()
+            .all(|f| !(f.coord.row == row && f.coord.col == cell.bit_in_row / 8)));
+    }
+
+    #[test]
+    fn insufficient_hammering_does_not_flip() {
+        let mut dev = small_dev(3);
+        let (row, _) = find_weak_row(&mut dev);
+        let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, 0xFF);
+        // Double-sided hammering delivers 2 near-ACTs per pair, so staying
+        // below min_threshold/2 pairs keeps *every* possible cell below its
+        // floor threshold, regardless of seed.
+        let pairs = dev.config().cells.min_threshold_acts / 4;
+        let outcome = dev.hammer_pair(a, b, pairs).unwrap();
+        assert!(outcome.flips.is_empty(), "unexpected flips: {:?}", outcome.flips);
+    }
+
+    #[test]
+    fn slow_hammering_is_defeated_by_refresh() {
+        // Hammering spread over many refresh windows (low rate) never
+        // accumulates enough disturbance: emulate by hammering in small
+        // chunks with long idle gaps.
+        let mut dev = small_dev(3);
+        let (row, cell) = find_weak_row(&mut dev);
+        let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
+        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, fill);
+        let window = dev.config().timing.refresh_window();
+        // Each chunk stays below every cell's floor threshold, but the total
+        // hammering far exceeds the found cell's threshold — only the idle
+        // gaps (refresh) prevent the flip.
+        let chunk_pairs = dev.config().cells.min_threshold_acts / 4;
+        let chunks = 1 + (cell.threshold_acts() * 4) / chunk_pairs;
+        for _ in 0..chunks {
+            let outcome = dev.hammer_pair(a, b, chunk_pairs).unwrap();
+            assert!(outcome.flips.is_empty());
+            dev.advance(window); // idle a full window: every row refreshes
+        }
+    }
+
+    #[test]
+    fn hammer_pair_rejects_cross_bank_and_same_row() {
+        let mut dev = small_dev(4);
+        let a = dev.mapping().coord_to_phys(coord(0, 10, 0));
+        let b = dev.mapping().coord_to_phys(coord(1, 12, 0));
+        assert!(matches!(
+            dev.hammer_pair(a, b, 10),
+            Err(DramError::AggressorsInDifferentBanks { .. })
+        ));
+        let c = dev.mapping().coord_to_phys(coord(0, 10, 128));
+        assert!(matches!(dev.hammer_pair(a, c, 10), Err(DramError::AggressorsShareRow { .. })));
+    }
+
+    #[test]
+    fn bulk_hammer_matches_per_access_path() {
+        // The same hammering expressed as individual accesses (with
+        // alternating rows, so every access is a row conflict) must produce
+        // the same flips as one bulk call.
+        let seed = 5;
+        let mut bulk = small_dev(seed);
+        let (row, cell) = find_weak_row(&mut bulk);
+        let a = bulk.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = bulk.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_addr = bulk.mapping().coord_to_phys(coord(0, row, 0));
+        let row_bytes = bulk.config().geometry.row_bytes as u64;
+        let pairs = cell.threshold_acts() + 16;
+        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
+
+        bulk.fill(victim_addr, row_bytes, fill);
+        let bulk_flips = bulk.hammer_pair(a, b, pairs).unwrap().flips;
+
+        let mut step = small_dev(seed);
+        step.fill(victim_addr, row_bytes, fill);
+        for _ in 0..pairs {
+            step.access(a);
+            step.access(b);
+        }
+        let step_flips: Vec<_> = step.flips().to_vec();
+
+        let key = |f: &FlipEvent| (f.addr, f.bit, f.polarity);
+        let mut bk: Vec<_> = bulk_flips.iter().map(key).collect();
+        let mut sk: Vec<_> = step_flips.iter().map(key).collect();
+        bk.sort();
+        sk.sort();
+        assert_eq!(bk, sk, "bulk and per-access hammering disagree");
+        assert!(!bk.is_empty(), "expected at least one flip in the comparison");
+    }
+
+    #[test]
+    fn flips_are_reproducible_after_restore() {
+        // ExplFrame's key assumption: re-hammering the same aggressors after
+        // restoring the data pattern re-flips the same cell.
+        let mut dev = small_dev(6);
+        let (row, cell) = find_weak_row(&mut dev);
+        let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+        let row_bytes = dev.config().geometry.row_bytes as u64;
+        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
+        let pairs = cell.threshold_acts() + 16;
+
+        let mut observed = Vec::new();
+        for _ in 0..3 {
+            dev.fill(victim_addr, row_bytes, fill);
+            let flips = dev.hammer_pair(a, b, pairs).unwrap().flips;
+            observed.push(
+                flips
+                    .iter()
+                    .map(|f| (f.addr, f.bit))
+                    .collect::<std::collections::BTreeSet<_>>(),
+            );
+            // Idle a window so disturbance state fully resets between rounds.
+            dev.advance(dev.config().timing.refresh_window());
+        }
+        assert_eq!(observed[0], observed[1]);
+        assert_eq!(observed[1], observed[2]);
+        assert!(!observed[0].is_empty());
+    }
+
+    #[test]
+    fn weak_bits_in_range_oracle_matches_cells() {
+        let mut dev = small_dev(7);
+        let g = dev.config().geometry;
+        let len = 1 << 20; // 1 MiB
+        let found = dev.weak_bits_in_range(PhysAddr::new(0), len);
+        for (addr, bit, cell) in &found {
+            assert!(addr.as_u64() < len);
+            assert_eq!(cell.bit_in_row % 8, *bit as u32);
+            let c = dev.mapping().phys_to_coord(*addr);
+            assert_eq!(c.col, cell.bit_in_row / 8);
+            assert!(c.row < g.rows);
+        }
+        // Flippy density 1e-5 over 1 MiB (8 Mbit) ⇒ ~84 expected cells.
+        assert!(found.len() > 20 && found.len() < 300, "found {}", found.len());
+    }
+}

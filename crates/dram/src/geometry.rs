@@ -1,0 +1,302 @@
+//! DRAM geometry: the physical organisation of the memory device.
+
+use std::fmt;
+
+/// A physical (bus) address into the DRAM device.
+///
+/// Newtype over `u64` so physical addresses cannot be confused with virtual
+/// addresses or page frame numbers at API boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use dram::PhysAddr;
+/// let a = PhysAddr::new(0x1000);
+/// assert_eq!(a.as_u64(), 0x1000);
+/// assert_eq!((a + 8).as_u64(), 0x1008);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw `u64`.
+    pub const fn new(addr: u64) -> Self {
+        PhysAddr(addr)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address rounded down to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn align_down(self, align: u64) -> Self {
+        assert!(align != 0, "alignment must be non-zero");
+        PhysAddr(self.0 - self.0 % align)
+    }
+
+    /// Byte offset of this address within an `align`-sized block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero.
+    pub fn offset_in(self, align: u64) -> u64 {
+        assert!(align != 0, "alignment must be non-zero");
+        self.0 % align
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(a: PhysAddr) -> Self {
+        a.0
+    }
+}
+
+impl std::ops::Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0 + rhs)
+    }
+}
+
+impl std::ops::Sub<PhysAddr> for PhysAddr {
+    type Output = u64;
+    fn sub(self, rhs: PhysAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// The physical organisation of a DRAM device.
+///
+/// All dimensions must be powers of two so that address mappings are simple
+/// bit-field manipulations, as on real parts.
+///
+/// # Examples
+///
+/// ```
+/// use dram::DramGeometry;
+/// let g = DramGeometry::desktop_4gib();
+/// assert_eq!(g.capacity_bytes(), 4 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Ranks per channel (DIMM sides).
+    pub ranks: u32,
+    /// Banks per rank (8 on DDR3, 16 on DDR4).
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Bytes per row (the row-buffer size, typically 8 KiB).
+    pub row_bytes: u32,
+}
+
+impl DramGeometry {
+    /// A 4 GiB desktop configuration: 1 channel, 2 ranks, 8 banks,
+    /// 32768 rows of 8 KiB.
+    pub const fn desktop_4gib() -> Self {
+        DramGeometry { channels: 1, ranks: 2, banks: 8, rows: 32 * 1024, row_bytes: 8 * 1024 }
+    }
+
+    /// A 256 MiB configuration for fast tests: 1 channel, 1 rank, 8 banks,
+    /// 4096 rows of 8 KiB.
+    pub const fn small_256mib() -> Self {
+        DramGeometry { channels: 1, ranks: 1, banks: 8, rows: 4 * 1024, row_bytes: 8 * 1024 }
+    }
+
+    /// A 1 GiB configuration: 1 channel, 1 rank, 8 banks, 16384 rows of 8 KiB.
+    pub const fn medium_1gib() -> Self {
+        DramGeometry { channels: 1, ranks: 1, banks: 8, rows: 16 * 1024, row_bytes: 8 * 1024 }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.channels as u64
+            * self.ranks as u64
+            * self.banks as u64
+            * self.rows as u64
+            * self.row_bytes as u64
+    }
+
+    /// Total number of rows across all banks, ranks and channels.
+    pub const fn total_rows(&self) -> u64 {
+        self.channels as u64 * self.ranks as u64 * self.banks as u64 * self.rows as u64
+    }
+
+    /// Number of banks across all ranks and channels.
+    pub const fn total_banks(&self) -> u64 {
+        self.channels as u64 * self.ranks as u64 * self.banks as u64
+    }
+
+    /// Returns `true` if every dimension is a non-zero power of two.
+    pub const fn is_valid(&self) -> bool {
+        self.channels.is_power_of_two()
+            && self.ranks.is_power_of_two()
+            && self.banks.is_power_of_two()
+            && self.rows.is_power_of_two()
+            && self.row_bytes.is_power_of_two()
+    }
+
+    /// Flat index of a bank identified by (channel, rank, bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is out of range for this geometry.
+    pub fn bank_index(&self, channel: u32, rank: u32, bank: u32) -> usize {
+        assert!(channel < self.channels && rank < self.ranks && bank < self.banks);
+        ((channel * self.ranks + rank) * self.banks + bank) as usize
+    }
+
+    /// Globally unique row identifier for (channel, rank, bank, row).
+    pub fn global_row_id(&self, coord: DramCoord) -> u64 {
+        self.bank_index(coord.channel, coord.rank, coord.bank) as u64 * self.rows as u64
+            + coord.row as u64
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::desktop_4gib()
+    }
+}
+
+/// A fully decoded DRAM location: which cell array and which byte within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Byte column within the row.
+    pub col: u32,
+}
+
+impl fmt::Display for DramCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/rk{}/ba{}/row{}/col{}",
+            self.channel, self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+impl DramCoord {
+    /// Returns the same location in a neighbouring row at signed distance
+    /// `delta`, or `None` if that row is outside the bank.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dram::{DramCoord, DramGeometry};
+    /// let g = DramGeometry::small_256mib();
+    /// let c = DramCoord { channel: 0, rank: 0, bank: 0, row: 0, col: 0 };
+    /// assert!(c.neighbour_row(-1, &g).is_none());
+    /// assert_eq!(c.neighbour_row(1, &g).unwrap().row, 1);
+    /// ```
+    pub fn neighbour_row(&self, delta: i64, geometry: &DramGeometry) -> Option<DramCoord> {
+        let row = self.row as i64 + delta;
+        if row < 0 || row >= geometry.rows as i64 {
+            None
+        } else {
+            Some(DramCoord { row: row as u32, ..*self })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_arithmetic() {
+        let a = PhysAddr::new(0x12345);
+        assert_eq!(a.align_down(0x1000).as_u64(), 0x12000);
+        assert_eq!(a.offset_in(0x1000), 0x345);
+        assert_eq!((a + 0x10).as_u64(), 0x12355);
+        assert_eq!(a + 0x10 - a, 0x10);
+        assert_eq!(format!("{a}"), "0x12345");
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be non-zero")]
+    fn phys_addr_align_zero_panics() {
+        PhysAddr::new(1).align_down(0);
+    }
+
+    #[test]
+    fn geometry_capacities() {
+        assert_eq!(DramGeometry::desktop_4gib().capacity_bytes(), 4 << 30);
+        assert_eq!(DramGeometry::small_256mib().capacity_bytes(), 256 << 20);
+        assert_eq!(DramGeometry::medium_1gib().capacity_bytes(), 1 << 30);
+        assert!(DramGeometry::desktop_4gib().is_valid());
+    }
+
+    #[test]
+    fn geometry_row_counts() {
+        let g = DramGeometry::small_256mib();
+        assert_eq!(g.total_banks(), 8);
+        assert_eq!(g.total_rows(), 8 * 4096);
+    }
+
+    #[test]
+    fn bank_index_is_dense_and_unique() {
+        let g = DramGeometry::desktop_4gib();
+        let mut seen = std::collections::HashSet::new();
+        for ch in 0..g.channels {
+            for rk in 0..g.ranks {
+                for ba in 0..g.banks {
+                    assert!(seen.insert(g.bank_index(ch, rk, ba)));
+                }
+            }
+        }
+        assert_eq!(seen.len() as u64, g.total_banks());
+        assert_eq!(*seen.iter().max().unwrap() as u64, g.total_banks() - 1);
+    }
+
+    #[test]
+    fn neighbour_row_bounds() {
+        let g = DramGeometry::small_256mib();
+        let last = DramCoord { channel: 0, rank: 0, bank: 3, row: g.rows - 1, col: 17 };
+        assert!(last.neighbour_row(1, &g).is_none());
+        let n = last.neighbour_row(-2, &g).unwrap();
+        assert_eq!(n.row, g.rows - 3);
+        assert_eq!(n.bank, 3);
+        assert_eq!(n.col, 17);
+    }
+
+    #[test]
+    fn global_row_id_unique_across_banks() {
+        let g = DramGeometry::small_256mib();
+        let a = DramCoord { channel: 0, rank: 0, bank: 0, row: 5, col: 0 };
+        let b = DramCoord { channel: 0, rank: 0, bank: 1, row: 5, col: 0 };
+        assert_ne!(g.global_row_id(a), g.global_row_id(b));
+    }
+}

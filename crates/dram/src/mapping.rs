@@ -1,0 +1,303 @@
+//! Physical-address ↔ DRAM-coordinate mappings.
+//!
+//! Memory controllers scatter consecutive physical addresses across channels,
+//! ranks and banks to maximise parallelism. For Rowhammer the mapping matters
+//! because aggressor rows must sit in the *same bank* as the victim row; an
+//! attacker on real hardware recovers these functions with DRAMA-style timing
+//! analysis. Here the mapping is explicit and invertible.
+
+use crate::geometry::{DramCoord, DramGeometry, PhysAddr};
+
+/// A bijective mapping between physical addresses and DRAM coordinates.
+///
+/// Implementations must be bijections over `[0, capacity)`: every address maps
+/// to a unique coordinate and back. This is property-tested in the crate.
+pub trait AddressMapping: std::fmt::Debug + Send + Sync {
+    /// The geometry this mapping was built for.
+    fn geometry(&self) -> &DramGeometry;
+
+    /// Decodes a physical address into a DRAM coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the device capacity.
+    fn phys_to_coord(&self, addr: PhysAddr) -> DramCoord;
+
+    /// Encodes a DRAM coordinate back into a physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate component is out of range.
+    fn coord_to_phys(&self, coord: DramCoord) -> PhysAddr;
+}
+
+/// Bit-field layout shared by the concrete mappings.
+///
+/// Layout from least significant to most significant bits:
+/// `col | bank | rank | channel | row`.
+///
+/// Placing the row in the top bits means one row spans `row_bytes *
+/// banks_interleave` of contiguous addresses only through the column field;
+/// consecutive 4 KiB pages fall into the same row until the column bits roll
+/// over, which is what makes attacker-contiguous buffers span neighbouring
+/// rows — the layout the attack relies on.
+#[derive(Debug, Clone, Copy)]
+struct FieldLayout {
+    col_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    channel_bits: u32,
+    row_bits: u32,
+}
+
+impl FieldLayout {
+    fn for_geometry(g: &DramGeometry) -> Self {
+        assert!(g.is_valid(), "geometry dimensions must be powers of two: {g:?}");
+        FieldLayout {
+            col_bits: g.row_bytes.trailing_zeros(),
+            bank_bits: g.banks.trailing_zeros(),
+            rank_bits: g.ranks.trailing_zeros(),
+            channel_bits: g.channels.trailing_zeros(),
+            row_bits: g.rows.trailing_zeros(),
+        }
+    }
+
+    fn split(&self, addr: u64) -> (u32, u32, u32, u32, u32) {
+        let mut a = addr;
+        let col = (a & ((1 << self.col_bits) - 1)) as u32;
+        a >>= self.col_bits;
+        let bank = (a & ((1 << self.bank_bits) - 1)) as u32;
+        a >>= self.bank_bits;
+        let rank = (a & ((1 << self.rank_bits) - 1)) as u32;
+        a >>= self.rank_bits;
+        let channel = (a & ((1 << self.channel_bits) - 1)) as u32;
+        a >>= self.channel_bits;
+        let row = (a & ((1 << self.row_bits) - 1)) as u32;
+        (col, bank, rank, channel, row)
+    }
+
+    fn join(&self, col: u32, bank: u32, rank: u32, channel: u32, row: u32) -> u64 {
+        let mut a = row as u64;
+        a = (a << self.channel_bits) | channel as u64;
+        a = (a << self.rank_bits) | rank as u64;
+        a = (a << self.bank_bits) | bank as u64;
+        (a << self.col_bits) | col as u64
+    }
+}
+
+fn check_coord(g: &DramGeometry, c: DramCoord) {
+    assert!(
+        c.channel < g.channels
+            && c.rank < g.ranks
+            && c.bank < g.banks
+            && c.row < g.rows
+            && c.col < g.row_bytes,
+        "coordinate {c} out of range for geometry {g:?}"
+    );
+}
+
+/// Straightforward bit-slice mapping with no address scrambling.
+///
+/// # Examples
+///
+/// ```
+/// use dram::{AddressMapping, DramGeometry, LinearMapping, PhysAddr};
+/// let m = LinearMapping::new(DramGeometry::small_256mib());
+/// let c = m.phys_to_coord(PhysAddr::new(0x2040));
+/// assert_eq!(m.coord_to_phys(c), PhysAddr::new(0x2040));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearMapping {
+    geometry: DramGeometry,
+    layout: FieldLayout,
+}
+
+impl LinearMapping {
+    /// Creates a linear mapping for `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry dimensions are not powers of two.
+    pub fn new(geometry: DramGeometry) -> Self {
+        let layout = FieldLayout::for_geometry(&geometry);
+        LinearMapping { geometry, layout }
+    }
+}
+
+impl AddressMapping for LinearMapping {
+    fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    fn phys_to_coord(&self, addr: PhysAddr) -> DramCoord {
+        assert!(
+            addr.as_u64() < self.geometry.capacity_bytes(),
+            "address {addr} beyond capacity"
+        );
+        let (col, bank, rank, channel, row) = self.layout.split(addr.as_u64());
+        DramCoord { channel, rank, bank, row, col }
+    }
+
+    fn coord_to_phys(&self, coord: DramCoord) -> PhysAddr {
+        check_coord(&self.geometry, coord);
+        PhysAddr::new(self.layout.join(coord.col, coord.bank, coord.rank, coord.channel, coord.row))
+    }
+}
+
+/// DRAMA-style mapping: the bank field is XORed with the low row bits.
+///
+/// Intel memory controllers compute the bank index as an XOR of address-bit
+/// groups so that row conflicts between sequential accesses are reduced. The
+/// XOR is an involution per row, so the mapping stays bijective.
+///
+/// # Examples
+///
+/// ```
+/// use dram::{AddressMapping, DramGeometry, PhysAddr, XorMapping};
+/// let m = XorMapping::new(DramGeometry::small_256mib());
+/// let a = PhysAddr::new(123 * 4096);
+/// assert_eq!(m.coord_to_phys(m.phys_to_coord(a)), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorMapping {
+    geometry: DramGeometry,
+    layout: FieldLayout,
+}
+
+impl XorMapping {
+    /// Creates an XOR-scrambled mapping for `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry dimensions are not powers of two.
+    pub fn new(geometry: DramGeometry) -> Self {
+        let layout = FieldLayout::for_geometry(&geometry);
+        XorMapping { geometry, layout }
+    }
+
+    fn bank_mask(&self) -> u32 {
+        (1 << self.layout.bank_bits) - 1
+    }
+}
+
+impl AddressMapping for XorMapping {
+    fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    fn phys_to_coord(&self, addr: PhysAddr) -> DramCoord {
+        assert!(
+            addr.as_u64() < self.geometry.capacity_bytes(),
+            "address {addr} beyond capacity"
+        );
+        let (col, bank_field, rank, channel, row) = self.layout.split(addr.as_u64());
+        let bank = bank_field ^ (row & self.bank_mask());
+        DramCoord { channel, rank, bank, row, col }
+    }
+
+    fn coord_to_phys(&self, coord: DramCoord) -> PhysAddr {
+        check_coord(&self.geometry, coord);
+        let bank_field = coord.bank ^ (coord.row & self.bank_mask());
+        PhysAddr::new(self.layout.join(
+            coord.col,
+            bank_field,
+            coord.rank,
+            coord.channel,
+            coord.row,
+        ))
+    }
+}
+
+/// Which address mapping a [`crate::DramDevice`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MappingKind {
+    /// Plain bit-slice mapping ([`LinearMapping`]).
+    #[default]
+    Linear,
+    /// XOR bank scrambling ([`XorMapping`]).
+    Xor,
+}
+
+impl MappingKind {
+    /// Instantiates the mapping for the given geometry.
+    pub fn build(self, geometry: DramGeometry) -> Box<dyn AddressMapping> {
+        match self {
+            MappingKind::Linear => Box::new(LinearMapping::new(geometry)),
+            MappingKind::Xor => Box::new(XorMapping::new(geometry)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &dyn AddressMapping, addr: u64) {
+        let c = m.phys_to_coord(PhysAddr::new(addr));
+        assert_eq!(m.coord_to_phys(c).as_u64(), addr, "roundtrip failed for {addr:#x}");
+    }
+
+    #[test]
+    fn linear_roundtrips() {
+        let m = LinearMapping::new(DramGeometry::small_256mib());
+        for addr in [0u64, 1, 4095, 4096, 8191, 8192, (256 << 20) - 1] {
+            roundtrip(&m, addr);
+        }
+    }
+
+    #[test]
+    fn xor_roundtrips() {
+        let m = XorMapping::new(DramGeometry::small_256mib());
+        for addr in [0u64, 1, 4095, 4096, 8191, 8192, 123_456_789 % (256 << 20)] {
+            roundtrip(&m, addr);
+        }
+    }
+
+    #[test]
+    fn linear_consecutive_pages_share_row() {
+        // An 8 KiB row holds two consecutive 4 KiB pages under LinearMapping.
+        let m = LinearMapping::new(DramGeometry::small_256mib());
+        let a = m.phys_to_coord(PhysAddr::new(0));
+        let b = m.phys_to_coord(PhysAddr::new(4096));
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        let c = m.phys_to_coord(PhysAddr::new(8192));
+        assert!(c.row != a.row || c.bank != a.bank);
+    }
+
+    #[test]
+    fn xor_scrambles_banks() {
+        let g = DramGeometry::small_256mib();
+        let lin = LinearMapping::new(g);
+        let xor = XorMapping::new(g);
+        // Some address must land in different banks under the two mappings.
+        let differs = (0..64u64).any(|i| {
+            let a = PhysAddr::new(i * g.row_bytes as u64 * g.banks as u64);
+            lin.phys_to_coord(a).bank != xor.phys_to_coord(a).bank
+        });
+        assert!(differs, "xor mapping should differ from linear for some rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_address_panics() {
+        let m = LinearMapping::new(DramGeometry::small_256mib());
+        m.phys_to_coord(PhysAddr::new(256 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coord_panics() {
+        let m = LinearMapping::new(DramGeometry::small_256mib());
+        m.coord_to_phys(DramCoord { channel: 0, rank: 0, bank: 99, row: 0, col: 0 });
+    }
+
+    #[test]
+    fn mapping_kind_builds_both() {
+        let g = DramGeometry::small_256mib();
+        for kind in [MappingKind::Linear, MappingKind::Xor] {
+            let m = kind.build(g);
+            roundtrip(m.as_ref(), 0x1234);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Sparse byte-addressable backing store for the simulated DRAM array.
+//!
+//! Multi-GiB devices cannot be backed by a dense host allocation, and most of
+//! the array is never touched (or is touched with a uniform fill pattern
+//! during templating). The store keeps 4 KiB chunks in one of two forms:
+//! `Uniform(byte)` for untouched / memset chunks, and materialised byte
+//! buffers for anything written with structure.
+
+use std::collections::HashMap;
+
+use crate::geometry::PhysAddr;
+
+const CHUNK: usize = 4096;
+
+#[derive(Debug, Clone)]
+enum ChunkData {
+    Uniform(u8),
+    Bytes(Box<[u8]>),
+}
+
+/// Sparse memory: a byte array of `capacity` bytes, materialised on demand.
+///
+/// # Examples
+///
+/// ```
+/// use dram::{PhysAddr, SparseMemory};
+/// let mut m = SparseMemory::new(1 << 20);
+/// m.fill(PhysAddr::new(0x1000), 4096, 0xAB);
+/// assert_eq!(m.read_byte(PhysAddr::new(0x1234)), 0xAB);
+/// m.write_byte(PhysAddr::new(0x1234), 0x55);
+/// assert_eq!(m.read_byte(PhysAddr::new(0x1234)), 0x55);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseMemory {
+    capacity: u64,
+    default_byte: u8,
+    chunks: HashMap<u64, ChunkData>,
+}
+
+impl SparseMemory {
+    /// Creates a zero-initialised sparse memory of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        SparseMemory { capacity, default_byte: 0, chunks: HashMap::new() }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of chunks that have been materialised as full byte buffers.
+    pub fn materialized_chunks(&self) -> usize {
+        self.chunks
+            .values()
+            .filter(|c| matches!(c, ChunkData::Bytes(_)))
+            .count()
+    }
+
+    fn check(&self, addr: PhysAddr, len: u64) {
+        assert!(
+            addr.as_u64().checked_add(len).is_some_and(|end| end <= self.capacity),
+            "access at {addr}+{len} beyond capacity {:#x}",
+            self.capacity
+        );
+    }
+
+    fn chunk_byte(&self, chunk: u64) -> Option<u8> {
+        match self.chunks.get(&chunk) {
+            None => Some(self.default_byte),
+            Some(ChunkData::Uniform(b)) => Some(*b),
+            Some(ChunkData::Bytes(_)) => None,
+        }
+    }
+
+    fn materialize(&mut self, chunk: u64) -> &mut [u8] {
+        let default = self.default_byte;
+        let entry = self
+            .chunks
+            .entry(chunk)
+            .or_insert(ChunkData::Uniform(default));
+        if let ChunkData::Uniform(b) = *entry {
+            *entry = ChunkData::Bytes(vec![b; CHUNK].into_boxed_slice());
+        }
+        match entry {
+            ChunkData::Bytes(bytes) => bytes,
+            ChunkData::Uniform(_) => unreachable!("just materialised"),
+        }
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond capacity.
+    pub fn read_byte(&self, addr: PhysAddr) -> u8 {
+        self.check(addr, 1);
+        let chunk = addr.as_u64() / CHUNK as u64;
+        match self.chunks.get(&chunk) {
+            None => self.default_byte,
+            Some(ChunkData::Uniform(b)) => *b,
+            Some(ChunkData::Bytes(bytes)) => bytes[(addr.as_u64() % CHUNK as u64) as usize],
+        }
+    }
+
+    /// Writes a single byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond capacity.
+    pub fn write_byte(&mut self, addr: PhysAddr, value: u8) {
+        self.check(addr, 1);
+        let chunk = addr.as_u64() / CHUNK as u64;
+        // Avoid materialising when the write is a no-op on a uniform chunk.
+        if self.chunk_byte(chunk) == Some(value) {
+            return;
+        }
+        let bytes = self.materialize(chunk);
+        bytes[(addr.as_u64() % CHUNK as u64) as usize] = value;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond capacity.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) {
+        self.check(addr, buf.len() as u64);
+        let mut pos = addr.as_u64();
+        let mut off = 0usize;
+        while off < buf.len() {
+            let chunk = pos / CHUNK as u64;
+            let in_chunk = (pos % CHUNK as u64) as usize;
+            let n = (CHUNK - in_chunk).min(buf.len() - off);
+            match self.chunks.get(&chunk) {
+                None => buf[off..off + n].fill(self.default_byte),
+                Some(ChunkData::Uniform(b)) => buf[off..off + n].fill(*b),
+                Some(ChunkData::Bytes(bytes)) => {
+                    buf[off..off + n].copy_from_slice(&bytes[in_chunk..in_chunk + n]);
+                }
+            }
+            pos += n as u64;
+            off += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond capacity.
+    pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.check(addr, data.len() as u64);
+        let mut pos = addr.as_u64();
+        let mut off = 0usize;
+        while off < data.len() {
+            let chunk = pos / CHUNK as u64;
+            let in_chunk = (pos % CHUNK as u64) as usize;
+            let n = (CHUNK - in_chunk).min(data.len() - off);
+            let src = &data[off..off + n];
+            let uniform = src.first().copied().filter(|&b| src.iter().all(|&x| x == b));
+            match (n == CHUNK, uniform) {
+                (true, Some(b)) => {
+                    self.chunks.insert(chunk, ChunkData::Uniform(b));
+                }
+                _ => {
+                    if uniform.is_some() && self.chunk_byte(chunk) == uniform {
+                        // No-op write into a uniform chunk of the same value.
+                    } else {
+                        let bytes = self.materialize(chunk);
+                        bytes[in_chunk..in_chunk + n].copy_from_slice(src);
+                    }
+                }
+            }
+            pos += n as u64;
+            off += n;
+        }
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value`, keeping chunk-sized
+    /// aligned regions in the compact uniform representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond capacity.
+    pub fn fill(&mut self, addr: PhysAddr, len: u64, value: u8) {
+        self.check(addr, len);
+        let mut pos = addr.as_u64();
+        let end = pos + len;
+        while pos < end {
+            let chunk = pos / CHUNK as u64;
+            let in_chunk = (pos % CHUNK as u64) as usize;
+            let n = ((CHUNK - in_chunk) as u64).min(end - pos) as usize;
+            if n == CHUNK {
+                self.chunks.insert(chunk, ChunkData::Uniform(value));
+            } else if self.chunk_byte(chunk) != Some(value) {
+                let bytes = self.materialize(chunk);
+                bytes[in_chunk..in_chunk + n].fill(value);
+            }
+            pos += n as u64;
+        }
+    }
+
+    /// Reads the bit at `addr` / `bit` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond capacity or `bit >= 8`.
+    pub fn read_bit(&self, addr: PhysAddr, bit: u8) -> bool {
+        assert!(bit < 8, "bit index must be 0..8");
+        (self.read_byte(addr) >> bit) & 1 == 1
+    }
+
+    /// Overwrites the bit at `addr` / `bit` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond capacity or `bit >= 8`.
+    pub fn write_bit(&mut self, addr: PhysAddr, bit: u8, value: bool) {
+        assert!(bit < 8, "bit index must be 0..8");
+        let byte = self.read_byte(addr);
+        let new = if value { byte | (1 << bit) } else { byte & !(1 << bit) };
+        self.write_byte(addr, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let m = SparseMemory::new(1 << 16);
+        assert_eq!(m.read_byte(PhysAddr::new(0x1234)), 0);
+        assert_eq!(m.materialized_chunks(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_across_chunks() {
+        let mut m = SparseMemory::new(1 << 16);
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        m.write(PhysAddr::new(100), &data);
+        let mut back = vec![0u8; data.len()];
+        m.read(PhysAddr::new(100), &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fill_keeps_uniform_chunks_compact() {
+        let mut m = SparseMemory::new(1 << 20);
+        m.fill(PhysAddr::new(0), 1 << 20, 0xFF);
+        assert_eq!(m.materialized_chunks(), 0);
+        assert_eq!(m.read_byte(PhysAddr::new(0xFFFFF)), 0xFF);
+    }
+
+    #[test]
+    fn unaligned_fill_materialises_edges_only() {
+        let mut m = SparseMemory::new(1 << 16);
+        m.fill(PhysAddr::new(100), 8192, 0xAA);
+        // First and last chunks are partial; the middle chunk is uniform.
+        assert!(m.materialized_chunks() <= 2);
+        assert_eq!(m.read_byte(PhysAddr::new(100)), 0xAA);
+        assert_eq!(m.read_byte(PhysAddr::new(100 + 8191)), 0xAA);
+        assert_eq!(m.read_byte(PhysAddr::new(99)), 0);
+        assert_eq!(m.read_byte(PhysAddr::new(100 + 8192)), 0);
+    }
+
+    #[test]
+    fn bit_ops() {
+        let mut m = SparseMemory::new(4096);
+        let a = PhysAddr::new(7);
+        assert!(!m.read_bit(a, 3));
+        m.write_bit(a, 3, true);
+        assert!(m.read_bit(a, 3));
+        assert_eq!(m.read_byte(a), 0b1000);
+        m.write_bit(a, 3, false);
+        assert_eq!(m.read_byte(a), 0);
+    }
+
+    #[test]
+    fn noop_write_stays_compact() {
+        let mut m = SparseMemory::new(1 << 16);
+        m.write_byte(PhysAddr::new(5), 0);
+        assert_eq!(m.materialized_chunks(), 0);
+        m.fill(PhysAddr::new(0), 4096, 0x77);
+        m.write_byte(PhysAddr::new(5), 0x77);
+        assert_eq!(m.materialized_chunks(), 0);
+    }
+
+    #[test]
+    fn full_chunk_write_of_uniform_data_stays_compact() {
+        let mut m = SparseMemory::new(1 << 16);
+        m.write(PhysAddr::new(4096), &[0x42u8; 4096]);
+        assert_eq!(m.materialized_chunks(), 0);
+        assert_eq!(m.read_byte(PhysAddr::new(8191)), 0x42);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_read_panics() {
+        SparseMemory::new(4096).read_byte(PhysAddr::new(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn overflowing_range_panics() {
+        let mut m = SparseMemory::new(4096);
+        m.fill(PhysAddr::new(u64::MAX - 10), 100, 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! DRAM timing parameters and the simulated clock domain.
+
+/// Simulated time in nanoseconds.
+pub type Nanos = u64;
+
+/// Timing parameters of the DRAM device.
+///
+/// Defaults follow DDR3-1600 datasheets: a full row cycle (`ACT`→`PRE`→`ACT`)
+/// of ~46 ns, refresh commands every 7.8 µs, and the whole array refreshed
+/// every 64 ms in 8192 staggered groups. Rowhammer is a race against these
+/// numbers: disturbance must cross a cell's threshold before the victim row's
+/// next refresh, which is what bounds the achievable activations per window.
+///
+/// # Examples
+///
+/// ```
+/// use dram::DramTiming;
+/// let t = DramTiming::ddr3_1600();
+/// // ~64 ms refresh window:
+/// assert_eq!(t.refresh_window(), t.t_refi * t.refresh_groups as u64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramTiming {
+    /// Row cycle time: minimum time between two ACTs to the same bank (ns).
+    pub t_rc: Nanos,
+    /// Column access on an open row (row-buffer hit) (ns).
+    pub t_row_hit: Nanos,
+    /// Average refresh command interval (ns).
+    pub t_refi: Nanos,
+    /// Number of refresh groups covering the whole array.
+    pub refresh_groups: u32,
+}
+
+impl DramTiming {
+    /// DDR3-1600 timing set.
+    pub const fn ddr3_1600() -> Self {
+        DramTiming { t_rc: 46, t_row_hit: 15, t_refi: 7_812, refresh_groups: 8192 }
+    }
+
+    /// Time to refresh every row once (the refresh window, ~64 ms).
+    pub const fn refresh_window(&self) -> Nanos {
+        self.t_refi * self.refresh_groups as u64
+    }
+
+    /// Maximum single-row activations achievable inside one refresh window,
+    /// assuming back-to-back row-conflict accesses (the hammering rate bound).
+    pub const fn max_acts_per_window(&self) -> u64 {
+        self.refresh_window() / self.t_rc
+    }
+
+    /// Returns a copy with the refresh interval scaled by `factor` — the
+    /// standard Rowhammer mitigation (e.g. `0.5` doubles the refresh rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn with_refresh_scale(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "refresh scale must be positive");
+        self.t_refi = ((self.t_refi as f64) * factor).max(1.0) as Nanos;
+        self
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_window_is_about_64ms() {
+        let t = DramTiming::ddr3_1600();
+        let win = t.refresh_window();
+        assert!((63_000_000..=65_000_000).contains(&win), "window was {win} ns");
+    }
+
+    #[test]
+    fn max_acts_exceeds_typical_thresholds() {
+        // Kim et al. report first flips around 139K activations on the worst
+        // modules and ~50K on many; the bound must comfortably exceed that.
+        let t = DramTiming::ddr3_1600();
+        assert!(t.max_acts_per_window() > 1_000_000);
+    }
+
+    #[test]
+    fn refresh_scale_halves_window() {
+        let t = DramTiming::ddr3_1600().with_refresh_scale(0.5);
+        assert!(t.refresh_window() < DramTiming::ddr3_1600().refresh_window());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn refresh_scale_rejects_zero() {
+        DramTiming::ddr3_1600().with_refresh_scale(0.0);
+    }
+}

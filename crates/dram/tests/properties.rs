@@ -1,0 +1,117 @@
+//! Property-based tests for the DRAM model.
+
+use dram::{
+    AddressMapping, DramConfig, DramDevice, DramGeometry, LinearMapping, PhysAddr, SparseMemory,
+    XorMapping,
+};
+use proptest::prelude::*;
+
+fn geometries() -> impl Strategy<Value = DramGeometry> {
+    prop_oneof![
+        Just(DramGeometry::small_256mib()),
+        Just(DramGeometry::medium_1gib()),
+        Just(DramGeometry::desktop_4gib()),
+        Just(DramGeometry { channels: 2, ranks: 2, banks: 16, rows: 1024, row_bytes: 4096 }),
+    ]
+}
+
+proptest! {
+    /// phys → coord → phys is the identity for both mappings.
+    #[test]
+    fn mappings_roundtrip(g in geometries(), frac in 0.0f64..1.0) {
+        let addr = PhysAddr::new(((g.capacity_bytes() - 1) as f64 * frac) as u64);
+        let lin = LinearMapping::new(g);
+        let xor = XorMapping::new(g);
+        prop_assert_eq!(lin.coord_to_phys(lin.phys_to_coord(addr)), addr);
+        prop_assert_eq!(xor.coord_to_phys(xor.phys_to_coord(addr)), addr);
+    }
+
+    /// Two distinct addresses never decode to the same coordinate.
+    #[test]
+    fn mappings_injective(g in geometries(), a in any::<u64>(), b in any::<u64>()) {
+        let a = PhysAddr::new(a % g.capacity_bytes());
+        let b = PhysAddr::new(b % g.capacity_bytes());
+        prop_assume!(a != b);
+        let xor = XorMapping::new(g);
+        prop_assert_ne!(xor.phys_to_coord(a), xor.phys_to_coord(b));
+    }
+
+    /// SparseMemory behaves like a plain byte array under random ops.
+    #[test]
+    fn sparse_memory_matches_dense_model(
+        ops in prop::collection::vec(
+            (0u64..32768, any::<u8>(), 0usize..3, 1u64..6000), 1..60
+        )
+    ) {
+        let cap = 64 * 1024u64;
+        let mut sparse = SparseMemory::new(cap);
+        let mut dense = vec![0u8; cap as usize];
+        for (addr, val, kind, len) in ops {
+            match kind {
+                0 => {
+                    sparse.write_byte(PhysAddr::new(addr), val);
+                    dense[addr as usize] = val;
+                }
+                1 => {
+                    let len = len.min(cap - addr);
+                    sparse.fill(PhysAddr::new(addr), len, val);
+                    dense[addr as usize..(addr + len) as usize].fill(val);
+                }
+                _ => {
+                    let len = len.min(cap - addr) as usize;
+                    let data: Vec<u8> = (0..len).map(|i| val.wrapping_add(i as u8)).collect();
+                    sparse.write(PhysAddr::new(addr), &data);
+                    dense[addr as usize..addr as usize + len].copy_from_slice(&data);
+                }
+            }
+        }
+        let mut out = vec![0u8; cap as usize];
+        sparse.read(PhysAddr::new(0), &mut out);
+        prop_assert_eq!(out, dense);
+    }
+
+    /// Hammering never corrupts data outside the aggressors' blast radius
+    /// (±2 rows), and every reported flip is inside it.
+    #[test]
+    fn hammer_flips_stay_in_blast_radius(seed in 0u64..50, row in 4u32..1000) {
+        let mut dev = DramDevice::new(DramConfig::small().with_seed(seed));
+        let g = dev.config().geometry;
+        let coord = |r: u32| dram::DramCoord { channel: 0, rank: 0, bank: 0, row: r, col: 0 };
+        let a = dev.mapping().coord_to_phys(coord(row - 1));
+        let b = dev.mapping().coord_to_phys(coord(row + 1));
+        // Charge a window of rows around the victim with both patterns so
+        // flips of either polarity are observable.
+        for r in row.saturating_sub(3)..=(row + 3).min(g.rows - 1) {
+            let addr = dev.mapping().coord_to_phys(coord(r));
+            dev.fill(addr, g.row_bytes as u64 / 2, 0xFF);
+        }
+        let outcome = dev.hammer_pair(a, b, 200_000).unwrap();
+        for f in &outcome.flips {
+            let d = (f.coord.row as i64 - row as i64).abs();
+            prop_assert!(d <= 3, "flip at row {} too far from victim {}", f.coord.row, row);
+            // Aggressor rows refresh themselves by activation.
+            prop_assert!(f.coord.row != row - 1 && f.coord.row != row + 1);
+        }
+    }
+
+    /// The flip population is a pure function of the seed: same seed, same
+    /// hammering → identical flips; the data pattern only gates direction.
+    #[test]
+    fn same_seed_same_flips(seed in 0u64..30) {
+        let run = || {
+            let mut dev = DramDevice::new(DramConfig::small().with_seed(seed));
+            let g = dev.config().geometry;
+            let coord = |r: u32| dram::DramCoord { channel: 0, rank: 0, bank: 0, row: r, col: 0 };
+            let a = dev.mapping().coord_to_phys(coord(49));
+            let b = dev.mapping().coord_to_phys(coord(51));
+            dev.fill(dev.mapping().coord_to_phys(coord(50)), g.row_bytes as u64, 0xFF);
+            dev.hammer_pair(a, b, 150_000)
+                .unwrap()
+                .flips
+                .iter()
+                .map(|f| (f.addr, f.bit))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,261 @@
+//! Giraud-style Differential Fault Analysis — the classical comparator.
+//!
+//! Model: a *transient* single-bit fault on one byte of the round-10 input
+//! state (after round 9's AddRoundKey). Then for the affected position `i`:
+//!
+//! ```text
+//! c[i] ⊕ c*[i] = S(x) ⊕ S(x ⊕ 2^b)          with x the true state byte,
+//! ```
+//!
+//! and candidate key bytes `k` are those for which some bit `b` satisfies
+//! the relation with `x = S⁻¹(c[i] ⊕ k)`. A handful of (correct, faulty)
+//! pairs narrows each position to a single candidate. Contrast with PFA,
+//! which needs *no* correct/faulty pairing and no transient precision — the
+//! reason ExplFrame pairs Rowhammer with persistent faults.
+
+use std::collections::BTreeSet;
+
+use ciphers::aes::sbox::{inv_sbox, sbox};
+use ciphers::{expand_key, invert_last_round_key_128, AesKeySize};
+
+/// Encrypts `plain` under `key`, XORing `1 << bit` into state byte
+/// `byte_pos` at the *input of round 10* (after round 9 completes) — a
+/// reference faulty-encryption oracle for DFA experiments.
+///
+/// # Panics
+///
+/// Panics if `byte_pos >= 16` or `bit >= 8`.
+pub fn encrypt_with_round10_input_fault(
+    key: &[u8; 16],
+    plain: &[u8; 16],
+    byte_pos: usize,
+    bit: u8,
+) -> [u8; 16] {
+    assert!(byte_pos < 16 && bit < 8, "fault location out of range");
+    let keys = expand_key(key, AesKeySize::Aes128);
+    let s = sbox();
+    let mut b = *plain;
+    let xor_rk = |b: &mut [u8; 16], rk: &[u8; 16]| {
+        for (x, k) in b.iter_mut().zip(rk) {
+            *x ^= k;
+        }
+    };
+    let sub = |b: &mut [u8; 16]| {
+        for x in b.iter_mut() {
+            *x = s[*x as usize];
+        }
+    };
+    let shift = |b: &mut [u8; 16]| {
+        for r in 1..4 {
+            let row = [b[r], b[4 + r], b[8 + r], b[12 + r]];
+            for c in 0..4 {
+                b[4 * c + r] = row[(c + r) % 4];
+            }
+        }
+    };
+    let mix = |b: &mut [u8; 16]| {
+        use ciphers::aes::sbox::gf_mul;
+        for c in 0..4 {
+            let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+            b[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            b[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            b[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            b[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    };
+
+    xor_rk(&mut b, &keys.round_key(0));
+    for r in 1..10 {
+        sub(&mut b);
+        shift(&mut b);
+        mix(&mut b);
+        xor_rk(&mut b, &keys.round_key(r));
+    }
+    // The transient fault hits here: round-10 input state.
+    b[byte_pos] ^= 1 << bit;
+    sub(&mut b);
+    shift(&mut b);
+    xor_rk(&mut b, &keys.round_key(10));
+    b
+}
+
+/// Where ShiftRows sends state byte `i` in the last round (state position →
+/// ciphertext position).
+#[cfg_attr(not(test), allow(dead_code))]
+fn shift_rows_dest(i: usize) -> usize {
+    let (r, c) = (i % 4, i / 4);
+    // Row r rotates left by r: column c moves to column (c - r) mod 4.
+    let dst_c = (c + 4 - r) % 4;
+    4 * dst_c + r
+}
+
+/// Accumulating Giraud DFA: feed (correct, faulty) ciphertext pairs, watch
+/// candidate sets shrink to singletons.
+///
+/// # Examples
+///
+/// ```
+/// use fault::{encrypt_with_round10_input_fault, DfaAttack};
+/// use ciphers::{BlockCipher, ReferenceAes};
+///
+/// let key = *b"giraud dfa key!!";
+/// let mut attack = DfaAttack::new();
+/// let mut aes = ReferenceAes::new_128(&key);
+/// for i in 0..96u8 {
+///     let plain = [i; 16];
+///     let mut correct = plain;
+///     aes.encrypt_block(&mut correct);
+///     let faulty =
+///         encrypt_with_round10_input_fault(&key, &plain, (i % 16) as usize, i % 8);
+///     attack.observe_pair(&correct, &faulty);
+/// }
+/// assert_eq!(attack.master_key(), Some(key));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DfaAttack {
+    candidates: [BTreeSet<u8>; 16],
+    pairs: u64,
+}
+
+impl DfaAttack {
+    /// Creates an attack with all 256 candidates per position.
+    pub fn new() -> Self {
+        let full: BTreeSet<u8> = (0..=255).collect();
+        DfaAttack { candidates: std::array::from_fn(|_| full.clone()), pairs: 0 }
+    }
+
+    /// Pairs observed so far.
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// Feeds one (correct, faulty) ciphertext pair for the same plaintext.
+    /// Pairs whose fault did not hit a single byte are ignored gracefully
+    /// (they differ at ≠1 positions).
+    pub fn observe_pair(&mut self, correct: &[u8; 16], faulty: &[u8; 16]) {
+        let diffs: Vec<usize> =
+            (0..16).filter(|&i| correct[i] != faulty[i]).collect();
+        let [pos] = diffs[..] else {
+            return; // not a clean single-byte fault
+        };
+        self.pairs += 1;
+        let s = sbox();
+        let inv = inv_sbox();
+        let keep: BTreeSet<u8> = self.candidates[pos]
+            .iter()
+            .copied()
+            .filter(|&k| {
+                let x = inv[(correct[pos] ^ k) as usize];
+                (0..8).any(|b| s[(x ^ (1 << b)) as usize] ^ s[x as usize]
+                    == correct[pos] ^ faulty[pos])
+            })
+            .collect();
+        if !keep.is_empty() {
+            self.candidates[pos] = keep;
+        }
+    }
+
+    /// Candidate counts per ciphertext position.
+    pub fn candidate_counts(&self) -> [usize; 16] {
+        std::array::from_fn(|i| self.candidates[i].len())
+    }
+
+    /// The last-round key, if every position is down to one candidate.
+    pub fn last_round_key(&self) -> Option<[u8; 16]> {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            if self.candidates[i].len() != 1 {
+                return None;
+            }
+            out[i] = *self.candidates[i].iter().next().expect("len 1");
+        }
+        Some(out)
+    }
+
+    /// The AES-128 master key, if complete.
+    pub fn master_key(&self) -> Option<[u8; 16]> {
+        self.last_round_key().map(|rk| invert_last_round_key_128(&rk))
+    }
+}
+
+impl Default for DfaAttack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciphers::{BlockCipher, ReferenceAes};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn faulty_oracle_differs_in_exactly_one_byte() {
+        let key = [5u8; 16];
+        let plain = [7u8; 16];
+        let mut correct = plain;
+        ReferenceAes::new_128(&key).encrypt_block(&mut correct);
+        for pos in 0..16 {
+            let faulty = encrypt_with_round10_input_fault(&key, &plain, pos, 3);
+            let diffs: Vec<usize> = (0..16).filter(|&i| correct[i] != faulty[i]).collect();
+            assert_eq!(diffs.len(), 1, "fault at state byte {pos}");
+            assert_eq!(diffs[0], shift_rows_dest(pos));
+        }
+    }
+
+    #[test]
+    fn unfaulted_oracle_matches_reference() {
+        // bit-flipping then flipping back is not possible; instead verify
+        // the oracle's round structure by checking a zero-fault equivalent:
+        // fault a byte, fault it again via a second call — or simply check
+        // against a hand-rolled path: encrypt with fault at (0, b) twice
+        // with different bits and confirm both differ from reference in one
+        // byte (structure test above covers correctness of rounds 1..9 via
+        // ShiftRows destination mapping).
+        let key = *b"structural check";
+        let plain = *b"plaintext block!";
+        let mut reference = plain;
+        ReferenceAes::new_128(&key).encrypt_block(&mut reference);
+        let faulty = encrypt_with_round10_input_fault(&key, &plain, 0, 0);
+        assert_ne!(faulty, reference);
+        let diff_count = (0..16).filter(|&i| faulty[i] != reference[i]).count();
+        assert_eq!(diff_count, 1);
+    }
+
+    #[test]
+    fn dfa_recovers_key_with_few_pairs_per_position() {
+        let key = *b"recover me, dfa!";
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+        let mut attack = DfaAttack::new();
+        let mut aes = ReferenceAes::new_128(&key);
+        let mut pairs_needed = 0u64;
+        'outer: for round in 0..20 {
+            for pos in 0..16 {
+                let plain: [u8; 16] = rng.gen();
+                let mut correct = plain;
+                aes.encrypt_block(&mut correct);
+                let faulty =
+                    encrypt_with_round10_input_fault(&key, &plain, pos, rng.gen_range(0..8));
+                attack.observe_pair(&correct, &faulty);
+                pairs_needed += 1;
+                if attack.last_round_key().is_some() {
+                    break 'outer;
+                }
+            }
+            assert!(round < 19, "DFA failed to converge");
+        }
+        assert_eq!(attack.master_key(), Some(key));
+        // Giraud's analysis: a handful of faulty pairs per byte suffices.
+        assert!(pairs_needed <= 16 * 8, "needed {pairs_needed} pairs");
+    }
+
+    #[test]
+    fn garbage_pairs_are_ignored() {
+        let mut attack = DfaAttack::new();
+        attack.observe_pair(&[0u8; 16], &[0xFFu8; 16]); // 16 diffs
+        attack.observe_pair(&[0u8; 16], &[0u8; 16]); // 0 diffs
+        assert_eq!(attack.pairs(), 0);
+        assert_eq!(attack.candidate_counts(), [256; 16]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fault analysis of block ciphers — the "offline" half of ExplFrame.
+//!
+//! Once the attack has planted a persistent bit flip in the victim's cipher
+//! tables and collected faulty ciphertexts, these analyses extract the key:
+//!
+//! * [`PfaCollector`] / [`PfaAnalysis`] — Persistent Fault Analysis (Zhang et
+//!   al., TCHES 2018; the paper's reference \[12\]) against the S-box-table
+//!   AES shape: the faulted S-box entry makes one output value impossible,
+//!   and the per-position *missing ciphertext value* reveals each last-round
+//!   key byte. The full AES-128 master key follows by inverting the key
+//!   schedule.
+//! * [`TableFault`] / [`TeFaultClass`] — classification of a bit flip inside
+//!   the 4 KiB T-table page: flips in a final-round *S-lane* fault four
+//!   ciphertext positions PFA-exploitably; other flips corrupt only middle
+//!   rounds. [`TTablePfa`] accumulates partial keys across several steered
+//!   faults until all 16 bytes are known.
+//! * [`DfaAttack`] — a Giraud-style differential fault analysis comparator
+//!   (single-bit fault on the round-10 input state), the classical
+//!   alternative the PFA paper measures against.
+//! * [`PresentPfa`] — PFA for PRESENT-80: invert the public bit permutation,
+//!   find the missing nibble per S-box position, recover the last round key,
+//!   then invert the key schedule (with a 2¹⁶ search over the hidden
+//!   register bits) to the 80-bit master key.
+//!
+//! # Examples
+//!
+//! End-to-end PFA against a faulted S-box AES:
+//!
+//! ```
+//! use ciphers::{BlockCipher, RamTableSource, SboxAes, TableImage};
+//! use fault::{PfaCollector, TableFault};
+//! use rand::{Rng, SeedableRng};
+//!
+//! let key = *b"correct horse bt";
+//! let fault = TableFault { offset: 0x2A, bit: 3 };
+//! let mut image = TableImage::sbox().to_vec();
+//! fault.apply(&mut image);
+//! let mut victim = SboxAes::new_128(&key, RamTableSource::new(image));
+//!
+//! let mut collector = PfaCollector::new();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! while !collector.all_positions_determined() {
+//!     let mut block: [u8; 16] = rng.gen();
+//!     victim.encrypt_block(&mut block);
+//!     collector.observe(&block);
+//! }
+//! let analysis = collector.analyze_known_fault(TableImage::sbox()[0x2A]);
+//! assert_eq!(analysis.master_key(), Some(key));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+mod model;
+mod pfa;
+mod present_pfa;
+mod ttable_pfa;
+
+pub use dfa::{encrypt_with_round10_input_fault, DfaAttack};
+pub use model::{TableFault, TeFaultClass};
+pub use pfa::{expected_ciphertexts_for_full_key, PfaAnalysis, PfaCollector};
+pub use present_pfa::{invert_present80_schedule, PresentPfa};
+pub use ttable_pfa::{PartialKey, TTablePfa};

@@ -1,0 +1,156 @@
+//! Fault models: what a Rowhammer flip does to a cipher table image.
+
+use ciphers::{TableImage, FINAL_ROUND_S_LANE};
+
+/// A persistent single-bit fault at a byte offset of a table image —
+/// exactly what one Rowhammer flip produces.
+///
+/// # Examples
+///
+/// ```
+/// use fault::TableFault;
+/// let f = TableFault { offset: 10, bit: 7 };
+/// let mut image = vec![0u8; 16];
+/// f.apply(&mut image);
+/// assert_eq!(image[10], 0x80);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableFault {
+    /// Byte offset within the image.
+    pub offset: usize,
+    /// Bit within the byte (0 = LSB).
+    pub bit: u8,
+}
+
+impl TableFault {
+    /// XOR mask this fault applies to its byte.
+    pub const fn delta(&self) -> u8 {
+        1 << self.bit
+    }
+
+    /// Applies the fault to an image in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside the image or `bit >= 8`.
+    pub fn apply(&self, image: &mut [u8]) {
+        assert!(self.bit < 8, "bit index must be 0..8");
+        image[self.offset] ^= self.delta();
+    }
+
+    /// Classifies this fault against the 4096-byte `Te0..Te3` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 4096`.
+    pub fn classify_te(&self) -> TeFaultClass {
+        let (table, entry, lane) = TableImage::te_locate(self.offset);
+        if lane == FINAL_ROUND_S_LANE[table] {
+            // Ciphertext positions 4c+0 read Te2, 4c+1 Te3, 4c+2 Te0,
+            // 4c+3 Te1 in the final round.
+            let slot = match table {
+                2 => 0,
+                3 => 1,
+                0 => 2,
+                _ => 3,
+            };
+            TeFaultClass::SLane {
+                table,
+                entry,
+                delta: self.delta(),
+                positions: [slot, slot + 4, slot + 8, slot + 12],
+            }
+        } else {
+            TeFaultClass::MiddleRoundsOnly { table, entry, lane }
+        }
+    }
+}
+
+/// What a bit flip in the T-table page does to the cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeFaultClass {
+    /// The flip hit the byte lane the final round extracts as `S[x]`: four
+    /// ciphertext positions see a faulted last-round S-box — directly
+    /// PFA-exploitable.
+    SLane {
+        /// Faulted table (0..4).
+        table: usize,
+        /// Faulted entry (the S-box input whose output changed).
+        entry: usize,
+        /// XOR applied to `S[entry]` at the affected positions.
+        delta: u8,
+        /// The four affected ciphertext byte positions.
+        positions: [usize; 4],
+    },
+    /// The flip only corrupts middle rounds (the `2S`/`3S` lanes): the
+    /// ciphertexts are wrong but the last round is clean, so missing-value
+    /// PFA does not apply — the attacker re-steers for a better flip.
+    MiddleRoundsOnly {
+        /// Faulted table.
+        table: usize,
+        /// Faulted entry.
+        entry: usize,
+        /// Faulted little-endian lane.
+        lane: usize,
+    },
+}
+
+impl TeFaultClass {
+    /// Returns `true` if the fault is directly PFA-exploitable.
+    pub const fn is_exploitable(&self) -> bool {
+        matches!(self, TeFaultClass::SLane { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_s_lane_per_table() {
+        // Table 0's S-lane is lane 1.
+        let f = TableFault { offset: TableImage::te_entry_offset(0, 0x20) + 1, bit: 0 };
+        match f.classify_te() {
+            TeFaultClass::SLane { table, entry, delta, positions } => {
+                assert_eq!((table, entry, delta), (0, 0x20, 1));
+                assert_eq!(positions, [2, 6, 10, 14]);
+            }
+            other => panic!("expected SLane, got {other:?}"),
+        }
+        // Table 2's S-lane is lane 3 → positions 0,4,8,12.
+        let f = TableFault { offset: TableImage::te_entry_offset(2, 0x01) + 3, bit: 6 };
+        match f.classify_te() {
+            TeFaultClass::SLane { positions, .. } => assert_eq!(positions, [0, 4, 8, 12]),
+            other => panic!("expected SLane, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_middle_round_lane() {
+        // Lane 0 of table 0 carries 3S — middle rounds only.
+        let f = TableFault { offset: TableImage::te_entry_offset(0, 0x10), bit: 2 };
+        assert!(matches!(
+            f.classify_te(),
+            TeFaultClass::MiddleRoundsOnly { table: 0, entry: 0x10, lane: 0 }
+        ));
+        assert!(!f.classify_te().is_exploitable());
+    }
+
+    #[test]
+    fn exploitable_fraction_is_one_quarter() {
+        // Exactly one lane in four is an S-lane, uniformly over the page.
+        let exploitable = (0..4096)
+            .filter(|&off| TableFault { offset: off, bit: 0 }.classify_te().is_exploitable())
+            .count();
+        assert_eq!(exploitable, 1024);
+    }
+
+    #[test]
+    fn apply_is_involution() {
+        let f = TableFault { offset: 5, bit: 4 };
+        let mut image = vec![0xAAu8; 8];
+        f.apply(&mut image);
+        f.apply(&mut image);
+        assert_eq!(image, vec![0xAAu8; 8]);
+    }
+}

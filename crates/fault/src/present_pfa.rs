@@ -1,0 +1,238 @@
+//! Persistent Fault Analysis of PRESENT-80.
+//!
+//! PRESENT's last round is `c = P(S(x)) ⊕ K32` with `P` a public bit
+//! permutation. Since XOR commutes with bit permutations,
+//! `P⁻¹(c) = S(x) ⊕ P⁻¹(K32)`: the per-nibble missing-value analysis runs on
+//! `P⁻¹(c)` and recovers `κ = P⁻¹(K32)` nibble by nibble. The 80-bit master
+//! key follows by inverting the key schedule over the 2¹⁶ unknown low
+//! register bits, checked against one known (plaintext, ciphertext) pair.
+
+use ciphers::{p_layer, p_layer_inverse, PRESENT_SBOX};
+
+const MASK80: u128 = (1u128 << 80) - 1;
+
+/// Inverse of the PRESENT S-box.
+fn inv_present_sbox() -> [u8; 16] {
+    let mut inv = [0u8; 16];
+    for (i, &v) in PRESENT_SBOX.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// Inverts the PRESENT-80 key schedule: given the full 80-bit key register
+/// as it stood when round key 32 was extracted, returns the master key.
+pub fn invert_present80_schedule(register_at_k32: u128) -> [u8; 10] {
+    let inv_s = inv_present_sbox();
+    let mut k = register_at_k32 & MASK80;
+    // Forward updates used counters 1..=31 after extracting K1..=K31.
+    for counter in (1..=31u128).rev() {
+        k ^= counter << 15;
+        let nib = ((k >> 76) & 0xF) as usize;
+        k = (k & !(0xFu128 << 76)) | ((inv_s[nib] as u128) << 76);
+        k = ((k >> 61) | (k << 19)) & MASK80;
+    }
+    let mut key = [0u8; 10];
+    for (i, b) in key.iter_mut().enumerate() {
+        *b = (k >> (8 * (9 - i))) as u8;
+    }
+    key
+}
+
+/// Missing-nibble collector for PRESENT PFA.
+///
+/// # Examples
+///
+/// See the `fault` crate tests; usage parallels [`crate::PfaCollector`].
+#[derive(Debug, Clone)]
+pub struct PresentPfa {
+    seen: [[bool; 16]; 16],
+    unseen: [u8; 16],
+    total: u64,
+}
+
+impl PresentPfa {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        PresentPfa { seen: [[false; 16]; 16], unseen: [16; 16], total: 0 }
+    }
+
+    /// Records one faulty ciphertext.
+    pub fn observe(&mut self, ciphertext: &[u8; 8]) {
+        self.total += 1;
+        let d = p_layer_inverse(u64::from_be_bytes(*ciphertext));
+        for i in 0..16 {
+            let nib = ((d >> (4 * i)) & 0xF) as usize;
+            if !self.seen[i][nib] {
+                self.seen[i][nib] = true;
+                self.unseen[i] -= 1;
+            }
+        }
+    }
+
+    /// Ciphertexts observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` when every nibble position has exactly one unseen
+    /// value.
+    pub fn all_positions_determined(&self) -> bool {
+        self.unseen.iter().all(|&u| u == 1)
+    }
+
+    /// Number of nibble values not yet observed at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= 16`.
+    pub fn unseen_count(&self, position: usize) -> u8 {
+        self.unseen[position]
+    }
+
+    /// The unique missing nibble per position, where determined.
+    pub fn missing_nibbles(&self) -> [Option<u8>; 16] {
+        let mut out = [None; 16];
+        for i in 0..16 {
+            if self.unseen[i] == 1 {
+                out[i] =
+                    self.seen[i].iter().position(|&s| !s).map(|v| v as u8);
+            }
+        }
+        out
+    }
+
+    /// Recovers the last round key `K32`, knowing the faulted S-box entry's
+    /// original output `v = S[j]` (4 bits).
+    ///
+    /// Returns `None` until all positions are determined.
+    pub fn recover_round32_key(&self, missing_sbox_output: u8) -> Option<u64> {
+        let missing = self.missing_nibbles();
+        let mut kappa = 0u64;
+        for (i, m) in missing.iter().enumerate() {
+            let nib = (m.as_ref()? ^ missing_sbox_output) & 0xF;
+            kappa |= (nib as u64) << (4 * i);
+        }
+        Some(p_layer(kappa))
+    }
+
+    /// Recovers the 80-bit master key: brute-forces the 16 hidden register
+    /// bits, validating each candidate with `check` (typically an encryption
+    /// of a known plaintext compared against its known ciphertext).
+    ///
+    /// Returns `None` until determined, or if no candidate validates.
+    pub fn recover_master_key(
+        &self,
+        missing_sbox_output: u8,
+        mut check: impl FnMut(&[u8; 10]) -> bool,
+    ) -> Option<[u8; 10]> {
+        let k32 = self.recover_round32_key(missing_sbox_output)?;
+        for low in 0..(1u32 << 16) {
+            let register = ((k32 as u128) << 16) | low as u128;
+            let candidate = invert_present80_schedule(register);
+            if check(&candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+impl Default for PresentPfa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciphers::{present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn schedule_inversion_roundtrips() {
+        use rand::RngCore;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for _ in 0..50 {
+            let mut key = [0u8; 10];
+            rng.fill_bytes(&mut key);
+            // Recompute the register at K32 by replaying the forward
+            // schedule.
+            let mut k: u128 = 0;
+            for &b in &key {
+                k = (k << 8) | b as u128;
+            }
+            for i in 1..=31u128 {
+                k = ((k << 61) | (k >> 19)) & MASK80;
+                let nib = ((k >> 76) & 0xF) as usize;
+                k = (k & !(0xFu128 << 76)) | ((PRESENT_SBOX[nib] as u128) << 76);
+                k ^= i << 15;
+            }
+            assert_eq!(invert_present80_schedule(k), key);
+            // And the extracted top 64 bits match the official round key.
+            assert_eq!((k >> 16) as u64, present80_round_keys(&key)[31]);
+        }
+    }
+
+    #[test]
+    fn recovers_round32_key() {
+        let key: [u8; 10] = [9, 8, 7, 6, 5, 4, 3, 2, 1, 0];
+        let (entry, bit) = (0xB
+            as usize, 2u8);
+        let mut image = present_sbox_image().to_vec();
+        image[entry] ^= 1 << bit;
+        let mut victim = Present80::new(&key, RamTableSource::new(image));
+        let mut pfa = PresentPfa::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(66);
+        while !pfa.all_positions_determined() {
+            let mut block: [u8; 8] = rng.gen();
+            victim.encrypt_block(&mut block);
+            pfa.observe(&block);
+            assert!(pfa.total() < 20_000, "failed to converge");
+        }
+        let v = PRESENT_SBOX[entry];
+        assert_eq!(
+            pfa.recover_round32_key(v),
+            Some(present80_round_keys(&key)[31])
+        );
+        // Convergence is fast: 16-value coupon collectors.
+        assert!(pfa.total() < 2000, "took {} ciphertexts", pfa.total());
+    }
+
+    #[test]
+    fn recovers_master_key_with_known_pair() {
+        let key: [u8; 10] = *b"presentkey";
+        let (entry, bit) = (0x3usize, 0u8);
+        let mut image = present_sbox_image().to_vec();
+        image[entry] ^= 1 << bit;
+        let mut victim = Present80::new(&key, RamTableSource::new(image));
+        let mut pfa = PresentPfa::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        while !pfa.all_positions_determined() {
+            let mut block: [u8; 8] = rng.gen();
+            victim.encrypt_block(&mut block);
+            pfa.observe(&block);
+        }
+        // Known pair from before the fault.
+        let plain = *b"\x01\x02\x03\x04\x05\x06\x07\x08";
+        let mut cipher = plain;
+        Present80::new(&key, RamTableSource::new(present_sbox_image().to_vec()))
+            .encrypt_block(&mut cipher);
+        let recovered = pfa
+            .recover_master_key(PRESENT_SBOX[entry], |cand| {
+                let mut b = plain;
+                Present80::new(cand, RamTableSource::new(present_sbox_image().to_vec()))
+                    .encrypt_block(&mut b);
+                b == cipher
+            })
+            .expect("master key recovery");
+        assert_eq!(recovered, key);
+    }
+
+    #[test]
+    fn undetermined_returns_none() {
+        let pfa = PresentPfa::new();
+        assert_eq!(pfa.recover_round32_key(0), None);
+    }
+}

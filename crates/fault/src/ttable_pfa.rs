@@ -1,0 +1,193 @@
+//! Persistent Fault Analysis against the T-table AES shape.
+//!
+//! A bit flip in the 4 KiB Te page is only *directly* exploitable when it
+//! lands in one of the final-round S-lanes (one byte in four — see
+//! [`crate::TeFaultClass`]); it then faults exactly four ciphertext
+//! positions. Each steered fault therefore yields four last-round key bytes;
+//! the attack loop re-steers with different flip offsets until the four
+//! table groups are all covered and the 16-byte key is complete. This module
+//! accumulates those partial recoveries.
+
+use ciphers::{invert_last_round_key_128, TableImage};
+
+use crate::model::{TableFault, TeFaultClass};
+use crate::pfa::PfaCollector;
+
+/// A partially recovered AES last-round key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialKey {
+    bytes: [Option<u8>; 16],
+}
+
+impl PartialKey {
+    /// Creates an empty partial key.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-position bytes.
+    pub fn bytes(&self) -> [Option<u8>; 16] {
+        self.bytes
+    }
+
+    /// Number of determined bytes.
+    pub fn known(&self) -> usize {
+        self.bytes.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Merges another partial key in; conflicting bytes are overwritten by
+    /// `other` (later faults supersede — useful when an earlier analysis was
+    /// polluted).
+    pub fn merge(&mut self, other: &PartialKey) {
+        for i in 0..16 {
+            if other.bytes[i].is_some() {
+                self.bytes[i] = other.bytes[i];
+            }
+        }
+    }
+
+    /// The full last-round key, if complete.
+    pub fn full(&self) -> Option<[u8; 16]> {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = self.bytes[i]?;
+        }
+        Some(out)
+    }
+
+    /// The AES-128 master key, if complete.
+    pub fn master_key(&self) -> Option<[u8; 16]> {
+        self.full().map(|rk| invert_last_round_key_128(&rk))
+    }
+}
+
+/// Multi-fault PFA driver for T-table AES.
+///
+/// # Examples
+///
+/// See `tests/` and the `pfa_key_recovery` example; the flow is: for each
+/// steered fault, feed its ciphertexts into a [`PfaCollector`], then call
+/// [`TTablePfa::absorb`] with the fault location.
+#[derive(Debug, Clone, Default)]
+pub struct TTablePfa {
+    partial: PartialKey,
+    faults_used: u32,
+}
+
+impl TTablePfa {
+    /// Creates an empty driver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated partial key.
+    pub fn partial(&self) -> &PartialKey {
+        &self.partial
+    }
+
+    /// Number of exploitable faults absorbed.
+    pub fn faults_used(&self) -> u32 {
+        self.faults_used
+    }
+
+    /// Absorbs the statistics collected under `fault`. Returns the four
+    /// positions recovered, or `None` if the fault was not exploitable (or
+    /// the collector had undetermined positions among the affected ones).
+    pub fn absorb(&mut self, fault: TableFault, collector: &PfaCollector) -> Option<[usize; 4]> {
+        let TeFaultClass::SLane { entry, positions, .. } = fault.classify_te() else {
+            return None;
+        };
+        let v = TableImage::sbox()[entry];
+        let missing = collector.missing_values();
+        let mut update = PartialKey::new();
+        for &p in &positions {
+            update.bytes[p] = Some(missing[p]? ^ v);
+        }
+        self.partial.merge(&update);
+        self.faults_used += 1;
+        Some(positions)
+    }
+
+    /// The AES-128 master key, once all 16 bytes are covered.
+    pub fn master_key(&self) -> Option<[u8; 16]> {
+        self.partial.master_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ciphers::{BlockCipher, RamTableSource, TTableAes, FINAL_ROUND_S_LANE};
+    use rand::{Rng, SeedableRng};
+
+    /// Runs one fault campaign: plant `fault`, collect ciphertexts until the
+    /// affected positions are determined, and absorb into the driver.
+    fn run_campaign(
+        key: &[u8; 16],
+        fault: TableFault,
+        driver: &mut TTablePfa,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        let mut image = TableImage::te_tables();
+        fault.apply(&mut image);
+        let mut victim = TTableAes::new_128(key, RamTableSource::new(image));
+        let TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
+            panic!("test fault must be exploitable");
+        };
+        let mut collector = PfaCollector::new();
+        loop {
+            let mut block: [u8; 16] = rng.gen();
+            victim.encrypt_block(&mut block);
+            collector.observe(&block);
+            let missing = collector.missing_values();
+            if positions.iter().all(|&p| missing[p].is_some()) {
+                break;
+            }
+            assert!(collector.total() < 100_000, "campaign failed to converge");
+        }
+        driver.absorb(fault, &collector).expect("exploitable fault absorbs");
+    }
+
+    #[test]
+    fn four_faults_recover_full_key() {
+        let key = *b"t-table aes key!";
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut driver = TTablePfa::new();
+        // One S-lane fault per table covers all 16 positions.
+        for table in 0..4usize {
+            let entry = 0x30 + table; // arbitrary distinct entries
+            let offset = TableImage::te_entry_offset(table, entry) + FINAL_ROUND_S_LANE[table];
+            run_campaign(&key, TableFault { offset, bit: 2 }, &mut driver, &mut rng);
+        }
+        assert_eq!(driver.faults_used(), 4);
+        assert_eq!(driver.master_key(), Some(key));
+    }
+
+    #[test]
+    fn single_fault_recovers_exactly_four_bytes() {
+        let key = [0x3Cu8; 16];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let mut driver = TTablePfa::new();
+        let offset = TableImage::te_entry_offset(1, 0xAB) + FINAL_ROUND_S_LANE[1];
+        run_campaign(&key, TableFault { offset, bit: 7 }, &mut driver, &mut rng);
+        assert_eq!(driver.partial().known(), 4);
+        assert_eq!(driver.master_key(), None);
+        // The four recovered bytes are correct.
+        use ciphers::ReferenceAes;
+        let rk10 = ReferenceAes::new_128(&key).round_keys().round_key(10);
+        for (i, b) in driver.partial().bytes().iter().enumerate() {
+            if let Some(b) = b {
+                assert_eq!(*b, rk10[i], "position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_exploitable_fault_is_rejected() {
+        let mut driver = TTablePfa::new();
+        // Lane 0 of table 0 carries 3S, not S.
+        let fault = TableFault { offset: TableImage::te_entry_offset(0, 5), bit: 0 };
+        assert!(driver.absorb(fault, &PfaCollector::new()).is_none());
+        assert_eq!(driver.faults_used(), 0);
+    }
+}

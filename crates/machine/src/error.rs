@@ -1,0 +1,91 @@
+//! Machine-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::process::{Pid, VirtAddr};
+
+/// Errors returned by [`crate::SimMachine`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachineError {
+    /// The process does not exist (or has exited).
+    NoSuchProcess {
+        /// The offending pid.
+        pid: Pid,
+    },
+    /// The virtual address is not covered by any mapping of the process.
+    Unmapped {
+        /// The faulting process.
+        pid: Pid,
+        /// The faulting address.
+        addr: VirtAddr,
+    },
+    /// Physical memory is exhausted (wraps the allocator error).
+    Alloc(memsim::AllocError),
+    /// A DRAM operation failed (wraps the device error).
+    Dram(dram::DramError),
+    /// `munmap` range does not correspond to mapped pages.
+    BadUnmap {
+        /// The process issuing the unmap.
+        pid: Pid,
+        /// Start of the offending range.
+        addr: VirtAddr,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NoSuchProcess { pid } => write!(f, "no such process {pid}"),
+            MachineError::Unmapped { pid, addr } => {
+                write!(f, "{pid} accessed unmapped address {addr}")
+            }
+            MachineError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            MachineError::Dram(e) => write!(f, "dram operation failed: {e}"),
+            MachineError::BadUnmap { pid, addr } => {
+                write!(f, "{pid} unmapped a range not fully mapped at {addr}")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MachineError::Alloc(e) => Some(e),
+            MachineError::Dram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<memsim::AllocError> for MachineError {
+    fn from(e: memsim::AllocError) -> Self {
+        MachineError::Alloc(e)
+    }
+}
+
+impl From<dram::DramError> for MachineError {
+    fn from(e: dram::DramError) -> Self {
+        MachineError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_chains_source() {
+        let e = MachineError::from(memsim::AllocError::OutOfMemory { order: memsim::Order(0) });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("allocation failed"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<MachineError>();
+    }
+}

@@ -1,0 +1,646 @@
+//! The composed simulated machine.
+
+use std::collections::BTreeMap;
+
+use cachesim::CacheHierarchy;
+use dram::{DramDevice, HammerOutcome, Nanos, PhysAddr};
+use memsim::{CpuId, Order, ZonedAllocator, PAGE_SIZE};
+
+use crate::config::{IdleDrainPolicy, MachineConfig};
+use crate::error::MachineError;
+use crate::process::{Pid, ProcState, Process, VirtAddr};
+use crate::stats::MachineStats;
+
+/// Cost of a cache hit (ns of simulated time).
+const CACHE_HIT_NS: Nanos = 2;
+/// Cost of a demand-paging fault (allocation + zeroing + PTE install).
+const FAULT_NS: Nanos = 1_200;
+/// Cost of a `clflush`.
+const CLFLUSH_NS: Nanos = 5;
+
+/// The simulated system: DRAM + per-CPU caches + the Linux allocator +
+/// processes with demand paging.
+///
+/// All operations are deterministic; simulated time only advances through
+/// explicit operations (memory traffic, faults, sleeps). See the crate-level
+/// documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct SimMachine {
+    config: MachineConfig,
+    dram: DramDevice,
+    caches: Vec<CacheHierarchy>,
+    alloc: ZonedAllocator,
+    procs: BTreeMap<Pid, Process>,
+    next_pid: u32,
+    stats: MachineStats,
+}
+
+impl SimMachine {
+    /// Builds a machine from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (DRAM capacity differs
+    /// from the allocator's total memory).
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(
+            config.is_consistent(),
+            "DRAM capacity ({}) and allocator size ({}) must agree",
+            config.dram.geometry.capacity_bytes(),
+            config.mem.total_bytes
+        );
+        let caches = (0..config.mem.cpus)
+            .map(|_| CacheHierarchy::new(config.l1, config.llc))
+            .collect();
+        SimMachine {
+            dram: DramDevice::new(config.dram),
+            caches,
+            alloc: ZonedAllocator::new(config.mem),
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            config,
+            stats: MachineStats::default(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current simulated time (ns).
+    pub fn now(&self) -> Nanos {
+        self.dram.now()
+    }
+
+    /// Advances simulated time by `ns` without any memory traffic.
+    pub fn advance(&mut self, ns: Nanos) {
+        self.dram.advance(ns);
+    }
+
+    /// Machine counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// The DRAM device (for flip logs, weak-cell oracles, DRAM stats).
+    pub fn dram(&self) -> &DramDevice {
+        &self.dram
+    }
+
+    /// Mutable DRAM access (experiment oracles).
+    pub fn dram_mut(&mut self) -> &mut DramDevice {
+        &mut self.dram
+    }
+
+    /// The allocator (zone/pcp introspection, traces).
+    pub fn allocator(&self) -> &ZonedAllocator {
+        &self.alloc
+    }
+
+    /// Mutable allocator access (trace control, forced drains).
+    pub fn allocator_mut(&mut self) -> &mut ZonedAllocator {
+        &mut self.alloc
+    }
+
+    /// Number of CPUs.
+    pub fn cpu_count(&self) -> u32 {
+        self.config.mem.cpus
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Spawns a process pinned to `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn spawn(&mut self, cpu: CpuId) -> Pid {
+        assert!(cpu.0 < self.cpu_count(), "cpu {cpu} out of range");
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid, Process::new(pid, cpu));
+        pid
+    }
+
+    /// The process table entry for `pid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
+    pub fn process(&self, pid: Pid) -> Result<&Process, MachineError> {
+        self.procs.get(&pid).ok_or(MachineError::NoSuchProcess { pid })
+    }
+
+    fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, MachineError> {
+        self.procs.get_mut(&pid).ok_or(MachineError::NoSuchProcess { pid })
+    }
+
+    /// Terminates `pid`, freeing every resident frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
+    pub fn exit(&mut self, pid: Pid) -> Result<(), MachineError> {
+        let proc = self.procs.remove(&pid).ok_or(MachineError::NoSuchProcess { pid })?;
+        let cpu = proc.cpu();
+        for (_, pfn) in proc.resident() {
+            self.alloc.free_pages(cpu, pfn)?;
+        }
+        Ok(())
+    }
+
+    /// Puts `pid` to sleep for `ns`. If its CPU has no other active process,
+    /// the idle kernel may drain that CPU's page frame caches (per
+    /// [`IdleDrainPolicy`]) — the paper's "must remain active" hazard.
+    ///
+    /// The process is awake again when the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
+    pub fn sleep(&mut self, pid: Pid, ns: Nanos) -> Result<(), MachineError> {
+        let cpu = self.process(pid)?.cpu();
+        self.process_mut(pid)?.set_state(ProcState::Sleeping);
+        self.stats.sleeps += 1;
+        let cpu_idle = !self
+            .procs
+            .values()
+            .any(|p| p.cpu() == cpu && p.state() == ProcState::Active);
+        if cpu_idle && self.config.idle_drain == IdleDrainPolicy::DrainOnSleep {
+            self.alloc.drain_cpu(cpu);
+        }
+        self.advance(ns);
+        self.process_mut(pid)?.set_state(ProcState::Active);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual memory
+    // ------------------------------------------------------------------
+
+    /// Maps `pages` of anonymous memory; physical frames are only assigned
+    /// on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
+    pub fn mmap(&mut self, pid: Pid, pages: u64) -> Result<VirtAddr, MachineError> {
+        Ok(self.process_mut(pid)?.reserve(pages))
+    }
+
+    /// Unmaps `pages` starting at `addr` (which must be page-aligned within
+    /// one VMA). Touched frames are freed — order-0, so they land at the
+    /// head of this CPU's page frame cache.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::NoSuchProcess`] — unknown pid.
+    /// * [`MachineError::BadUnmap`] — range not fully inside a live VMA.
+    pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, pages: u64) -> Result<(), MachineError> {
+        let cpu = self.process(pid)?.cpu();
+        let freed = self
+            .process_mut(pid)?
+            .remove_range(addr, pages)
+            .ok_or(MachineError::BadUnmap { pid, addr })?;
+        for pfn in freed {
+            self.alloc.free_pages(cpu, pfn)?;
+        }
+        Ok(())
+    }
+
+    /// Virtual→physical translation, if the page has been touched.
+    ///
+    /// This is the simulator's `/proc/<pid>/pagemap` oracle; note that since
+    /// Linux 4.0 reading it needs `CAP_SYS_ADMIN`, which is exactly why the
+    /// attack works *without* calling this (paper §VI).
+    pub fn translate(&self, pid: Pid, addr: VirtAddr) -> Option<PhysAddr> {
+        let proc = self.procs.get(&pid)?;
+        let pfn = proc.frame_of(addr)?;
+        Some(PhysAddr::new(pfn.phys_addr() + addr.page_offset()))
+    }
+
+    /// Faults in the page containing `addr` if needed and returns its
+    /// physical address (demand paging: allocate order-0 on this CPU, zero
+    /// the frame, install the PTE).
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::NoSuchProcess`] — unknown pid.
+    /// * [`MachineError::Unmapped`] — `addr` outside every VMA.
+    /// * [`MachineError::Alloc`] — out of physical memory.
+    pub fn touch(&mut self, pid: Pid, addr: VirtAddr) -> Result<PhysAddr, MachineError> {
+        let proc = self.process(pid)?;
+        if !proc.is_mapped(addr) {
+            return Err(MachineError::Unmapped { pid, addr });
+        }
+        if let Some(pfn) = proc.frame_of(addr) {
+            return Ok(PhysAddr::new(pfn.phys_addr() + addr.page_offset()));
+        }
+        let cpu = proc.cpu();
+        let pfn = self.alloc.alloc_pages(cpu, Order(0))?;
+        // Anonymous pages are zero-filled by the kernel.
+        self.dram.fill(PhysAddr::new(pfn.phys_addr()), PAGE_SIZE, 0);
+        self.process_mut(pid)?.install(addr.vpn(), pfn);
+        self.stats.page_faults += 1;
+        self.advance(FAULT_NS);
+        Ok(PhysAddr::new(pfn.phys_addr() + addr.page_offset()))
+    }
+
+    /// One cache-modelled access at `addr`'s physical line: hit costs
+    /// [`CACHE_HIT_NS`]; a full miss activates the DRAM row.
+    fn cached_access(&mut self, cpu: CpuId, phys: PhysAddr) {
+        let served = self.caches[cpu.0 as usize].access(phys.as_u64());
+        if served.reaches_dram() {
+            self.dram.access(phys);
+        } else {
+            self.advance(CACHE_HIT_NS);
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, faulting pages in as needed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`].
+    pub fn read(&mut self, pid: Pid, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MachineError> {
+        self.stats.reads += 1;
+        let cpu = self.process(pid)?.cpu();
+        let mut off = 0usize;
+        while off < buf.len() {
+            let va = addr + off as u64;
+            let in_page = (PAGE_SIZE - va.page_offset()) as usize;
+            let n = in_page.min(buf.len() - off);
+            let phys = self.touch(pid, va)?;
+            self.cached_access(cpu, phys);
+            self.dram.read(phys, &mut buf[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `addr`, faulting pages in as needed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`].
+    pub fn write(&mut self, pid: Pid, addr: VirtAddr, data: &[u8]) -> Result<(), MachineError> {
+        self.stats.writes += 1;
+        let cpu = self.process(pid)?.cpu();
+        let mut off = 0usize;
+        while off < data.len() {
+            let va = addr + off as u64;
+            let in_page = (PAGE_SIZE - va.page_offset()) as usize;
+            let n = in_page.min(data.len() - off);
+            let phys = self.touch(pid, va)?;
+            self.cached_access(cpu, phys);
+            self.dram.write(phys, &data[off..off + n]);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Fills `len` bytes at `addr` with `value` (page-wise `memset`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`].
+    pub fn fill(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        len: u64,
+        value: u8,
+    ) -> Result<(), MachineError> {
+        self.stats.writes += 1;
+        let cpu = self.process(pid)?.cpu();
+        let mut off = 0u64;
+        while off < len {
+            let va = addr + off;
+            let in_page = PAGE_SIZE - va.page_offset();
+            let n = in_page.min(len - off);
+            let phys = self.touch(pid, va)?;
+            self.cached_access(cpu, phys);
+            self.dram.fill(phys, n, value);
+            off += n;
+        }
+        Ok(())
+    }
+
+    /// Flushes the cache line containing `addr` from the CPU's hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`] (flushing faults the page in, as a real
+    /// `clflush` needs a valid translation).
+    pub fn clflush(&mut self, pid: Pid, addr: VirtAddr) -> Result<(), MachineError> {
+        let cpu = self.process(pid)?.cpu();
+        let phys = self.touch(pid, addr)?;
+        self.caches[cpu.0 as usize].clflush(phys.as_u64());
+        self.stats.flushes += 1;
+        self.advance(CLFLUSH_NS);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Hammering
+    // ------------------------------------------------------------------
+
+    /// One hammer iteration: access `addr` (guaranteed to reach DRAM) then
+    /// flush it — the paper's `mov`/`clflush` loop body.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`].
+    pub fn access_flush(&mut self, pid: Pid, addr: VirtAddr) -> Result<(), MachineError> {
+        let cpu = self.process(pid)?.cpu();
+        let phys = self.touch(pid, addr)?;
+        // Ensure the access misses: flush first (idempotent), then access.
+        self.caches[cpu.0 as usize].clflush(phys.as_u64());
+        self.dram.access(phys);
+        self.stats.flushes += 1;
+        self.advance(CLFLUSH_NS);
+        Ok(())
+    }
+
+    /// Bulk double-sided hammering of the rows containing virtual addresses
+    /// `a` and `b`, `pairs` times, with `clflush` semantics (every access
+    /// activates a row). Equivalent to `pairs` iterations of
+    /// [`Self::access_flush`] on each address, but O(refresh boundaries).
+    ///
+    /// # Errors
+    ///
+    /// * Address resolution errors as in [`Self::touch`].
+    /// * [`MachineError::Dram`] if the two addresses do not share a bank or
+    ///   share a row.
+    pub fn hammer_pair_virt(
+        &mut self,
+        pid: Pid,
+        a: VirtAddr,
+        b: VirtAddr,
+        pairs: u64,
+    ) -> Result<HammerOutcome, MachineError> {
+        let cpu = self.process(pid)?.cpu();
+        let pa = self.touch(pid, a)?;
+        let pb = self.touch(pid, b)?;
+        self.caches[cpu.0 as usize].clflush(pa.as_u64());
+        self.caches[cpu.0 as usize].clflush(pb.as_u64());
+        let outcome = self.dram.hammer_pair(pa, pb, pairs)?;
+        self.stats.hammer_pairs += pairs;
+        self.stats.flushes += 2 * pairs;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::DramCoord;
+    use memsim::Pfn;
+
+    fn small() -> SimMachine {
+        SimMachine::new(MachineConfig::small(11))
+    }
+
+    #[test]
+    fn demand_paging_allocates_on_first_touch() {
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 4).unwrap();
+        assert_eq!(m.process(p).unwrap().resident_pages(), 0);
+        assert!(m.translate(p, va).is_none());
+        m.write(p, va, b"x").unwrap();
+        assert_eq!(m.process(p).unwrap().resident_pages(), 1);
+        assert!(m.translate(p, va).is_some());
+        assert_eq!(m.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn read_returns_written_data_across_pages() {
+        let mut m = small();
+        let p = m.spawn(CpuId(1));
+        let va = m.mmap(p, 3).unwrap();
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 256) as u8).collect();
+        m.write(p, va + 100, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(p, va + 100, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(m.process(p).unwrap().resident_pages(), 3);
+    }
+
+    #[test]
+    fn unmapped_access_fails() {
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        let e = m.write(p, VirtAddr(0x1000), b"x");
+        assert!(matches!(e, Err(MachineError::Unmapped { .. })));
+    }
+
+    #[test]
+    fn munmap_frees_to_pcp_and_victim_reuses() {
+        // The crate-level scenario, asserted in detail.
+        let mut m = small();
+        let attacker = m.spawn(CpuId(2));
+        let victim = m.spawn(CpuId(2));
+        let va = m.mmap(attacker, 8).unwrap();
+        m.fill(attacker, va, 8 * PAGE_SIZE, 0xAA).unwrap();
+        let target = va + 5 * PAGE_SIZE;
+        let frame = m.translate(attacker, target).unwrap();
+        m.munmap(attacker, target, 1).unwrap();
+
+        // The frame sits in cpu2's pcp list.
+        let pfn = Pfn(frame.as_u64() / PAGE_SIZE);
+        let zone = m.allocator().zone_of(pfn).unwrap();
+        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(2)).contains(pfn));
+
+        // Victim on the same CPU touches one new page and gets the frame.
+        let vv = m.mmap(victim, 1).unwrap();
+        m.write(victim, vv, b"AES tables").unwrap();
+        assert_eq!(m.translate(victim, vv).unwrap().align_down(PAGE_SIZE), frame.align_down(PAGE_SIZE));
+    }
+
+    #[test]
+    fn different_cpu_does_not_reuse() {
+        let mut m = small();
+        let attacker = m.spawn(CpuId(0));
+        let victim = m.spawn(CpuId(1));
+        let va = m.mmap(attacker, 1).unwrap();
+        m.write(attacker, va, b"x").unwrap();
+        let frame = m.translate(attacker, va).unwrap();
+        m.munmap(attacker, va, 1).unwrap();
+        let vv = m.mmap(victim, 1).unwrap();
+        m.write(victim, vv, b"y").unwrap();
+        assert_ne!(m.translate(victim, vv).unwrap(), frame);
+    }
+
+    #[test]
+    fn sleeping_attacker_loses_cached_frame() {
+        let mut m = small(); // default policy: DrainOnSleep
+        let attacker = m.spawn(CpuId(3));
+        let va = m.mmap(attacker, 1).unwrap();
+        m.write(attacker, va, b"x").unwrap();
+        let pfn = Pfn(m.translate(attacker, va).unwrap().as_u64() / PAGE_SIZE);
+        m.munmap(attacker, va, 1).unwrap();
+        let zone = m.allocator().zone_of(pfn).unwrap();
+        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(3)).contains(pfn));
+        m.sleep(attacker, 1_000_000).unwrap();
+        assert!(
+            !m.allocator().zone(zone).unwrap().pcp(CpuId(3)).contains(pfn),
+            "idle drain should have emptied the pcp list"
+        );
+    }
+
+    #[test]
+    fn keep_policy_preserves_pcp_across_sleep() {
+        let mut m = SimMachine::new(
+            MachineConfig::small(11).with_idle_drain(IdleDrainPolicy::Keep),
+        );
+        let attacker = m.spawn(CpuId(3));
+        let va = m.mmap(attacker, 1).unwrap();
+        m.write(attacker, va, b"x").unwrap();
+        let pfn = Pfn(m.translate(attacker, va).unwrap().as_u64() / PAGE_SIZE);
+        m.munmap(attacker, va, 1).unwrap();
+        m.sleep(attacker, 1_000_000).unwrap();
+        let zone = m.allocator().zone_of(pfn).unwrap();
+        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(3)).contains(pfn));
+    }
+
+    #[test]
+    fn active_sibling_prevents_idle_drain() {
+        let mut m = small();
+        let attacker = m.spawn(CpuId(0));
+        let sibling = m.spawn(CpuId(0)); // stays Active
+        let _ = sibling;
+        let va = m.mmap(attacker, 1).unwrap();
+        m.write(attacker, va, b"x").unwrap();
+        let pfn = Pfn(m.translate(attacker, va).unwrap().as_u64() / PAGE_SIZE);
+        m.munmap(attacker, va, 1).unwrap();
+        m.sleep(attacker, 1_000_000).unwrap();
+        let zone = m.allocator().zone_of(pfn).unwrap();
+        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(0)).contains(pfn));
+    }
+
+    #[test]
+    fn exit_releases_all_frames() {
+        let mut m = small();
+        let free0 = m.allocator().total_free_pages();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 16).unwrap();
+        m.fill(p, va, 16 * PAGE_SIZE, 1).unwrap();
+        assert_eq!(m.allocator().total_free_pages(), free0 - 16);
+        m.exit(p).unwrap();
+        assert_eq!(m.allocator().total_free_pages(), free0);
+        assert!(matches!(m.read(p, va, &mut [0u8; 1]), Err(MachineError::NoSuchProcess { .. })));
+    }
+
+    #[test]
+    fn hammer_virt_flips_bits_visible_through_page_table() {
+        // End-to-end substrate check: map three physically-consecutive pages
+        // by allocating a fresh machine (first touches get consecutive
+        // frames from the buddy via pcp refill), find an aggressor pair
+        // around a weak row using the oracle, hammer, and observe corrupted
+        // data through ordinary reads.
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        // Map a large buffer so it spans many rows.
+        let pages = 4096u64; // 16 MiB
+        let va = m.mmap(p, pages).unwrap();
+        m.fill(p, va, pages * PAGE_SIZE, 0xFF).unwrap();
+
+        // Find a weak true-cell inside the buffer via the oracle, then
+        // compute its aggressor rows' physical addresses.
+        let mut target = None;
+        'scan: for i in 0..pages {
+            let pa = m.translate(p, va + i * PAGE_SIZE).unwrap();
+            let cells = m.dram_mut().weak_cells_at(pa);
+            for c in cells.iter() {
+                if c.polarity == dram::CellPolarity::True {
+                    target = Some((i, *c));
+                    break 'scan;
+                }
+            }
+        }
+        let (page_idx, cell) = target.expect("flippy small machine has weak cells in 16 MiB");
+        let victim_va = va + page_idx * PAGE_SIZE;
+        let victim_pa = m.translate(p, victim_va).unwrap();
+        let coord = m.dram().mapping().phys_to_coord(victim_pa);
+        let above = DramCoord { row: coord.row - 1, col: 0, ..coord };
+        let below = DramCoord { row: coord.row + 1, col: 0, ..coord };
+        let pa_above = m.dram().mapping().coord_to_phys(above);
+        let pa_below = m.dram().mapping().coord_to_phys(below);
+
+        // The attacker hammers *virtual* addresses; find buffer offsets that
+        // map to the aggressor rows (linear mapping + sequential first-touch
+        // makes them nearby, but search to stay robust).
+        let mut va_above = None;
+        let mut va_below = None;
+        for i in 0..pages {
+            let pa = m.translate(p, va + i * PAGE_SIZE).unwrap().align_down(PAGE_SIZE);
+            if pa == pa_above.align_down(PAGE_SIZE) {
+                va_above = Some(va + i * PAGE_SIZE);
+            }
+            if pa == pa_below.align_down(PAGE_SIZE) {
+                va_below = Some(va + i * PAGE_SIZE);
+            }
+        }
+        let (va_a, va_b) = match (va_above, va_below) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return, // aggressors outside the buffer; geometry edge, skip
+        };
+
+        let outcome = m
+            .hammer_pair_virt(p, va_a, va_b, cell.threshold_acts() + 64)
+            .unwrap();
+        assert!(
+            outcome.flips.iter().any(|f| f.coord.row == coord.row),
+            "expected a flip in the victim row"
+        );
+        // The corruption is visible through an ordinary read: some byte in
+        // the victim page is no longer 0xFF.
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        m.read(p, victim_va.page_base(), &mut buf).unwrap();
+        let row_bytes = m.dram().config().geometry.row_bytes as u64;
+        let _ = row_bytes;
+        let corrupted = buf.iter().any(|&b| b != 0xFF);
+        // The flip may sit in the *other* page of the 8 KiB row; check both.
+        if !corrupted {
+            let flip = &outcome.flips[0];
+            let mut b = [0u8];
+            // Locate the flip's page within our buffer.
+            for i in 0..pages {
+                let pa = m.translate(p, va + i * PAGE_SIZE).unwrap();
+                if pa.align_down(PAGE_SIZE) == flip.addr.align_down(PAGE_SIZE) {
+                    m.read(p, va + i * PAGE_SIZE + flip.addr.offset_in(PAGE_SIZE), &mut b)
+                        .unwrap();
+                    assert_ne!(b[0] & (1 << flip.bit), 1 << flip.bit, "bit should be cleared");
+                    return;
+                }
+            }
+            panic!("flip not inside the attacker buffer");
+        }
+    }
+
+    #[test]
+    fn hammer_requires_same_bank() {
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 64).unwrap();
+        m.fill(p, va, 64 * PAGE_SIZE, 0).unwrap();
+        // Two pages within the same row share the bank *and* the row —
+        // hammering them must be rejected (row-buffer hits hammer nothing).
+        let e = m.hammer_pair_virt(p, va, va + PAGE_SIZE, 10);
+        assert!(matches!(e, Err(MachineError::Dram(dram::DramError::AggressorsShareRow { .. }))));
+    }
+
+    #[test]
+    fn time_advances_with_traffic() {
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        let t0 = m.now();
+        let va = m.mmap(p, 1).unwrap();
+        m.write(p, va, b"tick").unwrap();
+        assert!(m.now() > t0);
+    }
+}

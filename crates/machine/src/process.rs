@@ -1,0 +1,244 @@
+//! Processes: virtual address spaces with demand-paged anonymous mappings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use memsim::{CpuId, Pfn, PAGE_SIZE};
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A virtual address within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page number containing this address.
+    pub const fn vpn(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// Byte offset within the page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// First address of the containing page.
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 - self.0 % PAGE_SIZE)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl std::ops::Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+    fn add(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0 + rhs)
+    }
+}
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcState {
+    /// Runnable / busy-waiting — keeps its CPU warm.
+    #[default]
+    Active,
+    /// Blocked; the CPU is idle (the kernel may reclaim per-CPU caches).
+    Sleeping,
+}
+
+/// Base of the anonymous-mmap area (x86-64-ish user layout, simplified).
+const MMAP_BASE: u64 = 0x7f00_0000_0000;
+
+/// One simulated process: VMAs, a page table, a CPU pin and a state.
+///
+/// The structure is pure bookkeeping; all side effects (allocation, DRAM
+/// traffic) happen in [`crate::SimMachine`].
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: Pid,
+    cpu: CpuId,
+    state: ProcState,
+    /// vpn → number of pages, for each live anonymous mapping.
+    vmas: BTreeMap<u64, u64>,
+    /// vpn → physical frame, for pages that have been touched.
+    page_table: BTreeMap<u64, Pfn>,
+    next_mmap_vpn: u64,
+}
+
+impl Process {
+    pub(crate) fn new(pid: Pid, cpu: CpuId) -> Self {
+        Process {
+            pid,
+            cpu,
+            state: ProcState::Active,
+            vmas: BTreeMap::new(),
+            page_table: BTreeMap::new(),
+            next_mmap_vpn: MMAP_BASE / PAGE_SIZE,
+        }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The CPU this process is pinned to.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Current scheduling state.
+    pub fn state(&self) -> ProcState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: ProcState) {
+        self.state = state;
+    }
+
+    /// Reserves `pages` of virtual address space (no physical backing yet)
+    /// and returns its base address.
+    pub(crate) fn reserve(&mut self, pages: u64) -> VirtAddr {
+        let vpn = self.next_mmap_vpn;
+        self.next_mmap_vpn += pages + 1; // leave a guard hole
+        self.vmas.insert(vpn, pages);
+        VirtAddr(vpn * PAGE_SIZE)
+    }
+
+    /// Returns `true` if `addr` falls inside a live VMA.
+    pub fn is_mapped(&self, addr: VirtAddr) -> bool {
+        let vpn = addr.vpn();
+        self.vmas
+            .range(..=vpn)
+            .next_back()
+            .is_some_and(|(&start, &len)| vpn < start + len)
+    }
+
+    /// The frame backing `addr`, if the page has been touched.
+    pub fn frame_of(&self, addr: VirtAddr) -> Option<Pfn> {
+        self.page_table.get(&addr.vpn()).copied()
+    }
+
+    pub(crate) fn install(&mut self, vpn: u64, pfn: Pfn) {
+        self.page_table.insert(vpn, pfn);
+    }
+
+    /// Removes `pages` VMA pages starting at `addr`; returns the backed
+    /// frames that must be freed. Returns `None` if the range is not an
+    /// exact prefix/suffix/whole of live VMAs.
+    pub(crate) fn remove_range(&mut self, addr: VirtAddr, pages: u64) -> Option<Vec<Pfn>> {
+        let start = addr.vpn();
+        // Find the VMA containing the range start.
+        let (&vma_start, &vma_len) = self.vmas.range(..=start).next_back()?;
+        if start + pages > vma_start + vma_len {
+            return None;
+        }
+        // Split the VMA: keep the head and tail pieces.
+        self.vmas.remove(&vma_start);
+        if start > vma_start {
+            self.vmas.insert(vma_start, start - vma_start);
+        }
+        let end = start + pages;
+        if end < vma_start + vma_len {
+            self.vmas.insert(end, vma_start + vma_len - end);
+        }
+        let mut freed = Vec::new();
+        for vpn in start..end {
+            if let Some(pfn) = self.page_table.remove(&vpn) {
+                freed.push(pfn);
+            }
+        }
+        Some(freed)
+    }
+
+    /// Number of pages with physical backing.
+    pub fn resident_pages(&self) -> u64 {
+        self.page_table.len() as u64
+    }
+
+    /// Number of live virtual pages (mapped, possibly untouched).
+    pub fn virtual_pages(&self) -> u64 {
+        self.vmas.values().sum()
+    }
+
+    /// Iterates over `(vpn, pfn)` pairs of resident pages.
+    pub fn resident(&self) -> impl Iterator<Item = (u64, Pfn)> + '_ {
+        self.page_table.iter().map(|(&v, &p)| (v, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc() -> Process {
+        Process::new(Pid(1), CpuId(0))
+    }
+
+    #[test]
+    fn virt_addr_arithmetic() {
+        let a = VirtAddr(0x7f00_0000_1234);
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_base().0, 0x7f00_0000_1000);
+        assert_eq!(a.vpn(), 0x7f00_0000_1000 / PAGE_SIZE);
+    }
+
+    #[test]
+    fn reserve_creates_disjoint_vmas() {
+        let mut p = proc();
+        let a = p.reserve(4);
+        let b = p.reserve(2);
+        assert_ne!(a, b);
+        assert!(p.is_mapped(a));
+        assert!(p.is_mapped(a + (4 * PAGE_SIZE - 1)));
+        assert!(!p.is_mapped(a + 4 * PAGE_SIZE)); // guard hole
+        assert!(p.is_mapped(b));
+        assert_eq!(p.virtual_pages(), 6);
+    }
+
+    #[test]
+    fn remove_range_splits_vma() {
+        let mut p = proc();
+        let base = p.reserve(8);
+        // Unmap pages 2..4.
+        let freed = p.remove_range(base + 2 * PAGE_SIZE, 2).unwrap();
+        assert!(freed.is_empty(), "untouched pages have no frames");
+        assert!(p.is_mapped(base));
+        assert!(p.is_mapped(base + PAGE_SIZE));
+        assert!(!p.is_mapped(base + 2 * PAGE_SIZE));
+        assert!(!p.is_mapped(base + 3 * PAGE_SIZE));
+        assert!(p.is_mapped(base + 4 * PAGE_SIZE));
+        assert_eq!(p.virtual_pages(), 6);
+    }
+
+    #[test]
+    fn remove_range_returns_backed_frames() {
+        let mut p = proc();
+        let base = p.reserve(2);
+        p.install(base.vpn(), Pfn(77));
+        let freed = p.remove_range(base, 2).unwrap();
+        assert_eq!(freed, vec![Pfn(77)]);
+        assert_eq!(p.resident_pages(), 0);
+    }
+
+    #[test]
+    fn remove_range_rejects_out_of_vma() {
+        let mut p = proc();
+        let base = p.reserve(2);
+        assert!(p.remove_range(base, 3).is_none());
+        assert!(p.remove_range(VirtAddr(0x1000), 1).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Machine-level counters.
+
+use std::fmt;
+
+/// Aggregate counters exposed by [`crate::SimMachine::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Demand-paging faults served (first touches).
+    pub page_faults: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Write operations.
+    pub writes: u64,
+    /// `clflush` operations.
+    pub flushes: u64,
+    /// Hammer primitives executed (access+flush pairs, bulk-equivalent).
+    pub hammer_pairs: u64,
+    /// Sleep transitions.
+    pub sleeps: u64,
+}
+
+impl fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "faults={} reads={} writes={} flushes={} hammer_pairs={} sleeps={}",
+            self.page_faults, self.reads, self.writes, self.flushes, self.hammer_pairs,
+            self.sleeps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(MachineStats::default().to_string().contains("faults=0"));
+    }
+}

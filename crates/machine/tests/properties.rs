@@ -1,0 +1,142 @@
+//! Property-based tests for the composed machine.
+
+use machine::{MachineConfig, SimMachine, VirtAddr};
+use memsim::{CpuId, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// Random process/memory operation schedules.
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn(u8),
+    Mmap(u8, u8),
+    Touch(u8, u8),
+    Munmap(u8),
+    Sleep(u8),
+    Exit(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..4).prop_map(Op::Spawn),
+            (any::<u8>(), 1u8..16).prop_map(|(p, n)| Op::Mmap(p, n)),
+            (any::<u8>(), any::<u8>()).prop_map(|(p, o)| Op::Touch(p, o)),
+            any::<u8>().prop_map(Op::Munmap),
+            any::<u8>().prop_map(Op::Sleep),
+            any::<u8>().prop_map(Op::Exit),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Frame conservation across arbitrary process lifecycles: after
+    /// exiting every process and draining caches, every frame is free.
+    #[test]
+    fn frames_are_conserved(schedule in ops()) {
+        let mut m = SimMachine::new(MachineConfig::small(1));
+        let total = m.allocator().total_free_pages();
+        let mut pids = Vec::new();
+        let mut vmas: Vec<(machine::Pid, VirtAddr, u64)> = Vec::new();
+
+        for op in schedule {
+            match op {
+                Op::Spawn(cpu) => pids.push(m.spawn(CpuId(cpu as u32 % 4))),
+                Op::Mmap(p, n) if !pids.is_empty() => {
+                    let pid = pids[p as usize % pids.len()];
+                    if let Ok(va) = m.mmap(pid, n as u64) {
+                        vmas.push((pid, va, n as u64));
+                    }
+                }
+                Op::Touch(p, off) if !vmas.is_empty() => {
+                    let (pid, va, n) = vmas[p as usize % vmas.len()];
+                    let addr = va + (off as u64 % n) * PAGE_SIZE;
+                    // The pid may have exited; both outcomes are legal.
+                    let _ = m.write(pid, addr, &[off]);
+                }
+                Op::Munmap(p) if !vmas.is_empty() => {
+                    let (pid, va, n) = vmas.swap_remove(p as usize % vmas.len());
+                    let _ = m.munmap(pid, va, n);
+                }
+                Op::Sleep(p) if !pids.is_empty() => {
+                    let pid = pids[p as usize % pids.len()];
+                    let _ = m.sleep(pid, 1_000_000);
+                }
+                Op::Exit(p) if !pids.is_empty() => {
+                    let pid = pids.swap_remove(p as usize % pids.len());
+                    let _ = m.exit(pid);
+                    vmas.retain(|(q, _, _)| *q != pid);
+                }
+                _ => {}
+            }
+        }
+        for pid in pids {
+            m.exit(pid).unwrap();
+        }
+        m.allocator_mut().reclaim(CpuId(0));
+        prop_assert_eq!(m.allocator().total_free_pages(), total);
+        // The buddy allocators are internally consistent.
+        for zone in m.allocator().zones() {
+            zone.buddy().check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// No two live pages of any processes ever share a frame.
+    #[test]
+    fn no_frame_is_shared(schedule in ops()) {
+        let mut m = SimMachine::new(MachineConfig::small(2));
+        let mut pids = Vec::new();
+        let mut vmas: Vec<(machine::Pid, VirtAddr, u64)> = Vec::new();
+        for op in schedule {
+            match op {
+                Op::Spawn(cpu) => pids.push(m.spawn(CpuId(cpu as u32 % 4))),
+                Op::Mmap(p, n) if !pids.is_empty() => {
+                    let pid = pids[p as usize % pids.len()];
+                    if let Ok(va) = m.mmap(pid, n as u64) {
+                        vmas.push((pid, va, n as u64));
+                    }
+                }
+                Op::Touch(p, off) if !vmas.is_empty() => {
+                    let (pid, va, n) = vmas[p as usize % vmas.len()];
+                    let _ = m.write(pid, va + (off as u64 % n) * PAGE_SIZE, &[1]);
+                }
+                Op::Munmap(p) if !vmas.is_empty() => {
+                    let (pid, va, n) = vmas.swap_remove(p as usize % vmas.len());
+                    let _ = m.munmap(pid, va, n);
+                }
+                _ => {}
+            }
+            // Invariant: all resident frames across all processes unique.
+            let mut seen = std::collections::HashSet::new();
+            for &pid in &pids {
+                if let Ok(proc) = m.process(pid) {
+                    for (_, pfn) in proc.resident() {
+                        prop_assert!(seen.insert(pfn), "frame {pfn} mapped twice");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads always return the most recent write through the same mapping.
+    #[test]
+    fn read_your_writes(
+        offsets in prop::collection::vec((0u64..16 * 4096, any::<u8>()), 1..40)
+    ) {
+        let mut m = SimMachine::new(MachineConfig::small(3));
+        let pid = m.spawn(CpuId(0));
+        let va = m.mmap(pid, 16).unwrap();
+        let mut model = std::collections::HashMap::new();
+        for (off, val) in offsets {
+            m.write(pid, va + off, &[val]).unwrap();
+            model.insert(off, val);
+        }
+        for (off, val) in model {
+            let mut b = [0u8];
+            m.read(pid, va + off, &mut b).unwrap();
+            prop_assert_eq!(b[0], val);
+        }
+    }
+}

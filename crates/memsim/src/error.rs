@@ -1,0 +1,73 @@
+//! Allocation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{Order, Pfn};
+
+/// Errors returned by the allocator stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// No zone could satisfy the request, even after reclaim.
+    OutOfMemory {
+        /// The requested order.
+        order: Order,
+    },
+    /// A free was attempted on a frame the allocator does not consider
+    /// allocated (double free, or a frame from a different allocator).
+    NotAllocated {
+        /// The offending frame.
+        pfn: Pfn,
+    },
+    /// The frame does not belong to any managed zone.
+    UnknownFrame {
+        /// The offending frame.
+        pfn: Pfn,
+    },
+    /// The requested order exceeds [`crate::MAX_ORDER`].
+    OrderTooLarge {
+        /// The requested order.
+        order: Order,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { order } => {
+                write!(f, "out of memory satisfying an {order} request")
+            }
+            AllocError::NotAllocated { pfn } => {
+                write!(f, "frame {pfn} is not currently allocated")
+            }
+            AllocError::UnknownFrame { pfn } => {
+                write!(f, "frame {pfn} is outside every managed zone")
+            }
+            AllocError::OrderTooLarge { order } => {
+                write!(f, "requested {order} exceeds the maximum buddy order")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = AllocError::OutOfMemory { order: Order(3) };
+        assert!(e.to_string().contains("order-3"));
+        let e = AllocError::NotAllocated { pfn: Pfn(5) };
+        assert!(e.to_string().contains("pfn:0x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<AllocError>();
+    }
+}

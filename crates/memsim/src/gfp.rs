@@ -1,0 +1,71 @@
+//! Allocation flags (a small model of Linux `gfp_t`).
+
+use crate::zone::ZoneKind;
+
+/// Get-free-pages flags: where an allocation may come from.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{GfpFlags, ZoneKind};
+/// let gfp = GfpFlags::normal();
+/// assert_eq!(gfp.preferred, ZoneKind::Normal);
+/// assert!(gfp.allow_fallback);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GfpFlags {
+    /// The zone the request prefers.
+    pub preferred: ZoneKind,
+    /// Whether lower zones in the zonelist may be used as fallback.
+    pub allow_fallback: bool,
+}
+
+impl GfpFlags {
+    /// Ordinary kernel/user allocation: prefers `ZONE_NORMAL`, may fall back.
+    pub const fn normal() -> Self {
+        GfpFlags { preferred: ZoneKind::Normal, allow_fallback: true }
+    }
+
+    /// A 32-bit-DMA-capable allocation: prefers `ZONE_DMA32`.
+    pub const fn dma32() -> Self {
+        GfpFlags { preferred: ZoneKind::Dma32, allow_fallback: true }
+    }
+
+    /// A legacy-DMA allocation: `ZONE_DMA` only.
+    pub const fn dma() -> Self {
+        GfpFlags { preferred: ZoneKind::Dma, allow_fallback: false }
+    }
+
+    /// The zonelist implied by these flags: the preferred zone followed by
+    /// every lower zone (if fallback is allowed), highest first.
+    pub fn zonelist(&self) -> Vec<ZoneKind> {
+        let all = [ZoneKind::Normal, ZoneKind::Dma32, ZoneKind::Dma];
+        let start = all.iter().position(|&k| k == self.preferred).expect("known kind");
+        if self.allow_fallback {
+            all[start..].to_vec()
+        } else {
+            vec![self.preferred]
+        }
+    }
+}
+
+impl Default for GfpFlags {
+    fn default() -> Self {
+        Self::normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zonelists_follow_fallback_order() {
+        assert_eq!(
+            GfpFlags::normal().zonelist(),
+            vec![ZoneKind::Normal, ZoneKind::Dma32, ZoneKind::Dma]
+        );
+        assert_eq!(GfpFlags::dma32().zonelist(), vec![ZoneKind::Dma32, ZoneKind::Dma]);
+        assert_eq!(GfpFlags::dma().zonelist(), vec![ZoneKind::Dma]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The per-CPU page frame cache (Linux `per_cpu_pages`, "pcp").
+//!
+//! Each zone keeps, for every CPU, a small list of recently freed order-0
+//! frames. Frees push to the *head* (hot — likely cache-resident); small
+//! allocations pop from the head. The result is LIFO reuse: *"with a
+//! probability of almost 1, if the process requests for a few pages, the
+//! recently deallocated page frames will be reallocated"* (paper, §V) — and
+//! crucially the cache is shared by every process on that CPU, which is the
+//! cross-process channel ExplFrame exploits.
+
+use std::collections::VecDeque;
+
+use crate::types::Pfn;
+
+/// Tuning of one per-CPU page list (Linux `pcp->high` / `pcp->batch`).
+///
+/// # Examples
+///
+/// ```
+/// use memsim::PcpConfig;
+/// let c = PcpConfig::default();
+/// assert!(c.batch <= c.high);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PcpConfig {
+    /// Maximum frames held; exceeding this drains a batch back to the buddy.
+    pub high: usize,
+    /// Frames moved per refill/drain.
+    pub batch: usize,
+}
+
+impl PcpConfig {
+    /// The classic x86-64 defaults (`batch = 31`, `high = 186`).
+    pub const fn linux_default() -> Self {
+        PcpConfig { high: 186, batch: 31 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub const fn tiny() -> Self {
+        PcpConfig { high: 6, batch: 2 }
+    }
+}
+
+impl Default for PcpConfig {
+    fn default() -> Self {
+        Self::linux_default()
+    }
+}
+
+/// Counters for one per-CPU list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcpStats {
+    /// Allocations served from the list.
+    pub hits: u64,
+    /// Allocation attempts that found the list empty.
+    pub misses: u64,
+    /// Frames freed into the list.
+    pub frees: u64,
+    /// Frames drained back to the buddy allocator.
+    pub drained: u64,
+    /// Frames pulled in by bulk refills.
+    pub refilled: u64,
+}
+
+/// One CPU's page frame cache for one zone.
+///
+/// The structure itself is pure bookkeeping; refill and drain move frames to
+/// and from the zone's buddy allocator and are driven by [`crate::Zone`].
+#[derive(Debug, Clone)]
+pub struct PerCpuPages {
+    config: PcpConfig,
+    list: VecDeque<Pfn>,
+    stats: PcpStats,
+}
+
+impl PerCpuPages {
+    /// Creates an empty list.
+    pub fn new(config: PcpConfig) -> Self {
+        PerCpuPages { config, list: VecDeque::new(), stats: PcpStats::default() }
+    }
+
+    /// The list's tuning parameters.
+    pub fn config(&self) -> PcpConfig {
+        self.config
+    }
+
+    /// Number of frames currently cached.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Returns `true` if no frames are cached.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PcpStats {
+        self.stats
+    }
+
+    /// The cached frames, head (hottest) first. Exposed for experiments and
+    /// the paper's Figure 2 dump.
+    pub fn frames(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// Pops the hottest frame, if any.
+    pub fn alloc(&mut self) -> Option<Pfn> {
+        match self.list.pop_front() {
+            Some(p) => {
+                self.stats.hits += 1;
+                Some(p)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Pushes a freed frame at the head (hot end).
+    pub fn free_hot(&mut self, pfn: Pfn) {
+        self.stats.frees += 1;
+        self.list.push_front(pfn);
+    }
+
+    /// Pushes a freed frame at the tail (cold end) — used for frames whose
+    /// cache lines are certainly not resident (e.g. bulk refills).
+    pub fn free_cold(&mut self, pfn: Pfn) {
+        self.stats.frees += 1;
+        self.list.push_back(pfn);
+    }
+
+    /// Returns `true` if the list exceeds its `high` watermark.
+    pub fn over_high(&self) -> bool {
+        self.list.len() > self.config.high
+    }
+
+    /// Removes up to `batch` frames from the cold end for return to the
+    /// buddy allocator.
+    pub fn take_drain_batch(&mut self) -> Vec<Pfn> {
+        let n = self.config.batch.min(self.list.len());
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.list.pop_back().expect("len checked"));
+        }
+        self.stats.drained += out.len() as u64;
+        out
+    }
+
+    /// Removes *all* frames (full drain, e.g. on CPU idle/offline).
+    pub fn take_all(&mut self) -> Vec<Pfn> {
+        self.stats.drained += self.list.len() as u64;
+        self.list.drain(..).collect()
+    }
+
+    /// Appends bulk-refilled frames at the cold end.
+    pub fn refill<I: IntoIterator<Item = Pfn>>(&mut self, frames: I) {
+        for f in frames {
+            self.list.push_back(f);
+            self.stats.refilled += 1;
+        }
+    }
+
+    /// Returns `true` if `pfn` is currently cached (experiment oracle).
+    pub fn contains(&self, pfn: Pfn) -> bool {
+        self.list.contains(&pfn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_reuse() {
+        let mut p = PerCpuPages::new(PcpConfig::tiny());
+        p.free_hot(Pfn(10));
+        p.free_hot(Pfn(11));
+        // Most recently freed comes back first.
+        assert_eq!(p.alloc(), Some(Pfn(11)));
+        assert_eq!(p.alloc(), Some(Pfn(10)));
+        assert_eq!(p.alloc(), None);
+        let s = p.stats();
+        assert_eq!((s.hits, s.misses, s.frees), (2, 1, 2));
+    }
+
+    #[test]
+    fn cold_frees_go_to_tail() {
+        let mut p = PerCpuPages::new(PcpConfig::tiny());
+        p.free_hot(Pfn(1));
+        p.free_cold(Pfn(2));
+        assert_eq!(p.alloc(), Some(Pfn(1)));
+        assert_eq!(p.alloc(), Some(Pfn(2)));
+    }
+
+    #[test]
+    fn over_high_and_drain() {
+        let cfg = PcpConfig::tiny(); // high 6, batch 2
+        let mut p = PerCpuPages::new(cfg);
+        for i in 0..7u64 {
+            p.free_hot(Pfn(i));
+        }
+        assert!(p.over_high());
+        let drained = p.take_drain_batch();
+        // Drains from the cold end: the oldest frees.
+        assert_eq!(drained, vec![Pfn(0), Pfn(1)]);
+        assert_eq!(p.len(), 5);
+        assert!(!p.over_high());
+    }
+
+    #[test]
+    fn take_all_empties() {
+        let mut p = PerCpuPages::new(PcpConfig::tiny());
+        for i in 0..4u64 {
+            p.free_hot(Pfn(i));
+        }
+        let all = p.take_all();
+        assert_eq!(all.len(), 4);
+        assert!(p.is_empty());
+        assert_eq!(p.stats().drained, 4);
+    }
+
+    #[test]
+    fn refill_appends_cold() {
+        let mut p = PerCpuPages::new(PcpConfig::tiny());
+        p.free_hot(Pfn(99));
+        p.refill([Pfn(1), Pfn(2)]);
+        assert_eq!(p.alloc(), Some(Pfn(99)), "hot frame must win over refilled");
+        assert_eq!(p.alloc(), Some(Pfn(1)));
+        assert_eq!(p.alloc(), Some(Pfn(2)));
+        assert_eq!(p.stats().refilled, 2);
+    }
+
+    #[test]
+    fn contains_oracle() {
+        let mut p = PerCpuPages::new(PcpConfig::tiny());
+        p.free_hot(Pfn(42));
+        assert!(p.contains(Pfn(42)));
+        p.alloc();
+        assert!(!p.contains(Pfn(42)));
+    }
+}

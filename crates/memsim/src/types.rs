@@ -1,0 +1,214 @@
+//! Core identifiers: page frame numbers, allocation orders, CPUs.
+
+use std::fmt;
+
+/// Size of a page frame in bytes (x86-64 base pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Highest buddy order (Linux `MAX_ORDER - 1` on x86-64 is 10: 4 MiB blocks).
+pub const MAX_ORDER: u8 = 10;
+
+/// A page frame number: physical address / [`PAGE_SIZE`].
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{Pfn, PAGE_SIZE};
+/// let f = Pfn(3);
+/// assert_eq!(f.phys_addr(), 3 * PAGE_SIZE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// Base physical address of this frame.
+    pub const fn phys_addr(self) -> u64 {
+        self.0 * PAGE_SIZE
+    }
+
+    /// The frame containing physical address `addr`.
+    pub const fn containing(addr: u64) -> Self {
+        Pfn(addr / PAGE_SIZE)
+    }
+
+    /// Buddy frame of the block starting here at `order`.
+    pub const fn buddy(self, order: Order) -> Pfn {
+        Pfn(self.0 ^ (1u64 << order.0))
+    }
+
+    /// Returns `true` if this frame is aligned to an `order`-sized block.
+    pub const fn is_aligned(self, order: Order) -> bool {
+        self.0 % (1u64 << order.0) == 0
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pfn {
+    fn from(v: u64) -> Self {
+        Pfn(v)
+    }
+}
+
+impl From<Pfn> for u64 {
+    fn from(p: Pfn) -> Self {
+        p.0
+    }
+}
+
+/// A buddy allocation order: a block of `2^order` contiguous frames.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::Order;
+/// assert_eq!(Order(3).pages(), 8);
+/// assert_eq!(Order::for_pages(5), Order(3)); // next power of two up
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Order(pub u8);
+
+impl Order {
+    /// Number of frames in a block of this order.
+    pub const fn pages(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Number of bytes in a block of this order.
+    pub const fn bytes(self) -> u64 {
+        self.pages() * PAGE_SIZE
+    }
+
+    /// Smallest order whose block holds at least `pages` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero or needs more than [`MAX_ORDER`].
+    pub fn for_pages(pages: u64) -> Self {
+        assert!(pages > 0, "cannot size an order for zero pages");
+        let order = 64 - (pages - 1).leading_zeros().min(63);
+        let order = if pages == 1 { 0 } else { order as u8 };
+        assert!(order <= MAX_ORDER, "{pages} pages exceed MAX_ORDER blocks");
+        Order(order)
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "order-{}", self.0)
+    }
+}
+
+/// A logical CPU identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CpuId(pub u32);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A half-open range of frames `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PfnRange {
+    /// First frame in the range.
+    pub start: Pfn,
+    /// One past the last frame.
+    pub end: Pfn,
+}
+
+impl PfnRange {
+    /// Creates a range; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Pfn, end: Pfn) -> Self {
+        assert!(start <= end, "invalid pfn range {start}..{end}");
+        PfnRange { start, end }
+    }
+
+    /// Number of frames in the range.
+    pub const fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Returns `true` if the range holds no frames.
+    pub const fn is_empty(&self) -> bool {
+        self.start.0 == self.end.0
+    }
+
+    /// Returns `true` if `pfn` lies within the range.
+    pub const fn contains(&self, pfn: Pfn) -> bool {
+        self.start.0 <= pfn.0 && pfn.0 < self.end.0
+    }
+
+    /// Iterates over the frames in the range.
+    pub fn iter(&self) -> impl Iterator<Item = Pfn> {
+        (self.start.0..self.end.0).map(Pfn)
+    }
+}
+
+impl fmt::Display for PfnRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfn_addr_roundtrip() {
+        assert_eq!(Pfn::containing(Pfn(7).phys_addr()), Pfn(7));
+        assert_eq!(Pfn::containing(Pfn(7).phys_addr() + PAGE_SIZE - 1), Pfn(7));
+    }
+
+    #[test]
+    fn buddy_is_involution() {
+        for order in 0..=MAX_ORDER {
+            let o = Order(order);
+            let p = Pfn(0x1240 & !(o.pages() - 1));
+            assert_eq!(p.buddy(o).buddy(o), p);
+            assert_ne!(p.buddy(o), p);
+        }
+    }
+
+    #[test]
+    fn order_for_pages() {
+        assert_eq!(Order::for_pages(1), Order(0));
+        assert_eq!(Order::for_pages(2), Order(1));
+        assert_eq!(Order::for_pages(3), Order(2));
+        assert_eq!(Order::for_pages(4), Order(2));
+        assert_eq!(Order::for_pages(1024), Order(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed MAX_ORDER")]
+    fn order_for_too_many_pages_panics() {
+        Order::for_pages(1025);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Pfn(0).is_aligned(Order(10)));
+        assert!(Pfn(512).is_aligned(Order(9)));
+        assert!(!Pfn(513).is_aligned(Order(1)));
+    }
+
+    #[test]
+    fn range_semantics() {
+        let r = PfnRange::new(Pfn(10), Pfn(20));
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(Pfn(10)));
+        assert!(!r.contains(Pfn(20)));
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().count(), 10);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the allocator stack.
+
+use memsim::{
+    AllocError, BuddyAllocator, CpuId, MemConfig, Order, PcpConfig, Pfn, PfnRange, ZonedAllocator,
+    MAX_ORDER,
+};
+use proptest::prelude::*;
+
+/// A random schedule of allocator operations.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8),
+    FreeOldest,
+    FreeNewest,
+}
+
+fn ops() -> impl Strategy<Value = Vec<(Op, u8)>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                (0u8..=4).prop_map(Op::Alloc),
+                Just(Op::FreeOldest),
+                Just(Op::FreeNewest),
+            ],
+            0u8..4, // cpu
+        ),
+        1..200,
+    )
+}
+
+proptest! {
+    /// The buddy allocator never double-allocates, never leaks, and always
+    /// returns to a canonical coalesced state.
+    #[test]
+    fn buddy_invariants_hold_under_random_schedules(schedule in ops(), pages in 64u64..2048) {
+        let mut b = BuddyAllocator::new(PfnRange::new(Pfn(0), Pfn(pages)));
+        let mut live: Vec<Pfn> = Vec::new();
+        for (op, _) in &schedule {
+            match op {
+                Op::Alloc(order) => {
+                    if let Some(p) = b.alloc(Order(*order)) {
+                        // Block must be aligned and inside the span.
+                        prop_assert!(p.is_aligned(Order(*order)));
+                        prop_assert!(p.0 + Order(*order).pages() <= pages);
+                        live.push(p);
+                    }
+                }
+                Op::FreeOldest => {
+                    if !live.is_empty() {
+                        let p = live.remove(0);
+                        b.free(p).unwrap();
+                    }
+                }
+                Op::FreeNewest => {
+                    if let Some(p) = live.pop() {
+                        b.free(p).unwrap();
+                    }
+                }
+            }
+            b.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        for p in live {
+            b.free(p).unwrap();
+        }
+        prop_assert_eq!(b.free_pages(), pages);
+        b.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// No two live allocations overlap, across the whole zoned stack.
+    #[test]
+    fn zoned_allocator_never_double_allocates(schedule in ops()) {
+        let cfg = MemConfig {
+            total_bytes: 32 << 20,
+            cpus: 4,
+            pcp: PcpConfig::tiny(),
+            trace_capacity: 64,
+        };
+        let mut a = ZonedAllocator::new(cfg);
+        let mut live: Vec<(Pfn, Order, CpuId)> = Vec::new();
+        for (op, cpu) in schedule {
+            let cpu = CpuId(cpu as u32);
+            match op {
+                Op::Alloc(order) => {
+                    if let Ok(p) = a.alloc_pages(cpu, Order(order)) {
+                        let new = (p.0, p.0 + Order(order).pages());
+                        for (q, qo, _) in &live {
+                            let old = (q.0, q.0 + qo.pages());
+                            prop_assert!(
+                                new.1 <= old.0 || old.1 <= new.0,
+                                "overlap: {:?} vs {:?}", new, old
+                            );
+                        }
+                        live.push((p, Order(order), cpu));
+                    }
+                }
+                Op::FreeOldest if !live.is_empty() => {
+                    let (p, _, c) = live.remove(0);
+                    a.free_pages(c, p).unwrap();
+                }
+                Op::FreeNewest => {
+                    if let Some((p, _, c)) = live.pop() {
+                        a.free_pages(c, p).unwrap();
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Frame conservation at the end.
+        let live_pages: u64 = live.iter().map(|(_, o, _)| o.pages()).sum();
+        prop_assert_eq!(a.total_free_pages() + live_pages, cfg.total_pages());
+    }
+
+    /// Freed-then-reallocated order-0 frames obey LIFO on a quiet CPU, for
+    /// any k up to the pcp high watermark.
+    #[test]
+    fn pcp_reuse_is_lifo(k in 1usize..32) {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        let cpu = CpuId(1);
+        let frames: Vec<Pfn> =
+            (0..k).map(|_| a.alloc_pages(cpu, Order(0)).unwrap()).collect();
+        for f in &frames {
+            a.free_pages(cpu, *f).unwrap();
+        }
+        // Reallocation returns the frames in reverse order of freeing.
+        for expect in frames.iter().rev() {
+            prop_assert_eq!(a.alloc_pages(cpu, Order(0)).unwrap(), *expect);
+        }
+    }
+
+    /// Double frees are always rejected, never corrupting state.
+    #[test]
+    fn double_free_rejected(order in 0u8..MAX_ORDER) {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        let p = a.alloc_pages(CpuId(0), Order(order)).unwrap();
+        a.free_pages(CpuId(0), p).unwrap();
+        let second = a.free_pages(CpuId(0), p);
+        prop_assert_eq!(second, Err(AllocError::NotAllocated { pfn: p }));
+        a.reclaim(CpuId(0));
+    }
+}

@@ -1,0 +1,136 @@
+//! Narrated walk through the Linux physical-memory allocator simulator —
+//! the paper's Figures 1 and 2 brought to life.
+//!
+//! Part 1 replays the buddy allocator's split/coalesce behaviour (Figure 1,
+//! §IV's 1 MiB example). Part 2 dumps the zoned allocator's structure
+//! (Figure 2) and demonstrates the per-CPU page frame cache property that
+//! the attack exploits (§V).
+//!
+//! ```text
+//! cargo run --release --example allocator_walkthrough
+//! ```
+
+use explframe::memsim::{
+    BuddyAllocator, CpuId, EventKind, MemConfig, Order, Pfn, PfnRange, ServedFrom,
+    ZonedAllocator,
+};
+
+fn main() {
+    figure1_buddy();
+    figure2_zoned();
+    pcp_property();
+}
+
+fn free_list_picture(b: &BuddyAllocator) -> String {
+    (0..=10u8)
+        .map(|o| format!("{}", b.free_blocks(Order(o))))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn figure1_buddy() {
+    println!("== Figure 1: the buddy allocation scheme ==\n");
+    let mut buddy = BuddyAllocator::new(PfnRange::new(Pfn(0), Pfn(1024)));
+    println!("4 MiB of frames, all free. Free blocks per order 0..10:");
+    println!("  [{}]", free_list_picture(&buddy));
+
+    println!("\nA 1 MiB request (order 8, 256 frames) splits the 4 MiB block:");
+    let big = buddy.alloc(Order(8)).expect("fresh allocator");
+    println!("  allocated {big} ({} splits so far)", buddy.stats().splits);
+    println!("  [{}]", free_list_picture(&buddy));
+
+    println!("\nA single-page request carves further:");
+    let small = buddy.alloc(Order(0)).expect("plenty free");
+    println!("  allocated {small} ({} splits so far)", buddy.stats().splits);
+    println!("  [{}]", free_list_picture(&buddy));
+
+    println!("\nFreeing both: buddies coalesce back to one 4 MiB block:");
+    buddy.free(small).expect("live block");
+    buddy.free(big).expect("live block");
+    println!("  [{}]  ({} merges performed)", free_list_picture(&buddy), buddy.stats().merges);
+    buddy.check_invariants().expect("canonical state");
+    println!();
+}
+
+fn figure2_zoned() {
+    println!("== Figure 2: components of the zoned page frame allocator ==\n");
+    let mut alloc = ZonedAllocator::new(MemConfig::small_256mib());
+    // Create some traffic so the structures are populated.
+    let mut held = Vec::new();
+    for cpu in 0..4u32 {
+        for _ in 0..6 {
+            held.push((CpuId(cpu), alloc.alloc_pages(CpuId(cpu), Order(0)).unwrap()));
+        }
+    }
+    for (cpu, pfn) in held.drain(..) {
+        alloc.free_pages(cpu, pfn).unwrap();
+    }
+
+    println!("node 0");
+    for zone in alloc.zones() {
+        let span = zone.span();
+        println!(
+            "└─ {:<12} frames {:>7}..{:<7} ({:>4} MiB)  free {:>6}  watermarks min/low/high = {}/{}/{}",
+            zone.kind().to_string(),
+            span.start.0,
+            span.end.0,
+            span.len() * 4096 / (1 << 20),
+            zone.free_pages(),
+            zone.watermarks().min,
+            zone.watermarks().low,
+            zone.watermarks().high,
+        );
+        println!("   ├─ buddy free lists (order 0..10): [{}]", free_list_picture(zone.buddy()));
+        for cpu in 0..alloc.cpu_count() {
+            let pcp = zone.pcp(CpuId(cpu));
+            println!(
+                "   ├─ cpu{cpu} page frame cache: {:>3} frames cached (batch {}, high {})",
+                pcp.len(),
+                pcp.config().batch,
+                pcp.config().high,
+            );
+        }
+    }
+    println!();
+}
+
+fn pcp_property() {
+    println!("== §V: the property the attack exploits ==\n");
+    let mut alloc = ZonedAllocator::new(MemConfig::small_256mib());
+    alloc.trace_mut().set_enabled(true);
+    let cpu = CpuId(0);
+
+    let frame = alloc.alloc_pages(cpu, Order(0)).unwrap();
+    println!("process A allocates one page           → {frame}");
+    alloc.free_pages(cpu, frame).unwrap();
+    println!("process A frees it (munmap)            → head of cpu0's page frame cache");
+    let again = alloc.alloc_pages(cpu, Order(0)).unwrap();
+    println!("process B (same CPU) allocates a page  → {again}");
+    println!(
+        "same frame handed across processes     : {}",
+        if frame == again { "YES — the steering channel" } else { "no" }
+    );
+
+    let other = alloc.alloc_pages(CpuId(1), Order(0)).unwrap();
+    println!("process C (cpu1) allocates a page      → {other} (different: caches are per-CPU)");
+
+    println!("\nallocator event trace:");
+    for event in alloc.trace().iter() {
+        let what = match event.kind {
+            EventKind::Alloc { pfn, served: ServedFrom::PcpCache, .. } => {
+                format!("alloc {pfn} ← page frame cache")
+            }
+            EventKind::Alloc { pfn, served: ServedFrom::Buddy, .. } => {
+                format!("alloc {pfn} ← buddy (with refill)")
+            }
+            EventKind::Free { pfn, to: ServedFrom::PcpCache, .. } => {
+                format!("free  {pfn} → page frame cache head")
+            }
+            EventKind::Free { pfn, .. } => format!("free  {pfn} → buddy"),
+            EventKind::PcpRefill { count } => format!("pcp refill of {count} frames from buddy"),
+            EventKind::PcpDrain { count } => format!("pcp drain of {count} frames to buddy"),
+            EventKind::Reclaim => "direct reclaim pass".to_string(),
+        };
+        println!("  [{:>3}] {} {:<11} {}", event.seq, event.cpu, event.zone.to_string(), what);
+    }
+}

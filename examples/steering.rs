@@ -1,0 +1,98 @@
+//! Page-frame-cache steering demo (paper §V), including the failure modes:
+//! cross-CPU victims and a sleeping attacker.
+//!
+//! ```text
+//! cargo run --release --example steering
+//! ```
+
+use explframe::machine::{IdleDrainPolicy, MachineConfig, SimMachine};
+use explframe::memsim::{CpuId, PAGE_SIZE};
+
+fn main() {
+    same_cpu_active();
+    different_cpu();
+    sleeping_attacker();
+}
+
+/// The working configuration: same CPU, attacker stays active.
+fn same_cpu_active() {
+    println!("== same CPU, attacker active (the attack's requirement) ==");
+    let mut m = SimMachine::new(MachineConfig::small(1));
+    let attacker = m.spawn(CpuId(0));
+    let victim = m.spawn(CpuId(0));
+
+    let buf = m.mmap(attacker, 4).unwrap();
+    m.fill(attacker, buf, 4 * PAGE_SIZE, 0xAA).unwrap();
+    let target = buf + 2 * PAGE_SIZE;
+    let released = m.translate(attacker, target).unwrap();
+    println!("attacker touches 4 pages; page 2 is backed by frame {released}");
+
+    m.munmap(attacker, target, 1).unwrap();
+    println!("attacker munmaps page 2 and busy-waits (stays active)");
+
+    let vbuf = m.mmap(victim, 1).unwrap();
+    m.write(victim, vbuf, b"AES T-tables go here").unwrap();
+    let got = m.translate(victim, vbuf).unwrap();
+    println!("victim's first touch receives frame {got}");
+    println!("steered: {}\n", got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE));
+}
+
+/// Per-CPU caches do not leak across CPUs.
+fn different_cpu() {
+    println!("== victim on a different CPU (steering fails) ==");
+    let mut m = SimMachine::new(MachineConfig::small(1));
+    let attacker = m.spawn(CpuId(0));
+    let victim = m.spawn(CpuId(1));
+
+    let buf = m.mmap(attacker, 1).unwrap();
+    m.write(attacker, buf, b"x").unwrap();
+    let released = m.translate(attacker, buf).unwrap();
+    m.munmap(attacker, buf, 1).unwrap();
+
+    let vbuf = m.mmap(victim, 1).unwrap();
+    m.write(victim, vbuf, b"y").unwrap();
+    let got = m.translate(victim, vbuf).unwrap();
+    println!("released {released}, victim got {got}");
+    println!("steered: {}\n", got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE));
+}
+
+/// The paper's caveat: a sleeping attacker loses its cached frame. Sleeping
+/// releases the CPU, so (a) the idle kernel may drain the per-CPU lists and
+/// (b) other processes get scheduled and consume whatever is cached.
+fn sleeping_attacker() {
+    println!("== attacker sleeps between release and victim arrival ==");
+    use explframe::attack::NoiseProcess;
+    use rand::SeedableRng;
+
+    for (policy, label) in [
+        (IdleDrainPolicy::DrainOnSleep, "kernel drains idle CPU caches (realistic)"),
+        (IdleDrainPolicy::Keep, "caches survive sleep (ablation)      "),
+    ] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut m = SimMachine::new(MachineConfig::small(1).with_idle_drain(policy));
+        let attacker = m.spawn(CpuId(0));
+
+        let buf = m.mmap(attacker, 1).unwrap();
+        m.write(attacker, buf, b"x").unwrap();
+        let released = m.translate(attacker, buf).unwrap();
+        m.munmap(attacker, buf, 1).unwrap();
+        m.sleep(attacker, 10_000_000).unwrap(); // 10 ms nap
+
+        // While the attacker sleeps, the CPU runs whoever else is ready.
+        let mut other = NoiseProcess::spawn(&mut m, CpuId(0));
+        for _ in 0..4 {
+            other.burst(&mut m, &mut rng, 48).unwrap();
+        }
+
+        let victim = m.spawn(CpuId(0));
+        let vbuf = m.mmap(victim, 1).unwrap();
+        m.write(victim, vbuf, b"y").unwrap();
+        let got = m.translate(victim, vbuf).unwrap();
+        println!(
+            "  {label}: steered = {}",
+            got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE)
+        );
+    }
+    println!("\n\"the adversarial process must remain active rather than going into");
+    println!(" inactive state (sleeping)\" — paper, §V");
+}

@@ -1,0 +1,68 @@
+//! DRAM templating demo: profile a buffer for repeatable bit flips.
+//!
+//! Shows the unprivileged profiling phase in isolation: the attacker fills
+//! its own buffer with test patterns, double-side hammers every row, and
+//! reads its own memory back to locate flips — then re-hammers each
+//! location to measure reproducibility (the property the paper's §VI calls
+//! "high probability of getting bit flips in the same location").
+//!
+//! ```text
+//! cargo run --release --example templating [seed] [pages]
+//! ```
+
+use explframe::attack::template_scan;
+use explframe::machine::{MachineConfig, SimMachine};
+use explframe::memsim::CpuId;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
+    let pages: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4096);
+
+    println!("== DRAM templating (seed {seed}, {} MiB buffer) ==\n", pages * 4096 / (1 << 20));
+    let mut machine = SimMachine::new(MachineConfig::small(seed));
+    let attacker = machine.spawn(CpuId(0));
+    let buffer = machine.mmap(attacker, pages).expect("mmap template buffer");
+
+    let scan = template_scan(&mut machine, attacker, buffer, pages, 400_000, 5)
+        .expect("templating sweep");
+
+    println!("rows hammered     : {}", scan.rows_hammered);
+    println!("hammer rejections : {}", scan.hammer_failures);
+    println!("flips templated   : {}", scan.templates.len());
+    println!("simulated time    : {:.1} ms\n", scan.elapsed as f64 / 1e6);
+
+    let one_to_zero = scan.templates.iter().filter(|t| t.one_to_zero).count();
+    println!("flip directions   : {} are 1→0 (true cells), {} are 0→1 (anti cells)",
+        one_to_zero, scan.templates.len() - one_to_zero);
+
+    let perfectly_reproducible =
+        scan.templates.iter().filter(|t| t.reproducibility >= 0.999).count();
+    println!(
+        "reproducibility   : {}/{} templates re-flipped in every re-hammer round",
+        perfectly_reproducible,
+        scan.templates.len()
+    );
+
+    // Flip map: pages per bit position.
+    let mut by_bit = [0usize; 8];
+    for t in &scan.templates {
+        by_bit[t.bit as usize] += 1;
+    }
+    println!("\nflips by bit index (0 = LSB):");
+    for (bit, count) in by_bit.iter().enumerate() {
+        println!("  bit {bit}: {count:4} {}", "#".repeat(*count.min(&60)));
+    }
+
+    println!("\nfirst templates:");
+    for t in scan.templates.iter().take(8) {
+        println!(
+            "  page {:>5}  offset {:>4}  bit {}  {}  repro {:.2}",
+            t.page_index,
+            t.page_offset,
+            t.bit,
+            if t.one_to_zero { "1->0" } else { "0->1" },
+            t.reproducibility
+        );
+    }
+}

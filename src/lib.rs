@@ -1,0 +1,27 @@
+//! # ExplFrame — reproduction of the DATE 2020 paper
+//!
+//! *"ExplFrame: Exploiting Page Frame Cache for Fault Analysis of Block
+//! Ciphers"* (Chakraborty, Bhattacharya, Saha, Mukhopadhyay).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`dram`] — DRAM device model with Rowhammer disturbance physics.
+//! * [`cachesim`] — CPU cache model coupling misses to row activations.
+//! * [`memsim`] — Linux zoned / buddy / per-CPU page-frame-cache allocator.
+//! * [`machine`] — the composed multi-CPU machine with processes and paging.
+//! * [`ciphers`] — AES and PRESENT with externalized lookup tables.
+//! * [`fault`] — Persistent Fault Analysis and DFA key recovery.
+//! * [`attack`] (crate `explframe-core`) — the ExplFrame attack pipeline.
+//!
+//! See the repository `README.md` for a tour and `examples/quickstart.rs`
+//! for an end-to-end run.
+
+#![forbid(unsafe_code)]
+
+pub use cachesim;
+pub use ciphers;
+pub use dram;
+pub use explframe_core as attack;
+pub use fault;
+pub use machine;
+pub use memsim;

@@ -1,0 +1,180 @@
+//! Integration of the fault chain across the machine: victim services of
+//! every cipher shape, faults planted through simulated DRAM, analyses run
+//! from machine-observed ciphertexts only.
+
+use explframe::attack::{VictimCipherKind, VictimCipherService, VictimKeys};
+use explframe::ciphers::{present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX};
+use explframe::fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
+use explframe::machine::{MachineConfig, SimMachine};
+use explframe::memsim::{CpuId, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flip one bit of the victim's table page directly in DRAM (the hammer's
+/// net effect) and return the fault descriptor.
+fn plant_fault(
+    m: &mut SimMachine,
+    victim: &VictimCipherService,
+    offset: usize,
+    bit: u8,
+) -> TableFault {
+    let pa = m
+        .translate(victim.pid(), victim.table_base())
+        .expect("table mapped")
+        .align_down(PAGE_SIZE);
+    let byte = m.dram_mut().read_byte(pa + offset as u64);
+    m.dram_mut().write_byte(pa + offset as u64, byte ^ (1 << bit));
+    TableFault { offset, bit }
+}
+
+#[test]
+fn ttable_victim_multi_fault_recovery_through_machine() {
+    let mut m = SimMachine::new(MachineConfig::small(31));
+    let keys = VictimKeys::from_seed(4242);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut driver = TTablePfa::new();
+
+    for table in 0..4usize {
+        // Fresh victim per fault round, same key (service restart).
+        let victim =
+            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesTtable, keys)
+                .unwrap();
+        let entry = 0x40 + table * 3;
+        let offset = TableImage::te_entry_offset(table, entry)
+            + explframe::ciphers::FINAL_ROUND_S_LANE[table];
+        let fault = plant_fault(&mut m, &victim, offset, 5);
+        let TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
+            panic!("S-lane fault by construction");
+        };
+
+        let mut collector = PfaCollector::new();
+        loop {
+            let mut block = [0u8; 16];
+            rng.fill(&mut block[..]);
+            victim.encrypt(&mut m, &mut block).unwrap();
+            collector.observe(&block);
+            if positions.iter().all(|&p| collector.unseen_count(p) == 1) {
+                break;
+            }
+            assert!(collector.total() < 100_000, "convergence failure");
+        }
+        driver.absorb(fault, &collector).expect("exploitable");
+        victim.stop(&mut m).unwrap();
+    }
+    assert_eq!(driver.master_key(), Some(keys.aes));
+}
+
+#[test]
+fn present_victim_recovery_through_machine() {
+    let mut m = SimMachine::new(MachineConfig::small(32));
+    let keys = VictimKeys::from_seed(99);
+    let victim =
+        VictimCipherService::start(&mut m, CpuId(1), VictimCipherKind::Present, keys).unwrap();
+
+    // Known pre-fault pair.
+    let plain = *b"\xAA\xBB\xCC\xDD\x01\x02\x03\x04";
+    let mut known = plain;
+    victim.encrypt(&mut m, &mut known).unwrap();
+
+    let entry = 0x6;
+    plant_fault(&mut m, &victim, entry, 1);
+
+    let mut pfa = PresentPfa::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    while !pfa.all_positions_determined() {
+        let mut block = [0u8; 8];
+        rng.fill(&mut block[..]);
+        victim.encrypt(&mut m, &mut block).unwrap();
+        pfa.observe(&block);
+        assert!(pfa.total() < 20_000);
+    }
+    assert_eq!(
+        pfa.recover_round32_key(PRESENT_SBOX[entry]),
+        Some(present80_round_keys(&keys.present)[31])
+    );
+    let recovered = pfa
+        .recover_master_key(PRESENT_SBOX[entry], |cand| {
+            let mut b = plain;
+            Present80::new(cand, RamTableSource::new(present_sbox_image().to_vec()))
+                .encrypt_block(&mut b);
+            b == known
+        })
+        .expect("master key");
+    assert_eq!(recovered, keys.present);
+}
+
+#[test]
+fn fault_in_unused_lane_is_not_pfa_exploitable_but_corrupts() {
+    // A flip in a 3S/2S lane corrupts middle rounds only: ciphertexts are
+    // wrong, but every position eventually sees all 256 values — the
+    // attack's statistical no-fault detector fires, which is exactly how
+    // the pipeline knows to re-steer.
+    let mut m = SimMachine::new(MachineConfig::small(33));
+    let keys = VictimKeys::from_seed(5);
+    let victim =
+        VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesTtable, keys).unwrap();
+    let offset = TableImage::te_entry_offset(0, 0x11); // lane 0 of Te0 = 3S
+    let fault = plant_fault(&mut m, &victim, offset, 3);
+    assert!(!fault.classify_te().is_exploitable());
+
+    let mut collector = PfaCollector::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut corrupted = false;
+    for _ in 0..6000 {
+        let mut block: [u8; 16] = rng.gen();
+        let reference = {
+            let mut b = block;
+            explframe::ciphers::ReferenceAes::new_128(&keys.aes).encrypt_block(&mut b);
+            b
+        };
+        victim.encrypt(&mut m, &mut block).unwrap();
+        corrupted |= block != reference;
+        collector.observe(&block);
+    }
+    assert!(corrupted, "middle-round fault must corrupt ciphertexts");
+    // No-fault signature at the last round: some position saw every value.
+    assert!(
+        (0..16).any(|p| collector.unseen_count(p) == 0),
+        "last round must look unfaulted"
+    );
+}
+
+#[test]
+fn two_simultaneous_faults_break_single_missing_value_statistics() {
+    // The reason `select_attack_pages` requires exactly one firing flip per
+    // page: two faulted S-box entries leave two missing values per position.
+    let mut m = SimMachine::new(MachineConfig::small(34));
+    let keys = VictimKeys::from_seed(6);
+    let victim =
+        VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys).unwrap();
+    plant_fault(&mut m, &victim, 0x10, 2);
+    plant_fault(&mut m, &victim, 0x80, 6);
+
+    let mut collector = PfaCollector::new();
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..30_000 {
+        let mut block: [u8; 16] = rng.gen();
+        victim.encrypt(&mut m, &mut block).unwrap();
+        collector.observe(&block);
+    }
+    // Positions stall at two unseen values; single-missing never resolves.
+    assert!(!collector.all_positions_determined());
+    assert!((0..16).all(|p| collector.unseen_count(p) == 2));
+}
+
+#[test]
+fn victim_restart_reuses_released_frame_cycle() {
+    // Stopping a victim returns its steered frame to the pcp head; the next
+    // victim on the same CPU picks it up again — the frame cycles, which is
+    // what lets multi-round T-table attacks keep hitting vulnerable memory.
+    let mut m = SimMachine::new(MachineConfig::small(35));
+    let keys = VictimKeys::from_seed(7);
+    let v1 =
+        VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::AesSbox, keys).unwrap();
+    let f1 = v1.table_pfn(&m).unwrap();
+    v1.stop(&mut m).unwrap();
+    let v2 =
+        VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::AesSbox, keys).unwrap();
+    let f2 = v2.table_pfn(&m).unwrap();
+    assert_eq!(f1, f2, "the released frame cycles back through the pcp head");
+}
