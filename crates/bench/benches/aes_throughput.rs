@@ -1,8 +1,8 @@
 //! Criterion: throughput of the three AES shapes and PRESENT.
 
 use ciphers::{
-    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes,
-    TTableAes, TableImage,
+    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes, TTableAes,
+    TableImage,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -34,8 +34,10 @@ fn bench_ciphers(c: &mut Criterion) {
         })
     });
 
-    let mut present =
-        Present80::new(&[7u8; 10], RamTableSource::new(present_sbox_image().to_vec()));
+    let mut present = Present80::new(
+        &[7u8; 10],
+        RamTableSource::new(present_sbox_image().to_vec()),
+    );
     group.bench_function("present80", |b| {
         let mut block = [0u8; 8];
         b.iter(|| {

@@ -10,17 +10,30 @@ fn bench_hammer(c: &mut Criterion) {
 
     group.bench_function("bulk_hammer_100k_pairs", |b| {
         let mut dev = DramDevice::new(DramConfig::small());
-        let coord = |row| DramCoord { channel: 0, rank: 0, bank: 0, row, col: 0 };
+        let coord = |row| DramCoord {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row,
+            col: 0,
+        };
         let a = dev.mapping().coord_to_phys(coord(100));
         let bb = dev.mapping().coord_to_phys(coord(102));
         b.iter(|| {
-            dev.hammer_pair(black_box(a), black_box(bb), 100_000).unwrap();
+            dev.hammer_pair(black_box(a), black_box(bb), 100_000)
+                .unwrap();
         })
     });
 
     group.bench_function("per_access_hammer_1k_acts", |b| {
         let mut dev = DramDevice::new(DramConfig::small());
-        let coord = |row| DramCoord { channel: 0, rank: 0, bank: 0, row, col: 0 };
+        let coord = |row| DramCoord {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row,
+            col: 0,
+        };
         let a = dev.mapping().coord_to_phys(coord(200));
         let bb = dev.mapping().coord_to_phys(coord(202));
         b.iter(|| {

@@ -35,7 +35,11 @@ fn bench_pfa(c: &mut Criterion) {
                 victim.encrypt_block(&mut block);
                 collector.observe(&block);
             }
-            black_box(collector.analyze_known_fault(TableImage::sbox()[0x31]).master_key())
+            black_box(
+                collector
+                    .analyze_known_fault(TableImage::sbox()[0x31])
+                    .master_key(),
+            )
         })
     });
     group.finish();

@@ -15,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    banner("A1: ablations", "pcp tuning, refresh scaling, idle-drain policy");
+    banner(
+        "A1: ablations",
+        "pcp tuning, refresh scaling, idle-drain policy",
+    );
     let trials = trials_arg(100);
 
     pcp_tuning(trials);
@@ -61,7 +64,12 @@ fn pcp_tuning(trials: u32) {
 fn refresh_scaling() {
     let mut table = Table::new(
         "templating yield vs refresh rate (the hardware mitigation)",
-        &["refresh rate", "window (ms)", "max acts/window", "templates found"],
+        &[
+            "refresh rate",
+            "window (ms)",
+            "max acts/window",
+            "templates found",
+        ],
     );
     for &(scale, label) in &[
         (1.0f64, "1x (64 ms)"),
@@ -141,8 +149,7 @@ fn idle_drain(trials: u32) {
         let victim = m.spawn(CpuId(0));
         let vb = m.mmap(victim, 1).unwrap();
         m.write(victim, vb, b"t").unwrap();
-        if m.translate(victim, vb).unwrap().align_down(PAGE_SIZE)
-            == released.align_down(PAGE_SIZE)
+        if m.translate(victim, vb).unwrap().align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE)
         {
             ok += 1;
         }

@@ -37,8 +37,8 @@ fn main() {
     let mut table = Table::new(
         "free blocks per order after each step (16 MiB zone)",
         &[
-            "step", "o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9", "o10",
-            "splits", "merges",
+            "step", "o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9", "o10", "splits",
+            "merges",
         ],
     );
 
@@ -83,7 +83,9 @@ fn main() {
     for p in live {
         storm.free(p).expect("live block");
     }
-    storm.check_invariants().expect("storm left canonical state");
+    storm
+        .check_invariants()
+        .expect("storm left canonical state");
     println!(
         "\nallocation storm: 20000 random ops → {} splits, {} merges, final state canonical \
          with {} free pages (expected 4096)",

@@ -17,7 +17,10 @@ fn main() {
 
     // 8 GiB so the layout includes all three zones (a 4 GiB machine ends
     // exactly at the ZONE_DMA32 boundary and has no ZONE_NORMAL).
-    let mut alloc = ZonedAllocator::new(MemConfig { total_bytes: 8 << 30, ..MemConfig::desktop_4gib() });
+    let mut alloc = ZonedAllocator::new(MemConfig {
+        total_bytes: 8 << 30,
+        ..MemConfig::desktop_4gib()
+    });
     let mut rng = StdRng::seed_from_u64(7);
 
     // Mixed workload across CPUs and zones to populate every structure.
@@ -30,7 +33,11 @@ fn main() {
                 1 => GfpFlags::dma(),
                 _ => GfpFlags::normal(),
             };
-            let order = Order(if rng.gen_bool(0.85) { 0 } else { rng.gen_range(1..=3) });
+            let order = Order(if rng.gen_bool(0.85) {
+                0
+            } else {
+                rng.gen_range(1..=3)
+            });
             if let Ok(p) = alloc.alloc_pages_with(cpu, order, gfp) {
                 live.push((cpu, p));
             }
@@ -41,13 +48,34 @@ fn main() {
         }
     }
 
-    println!("\nzonelist for a GFP_KERNEL (normal) request: {:?}", GfpFlags::normal().zonelist());
-    println!("zonelist for a GFP_DMA32 request:           {:?}", GfpFlags::dma32().zonelist());
-    println!("zonelist for a GFP_DMA request:             {:?}", GfpFlags::dma().zonelist());
+    println!(
+        "\nzonelist for a GFP_KERNEL (normal) request: {:?}",
+        GfpFlags::normal().zonelist()
+    );
+    println!(
+        "zonelist for a GFP_DMA32 request:           {:?}",
+        GfpFlags::dma32().zonelist()
+    );
+    println!(
+        "zonelist for a GFP_DMA request:             {:?}",
+        GfpFlags::dma().zonelist()
+    );
 
     let mut zones = Table::new(
         "node 0 zones",
-        &["zone", "start pfn", "end pfn", "MiB", "free pages", "wm min", "wm low", "wm high", "allocs", "pcp hits", "pcp hit %"],
+        &[
+            "zone",
+            "start pfn",
+            "end pfn",
+            "MiB",
+            "free pages",
+            "wm min",
+            "wm low",
+            "wm high",
+            "allocs",
+            "pcp hits",
+            "pcp hit %",
+        ],
     );
     for z in alloc.zones() {
         let span = z.span();
@@ -62,8 +90,17 @@ fn main() {
         let free = z.free_pages();
         let wm = z.watermarks();
         zones.row(&[
-            &kind, &span.start.0, &span.end.0, &mib, &free, &wm.min, &wm.low, &wm.high,
-            &stats.allocs, &stats.pcp_hits, &hit_pct,
+            &kind,
+            &span.start.0,
+            &span.end.0,
+            &mib,
+            &free,
+            &wm.min,
+            &wm.low,
+            &wm.high,
+            &stats.allocs,
+            &stats.pcp_hits,
+            &hit_pct,
         ]);
     }
     zones.print();
@@ -71,12 +108,15 @@ fn main() {
 
     let mut buddy = Table::new(
         "buddy free areas (free blocks per order)",
-        &["zone", "o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9", "o10"],
+        &[
+            "zone", "o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9", "o10",
+        ],
     );
     for z in alloc.zones() {
         let kind = z.kind().to_string();
-        let counts: Vec<String> =
-            (0..=10u8).map(|o| z.buddy().free_blocks(Order(o)).to_string()).collect();
+        let counts: Vec<String> = (0..=10u8)
+            .map(|o| z.buddy().free_blocks(Order(o)).to_string())
+            .collect();
         let mut row: Vec<&dyn std::fmt::Display> = vec![&kind];
         for c in &counts {
             row.push(c);
@@ -88,7 +128,16 @@ fn main() {
 
     let mut pcp = Table::new(
         "per-CPU page frame caches (the exploited structure)",
-        &["zone", "cpu", "cached frames", "batch", "high", "hits", "refills", "drained"],
+        &[
+            "zone",
+            "cpu",
+            "cached frames",
+            "batch",
+            "high",
+            "hits",
+            "refills",
+            "drained",
+        ],
     );
     for z in alloc.zones() {
         for cpu in 0..alloc.cpu_count() {
@@ -97,7 +146,16 @@ fn main() {
             let kind = z.kind().to_string();
             let len = p.len();
             let cfg = p.config();
-            pcp.row(&[&kind, &cpu, &len, &cfg.batch, &cfg.high, &s.hits, &s.refilled, &s.drained]);
+            pcp.row(&[
+                &kind,
+                &cpu,
+                &len,
+                &cfg.batch,
+                &cfg.high,
+                &s.hits,
+                &s.refilled,
+                &s.drained,
+            ]);
         }
     }
     pcp.print();
@@ -108,7 +166,9 @@ fn main() {
         .zones()
         .iter()
         .map(|z| z.stats())
-        .fold((0u64, 0u64), |acc, s| (acc.0 + s.pcp_hits, acc.1 + s.allocs));
+        .fold((0u64, 0u64), |acc, s| {
+            (acc.0 + s.pcp_hits, acc.1 + s.allocs)
+        });
     let pct = 100.0 * normal.0 as f64 / normal.1 as f64;
     println!("\norder-0-dominated workload served {pct:.1}% of allocations from page frame caches");
     assert!(pct > 50.0, "pcp should dominate small allocations");

@@ -28,7 +28,13 @@ fn trial(seed: u64, k: u64, m: u64, noise_pages: u64) -> f64 {
     let buf = machine.mmap(proc_a, k).unwrap();
     machine.fill(proc_a, buf, k * PAGE_SIZE, 2).unwrap();
     let freed: Vec<u64> = (0..k)
-        .map(|i| machine.translate(proc_a, buf + i * PAGE_SIZE).unwrap().as_u64() / PAGE_SIZE)
+        .map(|i| {
+            machine
+                .translate(proc_a, buf + i * PAGE_SIZE)
+                .unwrap()
+                .as_u64()
+                / PAGE_SIZE
+        })
         .collect();
     machine.munmap(proc_a, buf, k).unwrap();
 
@@ -44,7 +50,13 @@ fn trial(seed: u64, k: u64, m: u64, noise_pages: u64) -> f64 {
     let re = machine.mmap(proc_a, m).unwrap();
     machine.fill(proc_a, re, m * PAGE_SIZE, 4).unwrap();
     let got: Vec<u64> = (0..m)
-        .map(|i| machine.translate(proc_a, re + i * PAGE_SIZE).unwrap().as_u64() / PAGE_SIZE)
+        .map(|i| {
+            machine
+                .translate(proc_a, re + i * PAGE_SIZE)
+                .unwrap()
+                .as_u64()
+                / PAGE_SIZE
+        })
         .collect();
 
     let hits = freed.iter().filter(|f| got.contains(f)).count();
@@ -61,7 +73,13 @@ fn main() {
 
     let mut table = Table::new(
         "P(freed frame reused by the next request on the same CPU)",
-        &["k freed", "m requested", "quiet CPU", "noisy CPU (≤16 pages)", "noisy CPU (≤64 pages)"],
+        &[
+            "k freed",
+            "m requested",
+            "quiet CPU",
+            "noisy CPU (≤16 pages)",
+            "noisy CPU (≤64 pages)",
+        ],
     );
     for &k in &[1u64, 2, 4, 8] {
         for &m in &[1u64, 4, 16, 64] {

@@ -73,16 +73,60 @@ fn main() {
         &["victim CPU", "attacker state", "contention", "success rate"],
     );
     let scenarios = [
-        (Scenario { same_cpu: true, attacker_sleeps: false, noisy: false }, "same", "active", "quiet"),
-        (Scenario { same_cpu: true, attacker_sleeps: false, noisy: true }, "same", "active", "light noise"),
-        (Scenario { same_cpu: true, attacker_sleeps: true, noisy: true }, "same", "sleeping", "CPU yielded"),
-        (Scenario { same_cpu: false, attacker_sleeps: false, noisy: false }, "different", "active", "quiet"),
-        (Scenario { same_cpu: false, attacker_sleeps: true, noisy: true }, "different", "sleeping", "CPU yielded"),
+        (
+            Scenario {
+                same_cpu: true,
+                attacker_sleeps: false,
+                noisy: false,
+            },
+            "same",
+            "active",
+            "quiet",
+        ),
+        (
+            Scenario {
+                same_cpu: true,
+                attacker_sleeps: false,
+                noisy: true,
+            },
+            "same",
+            "active",
+            "light noise",
+        ),
+        (
+            Scenario {
+                same_cpu: true,
+                attacker_sleeps: true,
+                noisy: true,
+            },
+            "same",
+            "sleeping",
+            "CPU yielded",
+        ),
+        (
+            Scenario {
+                same_cpu: false,
+                attacker_sleeps: false,
+                noisy: false,
+            },
+            "different",
+            "active",
+            "quiet",
+        ),
+        (
+            Scenario {
+                same_cpu: false,
+                attacker_sleeps: true,
+                noisy: true,
+            },
+            "different",
+            "sleeping",
+            "CPU yielded",
+        ),
     ];
     let mut rates = Vec::new();
     for (s, cpu, state, noise) in scenarios {
-        let successes =
-            (0..trials).filter(|&t| trial(5000 + t as u64, s)).count();
+        let successes = (0..trials).filter(|&t| trial(5000 + t as u64, s)).count();
         let rate = successes as f64 / trials as f64;
         rates.push(rate);
         let rate_s = format!("{rate:.3}");
@@ -92,11 +136,29 @@ fn main() {
     table.write_csv("t2_steering");
 
     println!("\nshape checks:");
-    println!("  same CPU + active (quiet):   {:.3}  — expected ≈ 1.0", rates[0]);
-    println!("  same CPU + sleeping:         {:.3}  — expected ≪ active", rates[2]);
-    println!("  different CPU:               {:.3}  — expected ≈ 0.0", rates[3]);
-    assert!(rates[0] > 0.95, "active same-CPU steering should be near-certain");
-    assert!(rates[2] < rates[0] - 0.3, "sleeping must hurt substantially");
-    assert!(rates[3] < 0.05, "cross-CPU steering should essentially never work");
+    println!(
+        "  same CPU + active (quiet):   {:.3}  — expected ≈ 1.0",
+        rates[0]
+    );
+    println!(
+        "  same CPU + sleeping:         {:.3}  — expected ≪ active",
+        rates[2]
+    );
+    println!(
+        "  different CPU:               {:.3}  — expected ≈ 0.0",
+        rates[3]
+    );
+    assert!(
+        rates[0] > 0.95,
+        "active same-CPU steering should be near-certain"
+    );
+    assert!(
+        rates[2] < rates[0] - 0.3,
+        "sleeping must hurt substantially"
+    );
+    assert!(
+        rates[3] < 0.05,
+        "cross-CPU steering should essentially never work"
+    );
     println!("shape check PASS");
 }

@@ -18,15 +18,24 @@ fn main() {
     );
     let repro_rounds = trials_arg(20);
     let pages: u64 = 4096; // 16 MiB buffer
-    println!("buffer: {} MiB, reproducibility rounds: {repro_rounds}", pages * 4096 / (1 << 20));
+    println!(
+        "buffer: {} MiB, reproducibility rounds: {repro_rounds}",
+        pages * 4096 / (1 << 20)
+    );
 
     // --- Series 1: flips vs hammer pairs -------------------------------
     let mut sweep = Table::new(
         "templates found vs hammer intensity (256 MiB flippy module, seed 3)",
-        &["aggressor pairs", "≈ACTs on victim row", "flips found", "flips / GiB·pass"],
+        &[
+            "aggressor pairs",
+            "≈ACTs on victim row",
+            "flips found",
+            "flips / GiB·pass",
+        ],
     );
-    for &pairs in &[5_000u64, 10_000, 15_000, 25_000, 50_000, 100_000, 200_000, 400_000, 690_000]
-    {
+    for &pairs in &[
+        5_000u64, 10_000, 15_000, 25_000, 50_000, 100_000, 200_000, 400_000, 690_000,
+    ] {
         let mut machine = SimMachine::new(MachineConfig::small(3));
         let attacker = machine.spawn(CpuId(0));
         let buffer = machine.mmap(attacker, pages).unwrap();
@@ -44,16 +53,25 @@ fn main() {
     let mut machine = SimMachine::new(MachineConfig::small(3));
     let attacker = machine.spawn(CpuId(0));
     let buffer = machine.mmap(attacker, pages).unwrap();
-    let scan =
-        template_scan(&mut machine, attacker, buffer, pages, 400_000, repro_rounds).unwrap();
+    let scan = template_scan(&mut machine, attacker, buffer, pages, 400_000, repro_rounds).unwrap();
 
-    let scores: Vec<f64> = scan.templates.iter().map(|t| t.reproducibility as f64).collect();
+    let scores: Vec<f64> = scan
+        .templates
+        .iter()
+        .map(|t| t.reproducibility as f64)
+        .collect();
     let (mean, std) = mean_std(&scores);
     let perfect = scores.iter().filter(|&&s| s >= 0.999).count();
 
     let mut repro = Table::new(
         "flip-location reproducibility over repeated re-hammering",
-        &["templates", "re-hammer rounds", "mean repro", "std", "fraction repro=1.0"],
+        &[
+            "templates",
+            "re-hammer rounds",
+            "mean repro",
+            "std",
+            "fraction repro=1.0",
+        ],
     );
     let n = scan.templates.len();
     let mean_s = format!("{mean:.4}");
@@ -87,9 +105,15 @@ fn main() {
     );
 
     println!("\nshape checks:");
-    println!("  - flips appear only above the threshold knee (≥ ~12.5k pairs) and grow with intensity");
+    println!(
+        "  - flips appear only above the threshold knee (≥ ~12.5k pairs) and grow with intensity"
+    );
     println!("  - mean reproducibility {mean:.3} (paper: \"high probability ... same location\")");
     assert!(mean > 0.9, "templated flips must be highly reproducible");
-    assert_eq!(overlap, first.len(), "the flip population is stable per module");
+    assert_eq!(
+        overlap,
+        first.len(),
+        "the flip population is stable per module"
+    );
     println!("shape check PASS");
 }

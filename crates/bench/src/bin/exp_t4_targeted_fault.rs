@@ -59,7 +59,11 @@ fn main() {
         let (mr, _) = mean_std(&rounds);
         let (mc, _) = mean_std(&cts);
         let (mt, _) = mean_std(&sim_time);
-        let p90 = if cts.is_empty() { 0.0 } else { percentile(&cts, 90.0) };
+        let p90 = if cts.is_empty() {
+            0.0
+        } else {
+            percentile(&cts, 90.0)
+        };
         let mr_s = format!("{mr:.1}");
         let mc_s = format!("{mc:.0}");
         let p90_s = format!("{p90:.0}");
@@ -70,16 +74,23 @@ fn main() {
     per_kind.write_csv("t4_targeted_fault");
 
     // A focused single-seed trace for the record.
-    let report = ExplFrame::new(
-        ExplFrameConfig::small_demo(424242).with_template_pages(2048),
-    )
-    .run()
-    .expect("machine-level success");
+    let report = ExplFrame::new(ExplFrameConfig::small_demo(424242).with_template_pages(2048))
+        .run()
+        .expect("machine-level success");
     println!("\nsingle run detail (seed 424242):");
-    println!("  templates: {} found, {} usable", report.templates_found, report.usable_templates);
-    println!("  fault rounds: {}  steered: {}", report.fault_rounds, report.steering_successes);
+    println!(
+        "  templates: {} found, {} usable",
+        report.templates_found, report.usable_templates
+    );
+    println!(
+        "  fault rounds: {}  steered: {}",
+        report.fault_rounds, report.steering_successes
+    );
     println!("  ciphertexts: {}", report.ciphertexts_collected);
-    println!("  outcome: {:?}  key correct: {}", report.outcome, report.key_correct);
+    println!(
+        "  outcome: {:?}  key correct: {}",
+        report.outcome, report.key_correct
+    );
 
     assert_eq!(report.outcome, AttackOutcome::KeyRecovered);
     println!("\nshape check PASS: the targeted pipeline recovers keys with high probability");

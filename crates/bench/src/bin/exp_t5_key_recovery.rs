@@ -10,13 +10,13 @@
 //! correct/faulty-pair-free operation.
 
 use ciphers::{
-    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes,
-    TTableAes, TableImage, FINAL_ROUND_S_LANE, PRESENT_SBOX,
+    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes, TTableAes,
+    TableImage, FINAL_ROUND_S_LANE, PRESENT_SBOX,
 };
 use explframe_bench::{banner, mean_std, trials_arg, Table};
 use fault::{
-    encrypt_with_round10_input_fault, expected_ciphertexts_for_full_key, DfaAttack,
-    PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass,
+    encrypt_with_round10_input_fault, expected_ciphertexts_for_full_key, DfaAttack, PfaCollector,
+    PresentPfa, TTablePfa, TableFault, TeFaultClass,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,9 +104,7 @@ fn present_success_curve(trials: u32) {
                 continue;
             }
             let v = PRESENT_SBOX[entry];
-            if pfa.recover_round32_key(v)
-                == Some(ciphers::present80_round_keys(&key)[31])
-            {
+            if pfa.recover_round32_key(v) == Some(ciphers::present80_round_keys(&key)[31]) {
                 k32_ok += 1;
                 // Master key via known pre-fault pair + 2^16 search.
                 let plain: [u8; 8] = rng.gen();
@@ -140,10 +138,13 @@ fn ttable_per_fault(trials: u32) {
         let key: [u8; 16] = rng.gen();
         let mut driver = TTablePfa::new();
         let mut total = 0u64;
-        for table in 0..4usize {
+        for (table, s_lane) in FINAL_ROUND_S_LANE.iter().enumerate() {
             let entry = rng.gen_range(0..256usize);
-            let offset = TableImage::te_entry_offset(table, entry) + FINAL_ROUND_S_LANE[table];
-            let fault = TableFault { offset, bit: rng.gen_range(0..8u8) };
+            let offset = TableImage::te_entry_offset(table, entry) + s_lane;
+            let fault = TableFault {
+                offset,
+                bit: rng.gen_range(0..8u8),
+            };
             let TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
                 unreachable!("S-lane by construction");
             };
@@ -163,7 +164,11 @@ fn ttable_per_fault(trials: u32) {
             total += collector.total();
             driver.absorb(fault, &collector).expect("S-lane fault");
         }
-        assert_eq!(driver.master_key(), Some(key), "4 faults must complete the key");
+        assert_eq!(
+            driver.master_key(),
+            Some(key),
+            "4 faults must complete the key"
+        );
         total_for_full_key.push(total as f64);
     }
     let (per_fault, sd1) = mean_std(&cts_per_fault);
@@ -195,12 +200,8 @@ fn dfa_comparator(trials: u32) {
                 let plain: [u8; 16] = rng.gen();
                 let mut correct = plain;
                 aes.encrypt_block(&mut correct);
-                let faulty = encrypt_with_round10_input_fault(
-                    &key,
-                    &plain,
-                    pos,
-                    rng.gen_range(0..8),
-                );
+                let faulty =
+                    encrypt_with_round10_input_fault(&key, &plain, pos, rng.gen_range(0..8));
                 attack.observe_pair(&correct, &faulty);
                 pairs += 1.0;
                 if attack.master_key() == Some(key) {
@@ -217,8 +218,13 @@ fn dfa_comparator(trials: u32) {
     );
     let m = format!("{mean:.1} ± {std:.1}");
     table.row(&[&"correct/faulty pairs for the full key", &m]);
-    table.row(&[&"requirements vs PFA", &"precise transient faults + paired correct ciphertexts; PFA needs neither"]);
+    table.row(&[
+        &"requirements vs PFA",
+        &"precise transient faults + paired correct ciphertexts; PFA needs neither",
+    ]);
     table.print();
     table.write_csv("t5_dfa_comparator");
-    println!("\nshape check: AES PFA knee in the 1500–2500 range, PRESENT ≲ 100, DFA ≈ tens of pairs");
+    println!(
+        "\nshape check: AES PFA knee in the 1500–2500 range, PRESENT ≲ 100, DFA ≈ tens of pairs"
+    );
 }

@@ -42,8 +42,10 @@ fn main() {
         for t in 0..trials {
             let seed = 31_000 + t as u64;
             let mut cfg = ExplFrameConfig::small_demo(seed).with_template_pages(2048);
-            cfg.machine.dram =
-                cfg.machine.dram.with_cells(WeakCellParams::flippy().with_density(density));
+            cfg.machine.dram = cfg
+                .machine
+                .dram
+                .with_cells(WeakCellParams::flippy().with_density(density));
 
             // Spray baseline.
             let mut machine = SimMachine::new(cfg.machine.clone());
@@ -72,7 +74,9 @@ fn main() {
     table.write_csv("t6_explframe_vs_spray");
 
     println!("\nshape checks:");
-    println!("  - spray success tracks the vulnerable-frame density (near zero when flips are rare)");
+    println!(
+        "  - spray success tracks the vulnerable-frame density (near zero when flips are rare)"
+    );
     println!("  - ExplFrame stays near-certain once *any* usable template exists,");
     println!("    because the page frame cache hands the victim exactly the templated frame");
 }

@@ -49,7 +49,8 @@ impl Table {
     /// Panics if the cell count differs from the header count.
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Prints the table with aligned columns.
@@ -70,8 +71,11 @@ impl Table {
         println!("{}", header.join("  "));
         println!("{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             println!("{}", line.join("  "));
         }
     }
@@ -143,7 +147,10 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 
 /// Reads the trial-count override from the first CLI argument.
 pub fn trials_arg(default: u32) -> u32 {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Prints a standard experiment banner.

@@ -29,7 +29,11 @@ impl CacheSet {
             return Lookup::Hit;
         }
         self.lines.insert(0, tag);
-        let evicted = if self.lines.len() > ways { self.lines.pop() } else { None };
+        let evicted = if self.lines.len() > ways {
+            self.lines.pop()
+        } else {
+            None
+        };
         Lookup::Miss { evicted }
     }
 
@@ -70,7 +74,10 @@ impl Cache {
     ///
     /// Panics if the configuration dimensions are not powers of two.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.is_valid(), "cache dimensions must be powers of two: {config:?}");
+        assert!(
+            config.is_valid(),
+            "cache dimensions must be powers of two: {config:?}"
+        );
         Cache {
             config,
             sets: vec![CacheSet::default(); config.sets as usize],
@@ -201,6 +208,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "powers of two")]
     fn invalid_config_panics() {
-        Cache::new(CacheConfig { sets: 3, ways: 2, line_bytes: 64 });
+        Cache::new(CacheConfig {
+            sets: 3,
+            ways: 2,
+            line_bytes: 64,
+        });
     }
 }

@@ -25,17 +25,29 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A 32 KiB, 8-way L1 data cache with 64-byte lines.
     pub const fn l1_32k() -> Self {
-        CacheConfig { sets: 64, ways: 8, line_bytes: 64 }
+        CacheConfig {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+        }
     }
 
     /// An 8 MiB, 16-way last-level cache with 64-byte lines.
     pub const fn llc_8m() -> Self {
-        CacheConfig { sets: 8192, ways: 16, line_bytes: 64 }
+        CacheConfig {
+            sets: 8192,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 
     /// A 4-set, 2-way toy cache for unit tests.
     pub const fn tiny() -> Self {
-        CacheConfig { sets: 4, ways: 2, line_bytes: 64 }
+        CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+        }
     }
 
     /// Total capacity in bytes.

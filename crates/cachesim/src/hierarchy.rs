@@ -51,8 +51,14 @@ impl CacheHierarchy {
     ///
     /// Panics if either configuration is invalid or the line sizes differ.
     pub fn new(l1: CacheConfig, llc: CacheConfig) -> Self {
-        assert_eq!(l1.line_bytes, llc.line_bytes, "L1 and LLC line sizes must match");
-        CacheHierarchy { l1: Cache::new(l1), llc: Cache::new(llc) }
+        assert_eq!(
+            l1.line_bytes, llc.line_bytes,
+            "L1 and LLC line sizes must match"
+        );
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            llc: Cache::new(llc),
+        }
     }
 
     /// A 32 KiB L1 + 8 MiB LLC stack, the shape of a desktop Intel part.
@@ -62,7 +68,14 @@ impl CacheHierarchy {
 
     /// A toy two-level hierarchy for tests.
     pub fn tiny() -> Self {
-        Self::new(CacheConfig::tiny(), CacheConfig { sets: 16, ways: 4, line_bytes: 64 })
+        Self::new(
+            CacheConfig::tiny(),
+            CacheConfig {
+                sets: 16,
+                ways: 4,
+                line_bytes: 64,
+            },
+        )
     }
 
     /// Performs a load/store lookup, installing the line on miss.
@@ -186,7 +199,11 @@ mod tests {
     #[should_panic(expected = "line sizes must match")]
     fn mismatched_line_sizes_panic() {
         CacheHierarchy::new(
-            CacheConfig { sets: 4, ways: 2, line_bytes: 32 },
+            CacheConfig {
+                sets: 4,
+                ways: 2,
+                line_bytes: 32,
+            },
             CacheConfig::tiny(),
         );
     }

@@ -50,7 +50,11 @@ mod tests {
     #[test]
     fn hit_rate_handles_zero() {
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
-        let s = CacheStats { accesses: 4, hits: 3, ..Default::default() };
+        let s = CacheStats {
+            accesses: 4,
+            hits: 3,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 

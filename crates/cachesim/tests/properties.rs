@@ -109,4 +109,35 @@ proptest! {
             prop_assert_eq!(h.access(a), cachesim::ServedBy::Memory);
         }
     }
+
+    /// Hit/miss accounting stays consistent with the `ServedBy` answers the
+    /// hierarchy hands out, under arbitrary access/flush interleavings:
+    /// every access is counted exactly once at L1, every L1 miss exactly
+    /// once at the LLC, and per-level `accesses == hits + misses`.
+    #[test]
+    fn hierarchy_miss_accounting_is_consistent(schedule in ops()) {
+        let mut h = CacheHierarchy::tiny();
+        let (mut served_l1, mut served_llc, mut served_mem) = (0u64, 0u64, 0u64);
+        for op in &schedule {
+            match op {
+                Op::Access(a) => match h.access(*a) {
+                    cachesim::ServedBy::L1 => served_l1 += 1,
+                    cachesim::ServedBy::Llc => served_llc += 1,
+                    cachesim::ServedBy::Memory => served_mem += 1,
+                },
+                Op::Flush(a) => {
+                    h.clflush(*a);
+                }
+            }
+        }
+        let l1 = h.l1().stats();
+        let llc = h.llc().stats();
+        prop_assert_eq!(l1.accesses, l1.hits + l1.misses);
+        prop_assert_eq!(llc.accesses, llc.hits + llc.misses);
+        prop_assert_eq!(l1.accesses, served_l1 + served_llc + served_mem);
+        prop_assert_eq!(l1.hits, served_l1);
+        prop_assert_eq!(llc.accesses, l1.misses, "every L1 miss must probe the LLC exactly once");
+        prop_assert_eq!(llc.hits, served_llc);
+        prop_assert_eq!(llc.misses, served_mem);
+    }
 }

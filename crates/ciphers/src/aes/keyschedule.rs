@@ -105,7 +105,11 @@ const RCON: [u32; 10] = [
 ///
 /// Panics if `key.len()` does not match `size`.
 pub fn expand_key(key: &[u8], size: AesKeySize) -> RoundKeys {
-    assert_eq!(key.len(), size.key_bytes(), "key length mismatch for {size:?}");
+    assert_eq!(
+        key.len(),
+        size.key_bytes(),
+        "key length mismatch for {size:?}"
+    );
     let nk = size.nk();
     let total_words = 4 * (size.rounds() + 1);
     let mut words = Vec::with_capacity(total_words);

@@ -70,8 +70,7 @@ fn mix_columns(b: &mut [u8; 16]) {
 fn inv_mix_columns(b: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
-        b[4 * c] =
-            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        b[4 * c] = gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
         b[4 * c + 1] =
             gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
         b[4 * c + 2] =
@@ -90,17 +89,23 @@ fn add_round_key(b: &mut [u8; 16], rk: &[u8; 16]) {
 impl ReferenceAes {
     /// AES-128 from a 16-byte key.
     pub fn new_128(key: &[u8; 16]) -> Self {
-        ReferenceAes { keys: expand_key(key, AesKeySize::Aes128) }
+        ReferenceAes {
+            keys: expand_key(key, AesKeySize::Aes128),
+        }
     }
 
     /// AES-192 from a 24-byte key.
     pub fn new_192(key: &[u8; 24]) -> Self {
-        ReferenceAes { keys: expand_key(key, AesKeySize::Aes192) }
+        ReferenceAes {
+            keys: expand_key(key, AesKeySize::Aes192),
+        }
     }
 
     /// AES-256 from a 32-byte key.
     pub fn new_256(key: &[u8; 32]) -> Self {
-        ReferenceAes { keys: expand_key(key, AesKeySize::Aes256) }
+        ReferenceAes {
+            keys: expand_key(key, AesKeySize::Aes256),
+        }
     }
 
     /// The expanded round keys.
@@ -159,7 +164,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -175,8 +183,9 @@ mod tests {
 
     #[test]
     fn fips_197_aes192_vector() {
-        let key: [u8; 24] =
-            hex("000102030405060708090a0b0c0d0e0f1011121314151617").try_into().unwrap();
+        let key: [u8; 24] = hex("000102030405060708090a0b0c0d0e0f1011121314151617")
+            .try_into()
+            .unwrap();
         let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         ReferenceAes::new_192(&key).encrypt_block(&mut block);
         assert_eq!(block.to_vec(), hex("dda97ca4864cdfe06eaf70a0ec0d7191"));

@@ -30,17 +30,26 @@ pub struct SboxAes<S> {
 impl<S: TableSource> SboxAes<S> {
     /// AES-128 reading the S-box from `source` (a 256-byte image).
     pub fn new_128(key: &[u8; 16], source: S) -> Self {
-        SboxAes { keys: expand_key(key, AesKeySize::Aes128), source }
+        SboxAes {
+            keys: expand_key(key, AesKeySize::Aes128),
+            source,
+        }
     }
 
     /// AES-192 variant.
     pub fn new_192(key: &[u8; 24], source: S) -> Self {
-        SboxAes { keys: expand_key(key, AesKeySize::Aes192), source }
+        SboxAes {
+            keys: expand_key(key, AesKeySize::Aes192),
+            source,
+        }
     }
 
     /// AES-256 variant.
     pub fn new_256(key: &[u8; 32], source: S) -> Self {
-        SboxAes { keys: expand_key(key, AesKeySize::Aes256), source }
+        SboxAes {
+            keys: expand_key(key, AesKeySize::Aes256),
+            source,
+        }
     }
 
     /// The table source (e.g. for fault injection in tests).

@@ -59,7 +59,10 @@ impl TableImage {
     ///
     /// Panics if `table >= 4` or `index >= 256`.
     pub fn te_entry_offset(table: usize, index: usize) -> usize {
-        assert!(table < 4 && index < 256, "te entry ({table}, {index}) out of range");
+        assert!(
+            table < 4 && index < 256,
+            "te entry ({table}, {index}) out of range"
+        );
         table * TE_TABLE_BYTES_INNER + index * 4
     }
 
@@ -71,7 +74,11 @@ impl TableImage {
     /// Panics if `offset >= 4096`.
     pub fn te_locate(offset: usize) -> (usize, usize, usize) {
         assert!(offset < 4096, "offset {offset} outside the Te image");
-        (offset / TE_TABLE_BYTES_INNER, (offset % TE_TABLE_BYTES_INNER) / 4, offset % 4)
+        (
+            offset / TE_TABLE_BYTES_INNER,
+            (offset % TE_TABLE_BYTES_INNER) / 4,
+            offset % 4,
+        )
     }
 }
 
@@ -129,9 +136,9 @@ mod tests {
         let image = TableImage::te_tables();
         let s = sbox();
         for (table, &lane) in FINAL_ROUND_S_LANE.iter().enumerate() {
-            for x in 0..256 {
+            for (x, &sx) in s.iter().enumerate() {
                 let off = TableImage::te_entry_offset(table, x) + lane;
-                assert_eq!(image[off], s[x], "table {table} lane {lane} entry {x:#x}");
+                assert_eq!(image[off], sx, "table {table} lane {lane} entry {x:#x}");
             }
         }
     }

@@ -43,17 +43,26 @@ pub struct TTableAes<S> {
 impl<S: TableSource> TTableAes<S> {
     /// AES-128 reading `Te0..Te3` from `source` (a 4096-byte image).
     pub fn new_128(key: &[u8; 16], source: S) -> Self {
-        TTableAes { keys: expand_key(key, AesKeySize::Aes128), source }
+        TTableAes {
+            keys: expand_key(key, AesKeySize::Aes128),
+            source,
+        }
     }
 
     /// AES-192 variant.
     pub fn new_192(key: &[u8; 24], source: S) -> Self {
-        TTableAes { keys: expand_key(key, AesKeySize::Aes192), source }
+        TTableAes {
+            keys: expand_key(key, AesKeySize::Aes192),
+            source,
+        }
     }
 
     /// AES-256 variant.
     pub fn new_256(key: &[u8; 32], source: S) -> Self {
-        TTableAes { keys: expand_key(key, AesKeySize::Aes256), source }
+        TTableAes {
+            keys: expand_key(key, AesKeySize::Aes256),
+            source,
+        }
     }
 
     /// The table source (e.g. for fault injection in tests).
@@ -67,12 +76,18 @@ impl<S: TableSource> TTableAes<S> {
     }
 
     fn te(&mut self, table: usize, index: u32) -> u32 {
-        self.source.read_u32(table * TE_TABLE_BYTES + (index as usize & 0xff) * 4)
+        self.source
+            .read_u32(table * TE_TABLE_BYTES + (index as usize & 0xff) * 4)
     }
 
     fn round_key_word(&self, round: usize, col: usize) -> u32 {
         let rk = self.keys.round_key(round);
-        u32::from_be_bytes([rk[4 * col], rk[4 * col + 1], rk[4 * col + 2], rk[4 * col + 3]])
+        u32::from_be_bytes([
+            rk[4 * col],
+            rk[4 * col + 1],
+            rk[4 * col + 2],
+            rk[4 * col + 3],
+        ])
     }
 }
 
@@ -186,8 +201,8 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
-                0xb4, 0xc5, 0x5a
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
             ]
         );
     }

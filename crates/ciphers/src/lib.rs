@@ -49,7 +49,12 @@ pub use aes::keyschedule::{expand_key, invert_last_round_key_128, AesKeySize, Ro
 pub use aes::reference::ReferenceAes;
 pub use aes::sbox_aes::SboxAes;
 pub use aes::tables::TableImage;
-pub use aes::ttable::{final_round_table_for_position, TTableAes, FINAL_ROUND_S_LANE, TE_TABLE_BYTES};
-pub use present::{p_layer, p_layer_inverse, p_layer_target, present80_round_keys, present_sbox_image, Present80, PRESENT_SBOX};
+pub use aes::ttable::{
+    final_round_table_for_position, TTableAes, FINAL_ROUND_S_LANE, TE_TABLE_BYTES,
+};
+pub use present::{
+    p_layer, p_layer_inverse, p_layer_target, present80_round_keys, present_sbox_image, Present80,
+    PRESENT_SBOX,
+};
 pub use source::{RamTableSource, TableSource};
 pub use traits::BlockCipher;

@@ -9,8 +9,9 @@ use crate::source::TableSource;
 use crate::traits::BlockCipher;
 
 /// The PRESENT S-box.
-pub const PRESENT_SBOX: [u8; 16] =
-    [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2];
+pub const PRESENT_SBOX: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
 
 const MASK80: u128 = (1u128 << 80) - 1;
 
@@ -85,7 +86,10 @@ pub struct Present80<S> {
 impl<S: TableSource> Present80<S> {
     /// Creates the cipher from an 80-bit key and a 16-byte S-box image.
     pub fn new(key: &[u8; 10], source: S) -> Self {
-        Present80 { round_keys: present80_round_keys(key), source }
+        Present80 {
+            round_keys: present80_round_keys(key),
+            source,
+        }
     }
 
     /// The table source (e.g. for fault injection in tests).

@@ -1,8 +1,8 @@
 //! Property-based tests for the cipher implementations.
 
 use ciphers::{
-    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes,
-    TTableAes, TableImage,
+    present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes, TTableAes,
+    TableImage,
 };
 use proptest::prelude::*;
 

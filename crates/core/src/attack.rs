@@ -11,7 +11,9 @@
 
 use std::collections::BTreeSet;
 
-use ciphers::{present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX};
+use ciphers::{
+    present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX,
+};
 use dram::Nanos;
 use fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
 use machine::SimMachine;
@@ -25,7 +27,8 @@ use crate::template::{template_scan, FlipTemplate};
 use crate::victim::{VictimCipherService, VictimKeys};
 
 /// Why an attack run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "inspect the outcome to distinguish key recovery from failure modes"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttackOutcome {
     /// The full key was recovered.
     KeyRecovered,
@@ -37,7 +40,11 @@ pub enum AttackOutcome {
 }
 
 /// Everything measured during one attack run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so tests can assert that two runs from the same seed
+/// are *identical*, not merely similar (see `tests/determinism.rs`).
+#[must_use = "an attack report carries the outcome and all measurements"]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackReport {
     /// Why the run ended.
     pub outcome: AttackOutcome,
@@ -67,6 +74,7 @@ pub struct AttackReport {
 
 impl AttackReport {
     /// Returns `true` if the run recovered the correct key.
+    #[must_use]
     pub fn succeeded(&self) -> bool {
         self.outcome == AttackOutcome::KeyRecovered && self.key_correct
     }
@@ -182,9 +190,7 @@ impl ExplFrame {
         report.outcome = AttackOutcome::OutOfTemplates;
 
         while report.fault_rounds < cfg.max_fault_rounds {
-            let Some(template) =
-                pick_template(&mut remaining, cfg.victim, &tables_needed)
-            else {
+            let Some(template) = pick_template(&mut remaining, cfg.victim, &tables_needed) else {
                 break;
             };
             report.fault_rounds += 1;
@@ -200,8 +206,7 @@ impl ExplFrame {
             // released frame off the page frame cache head.
             let victim =
                 VictimCipherService::start(machine, cfg.victim_cpu, cfg.victim, victim_keys)?;
-            let steered =
-                released.is_some() && victim.table_pfn(machine).map(|p| p.0) == released;
+            let steered = released.is_some() && victim.table_pfn(machine).map(|p| p.0) == released;
             if steered {
                 report.steering_successes += 1;
             }
@@ -243,8 +248,11 @@ impl ExplFrame {
             }
         }
 
-        report.key_correct = match (cfg.victim, &report.recovered_aes_key, &report.recovered_present_key)
-        {
+        report.key_correct = match (
+            cfg.victim,
+            &report.recovered_aes_key,
+            &report.recovered_present_key,
+        ) {
             (VictimCipherKind::AesSbox | VictimCipherKind::AesTtable, Some(k), _) => {
                 *k == victim_keys.aes
             }
@@ -289,19 +297,15 @@ impl ExplFrame {
                 Ok(false)
             }
             VictimCipherKind::AesTtable => {
-                let fault = TableFault { offset: entry, bit: template.bit };
+                let fault = TableFault {
+                    offset: entry,
+                    bit: template.bit,
+                };
                 let TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
                     return Ok(false); // filtered earlier; defensive
                 };
                 let mut collector = PfaCollector::new();
-                match self.collect_aes(
-                    machine,
-                    victim,
-                    &mut collector,
-                    &positions,
-                    rng,
-                    report,
-                )? {
+                match self.collect_aes(machine, victim, &mut collector, &positions, rng, report)? {
                     RoundResult::Converged => {}
                     _ => return Ok(false),
                 }
@@ -416,8 +420,10 @@ pub fn select_attack_pages(
     }
     let mut out = Vec::new();
     for (_, page_templates) in by_page {
-        let firing: Vec<&&FlipTemplate> =
-            page_templates.iter().filter(|t| template_fires(t, kind)).collect();
+        let firing: Vec<&&FlipTemplate> = page_templates
+            .iter()
+            .filter(|t| template_fires(t, kind))
+            .collect();
         if let [only] = firing[..] {
             if template_usable(only, kind) {
                 out.push(**only);
@@ -446,9 +452,12 @@ pub fn template_usable(t: &FlipTemplate, kind: VictimCipherKind) -> bool {
     }
     match kind {
         VictimCipherKind::AesSbox => true,
-        VictimCipherKind::AesTtable => {
-            TableFault { offset: off, bit: t.bit }.classify_te().is_exploitable()
+        VictimCipherKind::AesTtable => TableFault {
+            offset: off,
+            bit: t.bit,
         }
+        .classify_te()
+        .is_exploitable(),
         // Table bytes store one 4-bit S-box value each; flips in the unused
         // high nibble are masked out by the S-layer.
         VictimCipherKind::Present => t.bit < 4,
@@ -500,11 +509,23 @@ mod tests {
     #[test]
     fn usability_respects_image_bounds_and_bits() {
         // S-box entry 0 is 0x63 = 0b0110_0011.
-        assert!(template_usable(&template(0, 0, true), VictimCipherKind::AesSbox));
-        assert!(!template_usable(&template(0, 2, true), VictimCipherKind::AesSbox));
-        assert!(template_usable(&template(0, 2, false), VictimCipherKind::AesSbox));
+        assert!(template_usable(
+            &template(0, 0, true),
+            VictimCipherKind::AesSbox
+        ));
+        assert!(!template_usable(
+            &template(0, 2, true),
+            VictimCipherKind::AesSbox
+        ));
+        assert!(template_usable(
+            &template(0, 2, false),
+            VictimCipherKind::AesSbox
+        ));
         // Outside the 256-byte image.
-        assert!(!template_usable(&template(256, 0, true), VictimCipherKind::AesSbox));
+        assert!(!template_usable(
+            &template(256, 0, true),
+            VictimCipherKind::AesSbox
+        ));
         // Low reproducibility is rejected.
         let mut t = template(0, 0, true);
         t.reproducibility = 0.1;
@@ -532,10 +553,22 @@ mod tests {
     #[test]
     fn present_usability_requires_low_nibble() {
         // PRESENT S[0] = 0xC = 0b1100: bits 2,3 set.
-        assert!(template_usable(&template(0, 2, true), VictimCipherKind::Present));
-        assert!(!template_usable(&template(0, 4, true), VictimCipherKind::Present));
-        assert!(!template_usable(&template(0, 4, false), VictimCipherKind::Present));
-        assert!(template_usable(&template(0, 1, false), VictimCipherKind::Present));
+        assert!(template_usable(
+            &template(0, 2, true),
+            VictimCipherKind::Present
+        ));
+        assert!(!template_usable(
+            &template(0, 4, true),
+            VictimCipherKind::Present
+        ));
+        assert!(!template_usable(
+            &template(0, 4, false),
+            VictimCipherKind::Present
+        ));
+        assert!(template_usable(
+            &template(0, 1, false),
+            VictimCipherKind::Present
+        ));
     }
 
     #[test]
@@ -548,8 +581,7 @@ mod tests {
         };
         let mut remaining = vec![mk(1), mk(0), mk(1)];
         let mut needed: BTreeSet<usize> = [0].into_iter().collect();
-        let picked =
-            pick_template(&mut remaining, VictimCipherKind::AesTtable, &needed).unwrap();
+        let picked = pick_template(&mut remaining, VictimCipherKind::AesTtable, &needed).unwrap();
         let (table, _, _) = TableImage::te_locate(picked.page_offset as usize);
         assert_eq!(table, 0);
         needed.clear();

@@ -20,7 +20,8 @@ use crate::template::template_scan;
 use crate::victim::{VictimCipherService, VictimKeys};
 
 /// Result of one spray-baseline run.
-#[derive(Debug, Clone)]
+#[must_use = "a spray report carries the baseline measurements"]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SprayReport {
     /// Templates found during the sweep.
     pub templates_found: usize,
@@ -83,8 +84,7 @@ pub fn run_spray_baseline(
         VictimKeys::from_seed(config.seed),
     )?;
     let victim_frame = victim.table_pfn(machine).map(|p| p.0);
-    let on_vulnerable =
-        victim_frame.is_some_and(|f| vulnerable_frames.contains(&f));
+    let on_vulnerable = victim_frame.is_some_and(|f| vulnerable_frames.contains(&f));
 
     // Spray: re-hammer every templated aggressor pair. The aggressor pages
     // were released too, so the sprayer re-maps a buffer and hammers the
@@ -94,7 +94,12 @@ pub fn run_spray_baseline(
     // the strongest reasonable sprayer: aggressor rows re-acquired where
     // the allocator happens to return them.
     let spray_buffer = machine.mmap(attacker, config.template_pages)?;
-    machine.fill(attacker, spray_buffer, config.template_pages * PAGE_SIZE, 0xFF)?;
+    machine.fill(
+        attacker,
+        spray_buffer,
+        config.template_pages * PAGE_SIZE,
+        0xFF,
+    )?;
     let mut spray_pairs = 0u64;
     let mut failures = 0u64;
     for t in &scan.templates {

@@ -91,24 +91,28 @@ impl ExplFrameConfig {
     }
 
     /// Returns a copy with a different victim cipher.
+    #[must_use]
     pub fn with_victim(mut self, victim: VictimCipherKind) -> Self {
         self.victim = victim;
         self
     }
 
     /// Returns a copy with a different template buffer size (pages).
+    #[must_use]
     pub fn with_template_pages(mut self, pages: u64) -> Self {
         self.template_pages = pages;
         self
     }
 
     /// Returns a copy with the victim pinned to `cpu`.
+    #[must_use]
     pub fn with_victim_cpu(mut self, cpu: CpuId) -> Self {
         self.victim_cpu = cpu;
         self
     }
 
     /// Returns a copy with a different hammer intensity.
+    #[must_use]
     pub fn with_hammer_pairs(mut self, pairs: u64) -> Self {
         self.hammer_pairs = pairs;
         self.rehammer_pairs = pairs;

@@ -39,16 +39,28 @@ impl fmt::Display for AttackError {
         match self {
             AttackError::Machine(e) => write!(f, "machine operation failed: {e}"),
             AttackError::NoUsableTemplates { found } => {
-                write!(f, "no usable flip templates (found {found} before filtering)")
+                write!(
+                    f,
+                    "no usable flip templates (found {found} before filtering)"
+                )
             }
             AttackError::SteeringFailed { attempts } => {
-                write!(f, "victim did not receive the released frame after {attempts} attempts")
+                write!(
+                    f,
+                    "victim did not receive the released frame after {attempts} attempts"
+                )
             }
             AttackError::FaultNotLanded => {
-                write!(f, "re-hammering induced no detectable fault in the victim table")
+                write!(
+                    f,
+                    "re-hammering induced no detectable fault in the victim table"
+                )
             }
             AttackError::CollectionExhausted { collected } => {
-                write!(f, "fault statistics did not converge after {collected} ciphertexts")
+                write!(
+                    f,
+                    "fault statistics did not converge after {collected} ciphertexts"
+                )
             }
             AttackError::AnalysisFailed => write!(f, "fault analysis produced no key"),
         }
@@ -82,7 +94,11 @@ mod tests {
 
     #[test]
     fn messages_are_specific() {
-        assert!(AttackError::FaultNotLanded.to_string().contains("re-hammering"));
-        assert!(AttackError::NoUsableTemplates { found: 3 }.to_string().contains('3'));
+        assert!(AttackError::FaultNotLanded
+            .to_string()
+            .contains("re-hammering"));
+        assert!(AttackError::NoUsableTemplates { found: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -21,13 +21,22 @@ impl<'m> MachineTableSource<'m> {
     /// Creates a source reading `len` bytes starting at `base` in `pid`'s
     /// address space.
     pub fn new(machine: &'m mut SimMachine, pid: Pid, base: VirtAddr, len: usize) -> Self {
-        MachineTableSource { machine, pid, base, len }
+        MachineTableSource {
+            machine,
+            pid,
+            base,
+            len,
+        }
     }
 }
 
 impl TableSource for MachineTableSource<'_> {
     fn read_u8(&mut self, offset: usize) -> u8 {
-        assert!(offset < self.len, "table read at {offset} beyond image length {}", self.len);
+        assert!(
+            offset < self.len,
+            "table read at {offset} beyond image length {}",
+            self.len
+        );
         let mut byte = [0u8];
         self.machine
             .read(self.pid, self.base + offset as u64, &mut byte)

@@ -20,7 +20,10 @@ pub struct NoiseProcess {
 impl NoiseProcess {
     /// Spawns a noise process on `cpu`.
     pub fn spawn(machine: &mut SimMachine, cpu: CpuId) -> Self {
-        NoiseProcess { pid: machine.spawn(cpu), held: Vec::new() }
+        NoiseProcess {
+            pid: machine.spawn(cpu),
+            held: Vec::new(),
+        }
     }
 
     /// The noise process's pid.

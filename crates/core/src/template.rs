@@ -44,7 +44,7 @@ impl FlipTemplate {
 }
 
 /// Result of a templating sweep.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TemplateScan {
     /// Deduplicated templates, in discovery order.
     pub templates: Vec<FlipTemplate>,
@@ -118,7 +118,14 @@ pub fn template_scan(
     }
 
     dedupe(&mut scan.templates);
-    score_reproducibility(machine, pid, base, &mut scan.templates, hammer_pairs, repro_rounds)?;
+    score_reproducibility(
+        machine,
+        pid,
+        base,
+        &mut scan.templates,
+        hammer_pairs,
+        repro_rounds,
+    )?;
     scan.elapsed = machine.now() - start_time;
     Ok(scan)
 }
@@ -202,7 +209,11 @@ fn score_reproducibility(
                 hits += 1;
             }
         }
-        t.reproducibility = if rounds == 0 { 0.0 } else { hits as f32 / rounds as f32 };
+        t.reproducibility = if rounds == 0 {
+            0.0
+        } else {
+            hits as f32 / rounds as f32
+        };
         machine.fill(pid, t.page_va, PAGE_SIZE, 0)?;
     }
     Ok(())
@@ -241,8 +252,11 @@ mod tests {
     #[test]
     fn templates_are_deduplicated_and_scored() {
         let (_, _, _, scan) = scan_small(6, 4096, 400_000);
-        let mut keys: Vec<_> =
-            scan.templates.iter().map(|t| (t.page_index, t.page_offset, t.bit)).collect();
+        let mut keys: Vec<_> = scan
+            .templates
+            .iter()
+            .map(|t| (t.page_index, t.page_offset, t.bit))
+            .collect();
         keys.sort();
         let len = keys.len();
         keys.dedup();

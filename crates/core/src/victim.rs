@@ -1,9 +1,7 @@
 //! The victim: a cipher service whose lookup tables live in one page of
 //! (steered) memory.
 
-use ciphers::{
-    present_sbox_image, BlockCipher, Present80, SboxAes, TTableAes, TableImage,
-};
+use ciphers::{present_sbox_image, BlockCipher, Present80, SboxAes, TTableAes, TableImage};
 use machine::{MachineError, Pid, SimMachine, VirtAddr};
 use memsim::{CpuId, Pfn, PAGE_SIZE};
 use rand::rngs::StdRng;
@@ -26,7 +24,10 @@ impl VictimKeys {
     /// Derives keys from a seed.
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC2_E7C0_FFEE);
-        VictimKeys { aes: rng.gen(), present: rng.gen() }
+        VictimKeys {
+            aes: rng.gen(),
+            present: rng.gen(),
+        }
     }
 }
 
@@ -64,7 +65,13 @@ impl VictimCipherService {
             VictimCipherKind::Present => present_sbox_image().to_vec(),
         };
         machine.write(pid, base, &image)?;
-        Ok(VictimCipherService { pid, cpu, base, kind, keys })
+        Ok(VictimCipherService {
+            pid,
+            cpu,
+            base,
+            kind,
+            keys,
+        })
     }
 
     /// The victim's pid.
@@ -105,11 +112,7 @@ impl VictimCipherService {
     /// # Panics
     ///
     /// Panics if `block.len()` differs from [`Self::block_bytes`].
-    pub fn encrypt(
-        &self,
-        machine: &mut SimMachine,
-        block: &mut [u8],
-    ) -> Result<(), MachineError> {
+    pub fn encrypt(&self, machine: &mut SimMachine, block: &mut [u8]) -> Result<(), MachineError> {
         assert_eq!(block.len(), self.block_bytes(), "block size mismatch");
         let len = self.kind.image_len();
         match self.kind {
@@ -136,7 +139,9 @@ impl VictimCipherService {
 
     /// The frame backing the table page (experiment oracle).
     pub fn table_pfn(&self, machine: &SimMachine) -> Option<Pfn> {
-        machine.translate(self.pid, self.base).map(|pa| Pfn(pa.as_u64() / PAGE_SIZE))
+        machine
+            .translate(self.pid, self.base)
+            .map(|pa| Pfn(pa.as_u64() / PAGE_SIZE))
     }
 
     /// Terminates the service, releasing its page.
@@ -164,8 +169,7 @@ mod tests {
         let mut m = machine();
         let keys = VictimKeys::from_seed(1);
         let svc =
-            VictimCipherService::start(&mut m, CpuId(1), VictimCipherKind::AesSbox, keys)
-                .unwrap();
+            VictimCipherService::start(&mut m, CpuId(1), VictimCipherKind::AesSbox, keys).unwrap();
         let mut block = *b"0123456789abcdef";
         let mut expect = block;
         svc.encrypt(&mut m, &mut block).unwrap();
@@ -177,9 +181,8 @@ mod tests {
     fn ttable_service_matches_reference_aes() {
         let mut m = machine();
         let keys = VictimKeys::from_seed(2);
-        let svc =
-            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesTtable, keys)
-                .unwrap();
+        let svc = VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesTtable, keys)
+            .unwrap();
         let mut block = [0xA5u8; 16];
         let mut expect = block;
         svc.encrypt(&mut m, &mut block).unwrap();
@@ -192,13 +195,15 @@ mod tests {
         let mut m = machine();
         let keys = VictimKeys::from_seed(3);
         let svc =
-            VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::Present, keys)
-                .unwrap();
+            VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::Present, keys).unwrap();
         let mut block = [0x11u8; 8];
         let mut expect = block;
         svc.encrypt(&mut m, &mut block).unwrap();
-        Present80::new(&keys.present, RamTableSource::new(present_sbox_image().to_vec()))
-            .encrypt_block(&mut expect);
+        Present80::new(
+            &keys.present,
+            RamTableSource::new(present_sbox_image().to_vec()),
+        )
+        .encrypt_block(&mut expect);
         assert_eq!(block, expect);
     }
 
@@ -207,8 +212,7 @@ mod tests {
         let mut m = machine();
         let keys = VictimKeys::from_seed(4);
         let svc =
-            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys)
-                .unwrap();
+            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys).unwrap();
         // Flip one bit of the S-box in DRAM directly (what the hammer does).
         let pa = m.translate(svc.pid(), svc.base).unwrap();
         let byte = m.dram_mut().read_byte(pa + 0x20);
@@ -236,12 +240,16 @@ mod tests {
         let mut m = machine();
         let keys = VictimKeys::from_seed(5);
         let svc =
-            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys)
-                .unwrap();
+            VictimCipherService::start(&mut m, CpuId(0), VictimCipherKind::AesSbox, keys).unwrap();
         let pfn = svc.table_pfn(&m).unwrap();
         svc.stop(&mut m).unwrap();
         // The frame is back in cpu0's page frame cache.
         let zone = m.allocator().zone_of(pfn).unwrap();
-        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(0)).contains(pfn));
+        assert!(m
+            .allocator()
+            .zone(zone)
+            .unwrap()
+            .pcp(CpuId(0))
+            .contains(pfn));
     }
 }

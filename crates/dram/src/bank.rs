@@ -107,7 +107,10 @@ impl BankState {
         }
         let old_units = entry.units;
         entry.units = entry.units.saturating_add(units);
-        DisturbDelta { old_units, new_units: entry.units }
+        DisturbDelta {
+            old_units,
+            new_units: entry.units,
+        }
     }
 
     /// Clears the disturbance of `row` — an `ACT` of a row restores the

@@ -213,7 +213,12 @@ impl WeakCellMap {
             params.density > 0.0 && params.density < 1.0,
             "density must be in (0, 1)"
         );
-        WeakCellMap { seed, params, bits_per_row, cache: HashMap::new() }
+        WeakCellMap {
+            seed,
+            params,
+            bits_per_row,
+            cache: HashMap::new(),
+        }
     }
 
     /// The population parameters.
@@ -301,8 +306,7 @@ mod tests {
     fn density_controls_population_size() {
         let rows = 2000u64;
         let count = |density: f64| -> usize {
-            let mut m =
-                WeakCellMap::new(7, WeakCellParams::flippy().with_density(density), 65536);
+            let mut m = WeakCellMap::new(7, WeakCellParams::flippy().with_density(density), 65536);
             (0..rows).map(|r| m.cells_for_row(r).len()).sum()
         };
         let sparse = count(1e-7);

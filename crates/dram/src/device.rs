@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use crate::bank::{next_refresh_time, BankState};
-use crate::cells::{CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR};
+use crate::cells::{
+    CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
+};
 use crate::error::DramError;
 use crate::geometry::{DramCoord, DramGeometry, PhysAddr};
 use crate::mapping::{AddressMapping, MappingKind};
@@ -48,12 +50,20 @@ impl DramConfig {
 
     /// 1 GiB device with a moderate cell population — paper-scale runs.
     pub fn medium_1gib() -> Self {
-        DramConfig { geometry: DramGeometry::medium_1gib(), cells: WeakCellParams::moderate(), ..Self::small() }
+        DramConfig {
+            geometry: DramGeometry::medium_1gib(),
+            cells: WeakCellParams::moderate(),
+            ..Self::small()
+        }
     }
 
     /// 4 GiB desktop device with a moderate cell population.
     pub fn desktop_4gib() -> Self {
-        DramConfig { geometry: DramGeometry::desktop_4gib(), cells: WeakCellParams::moderate(), ..Self::small() }
+        DramConfig {
+            geometry: DramGeometry::desktop_4gib(),
+            cells: WeakCellParams::moderate(),
+            ..Self::small()
+        }
     }
 
     /// Returns a copy with a different weak-cell seed.
@@ -277,9 +287,12 @@ impl DramDevice {
     /// Panics if `addr` exceeds capacity.
     pub fn access(&mut self, addr: PhysAddr) -> Nanos {
         let coord = self.mapping.phys_to_coord(addr);
-        let bank_idx = self.config.geometry.bank_index(coord.channel, coord.rank, coord.bank);
+        let bank_idx = self
+            .config
+            .geometry
+            .bank_index(coord.channel, coord.rank, coord.bank);
         let missed = self.banks[bank_idx].activate(coord.row);
-        let latency = if missed {
+        if missed {
             self.stats.acts += 1;
             self.now += self.config.timing.t_rc;
             // Activating a row restores its own cells' charge.
@@ -290,16 +303,18 @@ impl DramDevice {
             self.stats.row_hits += 1;
             self.now += self.config.timing.t_row_hit;
             self.config.timing.t_row_hit
-        };
-        latency
+        }
     }
 
     /// Applies the disturbance of `acts` activations of `aggressor` to its
     /// neighbouring rows and collects any resulting flips.
     fn disturb_neighbours(&mut self, aggressor: DramCoord, acts: u64) {
-        for (delta, units) in
-            [(-2i64, DIST_UNITS_FAR), (-1, DIST_UNITS_NEAR), (1, DIST_UNITS_NEAR), (2, DIST_UNITS_FAR)]
-        {
+        for (delta, units) in [
+            (-2i64, DIST_UNITS_FAR),
+            (-1, DIST_UNITS_NEAR),
+            (1, DIST_UNITS_NEAR),
+            (2, DIST_UNITS_FAR),
+        ] {
             if let Some(victim) = aggressor.neighbour_row(delta, &self.config.geometry) {
                 self.disturb_row(victim, units as u64 * acts);
             }
@@ -330,10 +345,14 @@ impl DramDevice {
     fn try_flip(&mut self, victim: DramCoord, cell: &WeakCell) {
         let byte_in_row = cell.bit_in_row / 8;
         let bit = (cell.bit_in_row % 8) as u8;
-        let coord = DramCoord { col: byte_in_row, ..victim };
+        let coord = DramCoord {
+            col: byte_in_row,
+            ..victim
+        };
         let addr = self.mapping.coord_to_phys(coord);
         if self.mem.read_bit(addr, bit) == cell.polarity.charged_value() {
-            self.mem.write_bit(addr, bit, cell.polarity.discharged_value());
+            self.mem
+                .write_bit(addr, bit, cell.polarity.discharged_value());
             self.stats.flips += 1;
             self.flip_log.push(FlipEvent {
                 addr,
@@ -463,7 +482,10 @@ impl DramDevice {
         start: PhysAddr,
         len: u64,
     ) -> Vec<(PhysAddr, u8, WeakCell)> {
-        assert!(start.as_u64() + len <= self.capacity_bytes(), "range beyond capacity");
+        assert!(
+            start.as_u64() + len <= self.capacity_bytes(),
+            "range beyond capacity"
+        );
         let row_bytes = self.config.geometry.row_bytes as u64;
         let mut out = Vec::new();
         let mut row_start = start.align_down(row_bytes);
@@ -472,9 +494,10 @@ impl DramDevice {
             let coord = self.mapping.phys_to_coord(row_start);
             for cell in cells.iter() {
                 let byte_in_row = cell.bit_in_row / 8;
-                let addr = self
-                    .mapping
-                    .coord_to_phys(DramCoord { col: byte_in_row, ..coord });
+                let addr = self.mapping.coord_to_phys(DramCoord {
+                    col: byte_in_row,
+                    ..coord
+                });
                 if addr >= start && addr.as_u64() < start.as_u64() + len {
                     out.push((addr, (cell.bit_in_row % 8) as u8, *cell));
                 }
@@ -490,7 +513,13 @@ mod tests {
     use super::*;
 
     fn coord(bank: u32, row: u32, col: u32) -> DramCoord {
-        DramCoord { channel: 0, rank: 0, bank, row, col }
+        DramCoord {
+            channel: 0,
+            rank: 0,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// A config whose row 100/bank 0 victim can be fabricated precisely: we
@@ -545,8 +574,16 @@ mod tests {
         let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
         let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
         // Store the charged pattern so the cell can discharge.
-        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
-        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, fill);
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        dev.fill(
+            victim_row_addr,
+            dev.config().geometry.row_bytes as u64,
+            fill,
+        );
 
         // Hammer with more than threshold pairs (double-sided → 2 ACTs of
         // near disturbance per pair on the sandwiched row).
@@ -570,8 +607,16 @@ mod tests {
         let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
         let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
         // Store the *discharged* pattern — the flip must not happen.
-        let fill = if cell.polarity.charged_value() { 0x00 } else { 0xFF };
-        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, fill);
+        let fill = if cell.polarity.charged_value() {
+            0x00
+        } else {
+            0xFF
+        };
+        dev.fill(
+            victim_row_addr,
+            dev.config().geometry.row_bytes as u64,
+            fill,
+        );
         let outcome = dev.hammer_pair(a, b, cell.threshold_acts()).unwrap();
         assert!(outcome
             .flips
@@ -586,13 +631,21 @@ mod tests {
         let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
         let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
         let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
-        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, 0xFF);
+        dev.fill(
+            victim_row_addr,
+            dev.config().geometry.row_bytes as u64,
+            0xFF,
+        );
         // Double-sided hammering delivers 2 near-ACTs per pair, so staying
         // below min_threshold/2 pairs keeps *every* possible cell below its
         // floor threshold, regardless of seed.
         let pairs = dev.config().cells.min_threshold_acts / 4;
         let outcome = dev.hammer_pair(a, b, pairs).unwrap();
-        assert!(outcome.flips.is_empty(), "unexpected flips: {:?}", outcome.flips);
+        assert!(
+            outcome.flips.is_empty(),
+            "unexpected flips: {:?}",
+            outcome.flips
+        );
     }
 
     #[test]
@@ -605,8 +658,16 @@ mod tests {
         let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
         let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
         let victim_row_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
-        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
-        dev.fill(victim_row_addr, dev.config().geometry.row_bytes as u64, fill);
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        dev.fill(
+            victim_row_addr,
+            dev.config().geometry.row_bytes as u64,
+            fill,
+        );
         let window = dev.config().timing.refresh_window();
         // Each chunk stays below every cell's floor threshold, but the total
         // hammering far exceeds the found cell's threshold — only the idle
@@ -630,7 +691,10 @@ mod tests {
             Err(DramError::AggressorsInDifferentBanks { .. })
         ));
         let c = dev.mapping().coord_to_phys(coord(0, 10, 128));
-        assert!(matches!(dev.hammer_pair(a, c, 10), Err(DramError::AggressorsShareRow { .. })));
+        assert!(matches!(
+            dev.hammer_pair(a, c, 10),
+            Err(DramError::AggressorsShareRow { .. })
+        ));
     }
 
     #[test]
@@ -646,7 +710,11 @@ mod tests {
         let victim_addr = bulk.mapping().coord_to_phys(coord(0, row, 0));
         let row_bytes = bulk.config().geometry.row_bytes as u64;
         let pairs = cell.threshold_acts() + 16;
-        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
 
         bulk.fill(victim_addr, row_bytes, fill);
         let bulk_flips = bulk.hammer_pair(a, b, pairs).unwrap().flips;
@@ -665,7 +733,10 @@ mod tests {
         bk.sort();
         sk.sort();
         assert_eq!(bk, sk, "bulk and per-access hammering disagree");
-        assert!(!bk.is_empty(), "expected at least one flip in the comparison");
+        assert!(
+            !bk.is_empty(),
+            "expected at least one flip in the comparison"
+        );
     }
 
     #[test]
@@ -678,7 +749,11 @@ mod tests {
         let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
         let victim_addr = dev.mapping().coord_to_phys(coord(0, row, 0));
         let row_bytes = dev.config().geometry.row_bytes as u64;
-        let fill = if cell.polarity.charged_value() { 0xFF } else { 0x00 };
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
         let pairs = cell.threshold_acts() + 16;
 
         let mut observed = Vec::new();
@@ -713,6 +788,10 @@ mod tests {
             assert!(c.row < g.rows);
         }
         // Flippy density 1e-5 over 1 MiB (8 Mbit) ⇒ ~84 expected cells.
-        assert!(found.len() > 20 && found.len() < 300, "found {}", found.len());
+        assert!(
+            found.len() > 20 && found.len() < 300,
+            "found {}",
+            found.len()
+        );
     }
 }

@@ -33,7 +33,10 @@ impl fmt::Display for DramError {
                 write!(f, "hammer aggressors map to different banks ({a} vs {b})")
             }
             DramError::AggressorsShareRow { coord } => {
-                write!(f, "hammer aggressors share row {coord}; accesses would be row hits")
+                write!(
+                    f,
+                    "hammer aggressors share row {coord}; accesses would be row hits"
+                )
             }
         }
     }

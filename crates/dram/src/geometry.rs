@@ -118,18 +118,36 @@ impl DramGeometry {
     /// A 4 GiB desktop configuration: 1 channel, 2 ranks, 8 banks,
     /// 32768 rows of 8 KiB.
     pub const fn desktop_4gib() -> Self {
-        DramGeometry { channels: 1, ranks: 2, banks: 8, rows: 32 * 1024, row_bytes: 8 * 1024 }
+        DramGeometry {
+            channels: 1,
+            ranks: 2,
+            banks: 8,
+            rows: 32 * 1024,
+            row_bytes: 8 * 1024,
+        }
     }
 
     /// A 256 MiB configuration for fast tests: 1 channel, 1 rank, 8 banks,
     /// 4096 rows of 8 KiB.
     pub const fn small_256mib() -> Self {
-        DramGeometry { channels: 1, ranks: 1, banks: 8, rows: 4 * 1024, row_bytes: 8 * 1024 }
+        DramGeometry {
+            channels: 1,
+            ranks: 1,
+            banks: 8,
+            rows: 4 * 1024,
+            row_bytes: 8 * 1024,
+        }
     }
 
     /// A 1 GiB configuration: 1 channel, 1 rank, 8 banks, 16384 rows of 8 KiB.
     pub const fn medium_1gib() -> Self {
-        DramGeometry { channels: 1, ranks: 1, banks: 8, rows: 16 * 1024, row_bytes: 8 * 1024 }
+        DramGeometry {
+            channels: 1,
+            ranks: 1,
+            banks: 8,
+            rows: 16 * 1024,
+            row_bytes: 8 * 1024,
+        }
     }
 
     /// Total capacity in bytes.
@@ -226,7 +244,10 @@ impl DramCoord {
         if row < 0 || row >= geometry.rows as i64 {
             None
         } else {
-            Some(DramCoord { row: row as u32, ..*self })
+            Some(DramCoord {
+                row: row as u32,
+                ..*self
+            })
         }
     }
 }
@@ -284,7 +305,13 @@ mod tests {
     #[test]
     fn neighbour_row_bounds() {
         let g = DramGeometry::small_256mib();
-        let last = DramCoord { channel: 0, rank: 0, bank: 3, row: g.rows - 1, col: 17 };
+        let last = DramCoord {
+            channel: 0,
+            rank: 0,
+            bank: 3,
+            row: g.rows - 1,
+            col: 17,
+        };
         assert!(last.neighbour_row(1, &g).is_none());
         let n = last.neighbour_row(-2, &g).unwrap();
         assert_eq!(n.row, g.rows - 3);
@@ -295,8 +322,20 @@ mod tests {
     #[test]
     fn global_row_id_unique_across_banks() {
         let g = DramGeometry::small_256mib();
-        let a = DramCoord { channel: 0, rank: 0, bank: 0, row: 5, col: 0 };
-        let b = DramCoord { channel: 0, rank: 0, bank: 1, row: 5, col: 0 };
+        let a = DramCoord {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 5,
+            col: 0,
+        };
+        let b = DramCoord {
+            channel: 0,
+            rank: 0,
+            bank: 1,
+            row: 5,
+            col: 0,
+        };
         assert_ne!(g.global_row_id(a), g.global_row_id(b));
     }
 }

@@ -66,7 +66,9 @@ mod sparse;
 mod stats;
 mod timing;
 
-pub use cells::{CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR};
+pub use cells::{
+    CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
+};
 pub use device::{DramConfig, DramDevice, FlipEvent, HammerOutcome};
 pub use error::DramError;
 pub use geometry::{DramCoord, DramGeometry, PhysAddr};

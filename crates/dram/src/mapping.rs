@@ -52,7 +52,10 @@ struct FieldLayout {
 
 impl FieldLayout {
     fn for_geometry(g: &DramGeometry) -> Self {
-        assert!(g.is_valid(), "geometry dimensions must be powers of two: {g:?}");
+        assert!(
+            g.is_valid(),
+            "geometry dimensions must be powers of two: {g:?}"
+        );
         FieldLayout {
             col_bits: g.row_bytes.trailing_zeros(),
             bank_bits: g.banks.trailing_zeros(),
@@ -135,12 +138,21 @@ impl AddressMapping for LinearMapping {
             "address {addr} beyond capacity"
         );
         let (col, bank, rank, channel, row) = self.layout.split(addr.as_u64());
-        DramCoord { channel, rank, bank, row, col }
+        DramCoord {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     fn coord_to_phys(&self, coord: DramCoord) -> PhysAddr {
         check_coord(&self.geometry, coord);
-        PhysAddr::new(self.layout.join(coord.col, coord.bank, coord.rank, coord.channel, coord.row))
+        PhysAddr::new(
+            self.layout
+                .join(coord.col, coord.bank, coord.rank, coord.channel, coord.row),
+        )
     }
 }
 
@@ -192,19 +204,22 @@ impl AddressMapping for XorMapping {
         );
         let (col, bank_field, rank, channel, row) = self.layout.split(addr.as_u64());
         let bank = bank_field ^ (row & self.bank_mask());
-        DramCoord { channel, rank, bank, row, col }
+        DramCoord {
+            channel,
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     fn coord_to_phys(&self, coord: DramCoord) -> PhysAddr {
         check_coord(&self.geometry, coord);
         let bank_field = coord.bank ^ (coord.row & self.bank_mask());
-        PhysAddr::new(self.layout.join(
-            coord.col,
-            bank_field,
-            coord.rank,
-            coord.channel,
-            coord.row,
-        ))
+        PhysAddr::new(
+            self.layout
+                .join(coord.col, bank_field, coord.rank, coord.channel, coord.row),
+        )
     }
 }
 
@@ -234,7 +249,11 @@ mod tests {
 
     fn roundtrip(m: &dyn AddressMapping, addr: u64) {
         let c = m.phys_to_coord(PhysAddr::new(addr));
-        assert_eq!(m.coord_to_phys(c).as_u64(), addr, "roundtrip failed for {addr:#x}");
+        assert_eq!(
+            m.coord_to_phys(c).as_u64(),
+            addr,
+            "roundtrip failed for {addr:#x}"
+        );
     }
 
     #[test]
@@ -248,7 +267,7 @@ mod tests {
     #[test]
     fn xor_roundtrips() {
         let m = XorMapping::new(DramGeometry::small_256mib());
-        for addr in [0u64, 1, 4095, 4096, 8191, 8192, 123_456_789 % (256 << 20)] {
+        for addr in [0u64, 1, 4095, 4096, 8191, 8192, 123_456_789] {
             roundtrip(&m, addr);
         }
     }
@@ -275,7 +294,10 @@ mod tests {
             let a = PhysAddr::new(i * g.row_bytes as u64 * g.banks as u64);
             lin.phys_to_coord(a).bank != xor.phys_to_coord(a).bank
         });
-        assert!(differs, "xor mapping should differ from linear for some rows");
+        assert!(
+            differs,
+            "xor mapping should differ from linear for some rows"
+        );
     }
 
     #[test]
@@ -289,7 +311,13 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_coord_panics() {
         let m = LinearMapping::new(DramGeometry::small_256mib());
-        m.coord_to_phys(DramCoord { channel: 0, rank: 0, bank: 99, row: 0, col: 0 });
+        m.coord_to_phys(DramCoord {
+            channel: 0,
+            rank: 0,
+            bank: 99,
+            row: 0,
+            col: 0,
+        });
     }
 
     #[test]

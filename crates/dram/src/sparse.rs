@@ -45,7 +45,11 @@ impl SparseMemory {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u64) -> Self {
         assert!(capacity > 0, "capacity must be non-zero");
-        SparseMemory { capacity, default_byte: 0, chunks: HashMap::new() }
+        SparseMemory {
+            capacity,
+            default_byte: 0,
+            chunks: HashMap::new(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -63,7 +67,9 @@ impl SparseMemory {
 
     fn check(&self, addr: PhysAddr, len: u64) {
         assert!(
-            addr.as_u64().checked_add(len).is_some_and(|end| end <= self.capacity),
+            addr.as_u64()
+                .checked_add(len)
+                .is_some_and(|end| end <= self.capacity),
             "access at {addr}+{len} beyond capacity {:#x}",
             self.capacity
         );
@@ -162,7 +168,10 @@ impl SparseMemory {
             let in_chunk = (pos % CHUNK as u64) as usize;
             let n = (CHUNK - in_chunk).min(data.len() - off);
             let src = &data[off..off + n];
-            let uniform = src.first().copied().filter(|&b| src.iter().all(|&x| x == b));
+            let uniform = src
+                .first()
+                .copied()
+                .filter(|&b| src.iter().all(|&x| x == b));
             match (n == CHUNK, uniform) {
                 (true, Some(b)) => {
                     self.chunks.insert(chunk, ChunkData::Uniform(b));
@@ -223,7 +232,11 @@ impl SparseMemory {
     pub fn write_bit(&mut self, addr: PhysAddr, bit: u8, value: bool) {
         assert!(bit < 8, "bit index must be 0..8");
         let byte = self.read_byte(addr);
-        let new = if value { byte | (1 << bit) } else { byte & !(1 << bit) };
+        let new = if value {
+            byte | (1 << bit)
+        } else {
+            byte & !(1 << bit)
+        };
         self.write_byte(addr, new);
     }
 }

@@ -34,7 +34,12 @@ pub struct DramTiming {
 impl DramTiming {
     /// DDR3-1600 timing set.
     pub const fn ddr3_1600() -> Self {
-        DramTiming { t_rc: 46, t_row_hit: 15, t_refi: 7_812, refresh_groups: 8192 }
+        DramTiming {
+            t_rc: 46,
+            t_row_hit: 15,
+            t_refi: 7_812,
+            refresh_groups: 8192,
+        }
     }
 
     /// Time to refresh every row once (the refresh window, ~64 ms).
@@ -55,7 +60,10 @@ impl DramTiming {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn with_refresh_scale(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "refresh scale must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "refresh scale must be positive"
+        );
         self.t_refi = ((self.t_refi as f64) * factor).max(1.0) as Nanos;
         self
     }
@@ -75,7 +83,10 @@ mod tests {
     fn ddr3_window_is_about_64ms() {
         let t = DramTiming::ddr3_1600();
         let win = t.refresh_window();
-        assert!((63_000_000..=65_000_000).contains(&win), "window was {win} ns");
+        assert!(
+            (63_000_000..=65_000_000).contains(&win),
+            "window was {win} ns"
+        );
     }
 
     #[test]

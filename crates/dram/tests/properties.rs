@@ -11,7 +11,13 @@ fn geometries() -> impl Strategy<Value = DramGeometry> {
         Just(DramGeometry::small_256mib()),
         Just(DramGeometry::medium_1gib()),
         Just(DramGeometry::desktop_4gib()),
-        Just(DramGeometry { channels: 2, ranks: 2, banks: 16, rows: 1024, row_bytes: 4096 }),
+        Just(DramGeometry {
+            channels: 2,
+            ranks: 2,
+            banks: 16,
+            rows: 1024,
+            row_bytes: 4096
+        }),
     ]
 }
 

@@ -121,7 +121,10 @@ impl DfaAttack {
     /// Creates an attack with all 256 candidates per position.
     pub fn new() -> Self {
         let full: BTreeSet<u8> = (0..=255).collect();
-        DfaAttack { candidates: std::array::from_fn(|_| full.clone()), pairs: 0 }
+        DfaAttack {
+            candidates: std::array::from_fn(|_| full.clone()),
+            pairs: 0,
+        }
     }
 
     /// Pairs observed so far.
@@ -133,8 +136,7 @@ impl DfaAttack {
     /// Pairs whose fault did not hit a single byte are ignored gracefully
     /// (they differ at ≠1 positions).
     pub fn observe_pair(&mut self, correct: &[u8; 16], faulty: &[u8; 16]) {
-        let diffs: Vec<usize> =
-            (0..16).filter(|&i| correct[i] != faulty[i]).collect();
+        let diffs: Vec<usize> = (0..16).filter(|&i| correct[i] != faulty[i]).collect();
         let [pos] = diffs[..] else {
             return; // not a clean single-byte fault
         };
@@ -146,8 +148,9 @@ impl DfaAttack {
             .copied()
             .filter(|&k| {
                 let x = inv[(correct[pos] ^ k) as usize];
-                (0..8).any(|b| s[(x ^ (1 << b)) as usize] ^ s[x as usize]
-                    == correct[pos] ^ faulty[pos])
+                (0..8).any(|b| {
+                    s[(x ^ (1 << b)) as usize] ^ s[x as usize] == correct[pos] ^ faulty[pos]
+                })
             })
             .collect();
         if !keep.is_empty() {
@@ -163,18 +166,19 @@ impl DfaAttack {
     /// The last-round key, if every position is down to one candidate.
     pub fn last_round_key(&self) -> Option<[u8; 16]> {
         let mut out = [0u8; 16];
-        for i in 0..16 {
-            if self.candidates[i].len() != 1 {
+        for (o, cand) in out.iter_mut().zip(&self.candidates) {
+            if cand.len() != 1 {
                 return None;
             }
-            out[i] = *self.candidates[i].iter().next().expect("len 1");
+            *o = *cand.iter().next().expect("len 1");
         }
         Some(out)
     }
 
     /// The AES-128 master key, if complete.
     pub fn master_key(&self) -> Option<[u8; 16]> {
-        self.last_round_key().map(|rk| invert_last_round_key_128(&rk))
+        self.last_round_key()
+            .map(|rk| invert_last_round_key_128(&rk))
     }
 }
 

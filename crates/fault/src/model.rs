@@ -109,16 +109,27 @@ mod tests {
     #[test]
     fn classify_s_lane_per_table() {
         // Table 0's S-lane is lane 1.
-        let f = TableFault { offset: TableImage::te_entry_offset(0, 0x20) + 1, bit: 0 };
+        let f = TableFault {
+            offset: TableImage::te_entry_offset(0, 0x20) + 1,
+            bit: 0,
+        };
         match f.classify_te() {
-            TeFaultClass::SLane { table, entry, delta, positions } => {
+            TeFaultClass::SLane {
+                table,
+                entry,
+                delta,
+                positions,
+            } => {
                 assert_eq!((table, entry, delta), (0, 0x20, 1));
                 assert_eq!(positions, [2, 6, 10, 14]);
             }
             other => panic!("expected SLane, got {other:?}"),
         }
         // Table 2's S-lane is lane 3 → positions 0,4,8,12.
-        let f = TableFault { offset: TableImage::te_entry_offset(2, 0x01) + 3, bit: 6 };
+        let f = TableFault {
+            offset: TableImage::te_entry_offset(2, 0x01) + 3,
+            bit: 6,
+        };
         match f.classify_te() {
             TeFaultClass::SLane { positions, .. } => assert_eq!(positions, [0, 4, 8, 12]),
             other => panic!("expected SLane, got {other:?}"),
@@ -128,10 +139,17 @@ mod tests {
     #[test]
     fn classify_middle_round_lane() {
         // Lane 0 of table 0 carries 3S — middle rounds only.
-        let f = TableFault { offset: TableImage::te_entry_offset(0, 0x10), bit: 2 };
+        let f = TableFault {
+            offset: TableImage::te_entry_offset(0, 0x10),
+            bit: 2,
+        };
         assert!(matches!(
             f.classify_te(),
-            TeFaultClass::MiddleRoundsOnly { table: 0, entry: 0x10, lane: 0 }
+            TeFaultClass::MiddleRoundsOnly {
+                table: 0,
+                entry: 0x10,
+                lane: 0
+            }
         ));
         assert!(!f.classify_te().is_exploitable());
     }
@@ -140,7 +158,14 @@ mod tests {
     fn exploitable_fraction_is_one_quarter() {
         // Exactly one lane in four is an S-lane, uniformly over the page.
         let exploitable = (0..4096)
-            .filter(|&off| TableFault { offset: off, bit: 0 }.classify_te().is_exploitable())
+            .filter(|&off| {
+                TableFault {
+                    offset: off,
+                    bit: 0,
+                }
+                .classify_te()
+                .is_exploitable()
+            })
             .count();
         assert_eq!(exploitable, 1024);
     }

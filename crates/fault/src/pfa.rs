@@ -73,12 +73,12 @@ impl PfaCollector {
     /// The unique missing value per position, where determined.
     pub fn missing_values(&self) -> [Option<u8>; 16] {
         let mut out = [None; 16];
-        for i in 0..16 {
-            if self.unseen_counts[i] == 1 {
-                out[i] = self.seen[i]
-                    .iter()
-                    .position(|&s| !s)
-                    .map(|v| v as u8);
+        for (o, (unseen, seen)) in out
+            .iter_mut()
+            .zip(self.unseen_counts.iter().zip(&self.seen))
+        {
+            if *unseen == 1 {
+                *o = seen.iter().position(|&s| !s).map(|v| v as u8);
             }
         }
         out
@@ -89,8 +89,8 @@ impl PfaCollector {
     /// missing-value test; needs more ciphertexts to stabilise).
     pub fn argmax_values(&self) -> [u8; 16] {
         let mut out = [0u8; 16];
-        for i in 0..16 {
-            out[i] = self.counts[i]
+        for (o, counts) in out.iter_mut().zip(&self.counts) {
+            *o = counts
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, &c)| c)
@@ -109,7 +109,10 @@ impl PfaCollector {
         for i in 0..16 {
             key[i] = missing[i].map(|m| m ^ missing_sbox_output);
         }
-        PfaAnalysis { last_round_key: key, ciphertexts: self.total }
+        PfaAnalysis {
+            last_round_key: key,
+            ciphertexts: self.total,
+        }
     }
 
     /// Completes the analysis *without* knowing which entry was faulted:
@@ -124,7 +127,10 @@ impl PfaCollector {
         known_cipher: &[u8; 16],
     ) -> Option<PfaAnalysis> {
         let missing = self.missing_values();
-        let m: Vec<u8> = missing.iter().map(|o| (*o)?.into()).collect::<Option<Vec<_>>>()?;
+        let m: Vec<u8> = missing
+            .iter()
+            .map(|o| (*o)?.into())
+            .collect::<Option<Vec<_>>>()?;
         for v in 0..=255u8 {
             let mut rk10 = [0u8; 16];
             for i in 0..16 {
@@ -139,7 +145,10 @@ impl PfaCollector {
                 for i in 0..16 {
                     key[i] = Some(rk10[i]);
                 }
-                return Some(PfaAnalysis { last_round_key: key, ciphertexts: self.total });
+                return Some(PfaAnalysis {
+                    last_round_key: key,
+                    ciphertexts: self.total,
+                });
             }
         }
         None
@@ -168,15 +177,16 @@ impl PfaAnalysis {
     /// The full last-round key, if every byte is determined.
     pub fn full_last_round_key(&self) -> Option<[u8; 16]> {
         let mut out = [0u8; 16];
-        for i in 0..16 {
-            out[i] = self.last_round_key[i]?;
+        for (o, byte) in out.iter_mut().zip(&self.last_round_key) {
+            *o = (*byte)?;
         }
         Some(out)
     }
 
     /// The AES-128 master key (inverted key schedule), if complete.
     pub fn master_key(&self) -> Option<[u8; 16]> {
-        self.full_last_round_key().map(|rk| invert_last_round_key_128(&rk))
+        self.full_last_round_key()
+            .map(|rk| invert_last_round_key_128(&rk))
     }
 
     /// Ciphertexts consumed to reach this analysis.
@@ -248,7 +258,9 @@ mod tests {
         let plain = *b"known plaintext!";
         let mut cipher = plain;
         ReferenceAes::new_128(&key).encrypt_block(&mut cipher);
-        let analysis = collector.analyze_unknown_fault(&plain, &cipher).expect("recovery");
+        let analysis = collector
+            .analyze_unknown_fault(&plain, &cipher)
+            .expect("recovery");
         assert_eq!(analysis.master_key(), Some(key));
     }
 
@@ -277,8 +289,7 @@ mod tests {
         // Without a fault every value appears; positions never reach
         // exactly-one-unseen, they reach zero-unseen.
         let key = [1u8; 16];
-        let mut victim =
-            SboxAes::new_128(&key, RamTableSource::new(TableImage::sbox().to_vec()));
+        let mut victim = SboxAes::new_128(&key, RamTableSource::new(TableImage::sbox().to_vec()));
         let mut collector = PfaCollector::new();
         let mut rng = rand::rngs::StdRng::seed_from_u64(45);
         for _ in 0..20_000 {
@@ -293,6 +304,9 @@ mod tests {
     #[test]
     fn expected_ciphertexts_matches_pfa_paper_ballpark() {
         let n = expected_ciphertexts_for_full_key(16);
-        assert!((1500.0..2500.0).contains(&n), "estimate {n} out of the PFA ballpark");
+        assert!(
+            (1500.0..2500.0).contains(&n),
+            "estimate {n} out of the PFA ballpark"
+        );
     }
 }

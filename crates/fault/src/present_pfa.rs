@@ -54,7 +54,11 @@ pub struct PresentPfa {
 impl PresentPfa {
     /// Creates an empty collector.
     pub fn new() -> Self {
-        PresentPfa { seen: [[false; 16]; 16], unseen: [16; 16], total: 0 }
+        PresentPfa {
+            seen: [[false; 16]; 16],
+            unseen: [16; 16],
+            total: 0,
+        }
     }
 
     /// Records one faulty ciphertext.
@@ -93,10 +97,9 @@ impl PresentPfa {
     /// The unique missing nibble per position, where determined.
     pub fn missing_nibbles(&self) -> [Option<u8>; 16] {
         let mut out = [None; 16];
-        for i in 0..16 {
-            if self.unseen[i] == 1 {
-                out[i] =
-                    self.seen[i].iter().position(|&s| !s).map(|v| v as u8);
+        for (o, (unseen, seen)) in out.iter_mut().zip(self.unseen.iter().zip(&self.seen)) {
+            if *unseen == 1 {
+                *o = seen.iter().position(|&s| !s).map(|v| v as u8);
             }
         }
         out
@@ -147,7 +150,9 @@ impl Default for PresentPfa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ciphers::{present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource};
+    use ciphers::{
+        present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource,
+    };
     use rand::{Rng, SeedableRng};
 
     #[test]
@@ -178,8 +183,7 @@ mod tests {
     #[test]
     fn recovers_round32_key() {
         let key: [u8; 10] = [9, 8, 7, 6, 5, 4, 3, 2, 1, 0];
-        let (entry, bit) = (0xB
-            as usize, 2u8);
+        let (entry, bit) = (0xB_usize, 2u8);
         let mut image = present_sbox_image().to_vec();
         image[entry] ^= 1 << bit;
         let mut victim = Present80::new(&key, RamTableSource::new(image));

@@ -49,8 +49,8 @@ impl PartialKey {
     /// The full last-round key, if complete.
     pub fn full(&self) -> Option<[u8; 16]> {
         let mut out = [0u8; 16];
-        for i in 0..16 {
-            out[i] = self.bytes[i]?;
+        for (o, byte) in out.iter_mut().zip(&self.bytes) {
+            *o = (*byte)?;
         }
         Some(out)
     }
@@ -94,7 +94,10 @@ impl TTablePfa {
     /// positions recovered, or `None` if the fault was not exploitable (or
     /// the collector had undetermined positions among the affected ones).
     pub fn absorb(&mut self, fault: TableFault, collector: &PfaCollector) -> Option<[usize; 4]> {
-        let TeFaultClass::SLane { entry, positions, .. } = fault.classify_te() else {
+        let TeFaultClass::SLane {
+            entry, positions, ..
+        } = fault.classify_te()
+        else {
             return None;
         };
         let v = TableImage::sbox()[entry];
@@ -145,7 +148,9 @@ mod tests {
             }
             assert!(collector.total() < 100_000, "campaign failed to converge");
         }
-        driver.absorb(fault, &collector).expect("exploitable fault absorbs");
+        driver
+            .absorb(fault, &collector)
+            .expect("exploitable fault absorbs");
     }
 
     #[test]
@@ -154,9 +159,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let mut driver = TTablePfa::new();
         // One S-lane fault per table covers all 16 positions.
-        for table in 0..4usize {
+        for (table, s_lane) in FINAL_ROUND_S_LANE.iter().enumerate() {
             let entry = 0x30 + table; // arbitrary distinct entries
-            let offset = TableImage::te_entry_offset(table, entry) + FINAL_ROUND_S_LANE[table];
+            let offset = TableImage::te_entry_offset(table, entry) + s_lane;
             run_campaign(&key, TableFault { offset, bit: 2 }, &mut driver, &mut rng);
         }
         assert_eq!(driver.faults_used(), 4);
@@ -186,7 +191,10 @@ mod tests {
     fn non_exploitable_fault_is_rejected() {
         let mut driver = TTablePfa::new();
         // Lane 0 of table 0 carries 3S, not S.
-        let fault = TableFault { offset: TableImage::te_entry_offset(0, 5), bit: 0 };
+        let fault = TableFault {
+            offset: TableImage::te_entry_offset(0, 5),
+            bit: 0,
+        };
         assert!(driver.absorb(fault, &PfaCollector::new()).is_none());
         assert_eq!(driver.faults_used(), 0);
     }

@@ -78,7 +78,9 @@ mod tests {
 
     #[test]
     fn error_chains_source() {
-        let e = MachineError::from(memsim::AllocError::OutOfMemory { order: memsim::Order(0) });
+        let e = MachineError::from(memsim::AllocError::OutOfMemory {
+            order: memsim::Order(0),
+        });
         assert!(e.source().is_some());
         assert!(e.to_string().contains("allocation failed"));
     }

@@ -131,11 +131,15 @@ impl SimMachine {
     ///
     /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
     pub fn process(&self, pid: Pid) -> Result<&Process, MachineError> {
-        self.procs.get(&pid).ok_or(MachineError::NoSuchProcess { pid })
+        self.procs
+            .get(&pid)
+            .ok_or(MachineError::NoSuchProcess { pid })
     }
 
     fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, MachineError> {
-        self.procs.get_mut(&pid).ok_or(MachineError::NoSuchProcess { pid })
+        self.procs
+            .get_mut(&pid)
+            .ok_or(MachineError::NoSuchProcess { pid })
     }
 
     /// Terminates `pid`, freeing every resident frame.
@@ -144,7 +148,10 @@ impl SimMachine {
     ///
     /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
     pub fn exit(&mut self, pid: Pid) -> Result<(), MachineError> {
-        let proc = self.procs.remove(&pid).ok_or(MachineError::NoSuchProcess { pid })?;
+        let proc = self
+            .procs
+            .remove(&pid)
+            .ok_or(MachineError::NoSuchProcess { pid })?;
         let cpu = proc.cpu();
         for (_, pfn) in proc.resident() {
             self.alloc.free_pages(cpu, pfn)?;
@@ -453,12 +460,20 @@ mod tests {
         // The frame sits in cpu2's pcp list.
         let pfn = Pfn(frame.as_u64() / PAGE_SIZE);
         let zone = m.allocator().zone_of(pfn).unwrap();
-        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(2)).contains(pfn));
+        assert!(m
+            .allocator()
+            .zone(zone)
+            .unwrap()
+            .pcp(CpuId(2))
+            .contains(pfn));
 
         // Victim on the same CPU touches one new page and gets the frame.
         let vv = m.mmap(victim, 1).unwrap();
         m.write(victim, vv, b"AES tables").unwrap();
-        assert_eq!(m.translate(victim, vv).unwrap().align_down(PAGE_SIZE), frame.align_down(PAGE_SIZE));
+        assert_eq!(
+            m.translate(victim, vv).unwrap().align_down(PAGE_SIZE),
+            frame.align_down(PAGE_SIZE)
+        );
     }
 
     #[test]
@@ -484,19 +499,27 @@ mod tests {
         let pfn = Pfn(m.translate(attacker, va).unwrap().as_u64() / PAGE_SIZE);
         m.munmap(attacker, va, 1).unwrap();
         let zone = m.allocator().zone_of(pfn).unwrap();
-        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(3)).contains(pfn));
+        assert!(m
+            .allocator()
+            .zone(zone)
+            .unwrap()
+            .pcp(CpuId(3))
+            .contains(pfn));
         m.sleep(attacker, 1_000_000).unwrap();
         assert!(
-            !m.allocator().zone(zone).unwrap().pcp(CpuId(3)).contains(pfn),
+            !m.allocator()
+                .zone(zone)
+                .unwrap()
+                .pcp(CpuId(3))
+                .contains(pfn),
             "idle drain should have emptied the pcp list"
         );
     }
 
     #[test]
     fn keep_policy_preserves_pcp_across_sleep() {
-        let mut m = SimMachine::new(
-            MachineConfig::small(11).with_idle_drain(IdleDrainPolicy::Keep),
-        );
+        let mut m =
+            SimMachine::new(MachineConfig::small(11).with_idle_drain(IdleDrainPolicy::Keep));
         let attacker = m.spawn(CpuId(3));
         let va = m.mmap(attacker, 1).unwrap();
         m.write(attacker, va, b"x").unwrap();
@@ -504,7 +527,12 @@ mod tests {
         m.munmap(attacker, va, 1).unwrap();
         m.sleep(attacker, 1_000_000).unwrap();
         let zone = m.allocator().zone_of(pfn).unwrap();
-        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(3)).contains(pfn));
+        assert!(m
+            .allocator()
+            .zone(zone)
+            .unwrap()
+            .pcp(CpuId(3))
+            .contains(pfn));
     }
 
     #[test]
@@ -519,7 +547,12 @@ mod tests {
         m.munmap(attacker, va, 1).unwrap();
         m.sleep(attacker, 1_000_000).unwrap();
         let zone = m.allocator().zone_of(pfn).unwrap();
-        assert!(m.allocator().zone(zone).unwrap().pcp(CpuId(0)).contains(pfn));
+        assert!(m
+            .allocator()
+            .zone(zone)
+            .unwrap()
+            .pcp(CpuId(0))
+            .contains(pfn));
     }
 
     #[test]
@@ -532,7 +565,10 @@ mod tests {
         assert_eq!(m.allocator().total_free_pages(), free0 - 16);
         m.exit(p).unwrap();
         assert_eq!(m.allocator().total_free_pages(), free0);
-        assert!(matches!(m.read(p, va, &mut [0u8; 1]), Err(MachineError::NoSuchProcess { .. })));
+        assert!(matches!(
+            m.read(p, va, &mut [0u8; 1]),
+            Err(MachineError::NoSuchProcess { .. })
+        ));
     }
 
     #[test]
@@ -566,8 +602,16 @@ mod tests {
         let victim_va = va + page_idx * PAGE_SIZE;
         let victim_pa = m.translate(p, victim_va).unwrap();
         let coord = m.dram().mapping().phys_to_coord(victim_pa);
-        let above = DramCoord { row: coord.row - 1, col: 0, ..coord };
-        let below = DramCoord { row: coord.row + 1, col: 0, ..coord };
+        let above = DramCoord {
+            row: coord.row - 1,
+            col: 0,
+            ..coord
+        };
+        let below = DramCoord {
+            row: coord.row + 1,
+            col: 0,
+            ..coord
+        };
         let pa_above = m.dram().mapping().coord_to_phys(above);
         let pa_below = m.dram().mapping().coord_to_phys(below);
 
@@ -577,7 +621,10 @@ mod tests {
         let mut va_above = None;
         let mut va_below = None;
         for i in 0..pages {
-            let pa = m.translate(p, va + i * PAGE_SIZE).unwrap().align_down(PAGE_SIZE);
+            let pa = m
+                .translate(p, va + i * PAGE_SIZE)
+                .unwrap()
+                .align_down(PAGE_SIZE);
             if pa == pa_above.align_down(PAGE_SIZE) {
                 va_above = Some(va + i * PAGE_SIZE);
             }
@@ -612,9 +659,17 @@ mod tests {
             for i in 0..pages {
                 let pa = m.translate(p, va + i * PAGE_SIZE).unwrap();
                 if pa.align_down(PAGE_SIZE) == flip.addr.align_down(PAGE_SIZE) {
-                    m.read(p, va + i * PAGE_SIZE + flip.addr.offset_in(PAGE_SIZE), &mut b)
-                        .unwrap();
-                    assert_ne!(b[0] & (1 << flip.bit), 1 << flip.bit, "bit should be cleared");
+                    m.read(
+                        p,
+                        va + i * PAGE_SIZE + flip.addr.offset_in(PAGE_SIZE),
+                        &mut b,
+                    )
+                    .unwrap();
+                    assert_ne!(
+                        b[0] & (1 << flip.bit),
+                        1 << flip.bit,
+                        "bit should be cleared"
+                    );
                     return;
                 }
             }
@@ -631,7 +686,12 @@ mod tests {
         // Two pages within the same row share the bank *and* the row —
         // hammering them must be rejected (row-buffer hits hammer nothing).
         let e = m.hammer_pair_virt(p, va, va + PAGE_SIZE, 10);
-        assert!(matches!(e, Err(MachineError::Dram(dram::DramError::AggressorsShareRow { .. }))));
+        assert!(matches!(
+            e,
+            Err(MachineError::Dram(
+                dram::DramError::AggressorsShareRow { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -24,8 +24,7 @@ impl fmt::Display for MachineStats {
         write!(
             f,
             "faults={} reads={} writes={} flushes={} hammer_pairs={} sleeps={}",
-            self.page_faults, self.reads, self.writes, self.flushes, self.hammer_pairs,
-            self.sleeps
+            self.page_faults, self.reads, self.writes, self.flushes, self.hammer_pairs, self.sleeps
         )
     }
 }

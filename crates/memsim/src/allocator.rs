@@ -46,12 +46,18 @@ impl MemConfig {
 
     /// 1 GiB, 4 CPUs.
     pub const fn medium_1gib() -> Self {
-        MemConfig { total_bytes: 1 << 30, ..Self::small_256mib() }
+        MemConfig {
+            total_bytes: 1 << 30,
+            ..Self::small_256mib()
+        }
     }
 
     /// 4 GiB, 4 CPUs.
     pub const fn desktop_4gib() -> Self {
-        MemConfig { total_bytes: 4 << 30, ..Self::small_256mib() }
+        MemConfig {
+            total_bytes: 4 << 30,
+            ..Self::small_256mib()
+        }
     }
 
     /// Returns a copy with a different CPU count.
@@ -97,7 +103,10 @@ fn zone_layout(total_pages: u64) -> Vec<(ZoneKind, PfnRange)> {
         zones.push((ZoneKind::Dma32, PfnRange::new(Pfn(DMA_END), Pfn(end))));
     }
     if total_pages > DMA32_END {
-        zones.push((ZoneKind::Normal, PfnRange::new(Pfn(DMA32_END), Pfn(total_pages))));
+        zones.push((
+            ZoneKind::Normal,
+            PfnRange::new(Pfn(DMA32_END), Pfn(total_pages)),
+        ));
     }
     zones
 }
@@ -121,13 +130,20 @@ impl ZonedAllocator {
     ///
     /// Panics if the configuration is degenerate (zero memory or CPUs).
     pub fn new(config: MemConfig) -> Self {
-        assert!(config.total_bytes >= PAGE_SIZE, "need at least one page of memory");
+        assert!(
+            config.total_bytes >= PAGE_SIZE,
+            "need at least one page of memory"
+        );
         assert!(config.cpus > 0, "need at least one CPU");
         let zones = zone_layout(config.total_pages())
             .into_iter()
             .map(|(kind, span)| Zone::new(kind, span, config.cpus, config.pcp))
             .collect();
-        ZonedAllocator { config, zones, trace: TraceLog::new(config.trace_capacity) }
+        ZonedAllocator {
+            config,
+            zones,
+            trace: TraceLog::new(config.trace_capacity),
+        }
     }
 
     /// The configuration this allocator was built from.
@@ -201,7 +217,8 @@ impl ZonedAllocator {
         }
         // Direct reclaim: drain every pcp list and retry once.
         self.reclaim(cpu);
-        self.try_zonelist(cpu, order, gfp).ok_or(AllocError::OutOfMemory { order })
+        self.try_zonelist(cpu, order, gfp)
+            .ok_or(AllocError::OutOfMemory { order })
     }
 
     fn try_zonelist(&mut self, cpu: CpuId, order: Order, gfp: GfpFlags) -> Option<Pfn> {
@@ -211,14 +228,27 @@ impl ZonedAllocator {
             };
             if let Some(out) = self.zones[idx].alloc(cpu, order) {
                 if out.refilled > 0 {
-                    self.trace.record(cpu, kind, EventKind::PcpRefill { count: out.refilled });
+                    self.trace.record(
+                        cpu,
+                        kind,
+                        EventKind::PcpRefill {
+                            count: out.refilled,
+                        },
+                    );
                 }
                 let served = match out.path {
                     ZonePath::PcpCache => ServedFrom::PcpCache,
                     ZonePath::Buddy => ServedFrom::Buddy,
                 };
-                self.trace
-                    .record(cpu, kind, EventKind::Alloc { pfn: out.pfn, order, served });
+                self.trace.record(
+                    cpu,
+                    kind,
+                    EventKind::Alloc {
+                        pfn: out.pfn,
+                        order,
+                        served,
+                    },
+                );
                 return Some(out.pfn);
             }
         }
@@ -243,9 +273,18 @@ impl ZonedAllocator {
             ZonePath::PcpCache => ServedFrom::PcpCache,
             ZonePath::Buddy => ServedFrom::Buddy,
         };
-        self.trace.record(cpu, kind, EventKind::Free { pfn, order: out.order, to });
+        self.trace.record(
+            cpu,
+            kind,
+            EventKind::Free {
+                pfn,
+                order: out.order,
+                to,
+            },
+        );
         if out.drained > 0 {
-            self.trace.record(cpu, kind, EventKind::PcpDrain { count: out.drained });
+            self.trace
+                .record(cpu, kind, EventKind::PcpDrain { count: out.drained });
         }
         Ok(())
     }
@@ -256,7 +295,8 @@ impl ZonedAllocator {
             let kind = self.zones[idx].kind();
             let n = self.zones[idx].drain_all_pcps();
             if n > 0 {
-                self.trace.record(cpu, kind, EventKind::PcpDrain { count: n });
+                self.trace
+                    .record(cpu, kind, EventKind::PcpDrain { count: n });
             }
         }
         self.trace.record(cpu, ZoneKind::Normal, EventKind::Reclaim);
@@ -271,7 +311,8 @@ impl ZonedAllocator {
             let kind = self.zones[idx].kind();
             let n = self.zones[idx].drain_pcp(cpu);
             if n > 0 {
-                self.trace.record(cpu, kind, EventKind::PcpDrain { count: n });
+                self.trace
+                    .record(cpu, kind, EventKind::PcpDrain { count: n });
             }
             total += n;
         }
@@ -280,7 +321,10 @@ impl ZonedAllocator {
 
     /// Returns which zone kind holds `pfn`, if any.
     pub fn zone_of(&self, pfn: Pfn) -> Option<ZoneKind> {
-        self.zones.iter().find(|z| z.contains(pfn)).map(|z| z.kind())
+        self.zones
+            .iter()
+            .find(|z| z.contains(pfn))
+            .map(|z| z.kind())
     }
 }
 
@@ -299,7 +343,10 @@ mod tests {
     fn layout_big_machine_has_all_zones() {
         let zones = zone_layout((8u64 << 30) / PAGE_SIZE);
         let kinds: Vec<ZoneKind> = zones.iter().map(|(k, _)| *k).collect();
-        assert_eq!(kinds, vec![ZoneKind::Dma, ZoneKind::Dma32, ZoneKind::Normal]);
+        assert_eq!(
+            kinds,
+            vec![ZoneKind::Dma, ZoneKind::Dma32, ZoneKind::Normal]
+        );
         // Spans tile the whole range without gaps.
         assert_eq!(zones[0].1.end, zones[1].1.start);
         assert_eq!(zones[1].1.end, zones[2].1.start);
@@ -316,7 +363,9 @@ mod tests {
     #[test]
     fn dma_request_stays_in_dma() {
         let mut a = ZonedAllocator::new(MemConfig::small_256mib());
-        let pfn = a.alloc_pages_with(CpuId(0), Order(0), GfpFlags::dma()).unwrap();
+        let pfn = a
+            .alloc_pages_with(CpuId(0), Order(0), GfpFlags::dma())
+            .unwrap();
         assert_eq!(a.zone_of(pfn), Some(ZoneKind::Dma));
     }
 
@@ -333,7 +382,9 @@ mod tests {
         let mut a = ZonedAllocator::new(MemConfig::small_256mib());
         assert_eq!(
             a.alloc_pages(CpuId(0), Order(MAX_ORDER + 1)),
-            Err(AllocError::OrderTooLarge { order: Order(MAX_ORDER + 1) })
+            Err(AllocError::OrderTooLarge {
+                order: Order(MAX_ORDER + 1)
+            })
         );
     }
 
@@ -341,7 +392,10 @@ mod tests {
     fn unknown_frame_free_is_rejected() {
         let mut a = ZonedAllocator::new(MemConfig::small_256mib());
         let beyond = Pfn(a.config().total_pages() + 5);
-        assert_eq!(a.free_pages(CpuId(0), beyond), Err(AllocError::UnknownFrame { pfn: beyond }));
+        assert_eq!(
+            a.free_pages(CpuId(0), beyond),
+            Err(AllocError::UnknownFrame { pfn: beyond })
+        );
     }
 
     #[test]
@@ -376,12 +430,16 @@ mod tests {
         let cfg = MemConfig {
             total_bytes: 2 << 20, // 512 pages, DMA only
             cpus: 1,
-            pcp: PcpConfig { high: 512, batch: 1 },
+            pcp: PcpConfig {
+                high: 512,
+                batch: 1,
+            },
             trace_capacity: 16,
         };
         let mut a = ZonedAllocator::new(cfg);
-        let held: Vec<Pfn> =
-            (0..512).map(|_| a.alloc_pages(CpuId(0), Order(0)).unwrap()).collect();
+        let held: Vec<Pfn> = (0..512)
+            .map(|_| a.alloc_pages(CpuId(0), Order(0)).unwrap())
+            .collect();
         for p in held {
             a.free_pages(CpuId(0), p).unwrap();
         }
@@ -401,7 +459,7 @@ mod tests {
         a.drain_cpu(CpuId(0));
         let z = a.zone(ZoneKind::Dma32).unwrap();
         assert_eq!(z.pcp(CpuId(0)).len(), 0);
-        assert!(z.pcp(CpuId(1)).len() > 0);
+        assert!(!z.pcp(CpuId(1)).is_empty());
     }
 
     #[test]
@@ -412,13 +470,23 @@ mod tests {
         a.free_pages(CpuId(0), p).unwrap();
         a.alloc_pages(CpuId(0), Order(0)).unwrap();
         let kinds: Vec<_> = a.trace().iter().map(|e| e.kind).collect();
-        assert!(kinds.iter().any(|k| matches!(k, EventKind::PcpRefill { .. })));
         assert!(kinds
             .iter()
-            .any(|k| matches!(k, EventKind::Alloc { served: ServedFrom::PcpCache, .. })));
-        assert!(kinds
-            .iter()
-            .any(|k| matches!(k, EventKind::Free { to: ServedFrom::PcpCache, .. })));
+            .any(|k| matches!(k, EventKind::PcpRefill { .. })));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            EventKind::Alloc {
+                served: ServedFrom::PcpCache,
+                ..
+            }
+        )));
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            EventKind::Free {
+                to: ServedFrom::PcpCache,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl BuddyAllocator {
         // Seed the free lists with maximal naturally-aligned blocks.
         let mut pfn = span.start.0;
         while pfn < span.end.0 {
-            let align = if pfn == 0 { MAX_ORDER } else { pfn.trailing_zeros().min(MAX_ORDER as u32) as u8 };
+            let align = if pfn == 0 {
+                MAX_ORDER
+            } else {
+                pfn.trailing_zeros().min(MAX_ORDER as u32) as u8
+            };
             let mut order = align;
             while pfn + (1u64 << order) > span.end.0 {
                 order -= 1;
@@ -101,7 +105,10 @@ impl BuddyAllocator {
 
     /// Largest order with at least one free block, if any.
     pub fn largest_free_order(&self) -> Option<Order> {
-        (0..=MAX_ORDER).rev().map(Order).find(|o| !self.free_lists[o.0 as usize].is_empty())
+        (0..=MAX_ORDER)
+            .rev()
+            .map(Order)
+            .find(|o| !self.free_lists[o.0 as usize].is_empty())
     }
 
     /// Counters.
@@ -123,9 +130,11 @@ impl BuddyAllocator {
     pub fn alloc(&mut self, order: Order) -> Option<Pfn> {
         assert!(order.0 <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
         // Find the smallest order ≥ requested with a free block.
-        let found = (order.0..=MAX_ORDER)
-            .find(|&o| !self.free_lists[o as usize].is_empty())?;
-        let pfn = *self.free_lists[found as usize].iter().next().expect("non-empty list");
+        let found = (order.0..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty())?;
+        let pfn = *self.free_lists[found as usize]
+            .iter()
+            .next()
+            .expect("non-empty list");
         self.free_lists[found as usize].remove(&pfn);
 
         // Split down to the requested order; the upper halves go back free.
@@ -211,9 +220,7 @@ impl BuddyAllocator {
                 if !Pfn(block).is_aligned(o) {
                     return Err(format!("free block {block:#x} misaligned at {o}"));
                 }
-                if !self.span.contains(Pfn(block))
-                    || block + o.pages() > self.span.end.0
-                {
+                if !self.span.contains(Pfn(block)) || block + o.pages() > self.span.end.0 {
                     return Err(format!("free block {block:#x} ({o}) outside span"));
                 }
                 for f in block..block + o.pages() {
@@ -296,7 +303,10 @@ mod tests {
         let mut b = fresh(4096);
         for order in [0u8, 1, 3, 5, 10] {
             let p = b.alloc(Order(order)).unwrap();
-            assert!(p.is_aligned(Order(order)), "{p} not aligned to order {order}");
+            assert!(
+                p.is_aligned(Order(order)),
+                "{p} not aligned to order {order}"
+            );
         }
         b.check_invariants().unwrap();
     }
@@ -360,11 +370,17 @@ mod tests {
         // small blocks, free them, and confirm large blocks reappear.
         let mut b = fresh(1024);
         let frames: Vec<Pfn> = (0..512).map(|_| b.alloc(Order(0)).unwrap()).collect();
-        assert!(b.alloc(Order(10)).is_none(), "large block should be unavailable");
+        assert!(
+            b.alloc(Order(10)).is_none(),
+            "large block should be unavailable"
+        );
         for f in frames {
             b.free(f).unwrap();
         }
-        assert!(b.alloc(Order(10)).is_some(), "coalescing should restore a 4 MiB block");
+        assert!(
+            b.alloc(Order(10)).is_some(),
+            "coalescing should restore a 4 MiB block"
+        );
     }
 
     #[test]

@@ -23,24 +23,36 @@ pub struct GfpFlags {
 impl GfpFlags {
     /// Ordinary kernel/user allocation: prefers `ZONE_NORMAL`, may fall back.
     pub const fn normal() -> Self {
-        GfpFlags { preferred: ZoneKind::Normal, allow_fallback: true }
+        GfpFlags {
+            preferred: ZoneKind::Normal,
+            allow_fallback: true,
+        }
     }
 
     /// A 32-bit-DMA-capable allocation: prefers `ZONE_DMA32`.
     pub const fn dma32() -> Self {
-        GfpFlags { preferred: ZoneKind::Dma32, allow_fallback: true }
+        GfpFlags {
+            preferred: ZoneKind::Dma32,
+            allow_fallback: true,
+        }
     }
 
     /// A legacy-DMA allocation: `ZONE_DMA` only.
     pub const fn dma() -> Self {
-        GfpFlags { preferred: ZoneKind::Dma, allow_fallback: false }
+        GfpFlags {
+            preferred: ZoneKind::Dma,
+            allow_fallback: false,
+        }
     }
 
     /// The zonelist implied by these flags: the preferred zone followed by
     /// every lower zone (if fallback is allowed), highest first.
     pub fn zonelist(&self) -> Vec<ZoneKind> {
         let all = [ZoneKind::Normal, ZoneKind::Dma32, ZoneKind::Dma];
-        let start = all.iter().position(|&k| k == self.preferred).expect("known kind");
+        let start = all
+            .iter()
+            .position(|&k| k == self.preferred)
+            .expect("known kind");
         if self.allow_fallback {
             all[start..].to_vec()
         } else {
@@ -65,7 +77,10 @@ mod tests {
             GfpFlags::normal().zonelist(),
             vec![ZoneKind::Normal, ZoneKind::Dma32, ZoneKind::Dma]
         );
-        assert_eq!(GfpFlags::dma32().zonelist(), vec![ZoneKind::Dma32, ZoneKind::Dma]);
+        assert_eq!(
+            GfpFlags::dma32().zonelist(),
+            vec![ZoneKind::Dma32, ZoneKind::Dma]
+        );
         assert_eq!(GfpFlags::dma().zonelist(), vec![ZoneKind::Dma]);
     }
 }

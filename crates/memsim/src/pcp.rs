@@ -32,7 +32,10 @@ pub struct PcpConfig {
 impl PcpConfig {
     /// The classic x86-64 defaults (`batch = 31`, `high = 186`).
     pub const fn linux_default() -> Self {
-        PcpConfig { high: 186, batch: 31 }
+        PcpConfig {
+            high: 186,
+            batch: 31,
+        }
     }
 
     /// A tiny configuration for unit tests.
@@ -76,7 +79,11 @@ pub struct PerCpuPages {
 impl PerCpuPages {
     /// Creates an empty list.
     pub fn new(config: PcpConfig) -> Self {
-        PerCpuPages { config, list: VecDeque::new(), stats: PcpStats::default() }
+        PerCpuPages {
+            config,
+            list: VecDeque::new(),
+            stats: PcpStats::default(),
+        }
     }
 
     /// The list's tuning parameters.

@@ -91,7 +91,12 @@ impl TraceLog {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be non-zero");
-        TraceLog { events: VecDeque::new(), capacity, enabled: false, seq: 0 }
+        TraceLog {
+            events: VecDeque::new(),
+            capacity,
+            enabled: false,
+            seq: 0,
+        }
     }
 
     /// Enables or disables recording.
@@ -112,7 +117,12 @@ impl TraceLog {
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(AllocEvent { seq: self.seq, cpu, zone, kind });
+        self.events.push_back(AllocEvent {
+            seq: self.seq,
+            cpu,
+            zone,
+            kind,
+        });
         self.seq += 1;
     }
 

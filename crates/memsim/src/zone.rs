@@ -44,7 +44,11 @@ impl Watermarks {
     /// (`low = min * 5/4`, `high = min * 3/2`).
     pub fn for_zone_pages(pages: u64) -> Self {
         let min = (pages / 256).max(8);
-        Watermarks { min, low: min * 5 / 4, high: min * 3 / 2 }
+        Watermarks {
+            min,
+            low: min * 5 / 4,
+            high: min * 3 / 2,
+        }
     }
 }
 
@@ -194,7 +198,11 @@ impl Zone {
                 self.in_pcp.remove(&pfn.0);
                 self.stats.allocs += 1;
                 self.stats.pcp_hits += 1;
-                return Some(ZoneAlloc { pfn, path: ZonePath::PcpCache, refilled: 0 });
+                return Some(ZoneAlloc {
+                    pfn,
+                    path: ZonePath::PcpCache,
+                    refilled: 0,
+                });
             }
             // Empty list: bulk-refill `batch` order-0 frames from the buddy.
             let batch = list.config().batch;
@@ -218,11 +226,19 @@ impl Zone {
             let pfn = list.alloc().expect("refill put at least one frame");
             self.in_pcp.remove(&pfn.0);
             self.stats.allocs += 1;
-            Some(ZoneAlloc { pfn, path: ZonePath::Buddy, refilled })
+            Some(ZoneAlloc {
+                pfn,
+                path: ZonePath::Buddy,
+                refilled,
+            })
         } else {
             let pfn = self.buddy.alloc(order)?;
             self.stats.allocs += 1;
-            Some(ZoneAlloc { pfn, path: ZonePath::Buddy, refilled: 0 })
+            Some(ZoneAlloc {
+                pfn,
+                path: ZonePath::Buddy,
+                refilled: 0,
+            })
         }
     }
 
@@ -258,14 +274,24 @@ impl Zone {
                 self.stats.pcp_drains += 1;
                 for frame in self.pcp[cpu.0 as usize].take_drain_batch() {
                     self.in_pcp.remove(&frame.0);
-                    self.buddy.free(frame).expect("pcp frames are buddy-allocated");
+                    self.buddy
+                        .free(frame)
+                        .expect("pcp frames are buddy-allocated");
                     drained += 1;
                 }
             }
-            Ok(ZoneFree { order, path: ZonePath::PcpCache, drained })
+            Ok(ZoneFree {
+                order,
+                path: ZonePath::PcpCache,
+                drained,
+            })
         } else {
             self.buddy.free(pfn)?;
-            Ok(ZoneFree { order, path: ZonePath::Buddy, drained: 0 })
+            Ok(ZoneFree {
+                order,
+                path: ZonePath::Buddy,
+                drained: 0,
+            })
         }
     }
 
@@ -290,7 +316,9 @@ impl Zone {
 
     /// Drains every CPU's pcp list. Returns the total frames drained.
     pub fn drain_all_pcps(&mut self) -> u32 {
-        (0..self.pcp.len() as u32).map(|c| self.drain_pcp(CpuId(c))).sum()
+        (0..self.pcp.len() as u32)
+            .map(|c| self.drain_pcp(CpuId(c)))
+            .sum()
     }
 
     /// Number of CPUs this zone tracks.
@@ -317,8 +345,8 @@ mod tests {
         let mut z = zone(64, 2);
         let out = z.alloc(CpuId(0), Order(0)).unwrap();
         assert_eq!(out.path, ZonePath::Buddy);
-        assert_eq!(out.refilled, 2); // tiny batch
-        // One frame handed out, one left cached.
+        // Tiny batch: one frame handed out, one left cached.
+        assert_eq!(out.refilled, 2);
         assert_eq!(z.pcp(CpuId(0)).len(), 1);
         // Second allocation is a pcp hit.
         let out2 = z.alloc(CpuId(0), Order(0)).unwrap();
@@ -360,8 +388,9 @@ mod tests {
     fn over_high_free_drains_batch_to_buddy() {
         let mut z = zone(64, 1);
         // Allocate 8 singles, then free them all: high=6 ⇒ a drain happens.
-        let frames: Vec<Pfn> =
-            (0..8).map(|_| z.alloc(CpuId(0), Order(0)).unwrap().pfn).collect();
+        let frames: Vec<Pfn> = (0..8)
+            .map(|_| z.alloc(CpuId(0), Order(0)).unwrap().pfn)
+            .collect();
         let mut total_drained = 0;
         for f in &frames {
             total_drained += z.free(CpuId(0), *f).unwrap().drained;

@@ -137,4 +137,67 @@ proptest! {
         prop_assert_eq!(second, Err(AllocError::NotAllocated { pfn: p }));
         a.reclaim(CpuId(0));
     }
+
+    /// Alloc/free round-trips with a *randomly permuted* free order (not
+    /// just FIFO/LIFO prefixes like the schedule tests above) coalesce back
+    /// to the fully free state, with no frame lost or double-allocated.
+    #[test]
+    fn buddy_roundtrip_survives_shuffled_free_order(
+        orders in prop::collection::vec(0u8..=4, 1..64),
+        ranks in prop::collection::vec(any::<u64>(), 64),
+    ) {
+        let pages = 4096u64;
+        let mut b = BuddyAllocator::new(PfnRange::new(Pfn(0), Pfn(pages)));
+        let mut live: Vec<(u64, Pfn, Order)> = Vec::new();
+        for (i, order) in orders.iter().enumerate() {
+            if let Some(p) = b.alloc(Order(*order)) {
+                let (lo, hi) = (p.0, p.0 + Order(*order).pages());
+                prop_assert!(hi <= pages, "block [{lo}, {hi}) escapes the span");
+                for (_, q, qo) in &live {
+                    let (qlo, qhi) = (q.0, q.0 + qo.pages());
+                    prop_assert!(
+                        hi <= qlo || qhi <= lo,
+                        "block [{lo}, {hi}) overlaps live block [{qlo}, {qhi})"
+                    );
+                }
+                live.push((ranks[i % ranks.len()], p, Order(*order)));
+            }
+            b.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        // Free in rank order: a random permutation of the allocation order.
+        live.sort_by_key(|(rank, p, _)| (*rank, p.0));
+        for (_, p, _) in live {
+            b.free(p).unwrap();
+            b.check_invariants().map_err(TestCaseError::fail)?;
+        }
+        prop_assert_eq!(b.free_pages(), pages, "frames leaked across the round-trip");
+    }
+
+    /// A frame sitting in one CPU's page frame cache is invisible to every
+    /// other CPU: steering only works because the *same* CPU gets the frame
+    /// back, and only that CPU.
+    #[test]
+    fn pcp_frames_are_isolated_per_cpu(k in 1usize..16, other in 1u8..4) {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        let owner = CpuId(0);
+        let thief = CpuId(other as u32);
+        let frames: Vec<Pfn> =
+            (0..k).map(|_| a.alloc_pages(owner, Order(0)).unwrap()).collect();
+        for f in &frames {
+            a.free_pages(owner, *f).unwrap();
+        }
+        // Allocations on a different CPU must never receive any of the
+        // frames parked in `owner`'s page frame cache.
+        for _ in 0..k {
+            let got = a.alloc_pages(thief, Order(0)).unwrap();
+            prop_assert!(
+                !frames.contains(&got),
+                "cpu {:?} stole frame {:?} from cpu {:?}'s pcp", thief, got, owner
+            );
+        }
+        // The owner still gets its own frames back, LIFO.
+        for expect in frames.iter().rev() {
+            prop_assert_eq!(a.alloc_pages(owner, Order(0)).unwrap(), *expect);
+        }
+    }
 }

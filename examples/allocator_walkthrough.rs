@@ -11,8 +11,7 @@
 //! ```
 
 use explframe::memsim::{
-    BuddyAllocator, CpuId, EventKind, MemConfig, Order, Pfn, PfnRange, ServedFrom,
-    ZonedAllocator,
+    BuddyAllocator, CpuId, EventKind, MemConfig, Order, Pfn, PfnRange, ServedFrom, ZonedAllocator,
 };
 
 fn main() {
@@ -41,13 +40,20 @@ fn figure1_buddy() {
 
     println!("\nA single-page request carves further:");
     let small = buddy.alloc(Order(0)).expect("plenty free");
-    println!("  allocated {small} ({} splits so far)", buddy.stats().splits);
+    println!(
+        "  allocated {small} ({} splits so far)",
+        buddy.stats().splits
+    );
     println!("  [{}]", free_list_picture(&buddy));
 
     println!("\nFreeing both: buddies coalesce back to one 4 MiB block:");
     buddy.free(small).expect("live block");
     buddy.free(big).expect("live block");
-    println!("  [{}]  ({} merges performed)", free_list_picture(&buddy), buddy.stats().merges);
+    println!(
+        "  [{}]  ({} merges performed)",
+        free_list_picture(&buddy),
+        buddy.stats().merges
+    );
     buddy.check_invariants().expect("canonical state");
     println!();
 }
@@ -80,7 +86,10 @@ fn figure2_zoned() {
             zone.watermarks().low,
             zone.watermarks().high,
         );
-        println!("   ├─ buddy free lists (order 0..10): [{}]", free_list_picture(zone.buddy()));
+        println!(
+            "   ├─ buddy free lists (order 0..10): [{}]",
+            free_list_picture(zone.buddy())
+        );
         for cpu in 0..alloc.cpu_count() {
             let pcp = zone.pcp(CpuId(cpu));
             println!(
@@ -108,7 +117,11 @@ fn pcp_property() {
     println!("process B (same CPU) allocates a page  → {again}");
     println!(
         "same frame handed across processes     : {}",
-        if frame == again { "YES — the steering channel" } else { "no" }
+        if frame == again {
+            "YES — the steering channel"
+        } else {
+            "no"
+        }
     );
 
     let other = alloc.alloc_pages(CpuId(1), Order(0)).unwrap();
@@ -117,13 +130,25 @@ fn pcp_property() {
     println!("\nallocator event trace:");
     for event in alloc.trace().iter() {
         let what = match event.kind {
-            EventKind::Alloc { pfn, served: ServedFrom::PcpCache, .. } => {
+            EventKind::Alloc {
+                pfn,
+                served: ServedFrom::PcpCache,
+                ..
+            } => {
                 format!("alloc {pfn} ← page frame cache")
             }
-            EventKind::Alloc { pfn, served: ServedFrom::Buddy, .. } => {
+            EventKind::Alloc {
+                pfn,
+                served: ServedFrom::Buddy,
+                ..
+            } => {
                 format!("alloc {pfn} ← buddy (with refill)")
             }
-            EventKind::Free { pfn, to: ServedFrom::PcpCache, .. } => {
+            EventKind::Free {
+                pfn,
+                to: ServedFrom::PcpCache,
+                ..
+            } => {
                 format!("free  {pfn} → page frame cache head")
             }
             EventKind::Free { pfn, .. } => format!("free  {pfn} → buddy"),
@@ -131,6 +156,12 @@ fn pcp_property() {
             EventKind::PcpDrain { count } => format!("pcp drain of {count} frames to buddy"),
             EventKind::Reclaim => "direct reclaim pass".to_string(),
         };
-        println!("  [{:>3}] {} {:<11} {}", event.seq, event.cpu, event.zone.to_string(), what);
+        println!(
+            "  [{:>3}] {} {:<11} {}",
+            event.seq,
+            event.cpu,
+            event.zone.to_string(),
+            what
+        );
     }
 }

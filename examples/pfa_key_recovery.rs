@@ -18,7 +18,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(99);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(99);
     let mut rng = StdRng::seed_from_u64(seed);
 
     aes_sbox_demo(&mut rng);
@@ -66,9 +69,9 @@ fn aes_ttable_demo(rng: &mut StdRng) {
     println!("== PFA vs AES-128 (T-table page, one fault per Te table) ==");
     let key: [u8; 16] = rng.gen();
     let mut driver = TTablePfa::new();
-    for table in 0..4usize {
+    for (table, s_lane) in FINAL_ROUND_S_LANE.iter().enumerate() {
         let entry = rng.gen_range(0..256usize);
-        let offset = TableImage::te_entry_offset(table, entry) + FINAL_ROUND_S_LANE[table];
+        let offset = TableImage::te_entry_offset(table, entry) + s_lane;
         let bit = rng.gen_range(0..8u8);
         let fault = TableFault { offset, bit };
 
@@ -76,8 +79,7 @@ fn aes_ttable_demo(rng: &mut StdRng) {
         fault.apply(&mut image);
         let mut victim = TTableAes::new_128(&key, RamTableSource::new(image));
 
-        let explframe::fault::TeFaultClass::SLane { positions, .. } = fault.classify_te()
-        else {
+        let explframe::fault::TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
             unreachable!("S-lane offsets are always exploitable");
         };
         let mut collector = PfaCollector::new();
@@ -97,7 +99,11 @@ fn aes_ttable_demo(rng: &mut StdRng) {
         );
     }
     let recovered = driver.master_key().expect("all four tables covered");
-    println!("  recovered: {}  (correct: {})\n", hex(&recovered), recovered == key);
+    println!(
+        "  recovered: {}  (correct: {})\n",
+        hex(&recovered),
+        recovered == key
+    );
 }
 
 fn present_demo(rng: &mut StdRng) {

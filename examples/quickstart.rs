@@ -11,7 +11,10 @@
 use explframe::attack::{AttackOutcome, ExplFrame, ExplFrameConfig};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2024);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
     println!("== ExplFrame quickstart (seed {seed}) ==");
     println!("machine : 256 MiB DDR3, 4 CPUs, flippy weak-cell population");
     println!("victim  : AES-128 with an in-memory S-box table (PFA target shape)");
@@ -29,22 +32,38 @@ fn main() {
         }
     };
 
-    println!("[1] templating  : {} flips found, {} usable against the S-box page",
-        report.templates_found, report.usable_templates);
-    println!("[2] steering    : victim received the released frame in {}/{} rounds",
-        report.steering_successes, report.fault_rounds);
-    println!("[3] hammering   : {} aggressor pairs spent in total", report.hammer_pairs_spent);
-    println!("[4] collection  : {} faulty ciphertexts observed", report.ciphertexts_collected);
+    println!(
+        "[1] templating  : {} flips found, {} usable against the S-box page",
+        report.templates_found, report.usable_templates
+    );
+    println!(
+        "[2] steering    : victim received the released frame in {}/{} rounds",
+        report.steering_successes, report.fault_rounds
+    );
+    println!(
+        "[3] hammering   : {} aggressor pairs spent in total",
+        report.hammer_pairs_spent
+    );
+    println!(
+        "[4] collection  : {} faulty ciphertexts observed",
+        report.ciphertexts_collected
+    );
     match (report.outcome, report.recovered_aes_key) {
         (AttackOutcome::KeyRecovered, Some(key)) => {
             println!("[5] analysis    : PFA recovered the AES-128 key:");
             println!("    key = {}", hex(&key));
-            println!("    verified against the victim's actual key: {}", report.key_correct);
+            println!(
+                "    verified against the victim's actual key: {}",
+                report.key_correct
+            );
         }
         (outcome, _) => println!("[5] analysis    : attack ended without a key ({outcome:?})"),
     }
-    println!("\nsimulated time: {:.1} ms   wall clock: {:.2} s",
-        report.elapsed as f64 / 1e6, start.elapsed().as_secs_f64());
+    println!(
+        "\nsimulated time: {:.1} ms   wall clock: {:.2} s",
+        report.elapsed as f64 / 1e6,
+        start.elapsed().as_secs_f64()
+    );
 }
 
 fn hex(bytes: &[u8]) -> String {

@@ -34,7 +34,10 @@ fn same_cpu_active() {
     m.write(victim, vbuf, b"AES T-tables go here").unwrap();
     let got = m.translate(victim, vbuf).unwrap();
     println!("victim's first touch receives frame {got}");
-    println!("steered: {}\n", got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE));
+    println!(
+        "steered: {}\n",
+        got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE)
+    );
 }
 
 /// Per-CPU caches do not leak across CPUs.
@@ -53,7 +56,10 @@ fn different_cpu() {
     m.write(victim, vbuf, b"y").unwrap();
     let got = m.translate(victim, vbuf).unwrap();
     println!("released {released}, victim got {got}");
-    println!("steered: {}\n", got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE));
+    println!(
+        "steered: {}\n",
+        got.align_down(PAGE_SIZE) == released.align_down(PAGE_SIZE)
+    );
 }
 
 /// The paper's caveat: a sleeping attacker loses its cached frame. Sleeping
@@ -65,8 +71,14 @@ fn sleeping_attacker() {
     use rand::SeedableRng;
 
     for (policy, label) in [
-        (IdleDrainPolicy::DrainOnSleep, "kernel drains idle CPU caches (realistic)"),
-        (IdleDrainPolicy::Keep, "caches survive sleep (ablation)      "),
+        (
+            IdleDrainPolicy::DrainOnSleep,
+            "kernel drains idle CPU caches (realistic)",
+        ),
+        (
+            IdleDrainPolicy::Keep,
+            "caches survive sleep (ablation)      ",
+        ),
     ] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut m = SimMachine::new(MachineConfig::small(1).with_idle_drain(policy));

@@ -19,13 +19,16 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
     let pages: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4096);
 
-    println!("== DRAM templating (seed {seed}, {} MiB buffer) ==\n", pages * 4096 / (1 << 20));
+    println!(
+        "== DRAM templating (seed {seed}, {} MiB buffer) ==\n",
+        pages * 4096 / (1 << 20)
+    );
     let mut machine = SimMachine::new(MachineConfig::small(seed));
     let attacker = machine.spawn(CpuId(0));
     let buffer = machine.mmap(attacker, pages).expect("mmap template buffer");
 
-    let scan = template_scan(&mut machine, attacker, buffer, pages, 400_000, 5)
-        .expect("templating sweep");
+    let scan =
+        template_scan(&mut machine, attacker, buffer, pages, 400_000, 5).expect("templating sweep");
 
     println!("rows hammered     : {}", scan.rows_hammered);
     println!("hammer rejections : {}", scan.hammer_failures);
@@ -33,11 +36,17 @@ fn main() {
     println!("simulated time    : {:.1} ms\n", scan.elapsed as f64 / 1e6);
 
     let one_to_zero = scan.templates.iter().filter(|t| t.one_to_zero).count();
-    println!("flip directions   : {} are 1→0 (true cells), {} are 0→1 (anti cells)",
-        one_to_zero, scan.templates.len() - one_to_zero);
+    println!(
+        "flip directions   : {} are 1→0 (true cells), {} are 0→1 (anti cells)",
+        one_to_zero,
+        scan.templates.len() - one_to_zero
+    );
 
-    let perfectly_reproducible =
-        scan.templates.iter().filter(|t| t.reproducibility >= 0.999).count();
+    let perfectly_reproducible = scan
+        .templates
+        .iter()
+        .filter(|t| t.reproducibility >= 0.999)
+        .count();
     println!(
         "reproducibility   : {}/{} templates re-flipped in every re-hammer round",
         perfectly_reproducible,

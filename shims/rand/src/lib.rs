@@ -1,0 +1,405 @@
+//! In-tree, dependency-free shim for the subset of the `rand` 0.8 API used
+//! by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! provides its own `rand` package via a `[workspace.dependencies]` path
+//! entry. Only the surface the simulation actually calls is implemented:
+//!
+//! * [`RngCore`] — `next_u32` / `next_u64` / `fill_bytes`.
+//! * [`Rng`] — `gen`, `gen_range` (half-open and inclusive integer ranges,
+//!   half-open `f64` ranges), `gen_bool`, `fill`.
+//! * [`SeedableRng`] — `from_seed` / `seed_from_u64`.
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator.
+//!
+//! Determinism is the only contract the workspace relies on: the same seed
+//! always yields the same stream on every platform. The streams do **not**
+//! match the real `rand` crate's `StdRng` (which is ChaCha12-based), and no
+//! cryptographic strength is claimed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        std::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types with an unbiased bounded-sample primitive.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)`. `high > low` must hold.
+    fn sample_below<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples uniformly from `[low, high]`. `low <= high` must hold.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn sample_below<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(high > low);
+                let span = (high as i128).wrapping_sub(low as i128) as u128;
+                // Multiply-shift rejection sampling (Lemire) over a 64-bit
+                // draw keeps the distribution unbiased; a half-open span
+                // always fits in u64 for these (at most 64-bit) types.
+                let span64 = span as u64;
+                loop {
+                    let x = rng.next_u64();
+                    let m = (x as u128) * (span64 as u128);
+                    let lo = m as u64;
+                    if lo >= span64 || lo >= (u64::MAX - span64 + 1) % span64 {
+                        let off = (m >> 64) as u128;
+                        return ((low as i128).wrapping_add(off as i128)) as $t;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low <= high);
+                let span = ((high as i128).wrapping_sub(low as i128) as u128) + 1;
+                if span > u64::MAX as u128 {
+                    // `low..=high` covers the whole type: every raw draw is a
+                    // uniform sample already.
+                    return rng.next_u64() as $t;
+                }
+                if span == 1 {
+                    return low;
+                }
+                // `high` is representable as an exclusive bound in i128 even
+                // when it equals the type's MAX, so reuse the half-open
+                // sampler over [0, span) as an offset.
+                let off = u64::sample_below(0, span as u64, rng);
+                ((low as i128).wrapping_add(off as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_below(self.start, self.end, rng)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = f32::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        f64::sample(self) < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// An RNG that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed accepted by [`SeedableRng::from_seed`].
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded with SplitMix64 exactly
+    /// like the real `rand` crate does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the ChaCha12 generator of the real `rand` crate, but fast, well
+    /// distributed, and — the property everything here depends on —
+    /// reproducible from a seed on every platform.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xD1B5_4A32_D192_ED03,
+                    0x8ACD_5F15_ABB7_AE27,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias: the shim's small RNG is the same generator as [`StdRng`].
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        let vc: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u8..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0..=4u8);
+            assert!(y <= 4);
+            let f = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(f > 0.0 && f < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_reaches_type_max() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut saw_max = false;
+        let mut saw_min = false;
+        for _ in 0..50_000 {
+            let v = r.gen_range(250u8..=u8::MAX);
+            assert!(v >= 250);
+            saw_max |= v == u8::MAX;
+            saw_min |= v == 250;
+        }
+        assert!(saw_max, "inclusive upper bound u8::MAX never sampled");
+        assert!(saw_min, "lower bound never sampled");
+        // Full-width inclusive range is also valid.
+        let _ = r.gen_range(0u64..=u64::MAX);
+        let _ = r.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probability_is_plausible() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Seeded determinism of the whole attack pipeline.
+//!
+//! Every stage of ExplFrame draws randomness through seeded `StdRng`
+//! instances (weak-cell placement, templating order, plaintext queries). If
+//! any stage ever reads an unseeded source — or iterates a non-deterministic
+//! container — repeated runs diverge and every experiment in `crates/bench`
+//! stops being reproducible. These tests pin the contract: same seed, same
+//! bytes out; different seed, different flip population.
+
+use explframe::attack::{template_scan, AttackReport, ExplFrame, ExplFrameConfig};
+use explframe::machine::SimMachine;
+use explframe::memsim::CpuId;
+
+fn run_with_seed(seed: u64) -> AttackReport {
+    let cfg = ExplFrameConfig::small_demo(seed).with_template_pages(1024);
+    ExplFrame::new(cfg).run().expect("attack run completes")
+}
+
+#[test]
+fn same_seed_produces_byte_identical_reports() {
+    let first = run_with_seed(1);
+    let second = run_with_seed(1);
+    // Full structural equality: outcome, template counts, steering and
+    // hammer tallies, ciphertext count, recovered keys, simulated time.
+    assert_eq!(first, second, "two runs with the same seed diverged");
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Different machine seeds produce different weak-cell populations, so
+    // *some* observable part of the report must differ. Checking a tuple of
+    // the coarse counters keeps this robust to incidental equalities in any
+    // single field.
+    let a = run_with_seed(2);
+    let b = run_with_seed(3);
+    assert_ne!(
+        (
+            a.templates_found,
+            a.hammer_pairs_spent,
+            a.ciphertexts_collected,
+            a.elapsed
+        ),
+        (
+            b.templates_found,
+            b.hammer_pairs_spent,
+            b.ciphertexts_collected,
+            b.elapsed
+        ),
+        "seeds 2 and 3 produced indistinguishable runs"
+    );
+}
+
+#[test]
+fn template_scan_is_deterministic() {
+    let scan = |seed: u64| {
+        let cfg = ExplFrameConfig::small_demo(seed).with_template_pages(512);
+        let mut machine = SimMachine::new(cfg.machine.clone());
+        let pid = machine.spawn(CpuId(0));
+        let base = machine
+            .mmap(pid, cfg.template_pages)
+            .expect("mmap template buffer");
+        template_scan(
+            &mut machine,
+            pid,
+            base,
+            cfg.template_pages,
+            cfg.hammer_pairs,
+            cfg.reproducibility_rounds,
+        )
+        .expect("template scan completes")
+    };
+    let first = scan(7);
+    let second = scan(7);
+    assert_eq!(first, second, "same-seed template scans diverged");
+    assert_eq!(first.templates, second.templates, "flip templates diverged");
+}

@@ -1,8 +1,6 @@
 //! End-to-end attack integration tests: every victim shape, full pipeline.
 
-use explframe::attack::{
-    AttackOutcome, ExplFrame, ExplFrameConfig, VictimCipherKind,
-};
+use explframe::attack::{AttackOutcome, ExplFrame, ExplFrameConfig, VictimCipherKind};
 
 #[test]
 fn aes_sbox_key_recovery_end_to_end() {

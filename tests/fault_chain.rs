@@ -3,7 +3,10 @@
 //! from machine-observed ciphertexts only.
 
 use explframe::attack::{VictimCipherKind, VictimCipherService, VictimKeys};
-use explframe::ciphers::{present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX};
+use explframe::ciphers::{
+    present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage,
+    PRESENT_SBOX,
+};
 use explframe::fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
 use explframe::machine::{MachineConfig, SimMachine};
 use explframe::memsim::{CpuId, PAGE_SIZE};
@@ -23,7 +26,8 @@ fn plant_fault(
         .expect("table mapped")
         .align_down(PAGE_SIZE);
     let byte = m.dram_mut().read_byte(pa + offset as u64);
-    m.dram_mut().write_byte(pa + offset as u64, byte ^ (1 << bit));
+    m.dram_mut()
+        .write_byte(pa + offset as u64, byte ^ (1 << bit));
     TableFault { offset, bit }
 }
 
@@ -169,12 +173,13 @@ fn victim_restart_reuses_released_frame_cycle() {
     // what lets multi-round T-table attacks keep hitting vulnerable memory.
     let mut m = SimMachine::new(MachineConfig::small(35));
     let keys = VictimKeys::from_seed(7);
-    let v1 =
-        VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::AesSbox, keys).unwrap();
+    let v1 = VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::AesSbox, keys).unwrap();
     let f1 = v1.table_pfn(&m).unwrap();
     v1.stop(&mut m).unwrap();
-    let v2 =
-        VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::AesSbox, keys).unwrap();
+    let v2 = VictimCipherService::start(&mut m, CpuId(2), VictimCipherKind::AesSbox, keys).unwrap();
     let f2 = v2.table_pfn(&m).unwrap();
-    assert_eq!(f1, f2, "the released frame cycles back through the pcp head");
+    assert_eq!(
+        f1, f2,
+        "the released frame cycles back through the pcp head"
+    );
 }
