@@ -1,11 +1,12 @@
 //! FIG1 — "Buddy Allocation Scheme" (paper Figure 1).
 //!
-//! Regenerates the figure's content as data: the free-list state of the
-//! buddy allocator through the paper's §IV walk-through (a 1 MiB request
-//! splitting larger blocks, then coalescing on free), plus an allocation
-//! storm verifying that coalescing always restores the canonical state.
+//! Regenerates the figure's content as data through two campaign cells: the
+//! free-list state of the buddy allocator through the paper's §IV
+//! walk-through (a 1 MiB request splitting larger blocks, then coalescing on
+//! free), plus an allocation storm verifying that coalescing always restores
+//! the canonical state.
 
-use explframe_bench::{banner, Table};
+use campaign::{banner, CampaignCli, Json, Scenario, Summary, Table};
 use memsim::{BuddyAllocator, Order, Pfn, PfnRange};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,60 +15,51 @@ fn free_lists(b: &BuddyAllocator) -> Vec<usize> {
     (0..=10u8).map(|o| b.free_blocks(Order(o))).collect()
 }
 
-fn record(table: &mut Table, step: &str, b: &BuddyAllocator) {
-    let lists = free_lists(b);
-    let cells: Vec<String> = lists.iter().map(|c| c.to_string()).collect();
-    let mut row: Vec<&dyn std::fmt::Display> = vec![&step];
-    let splits = b.stats().splits;
-    let merges = b.stats().merges;
-    for c in &cells {
-        row.push(c);
-    }
-    row.push(&splits);
-    row.push(&merges);
-    table.row(&row);
+fn record(rows: &mut Vec<Vec<String>>, step: &str, b: &BuddyAllocator) {
+    let mut row = vec![step.to_string()];
+    row.extend(free_lists(b).iter().map(ToString::to_string));
+    row.push(b.stats().splits.to_string());
+    row.push(b.stats().merges.to_string());
+    rows.push(row);
 }
 
-fn main() {
-    banner(
-        "FIG1: buddy allocation scheme",
-        "splitting on allocation, buddy coalescing on free (paper §IV, Figure 1)",
-    );
-
-    let mut table = Table::new(
-        "free blocks per order after each step (16 MiB zone)",
-        &[
-            "step", "o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9", "o10", "splits",
-            "merges",
-        ],
-    );
-
+/// The paper's §IV walk-through, as table rows.
+fn walkthrough() -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
     let mut b = BuddyAllocator::new(PfnRange::new(Pfn(0), Pfn(4096)));
-    record(&mut table, "initial (all free)", &b);
+    record(&mut rows, "initial (all free)", &b);
 
     // The paper's walk-through: a 1 MiB request = 256 pages = order 8.
     let mib = b.alloc(Order(8)).expect("fresh zone");
-    record(&mut table, "alloc 1 MiB (order 8)", &b);
+    record(&mut rows, "alloc 1 MiB (order 8)", &b);
 
     let page = b.alloc(Order(0)).expect("plenty left");
-    record(&mut table, "alloc 4 KiB (order 0)", &b);
+    record(&mut rows, "alloc 4 KiB (order 0)", &b);
 
     let two = b.alloc(Order(1)).expect("plenty left");
-    record(&mut table, "alloc 8 KiB (order 1)", &b);
+    record(&mut rows, "alloc 8 KiB (order 1)", &b);
 
     b.free(page).expect("live");
-    record(&mut table, "free 4 KiB", &b);
+    record(&mut rows, "free 4 KiB", &b);
     b.free(two).expect("live");
-    record(&mut table, "free 8 KiB (coalesces)", &b);
+    record(&mut rows, "free 8 KiB (coalesces)", &b);
     b.free(mib).expect("live");
-    record(&mut table, "free 1 MiB (coalesces)", &b);
+    record(&mut rows, "free 1 MiB (coalesces)", &b);
 
     b.check_invariants().expect("canonical coalesced state");
-    table.print();
-    table.write_csv("fig1_buddy");
+    rows
+}
 
-    // Storm: external-fragmentation recovery claim of §IV.
-    let mut rng = StdRng::seed_from_u64(42);
+struct StormOutcome {
+    splits: u64,
+    merges: u64,
+    free_pages: u64,
+    order10_blocks: usize,
+}
+
+/// Storm: external-fragmentation recovery claim of §IV.
+fn storm(seed: u64) -> StormOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut storm = BuddyAllocator::new(PfnRange::new(Pfn(0), Pfn(4096)));
     let mut live = Vec::new();
     for _ in 0..20_000 {
@@ -86,14 +78,109 @@ fn main() {
     storm
         .check_invariants()
         .expect("storm left canonical state");
-    println!(
-        "\nallocation storm: 20000 random ops → {} splits, {} merges, final state canonical \
-         with {} free pages (expected 4096)",
-        storm.stats().splits,
-        storm.stats().merges,
-        storm.free_pages()
+    StormOutcome {
+        splits: storm.stats().splits,
+        merges: storm.stats().merges,
+        free_pages: storm.free_pages(),
+        order10_blocks: free_lists(&storm)[10],
+    }
+}
+
+enum Fig1Cell {
+    Walkthrough,
+    Storm,
+}
+
+enum Fig1Trial {
+    Walkthrough(Vec<Vec<String>>),
+    Storm(StormOutcome),
+}
+
+impl Scenario for Fig1Cell {
+    type Trial = Fig1Trial;
+
+    fn name(&self) -> String {
+        match self {
+            Fig1Cell::Walkthrough => "walkthrough".into(),
+            Fig1Cell::Storm => "storm".into(),
+        }
+    }
+
+    fn run_trial(&self, seed: u64) -> Fig1Trial {
+        match self {
+            Fig1Cell::Walkthrough => Fig1Trial::Walkthrough(walkthrough()),
+            Fig1Cell::Storm => Fig1Trial::Storm(storm(seed)),
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "FIG1: buddy allocation scheme",
+        "splitting on allocation, buddy coalescing on free (paper §IV, Figure 1)",
     );
-    assert_eq!(storm.free_pages(), 4096);
-    assert_eq!(free_lists(&storm)[10], 4);
-    println!("shape check PASS: every free returns to four order-10 blocks");
+    let cli = CampaignCli::parse();
+    // --trials sets the number of independent storms (each from its own
+    // derived seed); the §IV walk-through itself is a fixed sequence, so
+    // only its first trial is rendered.
+    let campaign = cli.campaign(1, 42);
+    println!(
+        "independent storms: {}   seed: {}   threads: {}",
+        campaign.trials, campaign.seed, campaign.threads
+    );
+    let result = campaign.run(&[Fig1Cell::Walkthrough, Fig1Cell::Storm]);
+
+    let mut table = Table::new(
+        "free blocks per order after each step (16 MiB zone)",
+        &[
+            "step", "o0", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9", "o10", "splits",
+            "merges",
+        ],
+    );
+    let mut summary = Summary::new("fig1_buddy", &campaign);
+    let Fig1Trial::Walkthrough(rows) = &result.cells[0].trials[0] else {
+        unreachable!("cell 0 is the walkthrough");
+    };
+    for row in rows {
+        let cells: Vec<&dyn std::fmt::Display> =
+            row.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&cells);
+    }
+    table.print();
+    table.write_csv("fig1_buddy");
+    summary.table("fig1_buddy", &table);
+
+    // Every storm (one per trial, independent seeds) must coalesce back to
+    // the canonical state.
+    let storms: Vec<&StormOutcome> = result.cells[1]
+        .trials
+        .iter()
+        .map(|t| match t {
+            Fig1Trial::Storm(outcome) => outcome,
+            Fig1Trial::Walkthrough(_) => unreachable!("cell 1 is the storm"),
+        })
+        .collect();
+    for storm in &storms {
+        println!(
+            "\nallocation storm: 20000 random ops → {} splits, {} merges, final state canonical \
+             with {} free pages (expected 4096)",
+            storm.splits, storm.merges, storm.free_pages
+        );
+        assert_eq!(storm.free_pages, 4096);
+        assert_eq!(storm.order10_blocks, 4);
+    }
+    summary.cell(
+        "storm",
+        &[
+            ("runs", Json::UInt(storms.len() as u64)),
+            ("splits", Json::UInt(storms[0].splits)),
+            ("merges", Json::UInt(storms[0].merges)),
+            ("free_pages", Json::UInt(storms[0].free_pages)),
+        ],
+    );
+    summary.write(&result);
+    println!(
+        "shape check PASS: every free returns to four order-10 blocks ({} storm run(s))",
+        storms.len()
+    );
 }

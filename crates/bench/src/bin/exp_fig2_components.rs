@@ -1,27 +1,30 @@
 //! FIG2 — "Components of Zoned Page Frame Allocator in Linux" (Figure 2).
 //!
 //! Regenerates the figure as a structural dump of the simulated allocator
-//! on a desktop-sized (4 GiB) machine after a mixed workload: node →
-//! zonelist → zones → buddy free areas → per-CPU page frame caches.
+//! on a desktop-sized machine after a mixed workload — node → zonelist →
+//! zones → buddy free areas → per-CPU page frame caches — produced by a
+//! single-cell campaign (the workload is one deterministic trial).
 
-use explframe_bench::{banner, Table};
+use campaign::{banner, scenario, CampaignCli, Json, Summary, Table};
 use memsim::{CpuId, GfpFlags, MemConfig, Order, ZonedAllocator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    banner(
-        "FIG2: components of the zoned page frame allocator",
-        "node / zonelist / zones / buddy / per-CPU page frame cache (paper §III–IV, Figure 2)",
-    );
+struct Fig2Trial {
+    zones: Table,
+    buddy: Table,
+    pcp: Table,
+    pcp_hit_pct: f64,
+}
 
+fn trial(seed: u64) -> Fig2Trial {
     // 8 GiB so the layout includes all three zones (a 4 GiB machine ends
     // exactly at the ZONE_DMA32 boundary and has no ZONE_NORMAL).
     let mut alloc = ZonedAllocator::new(MemConfig {
         total_bytes: 8 << 30,
         ..MemConfig::desktop_4gib()
     });
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(seed);
 
     // Mixed workload across CPUs and zones to populate every structure.
     let mut live = Vec::new();
@@ -47,19 +50,6 @@ fn main() {
             alloc.free_pages(cpu, p).expect("live block");
         }
     }
-
-    println!(
-        "\nzonelist for a GFP_KERNEL (normal) request: {:?}",
-        GfpFlags::normal().zonelist()
-    );
-    println!(
-        "zonelist for a GFP_DMA32 request:           {:?}",
-        GfpFlags::dma32().zonelist()
-    );
-    println!(
-        "zonelist for a GFP_DMA request:             {:?}",
-        GfpFlags::dma().zonelist()
-    );
 
     let mut zones = Table::new(
         "node 0 zones",
@@ -103,8 +93,6 @@ fn main() {
             &hit_pct,
         ]);
     }
-    zones.print();
-    zones.write_csv("fig2_zones");
 
     let mut buddy = Table::new(
         "buddy free areas (free blocks per order)",
@@ -123,8 +111,6 @@ fn main() {
         }
         buddy.row(&row);
     }
-    buddy.print();
-    buddy.write_csv("fig2_buddy");
 
     let mut pcp = Table::new(
         "per-CPU page frame caches (the exploited structure)",
@@ -158,19 +144,84 @@ fn main() {
             ]);
         }
     }
-    pcp.print();
-    pcp.write_csv("fig2_pcp");
 
-    // Shape check: the hot-path property the paper's exploit needs.
-    let normal = alloc
+    // The hot-path property the paper's exploit needs.
+    let totals = alloc
         .zones()
         .iter()
         .map(|z| z.stats())
         .fold((0u64, 0u64), |acc, s| {
             (acc.0 + s.pcp_hits, acc.1 + s.allocs)
         });
-    let pct = 100.0 * normal.0 as f64 / normal.1 as f64;
-    println!("\norder-0-dominated workload served {pct:.1}% of allocations from page frame caches");
-    assert!(pct > 50.0, "pcp should dominate small allocations");
+    Fig2Trial {
+        zones,
+        buddy,
+        pcp,
+        pcp_hit_pct: 100.0 * totals.0 as f64 / totals.1 as f64,
+    }
+}
+
+fn main() {
+    banner(
+        "FIG2: components of the zoned page frame allocator",
+        "node / zonelist / zones / buddy / per-CPU page frame cache (paper §III–IV, Figure 2)",
+    );
+    let cli = CampaignCli::parse();
+    let mut campaign = cli.campaign(1, 7);
+    if let Some(trials) = cli.trials {
+        println!(
+            "note: FIG2 is a single deterministic structural dump; \
+             ignoring --trials {trials} (use --seed to vary the workload)"
+        );
+    }
+    campaign.trials = 1;
+    // The workload seed is the campaign seed itself: one deterministic cell.
+    let seed = campaign.seed;
+    println!("workload seed: {seed}");
+    let cells = [scenario("mixed_workload".to_string(), move |_seed| {
+        trial(seed)
+    })];
+    let result = campaign.run(&cells);
+
+    println!(
+        "\nzonelist for a GFP_KERNEL (normal) request: {:?}",
+        GfpFlags::normal().zonelist()
+    );
+    println!(
+        "zonelist for a GFP_DMA32 request:           {:?}",
+        GfpFlags::dma32().zonelist()
+    );
+    println!(
+        "zonelist for a GFP_DMA request:             {:?}",
+        GfpFlags::dma().zonelist()
+    );
+
+    let out = &result.cells[0].trials[0];
+    out.zones.print();
+    out.zones.write_csv("fig2_zones");
+    out.buddy.print();
+    out.buddy.write_csv("fig2_buddy");
+    out.pcp.print();
+    out.pcp.write_csv("fig2_pcp");
+
+    let mut summary = Summary::new("fig2_components", &campaign);
+    summary.table("fig2_zones", &out.zones);
+    summary.table("fig2_buddy", &out.buddy);
+    summary.table("fig2_pcp", &out.pcp);
+    summary.metric("pcp_hit_pct", out.pcp_hit_pct);
+    summary.cell(
+        "mixed_workload",
+        &[("pcp_hit_pct", Json::Float(out.pcp_hit_pct))],
+    );
+    summary.write(&result);
+
+    println!(
+        "\norder-0-dominated workload served {:.1}% of allocations from page frame caches",
+        out.pcp_hit_pct
+    );
+    assert!(
+        out.pcp_hit_pct > 50.0,
+        "pcp should dominate small allocations"
+    );
     println!("shape check PASS: per-CPU page frame cache is the hot path");
 }

@@ -4,14 +4,17 @@
 //!
 //! Measures P(reuse) of freshly freed frames as a function of how many
 //! frames were freed (k) and how many pages the follow-up request touches
-//! (m), with and without competing allocation noise on the CPU. Also
-//! verifies the LIFO order of reuse.
+//! (m), with and without competing allocation noise on the CPU, as one
+//! campaign over the (k, m, noise) matrix. Also verifies the LIFO order of
+//! reuse.
 
-use explframe_bench::{banner, trials_arg, Table};
-use machine::{MachineConfig, SimMachine};
+use campaign::{banner, cartesian2, scenario, CampaignCli, Json, Stream, Summary, Table};
+use machine::{warmup, MachineConfig, SimMachine};
 use memsim::{CpuId, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+const NOISE_LEVELS: [u64; 3] = [0, 16, 64];
 
 /// One trial: process frees `k` pages, then (maybe after noise) allocates
 /// `m`; returns the fraction of the k freed frames that came back.
@@ -19,11 +22,10 @@ fn trial(seed: u64, k: u64, m: u64, noise_pages: u64) -> f64 {
     let mut machine = SimMachine::new(MachineConfig::small(seed));
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
     let cpu = CpuId(0);
-    let proc_a = machine.spawn(cpu);
 
     // Warm-up traffic so the machine is not pristine.
-    let warm = machine.mmap(proc_a, 64).unwrap();
-    machine.fill(proc_a, warm, 64 * PAGE_SIZE, 1).unwrap();
+    warmup(&mut machine, 64).unwrap();
+    let proc_a = machine.spawn(cpu);
 
     let buf = machine.mmap(proc_a, k).unwrap();
     machine.fill(proc_a, buf, k * PAGE_SIZE, 2).unwrap();
@@ -68,8 +70,27 @@ fn main() {
         "T1: page-frame-cache reuse probability",
         "\"with a probability of almost 1 ... recently deallocated page frames will be reallocated\" (§V)",
     );
-    let trials = trials_arg(200);
-    println!("trials per cell: {trials}   (override with first CLI argument)");
+    let cli = CampaignCli::parse();
+    let campaign = cli.campaign(200, 1000);
+    println!(
+        "trials per cell: {}   seed: {}   threads: {}",
+        campaign.trials, campaign.seed, campaign.threads
+    );
+
+    // The (k freed, m requested) matrix, crossed with the noise axis.
+    let km: Vec<(u64, u64)> = cartesian2(&[1u64, 2, 4, 8], &[1u64, 4, 16, 64])
+        .into_iter()
+        .filter(|&(k, m)| m >= k)
+        .collect();
+    let cells: Vec<_> = cartesian2(&km, &NOISE_LEVELS)
+        .into_iter()
+        .map(|((k, m), noise)| {
+            scenario(format!("k={k} m={m} noise={noise}"), move |seed| {
+                trial(seed, k, m, noise)
+            })
+        })
+        .collect();
+    let result = campaign.run(&cells);
 
     let mut table = Table::new(
         "P(freed frame reused by the next request on the same CPU)",
@@ -81,25 +102,32 @@ fn main() {
             "noisy CPU (≤64 pages)",
         ],
     );
-    for &k in &[1u64, 2, 4, 8] {
-        for &m in &[1u64, 4, 16, 64] {
-            if m < k {
-                continue;
-            }
-            let run = |noise: u64| -> f64 {
-                (0..trials)
-                    .map(|t| trial(1000 + t as u64, k, m, noise))
-                    .sum::<f64>()
-                    / trials as f64
-            };
-            let quiet = format!("{:.3}", run(0));
-            let noisy16 = format!("{:.3}", run(16));
-            let noisy64 = format!("{:.3}", run(64));
-            table.row(&[&k, &m, &quiet, &noisy16, &noisy64]);
-        }
+    let mut summary = Summary::new("t1_pcp_reuse", &campaign);
+    for (row, &(k, m)) in km.iter().enumerate() {
+        // One result cell per noise level, in NOISE_LEVELS order.
+        let means: Vec<f64> = (0..NOISE_LEVELS.len())
+            .map(|n| {
+                let cell = &result.cells[row * NOISE_LEVELS.len() + n];
+                cell.trials.iter().copied().collect::<Stream>().mean()
+            })
+            .collect();
+        let quiet = format!("{:.3}", means[0]);
+        let noisy16 = format!("{:.3}", means[1]);
+        let noisy64 = format!("{:.3}", means[2]);
+        table.row(&[&k, &m, &quiet, &noisy16, &noisy64]);
+        summary.cell(
+            &format!("k={k} m={m}"),
+            &[
+                ("quiet", Json::Float(means[0])),
+                ("noise16", Json::Float(means[1])),
+                ("noise64", Json::Float(means[2])),
+            ],
+        );
     }
     table.print();
     table.write_csv("t1_pcp_reuse");
+    summary.table("t1_pcp_reuse", &table);
+    summary.write(&result);
 
     // LIFO check: the order of reuse is the reverse of the free order.
     let mut machine = SimMachine::new(MachineConfig::small(99));

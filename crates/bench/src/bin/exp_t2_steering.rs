@@ -1,37 +1,62 @@
 //! T2 — §V cross-process steering: the adversary forces the kernel to give
 //! its released frame to the victim.
 //!
-//! Success matrix over the paper's conditions: {same CPU, different CPU} ×
-//! {attacker active, attacker sleeping} × {quiet, noisy}. The paper's
-//! claims: steering needs the same CPU, and "the adversarial process must
-//! remain active rather than going into inactive state (sleeping)".
+//! Success matrix over the full cartesian product of the paper's conditions:
+//! {same CPU, different CPU} × {attacker active, attacker sleeping} ×
+//! {quiet, noisy}. The paper's claims: steering needs the same CPU, and "the
+//! adversarial process must remain active rather than going into inactive
+//! state (sleeping)".
+//!
+//! This binary is the acceptance benchmark for the campaign engine: its CSV
+//! is byte-identical for every `--threads` value, and `results/summary.json`
+//! records the parallel speedup under `campaigns.t2_steering.timing`.
 
-use explframe_bench::{banner, trials_arg, Table};
+use campaign::{banner, cartesian3, scenario, CampaignCli, Counter, Json, Summary, Table};
 use explframe_core::NoiseProcess;
-use machine::{MachineConfig, SimMachine};
+use machine::{warmup_on, MachineConfig, SimMachine};
 use memsim::{CpuId, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 #[derive(Clone, Copy)]
-struct Scenario {
+struct Conditions {
     same_cpu: bool,
     attacker_sleeps: bool,
     noisy: bool,
 }
 
-fn trial(seed: u64, s: Scenario) -> bool {
+impl Conditions {
+    fn label(self) -> (&'static str, &'static str, &'static str) {
+        (
+            if self.same_cpu { "same" } else { "different" },
+            if self.attacker_sleeps {
+                "sleeping"
+            } else {
+                "active"
+            },
+            match (self.attacker_sleeps, self.noisy) {
+                (_, false) => "quiet",
+                (true, true) => "CPU yielded",
+                (false, true) => "light noise",
+            },
+        )
+    }
+
+    fn name(self) -> String {
+        let (cpu, state, contention) = self.label();
+        format!("cpu={cpu} state={state} contention={contention}")
+    }
+}
+
+fn trial(seed: u64, c: Conditions) -> bool {
     let mut machine = SimMachine::new(MachineConfig::small(seed));
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
     let attacker_cpu = CpuId(0);
-    let victim_cpu = if s.same_cpu { CpuId(0) } else { CpuId(1) };
+    let victim_cpu = if c.same_cpu { CpuId(0) } else { CpuId(1) };
     let attacker = machine.spawn(attacker_cpu);
 
     // Prior system activity so the allocator state is not pristine.
-    let warm = machine.spawn(attacker_cpu);
-    let wb = machine.mmap(warm, 128).unwrap();
-    machine.fill(warm, wb, 128 * PAGE_SIZE, 1).unwrap();
-    machine.munmap(warm, wb, 100).unwrap();
+    warmup_on(&mut machine, attacker_cpu, 128).unwrap();
 
     let buf = machine.mmap(attacker, 4).unwrap();
     machine.fill(attacker, buf, 4 * PAGE_SIZE, 2).unwrap();
@@ -39,14 +64,17 @@ fn trial(seed: u64, s: Scenario) -> bool {
     let released = machine.translate(attacker, target).unwrap().as_u64() / PAGE_SIZE;
     machine.munmap(attacker, target, 1).unwrap();
 
-    if s.attacker_sleeps {
+    if c.attacker_sleeps {
+        // Sleeping triggers the idle-drain hazard; with noise on top, the
+        // yielded CPU also runs whoever is ready.
         machine.sleep(attacker, 5_000_000).unwrap();
-        // A sleeping attacker cedes the CPU: whoever is ready runs.
-        let mut other = NoiseProcess::spawn(&mut machine, attacker_cpu);
-        for _ in 0..3 {
-            other.burst(&mut machine, &mut rng, 40).unwrap();
+        if c.noisy {
+            let mut other = NoiseProcess::spawn(&mut machine, attacker_cpu);
+            for _ in 0..3 {
+                other.burst(&mut machine, &mut rng, 40).unwrap();
+            }
         }
-    } else if s.noisy {
+    } else if c.noisy {
         // Even an active attacker can face contention from the other
         // hardware thread / interrupts; model light churn.
         let mut other = NoiseProcess::spawn(&mut machine, attacker_cpu);
@@ -65,99 +93,87 @@ fn main() {
         "T2: cross-process page-frame steering",
         "steering requires same CPU + active attacker (§V)",
     );
-    let trials = trials_arg(300);
-    println!("trials per cell: {trials}");
+    let cli = CampaignCli::parse();
+    let campaign = cli.campaign(300, 5000);
+    println!(
+        "trials per cell: {}   seed: {}   threads: {}",
+        campaign.trials, campaign.seed, campaign.threads
+    );
+
+    // The full condition matrix: {victim CPU} × {attacker state} × {noise}.
+    let matrix: Vec<Conditions> = cartesian3(&[true, false], &[false, true], &[false, true])
+        .into_iter()
+        .map(|(same_cpu, attacker_sleeps, noisy)| Conditions {
+            same_cpu,
+            attacker_sleeps,
+            noisy,
+        })
+        .collect();
+    let cells: Vec<_> = matrix
+        .iter()
+        .map(|&c| scenario(c.name(), move |seed| trial(seed, c)))
+        .collect();
+    let result = campaign.run(&cells);
 
     let mut table = Table::new(
         "P(victim receives the attacker's released frame)",
-        &["victim CPU", "attacker state", "contention", "success rate"],
+        &[
+            "victim CPU",
+            "attacker state",
+            "contention",
+            "success rate",
+            "95% Wilson CI",
+        ],
     );
-    let scenarios = [
-        (
-            Scenario {
-                same_cpu: true,
-                attacker_sleeps: false,
-                noisy: false,
-            },
-            "same",
-            "active",
-            "quiet",
-        ),
-        (
-            Scenario {
-                same_cpu: true,
-                attacker_sleeps: false,
-                noisy: true,
-            },
-            "same",
-            "active",
-            "light noise",
-        ),
-        (
-            Scenario {
-                same_cpu: true,
-                attacker_sleeps: true,
-                noisy: true,
-            },
-            "same",
-            "sleeping",
-            "CPU yielded",
-        ),
-        (
-            Scenario {
-                same_cpu: false,
-                attacker_sleeps: false,
-                noisy: false,
-            },
-            "different",
-            "active",
-            "quiet",
-        ),
-        (
-            Scenario {
-                same_cpu: false,
-                attacker_sleeps: true,
-                noisy: true,
-            },
-            "different",
-            "sleeping",
-            "CPU yielded",
-        ),
-    ];
-    let mut rates = Vec::new();
-    for (s, cpu, state, noise) in scenarios {
-        let successes = (0..trials).filter(|&t| trial(5000 + t as u64, s)).count();
-        let rate = successes as f64 / trials as f64;
-        rates.push(rate);
-        let rate_s = format!("{rate:.3}");
-        table.row(&[&cpu, &state, &noise, &rate_s]);
+    let mut summary = Summary::new("t2_steering", &campaign);
+    let mut rate_of = std::collections::BTreeMap::new();
+    for (c, cell) in matrix.iter().zip(&result.cells) {
+        let counter: Counter = cell.trials.iter().copied().collect();
+        let ci = counter.wilson95();
+        let (cpu, state, contention) = c.label();
+        let rate_s = format!("{:.3}", counter.rate());
+        let ci_s = format!("[{:.3}, {:.3}]", ci.lo, ci.hi);
+        table.row(&[&cpu, &state, &contention, &rate_s, &ci_s]);
+        summary.cell(
+            &cell.name,
+            &[
+                ("rate", Json::Float(counter.rate())),
+                ("ci_lo", Json::Float(ci.lo)),
+                ("ci_hi", Json::Float(ci.hi)),
+            ],
+        );
+        rate_of.insert(cell.name.clone(), counter.rate());
     }
     table.print();
     table.write_csv("t2_steering");
+    summary.table("t2_steering", &table);
+    summary.write(&result);
 
+    let rate = |same_cpu, attacker_sleeps, noisy| {
+        rate_of[&Conditions {
+            same_cpu,
+            attacker_sleeps,
+            noisy,
+        }
+        .name()]
+    };
+    let active_quiet = rate(true, false, false);
+    let sleeping = rate(true, true, true);
+    let cross_cpu = rate(false, false, false);
     println!("\nshape checks:");
-    println!(
-        "  same CPU + active (quiet):   {:.3}  — expected ≈ 1.0",
-        rates[0]
-    );
-    println!(
-        "  same CPU + sleeping:         {:.3}  — expected ≪ active",
-        rates[2]
-    );
-    println!(
-        "  different CPU:               {:.3}  — expected ≈ 0.0",
-        rates[3]
-    );
+    println!("  same CPU + active (quiet):   {active_quiet:.3}  — expected ≈ 1.0");
+    println!("  same CPU + sleeping:         {sleeping:.3}  — expected ≪ active");
+    println!("  different CPU:               {cross_cpu:.3}  — expected ≈ 0.0");
     assert!(
-        rates[0] > 0.95,
+        active_quiet > 0.95,
         "active same-CPU steering should be near-certain"
     );
     assert!(
-        rates[2] < rates[0] - 0.3,
+        sleeping < active_quiet - 0.3,
         "sleeping must hurt substantially"
     );
     assert!(
-        rates[3] < 0.05,
+        cross_cpu < 0.05,
         "cross-CPU steering should essentially never work"
     );
     println!("shape check PASS");

@@ -2,30 +2,126 @@
 //! probability of getting bit flips in the same location when conducting
 //! Rowhammer on the same virtual address space".
 //!
-//! Series 1: templates found vs aggressor-pair count (the classic
-//! flips-vs-activations curve — flips appear past the threshold knee).
-//! Series 2: per-location reproducibility across repeated re-hammer rounds.
+//! One campaign with three kinds of cells, all templated off the same
+//! machine seed (default 3) and executed in parallel:
+//!
+//! * Sweep cells: templates found vs aggressor-pair count (the classic
+//!   flips-vs-activations curve — flips appear past the threshold knee).
+//! * A reproducibility cell: per-location stability across repeated
+//!   re-hammer rounds.
+//! * A same-location cell: two independent sweeps of one module find the
+//!   same cells.
 
-use explframe_bench::{banner, mean_std, trials_arg, Table};
+use std::collections::BTreeSet;
+
+use campaign::{banner, mean_std, scenario, CampaignCli, Json, Summary, Table};
 use explframe_core::template_scan;
 use machine::{MachineConfig, SimMachine};
 use memsim::{CpuId, PAGE_SIZE};
+
+const PAGES: u64 = 4096; // 16 MiB buffer
+const SWEEP_PAIRS: [u64; 9] = [
+    5_000, 10_000, 15_000, 25_000, 50_000, 100_000, 200_000, 400_000, 690_000,
+];
+
+/// Templates found at one hammer intensity.
+fn sweep_trial(machine_seed: u64, pairs: u64) -> usize {
+    let mut machine = SimMachine::new(MachineConfig::small(machine_seed));
+    let attacker = machine.spawn(CpuId(0));
+    let buffer = machine.mmap(attacker, PAGES).unwrap();
+    let scan = template_scan(&mut machine, attacker, buffer, PAGES, pairs, 0).unwrap();
+    scan.templates.len()
+}
+
+/// Per-template reproducibility scores across `rounds` re-hammer rounds.
+fn repro_trial(machine_seed: u64, rounds: u32) -> Vec<f64> {
+    let mut machine = SimMachine::new(MachineConfig::small(machine_seed));
+    let attacker = machine.spawn(CpuId(0));
+    let buffer = machine.mmap(attacker, PAGES).unwrap();
+    let scan = template_scan(&mut machine, attacker, buffer, PAGES, 400_000, rounds).unwrap();
+    scan.templates
+        .iter()
+        .map(|t| f64::from(t.reproducibility))
+        .collect()
+}
+
+/// The (frame, offset, bit) population of one full sweep.
+fn locations(machine_seed: u64) -> BTreeSet<(u64, u16, u8)> {
+    let mut m = SimMachine::new(MachineConfig::small(machine_seed));
+    let a = m.spawn(CpuId(0));
+    let b = m.mmap(a, PAGES).unwrap();
+    let s = template_scan(&mut m, a, b, PAGES, 400_000, 0).unwrap();
+    s.templates
+        .iter()
+        .map(|t| {
+            let pa = m.translate(a, t.page_va).unwrap();
+            (pa.as_u64() / PAGE_SIZE, t.page_offset, t.bit)
+        })
+        .collect()
+}
+
+enum T3Trial {
+    Sweep { pairs: u64, found: usize },
+    Repro(Vec<f64>),
+    SameLocation { overlap: usize, total: usize },
+}
 
 fn main() {
     banner(
         "T3: DRAM templating",
         "flips vs hammer count; flip-location reproducibility (§VI)",
     );
-    let repro_rounds = trials_arg(20);
-    let pages: u64 = 4096; // 16 MiB buffer
+    let cli = CampaignCli::parse();
+    // The cells are deterministic functions of the machine seed (one
+    // "trial" each); --trials sets the re-hammer round count as it did in
+    // the pre-campaign harness.
+    let mut campaign = cli.campaign(20, 3);
+    let repro_rounds = campaign.trials;
+    campaign.trials = 1;
+    let machine_seed = campaign.seed;
     println!(
-        "buffer: {} MiB, reproducibility rounds: {repro_rounds}",
-        pages * 4096 / (1 << 20)
+        "buffer: {} MiB, reproducibility rounds: {repro_rounds} (--trials sets rounds here), \
+         seed: {machine_seed}, threads: {}",
+        PAGES * 4096 / (1 << 20),
+        campaign.threads
     );
+
+    let mut cells: Vec<Box<dyn campaign::Scenario<Trial = T3Trial>>> = SWEEP_PAIRS
+        .iter()
+        .map(|&pairs| {
+            Box::new(scenario(format!("pairs={pairs}"), move |_seed| {
+                T3Trial::Sweep {
+                    pairs,
+                    found: sweep_trial(machine_seed, pairs),
+                }
+            })) as Box<dyn campaign::Scenario<Trial = T3Trial>>
+        })
+        .collect();
+    cells.push(Box::new(scenario(
+        "reproducibility".to_string(),
+        move |_seed| T3Trial::Repro(repro_trial(machine_seed, repro_rounds)),
+    )));
+    cells.push(Box::new(scenario(
+        "same_location".to_string(),
+        move |_seed| {
+            let first = locations(machine_seed);
+            let second = locations(machine_seed);
+            T3Trial::SameLocation {
+                overlap: first.intersection(&second).count(),
+                total: first.len(),
+            }
+        },
+    )));
+    let result = campaign.run(&cells);
+
+    let mut summary = Summary::new("t3_templating", &campaign);
+    summary.metric("repro_rounds", repro_rounds);
 
     // --- Series 1: flips vs hammer pairs -------------------------------
     let mut sweep = Table::new(
-        "templates found vs hammer intensity (256 MiB flippy module, seed 3)",
+        &format!(
+            "templates found vs hammer intensity (256 MiB flippy module, seed {machine_seed})"
+        ),
         &[
             "aggressor pairs",
             "≈ACTs on victim row",
@@ -33,36 +129,31 @@ fn main() {
             "flips / GiB·pass",
         ],
     );
-    for &pairs in &[
-        5_000u64, 10_000, 15_000, 25_000, 50_000, 100_000, 200_000, 400_000, 690_000,
-    ] {
-        let mut machine = SimMachine::new(MachineConfig::small(3));
-        let attacker = machine.spawn(CpuId(0));
-        let buffer = machine.mmap(attacker, pages).unwrap();
-        let scan = template_scan(&mut machine, attacker, buffer, pages, pairs, 0).unwrap();
-        let acts = pairs * 2;
-        let per_gib = scan.templates.len() as f64 / (pages as f64 * 4096.0 / (1u64 << 30) as f64);
-        let per_gib_s = format!("{per_gib:.0}");
-        let found = scan.templates.len();
-        sweep.row(&[&pairs, &acts, &found, &per_gib_s]);
+    let mut scores = Vec::new();
+    let mut same_location = None;
+    for cell in result.cells.iter().flat_map(|c| &c.trials) {
+        match cell {
+            T3Trial::Sweep { pairs, found } => {
+                let acts = pairs * 2;
+                let per_gib = *found as f64 / (PAGES as f64 * 4096.0 / f64::from(1u32 << 30));
+                let per_gib_s = format!("{per_gib:.0}");
+                sweep.row(&[pairs, &acts, found, &per_gib_s]);
+                summary.cell(
+                    &format!("pairs={pairs}"),
+                    &[("templates", Json::UInt(*found as u64))],
+                );
+            }
+            T3Trial::Repro(s) => scores = s.clone(),
+            T3Trial::SameLocation { overlap, total } => same_location = Some((*overlap, *total)),
+        }
     }
     sweep.print();
     sweep.write_csv("t3_flips_vs_hammer");
+    summary.table("t3_flips_vs_hammer", &sweep);
 
     // --- Series 2: reproducibility --------------------------------------
-    let mut machine = SimMachine::new(MachineConfig::small(3));
-    let attacker = machine.spawn(CpuId(0));
-    let buffer = machine.mmap(attacker, pages).unwrap();
-    let scan = template_scan(&mut machine, attacker, buffer, pages, 400_000, repro_rounds).unwrap();
-
-    let scores: Vec<f64> = scan
-        .templates
-        .iter()
-        .map(|t| t.reproducibility as f64)
-        .collect();
     let (mean, std) = mean_std(&scores);
     let perfect = scores.iter().filter(|&&s| s >= 0.999).count();
-
     let mut repro = Table::new(
         "flip-location reproducibility over repeated re-hammering",
         &[
@@ -73,36 +164,24 @@ fn main() {
             "fraction repro=1.0",
         ],
     );
-    let n = scan.templates.len();
+    let n = scores.len();
     let mean_s = format!("{mean:.4}");
     let std_s = format!("{std:.4}");
     let frac_s = format!("{:.4}", perfect as f64 / n.max(1) as f64);
     repro.row(&[&n, &repro_rounds, &mean_s, &std_s, &frac_s]);
     repro.print();
     repro.write_csv("t3_reproducibility");
+    summary.table("t3_reproducibility", &repro);
+    summary.metric("mean_reproducibility", mean);
 
-    // Same-location check across two *independent* sweeps of the same
-    // machine seed: templating twice finds the same cells.
-    let run_locations = |seed: u64| {
-        let mut m = SimMachine::new(MachineConfig::small(seed));
-        let a = m.spawn(CpuId(0));
-        let b = m.mmap(a, pages).unwrap();
-        let s = template_scan(&mut m, a, b, pages, 400_000, 0).unwrap();
-        s.templates
-            .iter()
-            .map(|t| {
-                let pa = m.translate(a, t.page_va).unwrap();
-                (pa.as_u64() / PAGE_SIZE, t.page_offset, t.bit)
-            })
-            .collect::<std::collections::BTreeSet<_>>()
-    };
-    let first = run_locations(3);
-    let second = run_locations(3);
-    let overlap = first.intersection(&second).count();
+    // --- Series 3: same-location stability -------------------------------
+    let (overlap, total) = same_location.expect("same_location cell ran");
     println!(
-        "\nsame-module re-template overlap: {overlap}/{} locations identical across runs",
-        first.len()
+        "\nsame-module re-template overlap: {overlap}/{total} locations identical across runs"
     );
+    summary.metric("same_location_overlap", overlap);
+    summary.metric("same_location_total", total);
+    summary.write(&result);
 
     println!("\nshape checks:");
     println!(
@@ -110,10 +189,6 @@ fn main() {
     );
     println!("  - mean reproducibility {mean:.3} (paper: \"high probability ... same location\")");
     assert!(mean > 0.9, "templated flips must be highly reproducible");
-    assert_eq!(
-        overlap,
-        first.len(),
-        "the flip population is stable per module"
-    );
+    assert_eq!(overlap, total, "the flip population is stable per module");
     println!("shape check PASS");
 }

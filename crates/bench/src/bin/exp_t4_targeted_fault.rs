@@ -2,59 +2,81 @@
 //! able to induce bit flips once more in the same page that now holds the
 //! victim data".
 //!
-//! Runs the full pipeline across independent machines (seeds) and measures:
-//! steering success, probability the re-hammer faults the victim's table,
-//! fault rounds needed, ciphertexts to key recovery, and the end-to-end
-//! success rate.
+//! A campaign over the victim shapes: every trial runs the full pipeline on
+//! an independent machine (seeded per trial) and measures steering success,
+//! probability the re-hammer faults the victim's table, fault rounds needed,
+//! ciphertexts to key recovery, and the end-to-end success rate.
 
-use explframe_bench::{banner, mean_std, percentile, trials_arg, Table};
+use campaign::{banner, mean_std, percentile, scenario, CampaignCli, Json, Summary, Table};
 use explframe_core::{AttackOutcome, ExplFrame, ExplFrameConfig, VictimCipherKind};
+
+struct Trial {
+    succeeded: bool,
+    steered: bool,
+    fault_rounds: f64,
+    ciphertexts: f64,
+    sim_seconds: f64,
+}
+
+fn trial(seed: u64, kind: VictimCipherKind, pages: u64) -> Trial {
+    let cfg = ExplFrameConfig::small_demo(seed)
+        .with_template_pages(pages)
+        .with_victim(kind);
+    let report = ExplFrame::new(cfg).run().expect("machine-level success");
+    Trial {
+        succeeded: report.succeeded(),
+        steered: report.steering_successes > 0,
+        fault_rounds: f64::from(report.fault_rounds),
+        ciphertexts: report.ciphertexts_collected as f64,
+        sim_seconds: report.elapsed as f64 / 1e9,
+    }
+}
 
 fn main() {
     banner(
         "T4: end-to-end targeted fault injection + key recovery",
         "targeted Rowhammer on a single steered page, then PFA (§VI)",
     );
-    let trials = trials_arg(60);
-    println!("independent machines: {trials}");
+    let cli = CampaignCli::parse();
+    let campaign = cli.campaign(60, 9000);
+    println!(
+        "independent machines per victim: {}   seed: {}   threads: {}",
+        campaign.trials, campaign.seed, campaign.threads
+    );
+
+    let victims = [
+        (VictimCipherKind::AesSbox, "AES-128 S-box", 2048u64),
+        (VictimCipherKind::AesTtable, "AES-128 T-tables", 2048),
+        (VictimCipherKind::Present, "PRESENT-80", 16_384),
+    ];
+    let cells: Vec<_> = victims
+        .iter()
+        .map(|&(kind, label, pages)| scenario(label, move |seed| trial(seed, kind, pages)))
+        .collect();
+    let result = campaign.run(&cells);
 
     let mut per_kind = Table::new(
         "end-to-end attack outcomes by victim shape",
         &[
             "victim",
             "success",
-            "steered rounds",
+            "steered",
             "mean rounds",
             "mean ciphertexts",
             "p90 ciphertexts",
             "mean sim time (s)",
         ],
     );
-
-    for (kind, label, pages) in [
-        (VictimCipherKind::AesSbox, "AES-128 S-box", 2048u64),
-        (VictimCipherKind::AesTtable, "AES-128 T-tables", 2048),
-        (VictimCipherKind::Present, "PRESENT-80", 16_384),
-    ] {
-        let mut successes = 0u32;
-        let mut steered = 0u32;
-        let mut rounds = Vec::new();
-        let mut cts = Vec::new();
-        let mut sim_time = Vec::new();
-        for t in 0..trials {
-            let cfg = ExplFrameConfig::small_demo(9000 + t as u64)
-                .with_template_pages(pages)
-                .with_victim(kind);
-            let report = ExplFrame::new(cfg).run().expect("machine-level success");
-            if report.succeeded() {
-                successes += 1;
-                rounds.push(report.fault_rounds as f64);
-                cts.push(report.ciphertexts_collected as f64);
-                sim_time.push(report.elapsed as f64 / 1e9);
-            }
-            steered += report.steering_successes.min(1);
-        }
-        let rate = format!("{:.2}", successes as f64 / trials as f64);
+    let mut summary = Summary::new("t4_targeted_fault", &campaign);
+    for cell in &result.cells {
+        let trials = campaign.trials;
+        let successes = cell.trials.iter().filter(|t| t.succeeded).count();
+        let steered = cell.trials.iter().filter(|t| t.steered).count();
+        let ok: Vec<&Trial> = cell.trials.iter().filter(|t| t.succeeded).collect();
+        let rounds: Vec<f64> = ok.iter().map(|t| t.fault_rounds).collect();
+        let cts: Vec<f64> = ok.iter().map(|t| t.ciphertexts).collect();
+        let sim_time: Vec<f64> = ok.iter().map(|t| t.sim_seconds).collect();
+        let rate = format!("{:.2}", successes as f64 / f64::from(trials));
         let steer = format!("{steered}/{trials}");
         let (mr, _) = mean_std(&rounds);
         let (mc, _) = mean_std(&cts);
@@ -68,10 +90,23 @@ fn main() {
         let mc_s = format!("{mc:.0}");
         let p90_s = format!("{p90:.0}");
         let mt_s = format!("{mt:.1}");
-        per_kind.row(&[&label, &rate, &steer, &mr_s, &mc_s, &p90_s, &mt_s]);
+        per_kind.row(&[&cell.name, &rate, &steer, &mr_s, &mc_s, &p90_s, &mt_s]);
+        summary.cell(
+            &cell.name,
+            &[
+                (
+                    "success_rate",
+                    Json::Float(successes as f64 / f64::from(trials)),
+                ),
+                ("mean_ciphertexts", Json::Float(mc)),
+                ("mean_fault_rounds", Json::Float(mr)),
+            ],
+        );
     }
     per_kind.print();
     per_kind.write_csv("t4_targeted_fault");
+    summary.table("t4_targeted_fault", &per_kind);
+    summary.write(&result);
 
     // A focused single-seed trace for the record.
     let report = ExplFrame::new(ExplFrameConfig::small_demo(424242).with_template_pages(2048))

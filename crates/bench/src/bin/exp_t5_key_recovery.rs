@@ -1,19 +1,23 @@
 //! T5 — fault analysis of block ciphers (the paper's title claim, via its
 //! reference \[12\]: Persistent Fault Analysis, Zhang et al., TCHES 2018).
 //!
-//! Series 1: P(full AES-128 key) vs number of faulty ciphertexts — the PFA
-//! curve with its knee around ~2000 ciphertexts.
-//! Series 2: the same for PRESENT-80 (16-value alphabets converge in
-//! tens of ciphertexts).
-//! Series 3: T-table AES — ciphertexts per 4-byte fault round.
-//! Series 4: the Giraud DFA comparator — pairs needed vs PFA's
-//! correct/faulty-pair-free operation.
+//! Four campaigns, each a scenario matrix over its budget axis with fully
+//! independent per-trial keys and faults:
+//!
+//! * AES-128 S-box PFA: P(full key) vs faulty ciphertexts — the knee sits
+//!   around ~2000 ciphertexts.
+//! * PRESENT-80 PFA: 16-value alphabets converge in tens of ciphertexts.
+//! * T-table AES: ciphertexts per 4-byte fault round.
+//! * The Giraud DFA comparator: pairs needed vs PFA's
+//!   correct/faulty-pair-free operation.
 
+use campaign::{
+    banner, mean_std, scenario, Campaign, CampaignCli, Counter, Json, Stream, Summary, Table,
+};
 use ciphers::{
     present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes, TTableAes,
     TableImage, FINAL_ROUND_S_LANE, PRESENT_SBOX,
 };
-use explframe_bench::{banner, mean_std, trials_arg, Table};
 use fault::{
     encrypt_with_round10_input_fault, expected_ciphertexts_for_full_key, DfaAttack, PfaCollector,
     PresentPfa, TTablePfa, TableFault, TeFaultClass,
@@ -26,86 +30,111 @@ fn main() {
         "T5: key recovery by fault analysis",
         "PFA success vs ciphertext budget (AES knee ≈ 2000, per Zhang et al.); DFA comparator",
     );
-    let trials = trials_arg(100);
-    println!("keys per data point: {trials}");
+    let cli = CampaignCli::parse();
+    let base = cli.campaign(100, 0xE5);
+    println!(
+        "keys per data point: {}   seed: {}   threads: {}",
+        base.trials, base.seed, base.threads
+    );
 
-    aes_success_curve(trials);
-    present_success_curve(trials);
-    ttable_per_fault(trials);
-    dfa_comparator(trials.min(40));
+    aes_success_curve(&base);
+    present_success_curve(&base);
+    ttable_per_fault(&base);
+    dfa_comparator(&base);
 }
 
-fn aes_success_curve(trials: u32) {
+/// Per-series campaign: same thread pool and trial budget conventions, but
+/// an independent seed stream per series.
+fn series(base: &Campaign, tag: u64, trials: u32) -> Campaign {
+    Campaign {
+        trials,
+        seed: base.seed ^ tag,
+        threads: base.threads,
+    }
+}
+
+fn aes_success_curve(base: &Campaign) {
+    let campaign = series(base, 0xAE5 << 16, base.trials);
+    let budgets = [250u64, 500, 1000, 1500, 2000, 2500, 3000, 4000, 6000, 8000];
+    let cells: Vec<_> = budgets
+        .iter()
+        .map(|&budget| {
+            scenario(format!("ciphertexts={budget}"), move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let key: [u8; 16] = rng.gen();
+                let entry = rng.gen_range(0..256usize);
+                let bit = rng.gen_range(0..8u8);
+                let mut image = TableImage::sbox().to_vec();
+                image[entry] ^= 1 << bit;
+                let mut victim = SboxAes::new_128(&key, RamTableSource::new(image));
+                let mut collector = PfaCollector::new();
+                for _ in 0..budget {
+                    let mut block: [u8; 16] = rng.gen();
+                    victim.encrypt_block(&mut block);
+                    collector.observe(&block);
+                }
+                let determined = collector.determined_positions() as f64;
+                let full = collector.all_positions_determined()
+                    && collector
+                        .analyze_known_fault(TableImage::sbox()[entry])
+                        .master_key()
+                        == Some(key);
+                (full, determined)
+            })
+        })
+        .collect();
+    let result = campaign.run(&cells);
+
     let mut table = Table::new(
         "AES-128 S-box PFA: success probability vs faulty ciphertexts",
         &["ciphertexts", "P(full key)", "mean determined bytes"],
     );
-    let mut rng = StdRng::seed_from_u64(0xAE5);
-    for &budget in &[250u64, 500, 1000, 1500, 2000, 2500, 3000, 4000, 6000, 8000] {
-        let mut full = 0u32;
-        let mut determined = Vec::new();
-        for _ in 0..trials {
-            let key: [u8; 16] = rng.gen();
-            let entry = rng.gen_range(0..256usize);
-            let bit = rng.gen_range(0..8u8);
-            let mut image = TableImage::sbox().to_vec();
-            image[entry] ^= 1 << bit;
-            let mut victim = SboxAes::new_128(&key, RamTableSource::new(image));
-            let mut collector = PfaCollector::new();
-            for _ in 0..budget {
-                let mut block: [u8; 16] = rng.gen();
-                victim.encrypt_block(&mut block);
-                collector.observe(&block);
-            }
-            determined.push(collector.determined_positions() as f64);
-            if collector.all_positions_determined() {
-                let analysis = collector.analyze_known_fault(TableImage::sbox()[entry]);
-                if analysis.master_key() == Some(key) {
-                    full += 1;
-                }
-            }
-        }
-        let rate = format!("{:.2}", full as f64 / trials as f64);
-        let (md, _) = mean_std(&determined);
-        let md_s = format!("{md:.1}");
+    let mut summary = Summary::new("t5_aes_pfa", &campaign);
+    for (&budget, cell) in budgets.iter().zip(&result.cells) {
+        let full: Counter = cell.trials.iter().map(|&(ok, _)| ok).collect();
+        let determined: Stream = cell.trials.iter().map(|&(_, d)| d).collect();
+        let rate = format!("{:.2}", full.rate());
+        let md_s = format!("{:.1}", determined.mean());
         table.row(&[&budget, &rate, &md_s]);
+        summary.cell(&cell.name, &[("p_full_key", Json::Float(full.rate()))]);
     }
     table.print();
     table.write_csv("t5_aes_pfa_curve");
+    summary.table("t5_aes_pfa_curve", &table);
+    summary.write(&result);
     println!(
         "coupon-collector estimate for the knee: {:.0} ciphertexts (paper [12]: ≈2000)",
         expected_ciphertexts_for_full_key(16)
     );
 }
 
-fn present_success_curve(trials: u32) {
-    let mut table = Table::new(
-        "PRESENT-80 PFA: success probability vs faulty ciphertexts",
-        &["ciphertexts", "P(round-32 key)", "P(master key)"],
-    );
-    let mut rng = StdRng::seed_from_u64(0x9E5E);
-    for &budget in &[25u64, 50, 75, 100, 150, 250, 500] {
-        let mut k32_ok = 0u32;
-        let mut master_ok = 0u32;
-        for _ in 0..trials {
-            let key: [u8; 10] = rng.gen();
-            let entry = rng.gen_range(0..16usize);
-            let bit = rng.gen_range(0..4u8);
-            let mut image = present_sbox_image().to_vec();
-            image[entry] ^= 1 << bit;
-            let mut victim = Present80::new(&key, RamTableSource::new(image));
-            let mut pfa = PresentPfa::new();
-            for _ in 0..budget {
-                let mut block: [u8; 8] = rng.gen();
-                victim.encrypt_block(&mut block);
-                pfa.observe(&block);
-            }
-            if !pfa.all_positions_determined() {
-                continue;
-            }
-            let v = PRESENT_SBOX[entry];
-            if pfa.recover_round32_key(v) == Some(ciphers::present80_round_keys(&key)[31]) {
-                k32_ok += 1;
+fn present_success_curve(base: &Campaign) {
+    let campaign = series(base, 0x9E5E << 16, base.trials);
+    let budgets = [25u64, 50, 75, 100, 150, 250, 500];
+    let cells: Vec<_> = budgets
+        .iter()
+        .map(|&budget| {
+            scenario(format!("ciphertexts={budget}"), move |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let key: [u8; 10] = rng.gen();
+                let entry = rng.gen_range(0..16usize);
+                let bit = rng.gen_range(0..4u8);
+                let mut image = present_sbox_image().to_vec();
+                image[entry] ^= 1 << bit;
+                let mut victim = Present80::new(&key, RamTableSource::new(image));
+                let mut pfa = PresentPfa::new();
+                for _ in 0..budget {
+                    let mut block: [u8; 8] = rng.gen();
+                    victim.encrypt_block(&mut block);
+                    pfa.observe(&block);
+                }
+                if !pfa.all_positions_determined() {
+                    return (false, false);
+                }
+                let v = PRESENT_SBOX[entry];
+                if pfa.recover_round32_key(v) != Some(ciphers::present80_round_keys(&key)[31]) {
+                    return (false, false);
+                }
                 // Master key via known pre-fault pair + 2^16 search.
                 let plain: [u8; 8] = rng.gen();
                 let mut cipher = plain;
@@ -117,26 +146,38 @@ fn present_success_curve(trials: u32) {
                         .encrypt_block(&mut b);
                     b == cipher
                 });
-                if rec == Some(key) {
-                    master_ok += 1;
-                }
-            }
-        }
-        let r32 = format!("{:.2}", k32_ok as f64 / trials as f64);
-        let rm = format!("{:.2}", master_ok as f64 / trials as f64);
+                (true, rec == Some(key))
+            })
+        })
+        .collect();
+    let result = campaign.run(&cells);
+
+    let mut table = Table::new(
+        "PRESENT-80 PFA: success probability vs faulty ciphertexts",
+        &["ciphertexts", "P(round-32 key)", "P(master key)"],
+    );
+    let mut summary = Summary::new("t5_present_pfa", &campaign);
+    for (&budget, cell) in budgets.iter().zip(&result.cells) {
+        let k32: Counter = cell.trials.iter().map(|&(k, _)| k).collect();
+        let master: Counter = cell.trials.iter().map(|&(_, m)| m).collect();
+        let r32 = format!("{:.2}", k32.rate());
+        let rm = format!("{:.2}", master.rate());
         table.row(&[&budget, &r32, &rm]);
+        summary.cell(&cell.name, &[("p_master_key", Json::Float(master.rate()))]);
     }
     table.print();
     table.write_csv("t5_present_pfa_curve");
+    summary.table("t5_present_pfa_curve", &table);
+    summary.write(&result);
 }
 
-fn ttable_per_fault(trials: u32) {
-    let mut rng = StdRng::seed_from_u64(0x77AB);
-    let mut cts_per_fault = Vec::new();
-    let mut total_for_full_key = Vec::new();
-    for _ in 0..trials.min(50) {
+fn ttable_per_fault(base: &Campaign) {
+    let campaign = series(base, 0x77AB << 16, base.trials.min(50));
+    let cells = [scenario("ttable_multi_fault".to_string(), |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
         let key: [u8; 16] = rng.gen();
         let mut driver = TTablePfa::new();
+        let mut per_fault = Vec::new();
         let mut total = 0u64;
         for (table, s_lane) in FINAL_ROUND_S_LANE.iter().enumerate() {
             let entry = rng.gen_range(0..256usize);
@@ -160,7 +201,7 @@ fn ttable_per_fault(trials: u32) {
                     break;
                 }
             }
-            cts_per_fault.push(collector.total() as f64);
+            per_fault.push(collector.total() as f64);
             total += collector.total();
             driver.absorb(fault, &collector).expect("S-lane fault");
         }
@@ -169,8 +210,13 @@ fn ttable_per_fault(trials: u32) {
             Some(key),
             "4 faults must complete the key"
         );
-        total_for_full_key.push(total as f64);
-    }
+        (per_fault, total as f64)
+    })];
+    let result = campaign.run(&cells);
+
+    let cell = &result.cells[0];
+    let cts_per_fault: Vec<f64> = cell.trials.iter().flat_map(|(p, _)| p.clone()).collect();
+    let total_for_full_key: Vec<f64> = cell.trials.iter().map(|&(_, t)| t).collect();
     let (per_fault, sd1) = mean_std(&cts_per_fault);
     let (full, sd2) = mean_std(&total_for_full_key);
     let mut table = Table::new(
@@ -185,17 +231,22 @@ fn ttable_per_fault(trials: u32) {
     table.row(&[&"total ciphertexts for the full key (4 rounds)", &c, &d]);
     table.print();
     table.write_csv("t5_ttable_pfa");
+    let mut summary = Summary::new("t5_ttable_pfa", &campaign);
+    summary.metric("mean_ciphertexts_per_fault", per_fault);
+    summary.metric("mean_ciphertexts_full_key", full);
+    summary.table("t5_ttable_pfa", &table);
+    summary.write(&result);
 }
 
-fn dfa_comparator(trials: u32) {
-    let mut rng = StdRng::seed_from_u64(0xDFA);
-    let mut pairs_needed = Vec::new();
-    for _ in 0..trials {
+fn dfa_comparator(base: &Campaign) {
+    let campaign = series(base, 0xDFA << 16, base.trials.min(40));
+    let cells = [scenario("dfa_pairs_needed".to_string(), |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
         let key: [u8; 16] = rng.gen();
         let mut aes = ReferenceAes::new_128(&key);
         let mut attack = DfaAttack::new();
         let mut pairs = 0f64;
-        'outer: loop {
+        loop {
             for pos in 0..16 {
                 let plain: [u8; 16] = rng.gen();
                 let mut correct = plain;
@@ -205,12 +256,14 @@ fn dfa_comparator(trials: u32) {
                 attack.observe_pair(&correct, &faulty);
                 pairs += 1.0;
                 if attack.master_key() == Some(key) {
-                    break 'outer;
+                    return pairs;
                 }
             }
         }
-        pairs_needed.push(pairs);
-    }
+    })];
+    let result = campaign.run(&cells);
+
+    let pairs_needed: Vec<f64> = result.cells[0].trials.clone();
     let (mean, std) = mean_std(&pairs_needed);
     let mut table = Table::new(
         "DFA comparator (Giraud, single-bit round-10-input faults)",
@@ -224,6 +277,10 @@ fn dfa_comparator(trials: u32) {
     ]);
     table.print();
     table.write_csv("t5_dfa_comparator");
+    let mut summary = Summary::new("t5_dfa_comparator", &campaign);
+    summary.metric("mean_pairs_needed", mean);
+    summary.table("t5_dfa_comparator", &table);
+    summary.write(&result);
     println!(
         "\nshape check: AES PFA knee in the 1500–2500 range, PRESENT ≲ 100, DFA ≈ tens of pairs"
     );

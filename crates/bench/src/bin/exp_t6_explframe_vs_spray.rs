@@ -5,23 +5,67 @@
 //! is possible to perform targeted Rowhammer on very small amount of data
 //! (as small as a single page) without having any special privilege." (§VII)
 //!
-//! Both attackers get identical machines and budgets. The sprayer cannot
-//! steer: it releases its templated buffer and hopes the victim lands on a
-//! vulnerable frame. Sweep over weak-cell density shows the spray baseline
-//! scaling with density while ExplFrame stays near-certain.
+//! A campaign over the weak-cell-density axis. Both attackers get identical
+//! machines and budgets in every trial. The sprayer cannot steer: it
+//! releases its templated buffer and hopes the victim lands on a vulnerable
+//! frame. The sweep shows the spray baseline scaling with density while
+//! ExplFrame stays near-certain.
 
+use campaign::{banner, scenario, CampaignCli, Counter, Json, Summary, Table};
 use dram::WeakCellParams;
-use explframe_bench::{banner, trials_arg, Table};
 use explframe_core::{run_spray_baseline, ExplFrame, ExplFrameConfig};
 use machine::SimMachine;
+
+struct Trial {
+    spray_vuln: bool,
+    spray_fault: bool,
+    expl_success: bool,
+    vuln_frames: usize,
+}
+
+fn trial(seed: u64, density: f64) -> Trial {
+    let mut cfg = ExplFrameConfig::small_demo(seed).with_template_pages(2048);
+    cfg.machine.dram = cfg
+        .machine
+        .dram
+        .with_cells(WeakCellParams::flippy().with_density(density));
+
+    // Spray baseline.
+    let mut machine = SimMachine::new(cfg.machine.clone());
+    let spray = run_spray_baseline(&cfg, &mut machine, 3).expect("spray run");
+
+    // ExplFrame on an identical, fresh machine.
+    let report = ExplFrame::new(cfg).run().expect("explframe run");
+    Trial {
+        spray_vuln: spray.victim_on_vulnerable_frame,
+        spray_fault: spray.fault_landed,
+        expl_success: report.succeeded(),
+        vuln_frames: spray.templates_found,
+    }
+}
 
 fn main() {
     banner(
         "T6: targeted (ExplFrame) vs untargeted (spray) Rowhammer",
         "P(victim's single table page faulted) under equal budgets (§I, §VII)",
     );
-    let trials = trials_arg(40);
-    println!("trials per cell: {trials}");
+    let cli = CampaignCli::parse();
+    let campaign = cli.campaign(40, 31_000);
+    println!(
+        "trials per cell: {}   seed: {}   threads: {}",
+        campaign.trials, campaign.seed, campaign.threads
+    );
+
+    let densities = [1e-6f64, 3e-6, 1e-5, 3e-5];
+    let cells: Vec<_> = densities
+        .iter()
+        .map(|&density| {
+            scenario(format!("density={density:.0e}"), move |seed| {
+                trial(seed, density)
+            })
+        })
+        .collect();
+    let result = campaign.run(&cells);
 
     let mut table = Table::new(
         "success probability vs weak-cell density",
@@ -33,45 +77,29 @@ fn main() {
             "explframe: key recovered",
         ],
     );
-
-    for &density in &[1e-6f64, 3e-6, 1e-5, 3e-5] {
-        let mut spray_vuln = 0u32;
-        let mut spray_fault = 0u32;
-        let mut expl_success = 0u32;
-        let mut vuln_frames = 0usize;
-        for t in 0..trials {
-            let seed = 31_000 + t as u64;
-            let mut cfg = ExplFrameConfig::small_demo(seed).with_template_pages(2048);
-            cfg.machine.dram = cfg
-                .machine
-                .dram
-                .with_cells(WeakCellParams::flippy().with_density(density));
-
-            // Spray baseline.
-            let mut machine = SimMachine::new(cfg.machine.clone());
-            let spray = run_spray_baseline(&cfg, &mut machine, 3).expect("spray run");
-            vuln_frames = vuln_frames.max(spray.templates_found);
-            if spray.victim_on_vulnerable_frame {
-                spray_vuln += 1;
-            }
-            if spray.fault_landed {
-                spray_fault += 1;
-            }
-
-            // ExplFrame on an identical, fresh machine.
-            let report = ExplFrame::new(cfg).run().expect("explframe run");
-            if report.succeeded() {
-                expl_success += 1;
-            }
-        }
+    let mut summary = Summary::new("t6_explframe_vs_spray", &campaign);
+    for (&density, cell) in densities.iter().zip(&result.cells) {
+        let spray_vuln: Counter = cell.trials.iter().map(|t| t.spray_vuln).collect();
+        let spray_fault: Counter = cell.trials.iter().map(|t| t.spray_fault).collect();
+        let expl: Counter = cell.trials.iter().map(|t| t.expl_success).collect();
+        let vuln_frames = cell.trials.iter().map(|t| t.vuln_frames).max().unwrap_or(0);
         let d = format!("{density:.0e}");
-        let sv = format!("{:.3}", spray_vuln as f64 / trials as f64);
-        let sf = format!("{:.3}", spray_fault as f64 / trials as f64);
-        let ex = format!("{:.3}", expl_success as f64 / trials as f64);
+        let sv = format!("{:.3}", spray_vuln.rate());
+        let sf = format!("{:.3}", spray_fault.rate());
+        let ex = format!("{:.3}", expl.rate());
         table.row(&[&d, &vuln_frames, &sv, &sf, &ex]);
+        summary.cell(
+            &cell.name,
+            &[
+                ("spray_fault_rate", Json::Float(spray_fault.rate())),
+                ("explframe_success_rate", Json::Float(expl.rate())),
+            ],
+        );
     }
     table.print();
     table.write_csv("t6_explframe_vs_spray");
+    summary.table("t6_explframe_vs_spray", &table);
+    summary.write(&result);
 
     println!("\nshape checks:");
     println!(

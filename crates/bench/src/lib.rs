@@ -1,185 +1,31 @@
-//! Shared experiment-harness utilities: aligned table printing, CSV output
-//! and small statistics, used by every `exp_*` binary.
+//! Experiment harness facade: thin re-exports over the [`campaign`] crate.
 //!
 //! Each binary in `src/bin/` regenerates one figure or quantitative claim of
 //! the paper (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for
-//! recorded outputs). All binaries accept an optional first argument
-//! overriding the trial count, and print their seeds so every row is
-//! reproducible.
+//! recorded outputs). Since the campaign refactor every binary is a scenario
+//! declaration plus a reducer: the shared trial loop, seed derivation,
+//! parallel execution, table/CSV output, and `results/summary.json` record
+//! all live in `crates/campaign`. All binaries accept
+//! `--trials / --seed / --threads` (plus the legacy bare positional trial
+//! count) and produce byte-identical output for every thread count.
+//!
+//! The names below are re-exported so older code and scripts importing
+//! `explframe_bench::{Table, banner, ...}` keep compiling; new code should
+//! use the `campaign` crate directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::fmt::Display;
-use std::fs;
-use std::io::Write;
-use std::path::PathBuf;
-
-/// An aligned ASCII table that can also persist itself as CSV.
-///
-/// # Examples
-///
-/// ```
-/// use explframe_bench::Table;
-/// let mut t = Table::new("demo", &["x", "y"]);
-/// t.row(&[&1, &2.5]);
-/// t.print();
-/// ```
-#[derive(Debug, Clone)]
-pub struct Table {
-    title: String,
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates an empty table.
-    pub fn new(title: &str, headers: &[&str]) -> Self {
-        Table {
-            title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row; each cell is rendered with `Display`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cell count differs from the header count.
-    pub fn row(&mut self, cells: &[&dyn Display]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows
-            .push(cells.iter().map(|c| c.to_string()).collect());
-    }
-
-    /// Prints the table with aligned columns.
-    pub fn print(&self) {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        for row in &self.rows {
-            for (w, cell) in widths.iter_mut().zip(row) {
-                *w = (*w).max(cell.len());
-            }
-        }
-        println!("\n── {} ──", self.title);
-        let header: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:>w$}"))
-            .collect();
-        println!("{}", header.join("  "));
-        println!("{}", "-".repeat(header.join("  ").len()));
-        for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
-            println!("{}", line.join("  "));
-        }
-    }
-
-    /// Writes the table as CSV under `results/<name>.csv`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the results directory or file cannot be written.
-    pub fn write_csv(&self, name: &str) {
-        let dir = results_dir();
-        let path = dir.join(format!("{name}.csv"));
-        let mut f = fs::File::create(&path).expect("create results csv");
-        writeln!(f, "{}", self.headers.join(",")).expect("write header");
-        for row in &self.rows {
-            writeln!(f, "{}", row.join(",")).expect("write row");
-        }
-        println!("[csv] {}", path.display());
-    }
-}
-
-/// The `results/` directory at the workspace root (created on demand).
-pub fn results_dir() -> PathBuf {
-    let dir = workspace_root().join("results");
-    fs::create_dir_all(&dir).expect("create results dir");
-    dir
-}
-
-fn workspace_root() -> PathBuf {
-    // bench crate lives at <root>/crates/bench.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .expect("workspace root")
-        .to_path_buf()
-}
-
-/// Sample mean and (population) standard deviation.
-///
-/// # Examples
-///
-/// ```
-/// use explframe_bench::mean_std;
-/// let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
-/// assert!((m - 2.0).abs() < 1e-12);
-/// assert!(s > 0.0);
-/// ```
-pub fn mean_std(xs: &[f64]) -> (f64, f64) {
-    if xs.is_empty() {
-        return (0.0, 0.0);
-    }
-    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-    (mean, var.sqrt())
-}
-
-/// Percentile (nearest-rank) of a sample.
-///
-/// # Panics
-///
-/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty() && (0.0..=100.0).contains(&p));
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[rank]
-}
+pub use campaign::{banner, mean_std, percentile, results_dir, Table};
 
 /// Reads the trial-count override from the first CLI argument.
+///
+/// Legacy helper kept for backward compatibility; binaries now parse the
+/// full flag set through [`campaign::CampaignCli`], which still accepts the
+/// bare positional count this helper used to read.
 pub fn trials_arg(default: u32) -> u32 {
     std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
-}
-
-/// Prints a standard experiment banner.
-pub fn banner(id: &str, claim: &str) {
-    println!("==========================================================");
-    println!("{id}");
-    println!("  {claim}");
-    println!("==========================================================");
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_rejects_mismatched_rows() {
-        let mut t = Table::new("t", &["a", "b"]);
-        t.row(&[&1, &2]);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            t.row(&[&1]);
-        }));
-        assert!(result.is_err());
-    }
-
-    #[test]
-    fn stats_are_sane() {
-        let (m, s) = mean_std(&[4.0, 4.0, 4.0]);
-        assert_eq!((m, s), (4.0, 0.0));
-        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 3.0);
-        assert_eq!(percentile(&[1.0], 100.0), 1.0);
-    }
 }

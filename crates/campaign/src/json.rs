@@ -1,0 +1,575 @@
+//! A minimal JSON value type, writer, and parser.
+//!
+//! `results/summary.json` must be merged across experiment invocations (each
+//! `exp_*` binary updates its own campaign records and leaves the others
+//! intact), and the build environment is offline — no serde. This module
+//! implements exactly the subset the summary file needs: ordered objects,
+//! arrays, strings, booleans, null, and numbers split into unsigned /
+//! signed / float so 64-bit seeds round-trip without precision loss.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order, so serialization is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (u64 seeds round-trip exactly).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    #[must_use]
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Sets `key` in an object (replacing an existing entry in place,
+    /// appending otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let Json::Obj(entries) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        if let Some(entry) = entries.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value;
+        } else {
+            entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Looks up `key` in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable lookup of `key` in an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object entries, if this is an object.
+    #[must_use]
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64 (from any of the three number variants).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(u) => Some(u as f64),
+            Json::Int(i) => Some(i as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value, if this is a `UInt`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a `Str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Pretty-prints with two-space indentation (stable output for diffs
+    /// and determinism checks).
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{}` prints the shortest representation that
+                    // round-trips; force a decimal point so the value
+                    // re-parses as Float, not UInt.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u64::from(u))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        if i >= 0 {
+            Json::UInt(i as u64)
+        } else {
+            Json::Int(i)
+        }
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+/// A parse failure: what went wrong and at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Problem description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Take a run of plain bytes in one go.
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not needed by the summary file;
+                            // map unpaired ones to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                None => return Err(self.err("unterminated string")),
+                _ => unreachable!("loop only exits at quote, escape, or EOF"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("bad float literal"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("bad integer literal"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| self.err("bad integer literal"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_nested_document() {
+        let mut obj = Json::obj();
+        obj.set("name", "t2_steering");
+        obj.set("seed", u64::MAX);
+        obj.set("rate", 0.987);
+        obj.set("neg", -3i64);
+        obj.set("flag", true);
+        obj.set("nothing", Json::Null);
+        obj.set(
+            "cells",
+            Json::Arr(vec![Json::from("a\"b\\c"), Json::from(1u64)]),
+        );
+        let text = obj.pretty();
+        let back = Json::parse(&text).expect("round trip");
+        assert_eq!(back, obj);
+        // u64::MAX survived exactly — the reason for the UInt variant.
+        assert_eq!(back.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn set_replaces_in_place_keeping_order() {
+        let mut obj = Json::obj();
+        obj.set("a", 1u64);
+        obj.set("b", 2u64);
+        obj.set("a", 9u64);
+        assert_eq!(
+            obj.entries()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(obj.get("a").and_then(Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let doc = " { \"k\" : [ 1 , -2 , 3.5 , \"a\\nb\\u0041\" ] , \"e\" : {} } ";
+        let v = Json::parse(doc).expect("parse");
+        let arr = v.get("k").unwrap();
+        assert_eq!(
+            arr,
+            &Json::Arr(vec![
+                Json::UInt(1),
+                Json::Int(-2),
+                Json::Float(3.5),
+                Json::Str("a\nbA".into())
+            ])
+        );
+        assert_eq!(v.get("e"), Some(&Json::obj()));
+    }
+
+    #[test]
+    fn rejects_garbage_with_an_offset() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            let e = Json::parse(bad).expect_err(bad);
+            assert!(e.offset <= bad.len());
+        }
+    }
+
+    #[test]
+    fn integer_looking_floats_reparse_as_floats() {
+        let text = Json::Float(2.0).pretty();
+        assert_eq!(text.trim(), "2.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Float(2.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Human-readable output: aligned tables, CSV persistence, banners.
+//!
+//! Moved here from `explframe-bench`'s lib so every campaign consumer (and
+//! the campaign engine's own determinism tests) shares one implementation;
+//! `explframe-bench` re-exports these names for backward compatibility.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// An aligned ASCII table that can also persist itself as CSV.
+///
+/// # Examples
+///
+/// ```
+/// use campaign::Table;
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&[&1, &2.5]);
+/// t.print();
+/// assert_eq!(t.to_csv_string(), "x,y\n1,2.5\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; each cell is rendered with `Display`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Prints the table with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n── {} ──", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+    }
+
+    /// The table rendered as CSV (header line + one line per row).
+    #[must_use]
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV under `results/<name>.csv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory or file cannot be written.
+    pub fn write_csv(&self, name: &str) {
+        let dir = results_dir();
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path).expect("create results csv");
+        f.write_all(self.to_csv_string().as_bytes())
+            .expect("write csv");
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // This crate lives at <root>/crates/campaign.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("==========================================================");
+    println!("{id}");
+    println!("  {claim}");
+    println!("==========================================================");
+}
+
+/// FNV-1a hash of a byte string — the digest `summary.json` records per CSV
+/// so byte-identity across runs (and thread counts) is machine-checkable.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_mismatched_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[&1, &2]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(&[&1]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn csv_string_is_stable() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&2, &"y"]);
+        assert_eq!(t.to_csv_string(), "a,b\n1,x\n2,y\n");
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(
+            fnv1a(t.to_csv_string().as_bytes()),
+            fnv1a(t.clone().to_csv_string().as_bytes())
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! The [`Scenario`] trait and scenario-matrix combinators.
+
+/// One parameter cell of an experiment: a name plus a seeded trial function.
+///
+/// A scenario is the unit the [`Campaign`](crate::Campaign) runner
+/// parallelizes over: `run_trial` must be a pure function of `seed` (build
+/// the simulated machine from the seed, run, return the measurement), so
+/// trials can execute on any worker thread in any order and still reduce to
+/// the serial result.
+pub trait Scenario: Sync {
+    /// The per-trial measurement this scenario produces.
+    type Trial: Send;
+
+    /// Human-readable cell name (used in reports and `summary.json`).
+    fn name(&self) -> String;
+
+    /// Runs one independent trial from `seed`.
+    fn run_trial(&self, seed: u64) -> Self::Trial;
+}
+
+impl<S: Scenario + ?Sized> Scenario for &S {
+    type Trial = S::Trial;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn run_trial(&self, seed: u64) -> Self::Trial {
+        (**self).run_trial(seed)
+    }
+}
+
+impl<S: Scenario + ?Sized> Scenario for Box<S> {
+    type Trial = S::Trial;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn run_trial(&self, seed: u64) -> Self::Trial {
+        (**self).run_trial(seed)
+    }
+}
+
+/// A scenario built from a name and a closure — the lightest way to declare
+/// a cell. Produced by [`scenario`].
+#[derive(Debug, Clone)]
+pub struct FnScenario<F> {
+    name: String,
+    f: F,
+}
+
+impl<T: Send, F: Fn(u64) -> T + Sync> Scenario for FnScenario<F> {
+    type Trial = T;
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn run_trial(&self, seed: u64) -> T {
+        (self.f)(seed)
+    }
+}
+
+/// Wraps a closure as a [`Scenario`].
+///
+/// Cells built by mapping one closure over a parameter matrix all share one
+/// concrete type and can live in a plain `Vec`:
+///
+/// ```
+/// use campaign::{cartesian2, scenario, Campaign};
+///
+/// let cells: Vec<_> = cartesian2(&[1u64, 2], &[false, true])
+///     .into_iter()
+///     .map(|(k, noisy)| {
+///         scenario(format!("k={k} noisy={noisy}"), move |seed| seed % k == 0)
+///     })
+///     .collect();
+/// let result = Campaign::new(10, 42).run(&cells);
+/// assert_eq!(result.cells.len(), 4);
+/// ```
+pub fn scenario<T: Send, F: Fn(u64) -> T + Sync>(name: impl Into<String>, f: F) -> FnScenario<F> {
+    FnScenario {
+        name: name.into(),
+        f,
+    }
+}
+
+/// Cartesian product of two condition axes, in row-major (serial) order.
+#[must_use]
+pub fn cartesian2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    a.iter()
+        .flat_map(|x| b.iter().map(move |y| (x.clone(), y.clone())))
+        .collect()
+}
+
+/// Cartesian product of three condition axes, in row-major (serial) order.
+#[must_use]
+pub fn cartesian3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    a.iter()
+        .flat_map(|x| {
+            b.iter().flat_map(move |y| {
+                let x = x.clone();
+                c.iter().map(move |z| (x.clone(), y.clone(), z.clone()))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_orders_are_row_major() {
+        assert_eq!(
+            cartesian2(&[1, 2], &["a", "b"]),
+            vec![(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+        );
+        let c3 = cartesian3(&[1, 2], &[true, false], &["x"]);
+        assert_eq!(
+            c3,
+            vec![
+                (1, true, "x"),
+                (1, false, "x"),
+                (2, true, "x"),
+                (2, false, "x")
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_scenario_is_pure_in_its_seed() {
+        let s = scenario("double", |seed| seed * 2);
+        assert_eq!(s.name(), "double");
+        assert_eq!(s.run_trial(21), s.run_trial(21));
+    }
+}

@@ -1,0 +1,296 @@
+//! Streaming aggregation: count / mean / stddev (Welford) and Wilson score
+//! intervals, plus the small batch statistics the experiment binaries used
+//! before the campaign engine existed.
+
+/// Streaming mean / population-stddev / min / max over `f64` samples
+/// (Welford's online algorithm, O(1) memory).
+///
+/// Fed in trial-index order by reducers, its outputs are bit-identical to a
+/// serial pass regardless of how many threads ran the trials.
+///
+/// # Examples
+///
+/// ```
+/// use campaign::Stream;
+/// let s: campaign::Stream = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Stream {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Stream {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Stream::default()
+    }
+
+    /// Absorbs one sample.
+    pub fn push(&mut self, x: f64) {
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples absorbed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty stream).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for an empty stream).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 for an empty stream).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 for an empty stream).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl FromIterator<f64> for Stream {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Stream::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Streaming success counter with a Wilson score interval.
+///
+/// # Examples
+///
+/// ```
+/// use campaign::Counter;
+/// let c: campaign::Counter = [true, true, false, true].into_iter().collect();
+/// assert_eq!(c.rate(), 0.75);
+/// let ci = c.wilson95();
+/// assert!(ci.lo < 0.75 && 0.75 < ci.hi);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    successes: u64,
+    total: u64,
+}
+
+impl Counter {
+    /// An empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Absorbs one Bernoulli outcome.
+    pub fn push(&mut self, success: bool) {
+        self.total += 1;
+        self.successes += u64::from(success);
+    }
+
+    /// Successes absorbed.
+    #[must_use]
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Outcomes absorbed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical success rate (0 for an empty counter).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.total as f64
+        }
+    }
+
+    /// The Wilson score interval at critical value `z`.
+    #[must_use]
+    pub fn wilson(&self, z: f64) -> Wilson {
+        wilson_ci(self.successes, self.total, z)
+    }
+
+    /// The 95% Wilson score interval (`z = 1.96`).
+    #[must_use]
+    pub fn wilson95(&self) -> Wilson {
+        self.wilson(1.96)
+    }
+}
+
+impl FromIterator<bool> for Counter {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut c = Counter::new();
+        for b in iter {
+            c.push(b);
+        }
+        c
+    }
+}
+
+/// A Wilson score confidence interval on a Bernoulli success rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wilson {
+    /// Lower bound, in `[0, 1]`.
+    pub lo: f64,
+    /// Upper bound, in `[0, 1]`.
+    pub hi: f64,
+}
+
+/// The Wilson score interval for `successes` out of `total` at critical
+/// value `z` (1.96 for 95%). Returns `[0, 1]` for an empty sample —
+/// honestly uninformative rather than falsely tight.
+#[must_use]
+pub fn wilson_ci(successes: u64, total: u64, z: f64) -> Wilson {
+    if total == 0 {
+        return Wilson { lo: 0.0, hi: 1.0 };
+    }
+    let n = total as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Wilson {
+        lo: ((center - margin) / denom).max(0.0),
+        hi: ((center + margin) / denom).min(1.0),
+    }
+}
+
+/// Sample mean and (population) standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// use campaign::mean_std;
+/// let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+/// assert!((m - 2.0).abs() < 1e-12);
+/// assert!(s > 0.0);
+/// ```
+#[must_use]
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Percentile (nearest-rank) of a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty() && (0.0..=100.0).contains(&p));
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_matches_batch_stats() {
+        let xs = [4.0, 7.0, 13.0, 16.0];
+        let s: Stream = xs.iter().copied().collect();
+        let (m, sd) = mean_std(&xs);
+        assert!((s.mean() - m).abs() < 1e-12);
+        assert!((s.stddev() - sd).abs() < 1e-12);
+        assert_eq!((s.min(), s.max()), (4.0, 16.0));
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn empty_aggregates_are_zero() {
+        let s = Stream::new();
+        assert_eq!((s.count(), s.mean(), s.stddev()), (0, 0.0, 0.0));
+        let c = Counter::new();
+        assert_eq!((c.rate(), c.total()), (0.0, 0));
+    }
+
+    #[test]
+    fn wilson_brackets_the_rate_and_tightens_with_n() {
+        let narrow = wilson_ci(75, 100, 1.96);
+        let wide = wilson_ci(3, 4, 1.96);
+        assert!(narrow.lo < 0.75 && 0.75 < narrow.hi);
+        assert!(wide.lo < 0.75 && 0.75 < wide.hi);
+        assert!(narrow.hi - narrow.lo < wide.hi - wide.lo);
+        // Degenerate cases stay inside [0, 1].
+        let all = wilson_ci(50, 50, 1.96);
+        assert!(all.hi <= 1.0 && all.lo > 0.8);
+        let none = wilson_ci(0, 50, 1.96);
+        assert!(none.lo >= 0.0 && none.hi < 0.2);
+        assert_eq!(wilson_ci(0, 0, 1.96), Wilson { lo: 0.0, hi: 1.0 });
+    }
+
+    #[test]
+    fn stats_are_sane() {
+        let (m, s) = mean_std(&[4.0, 4.0, 4.0]);
+        assert_eq!((m, s), (4.0, 0.0));
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 3.0);
+        assert_eq!(percentile(&[1.0], 100.0), 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The campaign engine's headline guarantee: a run with `threads = 1` and a
+//! run with `threads = 8` produce byte-identical CSVs and byte-identical
+//! `summary.json` records modulo the timing fields.
+
+use campaign::{cartesian2, scenario, Campaign, Counter, Json, Stream, Summary, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seed-dependent trial with enough work that 8 workers genuinely
+/// interleave completion out of index order.
+fn trial(seed: u64, bias: u64, spin: u64) -> (bool, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0u64;
+    for _ in 0..spin {
+        acc = acc.wrapping_add(rng.gen::<u64>());
+    }
+    let sample = (acc % 1000) as f64 / 1000.0;
+    (rng.gen_range(0..100) < bias, sample)
+}
+
+/// Runs the full reduce pipeline: campaign → table → summary record.
+fn run_pipeline(threads: usize) -> (String, String, Json) {
+    let cells: Vec<_> = cartesian2(&[10u64, 50, 90], &[100u64, 2_000])
+        .into_iter()
+        .map(|(bias, spin)| {
+            scenario(format!("bias={bias} spin={spin}"), move |seed| {
+                trial(seed, bias, spin)
+            })
+        })
+        .collect();
+    let campaign = Campaign {
+        trials: 64,
+        seed: 0xDE7E_2814,
+        threads,
+    };
+    let result = campaign.run(&cells);
+
+    let mut table = Table::new("determinism pipeline", &["cell", "rate", "mean", "std"]);
+    let mut summary = Summary::new("determinism_test", &campaign);
+    for cell in &result.cells {
+        let hits: Counter = cell.trials.iter().map(|&(ok, _)| ok).collect();
+        let samples: Stream = cell.trials.iter().map(|&(_, x)| x).collect();
+        let rate = format!("{:.4}", hits.rate());
+        let mean = format!("{:.6}", samples.mean());
+        let std = format!("{:.6}", samples.stddev());
+        table.row(&[&cell.name, &rate, &mean, &std]);
+        summary.cell(
+            &cell.name,
+            &[
+                ("rate", Json::Float(hits.rate())),
+                ("mean", Json::Float(samples.mean())),
+            ],
+        );
+    }
+    summary.table("determinism_pipeline", &table);
+
+    // The merged full record, with its timing object removed — what "modulo
+    // timing fields" means operationally.
+    let mut doc = Json::obj();
+    summary.merge_into(&mut doc, &result);
+    let mut record = doc
+        .get("campaigns")
+        .and_then(|c| c.get("determinism_test"))
+        .cloned()
+        .expect("record present");
+    if let Json::Obj(entries) = &mut record {
+        entries.retain(|(k, _)| k != "timing");
+    }
+
+    (
+        table.to_csv_string(),
+        summary.deterministic_json().pretty(),
+        record,
+    )
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let (csv_1, summary_1, record_1) = run_pipeline(1);
+    let (csv_8, summary_8, record_8) = run_pipeline(8);
+    assert_eq!(csv_1, csv_8, "CSV bytes must not depend on thread count");
+    assert_eq!(
+        summary_1, summary_8,
+        "summary record (modulo timing) must not depend on thread count"
+    );
+    assert_eq!(
+        record_1.pretty(),
+        record_8.pretty(),
+        "merged summary.json record with timing stripped must be identical"
+    );
+}
+
+#[test]
+fn repeated_runs_at_the_same_thread_count_are_stable() {
+    let (csv_a, summary_a, _) = run_pipeline(4);
+    let (csv_b, summary_b, _) = run_pipeline(4);
+    assert_eq!(csv_a, csv_b);
+    assert_eq!(summary_a, summary_b);
+}

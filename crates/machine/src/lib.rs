@@ -57,6 +57,6 @@ mod stats;
 
 pub use config::{IdleDrainPolicy, MachineConfig};
 pub use error::MachineError;
-pub use machine::SimMachine;
+pub use machine::{warmup, warmup_on, SimMachine};
 pub use process::{Pid, ProcState, Process, VirtAddr};
 pub use stats::MachineStats;

@@ -401,6 +401,41 @@ impl SimMachine {
     }
 }
 
+/// Warms the allocator on `cpu` with the spawn/mmap/fill/munmap preamble
+/// the experiment binaries and tests used to hand-roll: a transient process
+/// maps and touches `pages` pages, then frees the first three quarters, so
+/// the buddy lists are fragmented and the CPU's page frame cache holds
+/// recently-freed frames — the non-pristine state every §V measurement
+/// starts from. The warm process stays alive holding the remaining quarter,
+/// pinning those frames the way long-lived system processes would.
+///
+/// # Errors
+///
+/// Propagates machine errors (OOM when `pages` exceeds free memory).
+///
+/// # Panics
+///
+/// Panics if `cpu` is out of range (as [`SimMachine::spawn`] does).
+pub fn warmup_on(machine: &mut SimMachine, cpu: CpuId, pages: u64) -> Result<(), MachineError> {
+    let warm = machine.spawn(cpu);
+    let buf = machine.mmap(warm, pages)?;
+    machine.fill(warm, buf, pages * PAGE_SIZE, 1)?;
+    let release = pages - pages / 4;
+    if release > 0 {
+        machine.munmap(warm, buf, release)?;
+    }
+    Ok(())
+}
+
+/// [`warmup_on`] for the common case: warm CPU 0's allocator state.
+///
+/// # Errors
+///
+/// Propagates machine errors (OOM when `pages` exceeds free memory).
+pub fn warmup(machine: &mut SimMachine, pages: u64) -> Result<(), MachineError> {
+    warmup_on(machine, CpuId(0), pages)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,6 +727,25 @@ mod tests {
                 dram::DramError::AggressorsShareRow { .. }
             ))
         ));
+    }
+
+    #[test]
+    fn warmup_leaves_non_pristine_allocator_state() {
+        let mut m = small();
+        let free0 = m.allocator().total_free_pages();
+        warmup_on(&mut m, CpuId(1), 64).unwrap();
+        // Three quarters released, one quarter still held by the warm
+        // process.
+        assert_eq!(m.allocator().total_free_pages(), free0 - 16);
+        // The released frames sit in cpu1's page frame cache: the very next
+        // touch on cpu1 is served from it (LIFO reuse), not the buddy.
+        let p = m.spawn(CpuId(1));
+        let va = m.mmap(p, 1).unwrap();
+        m.write(p, va, b"x").unwrap();
+        let pfn = Pfn(m.translate(p, va).unwrap().as_u64() / PAGE_SIZE);
+        let zone = m.allocator().zone_of(pfn).unwrap();
+        let hits = m.allocator().zone(zone).unwrap().pcp(CpuId(1)).stats().hits;
+        assert!(hits > 0, "post-warmup allocation should hit the pcp");
     }
 
     #[test]

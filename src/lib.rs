@@ -12,6 +12,9 @@
 //! * [`ciphers`] — AES and PRESENT with externalized lookup tables.
 //! * [`fault`] — Persistent Fault Analysis and DFA key recovery.
 //! * [`attack`] (crate `explframe-core`) — the ExplFrame attack pipeline.
+//! * [`campaign`] — the deterministic parallel campaign engine driving the
+//!   `exp_*` experiment binaries (scenario matrices, SplitMix64 per-trial
+//!   seeding, thread-count-independent reduction, `results/summary.json`).
 //!
 //! See the repository `README.md` for a tour and `examples/quickstart.rs`
 //! for an end-to-end run.
@@ -19,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub use cachesim;
+pub use campaign;
 pub use ciphers;
 pub use dram;
 pub use explframe_core as attack;
