@@ -1,0 +1,48 @@
+//! Advisory cross-process file locks for read-modify-write of the shared
+//! `results/*.json` documents.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Advisory cross-process lock guarding a read-modify-write cycle, so
+/// concurrently running experiment binaries cannot drop each other's
+/// records. Best-effort: a lock left behind by a killed process is broken
+/// after a bounded wait rather than deadlocking every future run.
+pub(crate) struct FileLock {
+    path: PathBuf,
+    owned: bool,
+}
+
+impl FileLock {
+    /// Acquires the lock file `name` inside `results/`.
+    pub(crate) fn acquire(name: &str) -> Self {
+        let path = crate::report::results_dir().join(name);
+        let mut waited_ms = 0u64;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return FileLock { path, owned: true },
+                Err(_) if waited_ms < 5_000 => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    waited_ms += 50;
+                }
+                Err(_) => {
+                    // Stale lock (holder died): break it and proceed.
+                    let _ = fs::remove_file(&path);
+                    return FileLock { path, owned: false };
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FileLock {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}

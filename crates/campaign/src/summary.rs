@@ -15,6 +15,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use crate::json::Json;
+use crate::lock::FileLock;
 use crate::report::{fnv1a, results_dir, Table};
 use crate::runner::{Campaign, CampaignResult};
 
@@ -96,7 +97,7 @@ impl Summary {
     /// Panics if the summary file cannot be written.
     pub fn write<T>(&self, result: &CampaignResult<T>) {
         let path = summary_path();
-        let _lock = SummaryLock::acquire();
+        let _lock = FileLock::acquire(".summary.lock");
         let mut doc = load_or_new(&path);
         self.merge_into(&mut doc, result);
         // Write-then-rename so a killed process never leaves a truncated
@@ -176,48 +177,6 @@ fn load_or_new(path: &PathBuf) -> Json {
         .and_then(|text| Json::parse(&text).ok())
         .filter(|doc| matches!(doc, Json::Obj(_)))
         .unwrap_or_else(Json::obj)
-}
-
-/// Advisory cross-process lock around the summary read-modify-write, so
-/// concurrently running experiment binaries cannot drop each other's
-/// records. Best-effort: a lock left behind by a killed process is broken
-/// after a bounded wait rather than deadlocking every future run.
-struct SummaryLock {
-    path: PathBuf,
-    owned: bool,
-}
-
-impl SummaryLock {
-    fn acquire() -> Self {
-        let path = crate::report::results_dir().join(".summary.lock");
-        let mut waited_ms = 0u64;
-        loop {
-            match fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(_) => return SummaryLock { path, owned: true },
-                Err(_) if waited_ms < 5_000 => {
-                    std::thread::sleep(std::time::Duration::from_millis(50));
-                    waited_ms += 50;
-                }
-                Err(_) => {
-                    // Stale lock (holder died): break it and proceed.
-                    let _ = fs::remove_file(&path);
-                    return SummaryLock { path, owned: false };
-                }
-            }
-        }
-    }
-}
-
-impl Drop for SummaryLock {
-    fn drop(&mut self) {
-        if self.owned {
-            let _ = fs::remove_file(&self.path);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
-//! The ExplFrame attack pipeline: Template → Release → Steer → Hammer →
-//! Collect → Analyze.
+//! The ExplFrame attack driver: the paper's standard five-phase
+//! composition — Template → Release → Steer → Hammer → Collect & Analyze —
+//! expressed over the [`Pipeline`] phase API.
 //!
 //! Everything the attacker does here is unprivileged on the modelled
 //! system: hammering and reading its *own* buffer, `munmap` of one of its
@@ -8,23 +9,18 @@
 //! free (paper §V–§VI). Ground-truth oracles (weak-cell maps, victim frame
 //! numbers, victim keys) are used only to *report* success, never to drive
 //! the attack.
+//!
+//! The driver is deliberately thin: each `run*` method builds a
+//! [`Pipeline`] and strings the standard phases together. Custom
+//! compositions (template-once/steer-many, mixed-cipher multi-victim) use
+//! the same phases directly — see the [`Pipeline`] docs.
 
-use std::collections::BTreeSet;
-
-use ciphers::{
-    present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX,
-};
-use dram::Nanos;
-use fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
 use machine::SimMachine;
-use memsim::PAGE_SIZE;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::config::{ExplFrameConfig, VictimCipherKind};
+use crate::config::ExplFrameConfig;
 use crate::error::AttackError;
-use crate::template::{template_scan, FlipTemplate};
-use crate::victim::{VictimCipherService, VictimKeys};
+use crate::events::{NullObserver, Observer};
+use crate::pipeline::Pipeline;
 
 /// Why an attack run ended.
 #[must_use = "inspect the outcome to distinguish key recovery from failure modes"]
@@ -37,6 +33,18 @@ pub enum AttackOutcome {
     /// Every fault round failed (steering noise, data-pattern mismatch, or
     /// statistics that never converged).
     OutOfTemplates,
+}
+
+impl AttackOutcome {
+    /// Kebab-case label (for traces and reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackOutcome::KeyRecovered => "key-recovered",
+            AttackOutcome::NoUsableTemplates => "no-usable-templates",
+            AttackOutcome::OutOfTemplates => "out-of-templates",
+        }
+    }
 }
 
 /// Everything measured during one attack run.
@@ -69,7 +77,7 @@ pub struct AttackReport {
     /// (oracle-checked).
     pub key_correct: bool,
     /// Simulated time the whole attack consumed.
-    pub elapsed: Nanos,
+    pub elapsed: dram::Nanos,
 }
 
 impl AttackReport {
@@ -93,16 +101,6 @@ impl AttackReport {
 #[derive(Debug, Clone)]
 pub struct ExplFrame {
     config: ExplFrameConfig,
-}
-
-/// Per-round collection result.
-enum RoundResult {
-    /// The needed positions all converged.
-    Converged,
-    /// A needed position saw every value: no last-round fault landed.
-    NoFault,
-    /// Budget exhausted before convergence.
-    Exhausted,
 }
 
 impl ExplFrame {
@@ -135,456 +133,58 @@ impl ExplFrame {
     ///
     /// See [`Self::run`].
     pub fn run_on(&self, machine: &mut SimMachine) -> Result<AttackReport, AttackError> {
+        let mut observer = NullObserver;
+        self.run_on_traced(machine, &mut observer)
+    }
+
+    /// [`run`](Self::run) with an [`Observer`] receiving every phase event
+    /// (observers never change the run's results).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_traced(&self, observer: &mut dyn Observer) -> Result<AttackReport, AttackError> {
+        let mut machine = SimMachine::new(self.config.machine.clone());
+        self.run_on_traced(&mut machine, observer)
+    }
+
+    /// [`run_on`](Self::run_on) with an [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_on_traced(
+        &self,
+        machine: &mut SimMachine,
+        observer: &mut dyn Observer,
+    ) -> Result<AttackReport, AttackError> {
         let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA77A_C4E2);
-        let start_time = machine.now();
-        let hammer_start = machine.stats().hammer_pairs;
+        let mut pipe = Pipeline::new(machine, cfg.clone()).with_observer(observer);
 
-        // ------------------------------------------------------------------
-        // Phase 1: templating over the attacker's own buffer.
-        // ------------------------------------------------------------------
-        let attacker = machine.spawn(cfg.attacker_cpu);
-        let buffer = machine.mmap(attacker, cfg.template_pages)?;
-        let scan = template_scan(
-            machine,
-            attacker,
-            buffer,
-            cfg.template_pages,
-            cfg.hammer_pairs,
-            cfg.reproducibility_rounds,
-        )?;
-
-        let mut usable: Vec<FlipTemplate> = select_attack_pages(&scan.templates, cfg.victim);
-        usable.sort_by(|a, b| {
-            b.reproducibility
-                .partial_cmp(&a.reproducibility)
-                .expect("reproducibility is never NaN")
-        });
-
-        let mut report = AttackReport {
-            outcome: AttackOutcome::NoUsableTemplates,
-            templates_found: scan.templates.len(),
-            usable_templates: usable.len(),
-            steering_successes: 0,
-            fault_rounds: 0,
-            ciphertexts_collected: 0,
-            hammer_pairs_spent: 0,
-            recovered_aes_key: None,
-            recovered_present_key: None,
-            key_correct: false,
-            elapsed: 0,
-        };
-        if usable.is_empty() {
-            report.elapsed = machine.now() - start_time;
-            report.hammer_pairs_spent = machine.stats().hammer_pairs - hammer_start;
-            return Ok(report);
+        let pool = pipe.template()?;
+        let mut remaining = pipe.select(&pool, cfg.victim);
+        if remaining.is_empty() {
+            return Ok(pipe.finish(AttackOutcome::NoUsableTemplates));
         }
 
-        // ------------------------------------------------------------------
-        // Phase 2..N: fault rounds.
-        // ------------------------------------------------------------------
-        let victim_keys = VictimKeys::from_seed(cfg.seed);
-        let mut ttable_driver = TTablePfa::new();
-        let mut tables_needed: BTreeSet<usize> = (0..4).collect();
-        let mut remaining = usable;
-        report.outcome = AttackOutcome::OutOfTemplates;
-
-        while report.fault_rounds < cfg.max_fault_rounds {
-            let Some(template) = pick_template(&mut remaining, cfg.victim, &tables_needed) else {
+        while pipe.counters().fault_rounds < cfg.max_fault_rounds {
+            let Some(template) = pipe.next_template(&mut remaining, cfg.victim) else {
                 break;
             };
-            report.fault_rounds += 1;
-
-            // Release the vulnerable frame into this CPU's page frame cache;
-            // the attacker stays active (no sleep) so the cache survives.
-            let released = machine
-                .translate(attacker, template.page_va)
-                .map(|pa| pa.as_u64() / PAGE_SIZE);
-            machine.munmap(attacker, template.page_va, 1)?;
-
-            // The victim arrives and its table page's first touch pops the
-            // released frame off the page frame cache head.
-            let victim =
-                VictimCipherService::start(machine, cfg.victim_cpu, cfg.victim, victim_keys)?;
-            let steered = released.is_some() && victim.table_pfn(machine).map(|p| p.0) == released;
-            if steered {
-                report.steering_successes += 1;
-            }
-
-            // One pre-fault known pair (used by PRESENT master-key recovery).
-            let mut known_plain = vec![0u8; victim.block_bytes()];
-            rng.fill(&mut known_plain[..]);
-            let mut known_cipher = known_plain.clone();
-            victim.encrypt(machine, &mut known_cipher)?;
-
-            // Re-hammer the retained aggressors around the released frame.
-            let hammered = machine.hammer_pair_virt(
-                attacker,
-                template.aggressor_above,
-                template.aggressor_below,
-                cfg.rehammer_pairs,
-            );
-            if hammered.is_err() {
-                victim.stop(machine)?;
+            let released = pipe.release(&pool, template)?;
+            let steered = pipe.steer(&released)?;
+            let victim = steered.victim;
+            if !pipe.hammer(&pool, &steered)? {
+                pipe.stop_victim(victim)?;
                 continue;
             }
-
-            // Collect ciphertexts and analyze.
-            let done = self.collect_and_analyze(
-                machine,
-                &victim,
-                &template,
-                &known_plain,
-                &known_cipher,
-                &mut rng,
-                &mut ttable_driver,
-                &mut tables_needed,
-                &mut report,
-            )?;
-            victim.stop(machine)?;
-            if done {
-                report.outcome = AttackOutcome::KeyRecovered;
-                break;
+            let faulted = pipe.collect(steered)?;
+            let recovered = pipe.analyze(faulted)?;
+            pipe.stop_victim(victim)?;
+            if recovered.is_some() {
+                return Ok(pipe.finish(AttackOutcome::KeyRecovered));
             }
         }
-
-        report.key_correct = match (
-            cfg.victim,
-            &report.recovered_aes_key,
-            &report.recovered_present_key,
-        ) {
-            (VictimCipherKind::AesSbox | VictimCipherKind::AesTtable, Some(k), _) => {
-                *k == victim_keys.aes
-            }
-            (VictimCipherKind::Present, _, Some(k)) => *k == victim_keys.present,
-            _ => false,
-        };
-        report.elapsed = machine.now() - start_time;
-        report.hammer_pairs_spent = machine.stats().hammer_pairs - hammer_start;
-        Ok(report)
-    }
-
-    /// Runs collection + analysis for one fault round. Returns `Ok(true)`
-    /// when the full key is recovered.
-    #[allow(clippy::too_many_arguments)]
-    fn collect_and_analyze(
-        &self,
-        machine: &mut SimMachine,
-        victim: &VictimCipherService,
-        template: &FlipTemplate,
-        known_plain: &[u8],
-        known_cipher: &[u8],
-        rng: &mut StdRng,
-        ttable_driver: &mut TTablePfa,
-        tables_needed: &mut BTreeSet<usize>,
-        report: &mut AttackReport,
-    ) -> Result<bool, AttackError> {
-        let cfg = &self.config;
-        let entry = template.page_offset as usize;
-        match cfg.victim {
-            VictimCipherKind::AesSbox => {
-                let mut collector = PfaCollector::new();
-                let needed: Vec<usize> = (0..16).collect();
-                match self.collect_aes(machine, victim, &mut collector, &needed, rng, report)? {
-                    RoundResult::Converged => {}
-                    _ => return Ok(false),
-                }
-                let analysis = collector.analyze_known_fault(TableImage::sbox()[entry]);
-                if let Some(key) = analysis.master_key() {
-                    report.recovered_aes_key = Some(key);
-                    return Ok(true);
-                }
-                Ok(false)
-            }
-            VictimCipherKind::AesTtable => {
-                let fault = TableFault {
-                    offset: entry,
-                    bit: template.bit,
-                };
-                let TeFaultClass::SLane { positions, .. } = fault.classify_te() else {
-                    return Ok(false); // filtered earlier; defensive
-                };
-                let mut collector = PfaCollector::new();
-                match self.collect_aes(machine, victim, &mut collector, &positions, rng, report)? {
-                    RoundResult::Converged => {}
-                    _ => return Ok(false),
-                }
-                if ttable_driver.absorb(fault, &collector).is_some() {
-                    let (table, _, _) = TableImage::te_locate(entry);
-                    tables_needed.remove(&table);
-                }
-                if let Some(key) = ttable_driver.master_key() {
-                    report.recovered_aes_key = Some(key);
-                    return Ok(true);
-                }
-                Ok(false)
-            }
-            VictimCipherKind::Present => {
-                let mut collector = PresentPfa::new();
-                loop {
-                    let mut block = [0u8; 8];
-                    rng.fill(&mut block[..]);
-                    victim.encrypt(machine, &mut block)?;
-                    collector.observe(&block);
-                    report.ciphertexts_collected += 1;
-                    if collector.total() % 32 == 0 || collector.all_positions_determined() {
-                        if collector.all_positions_determined() {
-                            break;
-                        }
-                        if (0..16).any(|i| collector.unseen_count(i) == 0) {
-                            return Ok(false); // no fault landed
-                        }
-                        if collector.total() >= cfg.max_ciphertexts {
-                            return Ok(false);
-                        }
-                    }
-                }
-                let v = PRESENT_SBOX[entry];
-                let plain: [u8; 8] = known_plain.try_into().expect("PRESENT block");
-                let cipher: [u8; 8] = known_cipher.try_into().expect("PRESENT block");
-                let recovered = collector.recover_master_key(v, |cand| {
-                    let mut b = plain;
-                    Present80::new(cand, RamTableSource::new(present_sbox_image().to_vec()))
-                        .encrypt_block(&mut b);
-                    b == cipher
-                });
-                if let Some(key) = recovered {
-                    report.recovered_present_key = Some(key);
-                    return Ok(true);
-                }
-                Ok(false)
-            }
-        }
-    }
-
-    /// Collects AES ciphertexts until `needed` positions are determined,
-    /// a needed position proves unfaulted, or the budget runs out.
-    fn collect_aes(
-        &self,
-        machine: &mut SimMachine,
-        victim: &VictimCipherService,
-        collector: &mut PfaCollector,
-        needed: &[usize],
-        rng: &mut StdRng,
-        report: &mut AttackReport,
-    ) -> Result<RoundResult, AttackError> {
-        loop {
-            let mut block = [0u8; 16];
-            rng.fill(&mut block[..]);
-            victim.encrypt(machine, &mut block)?;
-            collector.observe(&block);
-            report.ciphertexts_collected += 1;
-            if collector.total() % 64 == 0 {
-                if needed.iter().all(|&p| collector.unseen_count(p) == 1) {
-                    return Ok(RoundResult::Converged);
-                }
-                if needed.iter().any(|&p| collector.unseen_count(p) == 0) {
-                    return Ok(RoundResult::NoFault);
-                }
-                if collector.total() >= self.config.max_ciphertexts {
-                    return Ok(RoundResult::Exhausted);
-                }
-            }
-        }
-    }
-}
-
-/// Whether a template *fires* against the victim's image: its offset falls
-/// inside the table image and the image's bit at that location holds the
-/// charged value the flip discharges.
-fn template_fires(t: &FlipTemplate, kind: VictimCipherKind) -> bool {
-    let off = t.page_offset as usize;
-    if off >= kind.image_len() {
-        return false;
-    }
-    let image_bit = match kind {
-        VictimCipherKind::AesSbox => TableImage::sbox()[off] & (1 << t.bit) != 0,
-        VictimCipherKind::AesTtable => TableImage::te_tables()[off] & (1 << t.bit) != 0,
-        VictimCipherKind::Present => present_sbox_image()[off] & (1 << t.bit) != 0,
-    };
-    image_bit == t.required_bit_value()
-}
-
-/// Selects one attack template per vulnerable page: pages where *exactly
-/// one* templated flip fires against the victim image (several simultaneous
-/// table faults would break the single-missing-value statistics), and that
-/// flip is analytically usable ([`template_usable`]).
-pub fn select_attack_pages(
-    templates: &[FlipTemplate],
-    kind: VictimCipherKind,
-) -> Vec<FlipTemplate> {
-    let mut by_page: std::collections::BTreeMap<u64, Vec<&FlipTemplate>> =
-        std::collections::BTreeMap::new();
-    for t in templates {
-        by_page.entry(t.page_index).or_default().push(t);
-    }
-    let mut out = Vec::new();
-    for (_, page_templates) in by_page {
-        let firing: Vec<&&FlipTemplate> = page_templates
-            .iter()
-            .filter(|t| template_fires(t, kind))
-            .collect();
-        if let [only] = firing[..] {
-            if template_usable(only, kind) {
-                out.push(**only);
-            }
-        }
-    }
-    out
-}
-
-/// Whether a template can corrupt the victim's table usefully: its offset
-/// must fall inside the table image, the image's bit at that location must
-/// hold the charged value the flip discharges, and for T-table/PRESENT
-/// victims the location must be analytically exploitable.
-pub fn template_usable(t: &FlipTemplate, kind: VictimCipherKind) -> bool {
-    let off = t.page_offset as usize;
-    if off >= kind.image_len() || t.reproducibility < 0.5 {
-        return false;
-    }
-    let image_bit = match kind {
-        VictimCipherKind::AesSbox => TableImage::sbox()[off] & (1 << t.bit) != 0,
-        VictimCipherKind::AesTtable => TableImage::te_tables()[off] & (1 << t.bit) != 0,
-        VictimCipherKind::Present => present_sbox_image()[off] & (1 << t.bit) != 0,
-    };
-    if image_bit != t.required_bit_value() {
-        return false;
-    }
-    match kind {
-        VictimCipherKind::AesSbox => true,
-        VictimCipherKind::AesTtable => TableFault {
-            offset: off,
-            bit: t.bit,
-        }
-        .classify_te()
-        .is_exploitable(),
-        // Table bytes store one 4-bit S-box value each; flips in the unused
-        // high nibble are masked out by the S-layer.
-        VictimCipherKind::Present => t.bit < 4,
-    }
-}
-
-/// Picks the next template: for T-table victims, one whose fault lands in a
-/// still-needed table; otherwise simply the most reproducible remaining.
-fn pick_template(
-    remaining: &mut Vec<FlipTemplate>,
-    kind: VictimCipherKind,
-    tables_needed: &BTreeSet<usize>,
-) -> Option<FlipTemplate> {
-    let idx = match kind {
-        VictimCipherKind::AesTtable => remaining.iter().position(|t| {
-            let (table, _, _) = TableImage::te_locate(t.page_offset as usize);
-            tables_needed.contains(&table)
-        })?,
-        _ => {
-            if remaining.is_empty() {
-                return None;
-            }
-            0
-        }
-    };
-    Some(remaining.remove(idx))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dram::CellPolarity;
-    use machine::VirtAddr;
-
-    fn template(offset: u16, bit: u8, one_to_zero: bool) -> FlipTemplate {
-        let _ = CellPolarity::True;
-        FlipTemplate {
-            page_index: 0,
-            page_va: VirtAddr(0),
-            page_offset: offset,
-            bit,
-            one_to_zero,
-            aggressor_above: VirtAddr(0),
-            aggressor_below: VirtAddr(0),
-            reproducibility: 1.0,
-        }
-    }
-
-    #[test]
-    fn usability_respects_image_bounds_and_bits() {
-        // S-box entry 0 is 0x63 = 0b0110_0011.
-        assert!(template_usable(
-            &template(0, 0, true),
-            VictimCipherKind::AesSbox
-        ));
-        assert!(!template_usable(
-            &template(0, 2, true),
-            VictimCipherKind::AesSbox
-        ));
-        assert!(template_usable(
-            &template(0, 2, false),
-            VictimCipherKind::AesSbox
-        ));
-        // Outside the 256-byte image.
-        assert!(!template_usable(
-            &template(256, 0, true),
-            VictimCipherKind::AesSbox
-        ));
-        // Low reproducibility is rejected.
-        let mut t = template(0, 0, true);
-        t.reproducibility = 0.1;
-        assert!(!template_usable(&t, VictimCipherKind::AesSbox));
-    }
-
-    #[test]
-    fn ttable_usability_requires_s_lane() {
-        let te = TableImage::te_tables();
-        // Find an S-lane offset with a set bit and a non-S-lane one.
-        let s_lane_off = TableImage::te_entry_offset(0, 0x53) + ciphers::FINAL_ROUND_S_LANE[0];
-        let bit = (0..8).find(|&b| te[s_lane_off] & (1 << b) != 0).unwrap();
-        assert!(template_usable(
-            &template(s_lane_off as u16, bit, true),
-            VictimCipherKind::AesTtable
-        ));
-        let other_off = TableImage::te_entry_offset(0, 0x53); // lane 0 = 3S lane
-        let bit2 = (0..8).find(|&b| te[other_off] & (1 << b) != 0).unwrap();
-        assert!(!template_usable(
-            &template(other_off as u16, bit2, true),
-            VictimCipherKind::AesTtable
-        ));
-    }
-
-    #[test]
-    fn present_usability_requires_low_nibble() {
-        // PRESENT S[0] = 0xC = 0b1100: bits 2,3 set.
-        assert!(template_usable(
-            &template(0, 2, true),
-            VictimCipherKind::Present
-        ));
-        assert!(!template_usable(
-            &template(0, 4, true),
-            VictimCipherKind::Present
-        ));
-        assert!(!template_usable(
-            &template(0, 4, false),
-            VictimCipherKind::Present
-        ));
-        assert!(template_usable(
-            &template(0, 1, false),
-            VictimCipherKind::Present
-        ));
-    }
-
-    #[test]
-    fn pick_template_covers_needed_tables() {
-        let te = TableImage::te_tables();
-        let mk = |table: usize| {
-            let off = TableImage::te_entry_offset(table, 7) + ciphers::FINAL_ROUND_S_LANE[table];
-            let bit = (0..8).find(|&b| te[off] & (1 << b) != 0).unwrap();
-            template(off as u16, bit, true)
-        };
-        let mut remaining = vec![mk(1), mk(0), mk(1)];
-        let mut needed: BTreeSet<usize> = [0].into_iter().collect();
-        let picked = pick_template(&mut remaining, VictimCipherKind::AesTtable, &needed).unwrap();
-        let (table, _, _) = TableImage::te_locate(picked.page_offset as usize);
-        assert_eq!(table, 0);
-        needed.clear();
-        assert!(pick_template(&mut remaining, VictimCipherKind::AesTtable, &needed).is_none());
+        Ok(pipe.finish(AttackOutcome::OutOfTemplates))
     }
 }

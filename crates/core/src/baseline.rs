@@ -7,6 +7,11 @@
 //! every known aggressor pair. Success is a lottery over the vulnerable
 //! frame density; ExplFrame turns the same primitives into a targeted,
 //! single-page attack.
+//!
+//! Implemented as a composition over the same [`Pipeline`] phases as the
+//! real attack: the templating phase is shared verbatim; only the
+//! spray-specific moves (release *everything*, allocator noise, hammer
+//! *every* templated pair) live here.
 
 use machine::SimMachine;
 use memsim::PAGE_SIZE;
@@ -16,8 +21,12 @@ use rand::{Rng, SeedableRng};
 use crate::config::ExplFrameConfig;
 use crate::error::AttackError;
 use crate::noise::NoiseProcess;
-use crate::template::template_scan;
-use crate::victim::{VictimCipherService, VictimKeys};
+use crate::pipeline::Pipeline;
+use crate::victim::VictimCipherService;
+
+/// Salt mixed into the configuration seed for the sprayer's RNG (matches
+/// the pre-pipeline baseline, keeping reports byte-identical per seed).
+const SPRAY_RNG_SALT: u64 = 0x5924A;
 
 /// Result of one spray-baseline run.
 #[must_use = "a spray report carries the baseline measurements"]
@@ -34,9 +43,10 @@ pub struct SprayReport {
     pub spray_pairs: u64,
 }
 
-/// Runs the spray baseline once. Mirrors [`crate::ExplFrame`]'s phases but
-/// with the whole buffer released and allocator noise between release and
-/// victim arrival, so the victim's frame is effectively arbitrary.
+/// Runs the spray baseline once. Shares the [`Pipeline`] templating phase
+/// with [`crate::ExplFrame`], then diverges: the whole buffer is released
+/// and allocator noise runs between release and victim arrival, so the
+/// victim's frame is effectively arbitrary.
 ///
 /// # Errors
 ///
@@ -46,43 +56,39 @@ pub fn run_spray_baseline(
     machine: &mut SimMachine,
     noise_bursts: u32,
 ) -> Result<SprayReport, AttackError> {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5924A);
-    let attacker = machine.spawn(config.attacker_cpu);
-    let buffer = machine.mmap(attacker, config.template_pages)?;
-    let scan = template_scan(
-        machine,
-        attacker,
-        buffer,
-        config.template_pages,
-        config.hammer_pairs,
-        config.reproducibility_rounds,
-    )?;
+    let rng = StdRng::seed_from_u64(config.seed ^ SPRAY_RNG_SALT);
+    let mut pipe = Pipeline::with_rng(machine, config.clone(), rng);
+
+    // Phase 1 (shared with the targeted attack): template the buffer.
+    let pool = pipe.template()?;
 
     // Record the templated frames while still mapped (the sprayer knows its
     // own templates' aggressors; frame identity below is oracle-only and
     // used purely for reporting).
-    let vulnerable_frames: Vec<u64> = scan
-        .templates
-        .iter()
-        .filter_map(|t| machine.translate(attacker, t.page_va))
-        .map(|pa| pa.as_u64() / PAGE_SIZE)
-        .collect();
+    let vulnerable_frames: Vec<u64> = {
+        let (machine, _) = pipe.split();
+        pool.scan
+            .templates
+            .iter()
+            .filter_map(|t| machine.translate(pool.attacker, t.page_va))
+            .map(|pa| pa.as_u64() / PAGE_SIZE)
+            .collect()
+    };
 
     // Release everything — the sprayer cannot keep the frames and steer.
-    machine.munmap(attacker, buffer, config.template_pages)?;
+    pipe.release_all(&pool)?;
 
     // Allocator churn between release and the victim's arrival.
-    let mut noise = NoiseProcess::spawn(machine, config.victim_cpu);
-    for _ in 0..noise_bursts {
-        noise.burst(machine, &mut rng, 64)?;
+    {
+        let (machine, rng) = pipe.split();
+        let mut noise = NoiseProcess::spawn(machine, config.victim_cpu);
+        for _ in 0..noise_bursts {
+            noise.burst(machine, rng, 64)?;
+        }
     }
 
-    let victim = VictimCipherService::start(
-        machine,
-        config.victim_cpu,
-        config.victim,
-        VictimKeys::from_seed(config.seed),
-    )?;
+    let victim = pipe.spawn_victim(config.victim)?;
+    let (machine, rng) = pipe.split();
     let victim_frame = victim.table_pfn(machine).map(|p| p.0);
     let on_vulnerable = victim_frame.is_some_and(|f| vulnerable_frames.contains(&f));
 
@@ -93,24 +99,24 @@ pub fn run_spray_baseline(
     // victim to sit inside the hammered physical neighbourhood. We model
     // the strongest reasonable sprayer: aggressor rows re-acquired where
     // the allocator happens to return them.
-    let spray_buffer = machine.mmap(attacker, config.template_pages)?;
+    let spray_buffer = machine.mmap(pool.attacker, config.template_pages)?;
     machine.fill(
-        attacker,
+        pool.attacker,
         spray_buffer,
         config.template_pages * PAGE_SIZE,
         0xFF,
     )?;
     let mut spray_pairs = 0u64;
-    let mut failures = 0u64;
-    for t in &scan.templates {
-        let above = spray_buffer + (t.aggressor_above.0 - buffer.0);
-        let below = spray_buffer + (t.aggressor_below.0 - buffer.0);
-        match machine.hammer_pair_virt(attacker, above, below, config.rehammer_pairs) {
-            Ok(_) => spray_pairs += config.rehammer_pairs,
-            Err(_) => failures += 1,
+    for t in &pool.scan.templates {
+        let above = spray_buffer + (t.aggressor_above.0 - pool.buffer.0);
+        let below = spray_buffer + (t.aggressor_below.0 - pool.buffer.0);
+        if machine
+            .hammer_pair_virt(pool.attacker, above, below, config.rehammer_pairs)
+            .is_ok()
+        {
+            spray_pairs += config.rehammer_pairs;
         }
     }
-    let _ = failures;
 
     // Oracle check: did the victim's table image get corrupted?
     let fault_landed = table_image_corrupted(machine, &victim, config)?;
@@ -118,7 +124,7 @@ pub fn run_spray_baseline(
     let _ = rng.gen::<u8>();
 
     Ok(SprayReport {
-        templates_found: scan.templates.len(),
+        templates_found: pool.scan.templates.len(),
         victim_on_vulnerable_frame: on_vulnerable,
         fault_landed,
         spray_pairs,
@@ -138,15 +144,10 @@ fn table_image_corrupted(
         VictimCipherKind::AesTtable => TableImage::te_tables(),
         VictimCipherKind::Present => present_sbox_image().to_vec(),
     };
-    let Some(pa) = machine.translate(victim.pid(), machine_base(victim)) else {
+    let Some(pa) = machine.translate(victim.pid(), victim.table_base()) else {
         return Ok(false);
     };
     let mut current = vec![0u8; pristine.len()];
     machine.dram_mut().read(pa, &mut current);
     Ok(current != pristine)
-}
-
-/// The victim service's table base address (its only mapping).
-fn machine_base(victim: &VictimCipherService) -> machine::VirtAddr {
-    victim.table_base()
 }

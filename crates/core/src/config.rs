@@ -24,6 +24,15 @@ impl VictimCipherKind {
             VictimCipherKind::Present => 16,
         }
     }
+
+    /// Kebab-case label (for traces, tables, and cell names).
+    pub const fn label(self) -> &'static str {
+        match self {
+            VictimCipherKind::AesSbox => "aes-sbox",
+            VictimCipherKind::AesTtable => "aes-ttable",
+            VictimCipherKind::Present => "present",
+        }
+    }
 }
 
 /// Full configuration of an [`crate::ExplFrame`] run.
@@ -90,6 +99,28 @@ impl ExplFrameConfig {
         }
     }
 
+    /// Returns a copy with a different machine configuration.
+    #[must_use]
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Returns a copy with a different attacker RNG seed (the machine's
+    /// weak-cell seed is part of [`Self::machine`] and is *not* changed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the attacker pinned to `cpu`.
+    #[must_use]
+    pub fn with_attacker_cpu(mut self, cpu: CpuId) -> Self {
+        self.attacker_cpu = cpu;
+        self
+    }
+
     /// Returns a copy with a different victim cipher.
     #[must_use]
     pub fn with_victim(mut self, victim: VictimCipherKind) -> Self {
@@ -111,11 +142,42 @@ impl ExplFrameConfig {
         self
     }
 
-    /// Returns a copy with a different hammer intensity.
+    /// Returns a copy with a different hammer intensity (sets both the
+    /// templating and re-hammer pair counts; use
+    /// [`Self::with_rehammer_pairs`] to change only the latter).
     #[must_use]
     pub fn with_hammer_pairs(mut self, pairs: u64) -> Self {
         self.hammer_pairs = pairs;
         self.rehammer_pairs = pairs;
+        self
+    }
+
+    /// Returns a copy with a different re-hammer intensity (the pairs spent
+    /// per fault round on the steered frame's aggressors).
+    #[must_use]
+    pub fn with_rehammer_pairs(mut self, pairs: u64) -> Self {
+        self.rehammer_pairs = pairs;
+        self
+    }
+
+    /// Returns a copy with a different reproducibility-scoring round count.
+    #[must_use]
+    pub fn with_reproducibility_rounds(mut self, rounds: u32) -> Self {
+        self.reproducibility_rounds = rounds;
+        self
+    }
+
+    /// Returns a copy with a different per-fault ciphertext budget.
+    #[must_use]
+    pub fn with_max_ciphertexts(mut self, max: u64) -> Self {
+        self.max_ciphertexts = max;
+        self
+    }
+
+    /// Returns a copy with a different fault-round budget.
+    #[must_use]
+    pub fn with_max_fault_rounds(mut self, rounds: u32) -> Self {
+        self.max_fault_rounds = rounds;
         self
     }
 }
@@ -134,6 +196,41 @@ mod tests {
         assert_eq!(cfg.victim_cpu, CpuId(2));
         assert_eq!(cfg.hammer_pairs, 123);
         assert_eq!(cfg.rehammer_pairs, 123);
+    }
+
+    #[test]
+    fn every_field_is_settable_fluently() {
+        let machine = MachineConfig::small(77);
+        let cfg = ExplFrameConfig::small_demo(1)
+            .with_machine(machine.clone())
+            .with_seed(99)
+            .with_attacker_cpu(CpuId(3))
+            .with_victim_cpu(CpuId(1))
+            .with_victim(VictimCipherKind::AesTtable)
+            .with_template_pages(512)
+            .with_hammer_pairs(1000)
+            .with_rehammer_pairs(2000)
+            .with_reproducibility_rounds(5)
+            .with_max_ciphertexts(9999)
+            .with_max_fault_rounds(3);
+        assert_eq!(cfg.machine.dram.seed, machine.dram.seed);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.attacker_cpu, CpuId(3));
+        assert_eq!(cfg.victim_cpu, CpuId(1));
+        assert_eq!(cfg.victim, VictimCipherKind::AesTtable);
+        assert_eq!(cfg.template_pages, 512);
+        assert_eq!(cfg.hammer_pairs, 1000);
+        assert_eq!(cfg.rehammer_pairs, 2000);
+        assert_eq!(cfg.reproducibility_rounds, 5);
+        assert_eq!(cfg.max_ciphertexts, 9999);
+        assert_eq!(cfg.max_fault_rounds, 3);
+    }
+
+    #[test]
+    fn labels_are_kebab_case() {
+        assert_eq!(VictimCipherKind::AesSbox.label(), "aes-sbox");
+        assert_eq!(VictimCipherKind::AesTtable.label(), "aes-ttable");
+        assert_eq!(VictimCipherKind::Present.label(), "present");
     }
 
     #[test]

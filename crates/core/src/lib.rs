@@ -4,25 +4,33 @@
 //! for Fault Analysis of Block Ciphers"* (DATE 2020) on the fully simulated
 //! substrate built by the `dram`, `cachesim`, `memsim` and `machine` crates.
 //!
-//! The pipeline (paper §V–§VI):
+//! The attack is five first-class phases (paper §V–§VI), each a [`Phase`]
+//! consuming and producing typed artifacts:
 //!
-//! 1. **Template** ([`template_scan`]) — hammer the attacker's own large
-//!    buffer, read it back, and build a map of repeatable bit flips
-//!    ([`FlipTemplate`]). Unprivileged: no pagemap, no oracles.
-//! 2. **Release** — `munmap` one vulnerable page. The freed frame lands at
-//!    the *head* of this CPU's per-CPU page frame cache. The attacker stays
-//!    active; sleeping would let the idle kernel drain the cache (§V).
-//! 3. **Steer** — the victim's next small allocation on the same CPU pops
-//!    exactly that frame: its cipher tables now live in memory the attacker
-//!    knows how to flip.
-//! 4. **Hammer** — re-hammer the retained aggressor rows; the templated bit
-//!    flips inside the victim's table.
-//! 5. **Collect & analyze** — query encryptions and run Persistent Fault
-//!    Analysis (or its T-table/PRESENT variants) from the `fault` crate
-//!    until the key is out.
+//! 1. **Template** ([`TemplatePhase`] → [`TemplatePool`]) — hammer the
+//!    attacker's own large buffer, read it back, and build a map of
+//!    repeatable bit flips ([`FlipTemplate`]). Unprivileged: no pagemap,
+//!    no oracles.
+//! 2. **Release** ([`ReleasePhase`] → [`ReleasedFrame`]) — `munmap` one
+//!    vulnerable page. The freed frame lands at the *head* of this CPU's
+//!    per-CPU page frame cache. The attacker stays active; sleeping would
+//!    let the idle kernel drain the cache (§V).
+//! 3. **Steer** ([`SteerPhase`] → [`SteeredVictim`]) — the victim's next
+//!    small allocation on the same CPU pops exactly that frame: its cipher
+//!    tables now live in memory the attacker knows how to flip.
+//! 4. **Hammer** ([`HammerPhase`]) — re-hammer the retained aggressor rows;
+//!    the templated bit flips inside the victim's table.
+//! 5. **Collect & analyze** ([`CollectPhase`] → [`FaultedCiphertexts`],
+//!    [`AnalyzePhase`] → [`RecoveredKey`]) — query encryptions and run
+//!    Persistent Fault Analysis (or its T-table/PRESENT variants) from the
+//!    `fault` crate until the key is out.
 //!
-//! [`ExplFrame`] orchestrates all phases; [`run_spray_baseline`] provides
-//! the untargeted prior-work comparison.
+//! [`Pipeline`] composes phases in any order over one machine, RNG, and
+//! [`Observer`] (which receives structured [`PhaseEvent`]s — collect them
+//! with [`TraceCollector`] and persist via `campaign`'s `TraceSink` into
+//! `results/trace.json`). [`ExplFrame`] is the standard five-phase
+//! composition; [`run_spray_baseline`] shares the templating phase and
+//! models the untargeted prior-work comparison.
 //!
 //! # Examples
 //!
@@ -39,6 +47,10 @@
 //! );
 //! # Ok::<(), explframe_core::AttackError>(())
 //! ```
+//!
+//! Custom compositions the monolithic driver could not express (template
+//! once, steer many victims; mixed-cipher multi-victim) are a few lines
+//! over the same phases — see [`Pipeline`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,16 +59,26 @@ mod attack;
 mod baseline;
 mod config;
 mod error;
+mod events;
 mod memsource;
 mod noise;
+mod phase;
+mod pipeline;
 mod template;
 mod victim;
 
-pub use attack::{select_attack_pages, template_usable, AttackOutcome, AttackReport, ExplFrame};
+pub use attack::{AttackOutcome, AttackReport, ExplFrame};
 pub use baseline::{run_spray_baseline, SprayReport};
 pub use config::{ExplFrameConfig, VictimCipherKind};
 pub use error::AttackError;
+pub use events::{NullObserver, Observer, PhaseEvent, TraceCollector};
 pub use memsource::MachineTableSource;
 pub use noise::NoiseProcess;
+pub use phase::{
+    select_attack_pages, template_usable, AnalyzePhase, CollectOutcome, CollectPhase, Counters,
+    FaultedCiphertexts, HammerPhase, Phase, PhaseCtx, RecoveredKey, ReleasePhase, ReleasedFrame,
+    SteerPhase, SteeredVictim, TemplatePhase, TemplatePool,
+};
+pub use pipeline::Pipeline;
 pub use template::{template_scan, FlipTemplate, TemplateScan};
 pub use victim::{VictimCipherService, VictimKeys};

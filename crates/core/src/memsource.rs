@@ -7,8 +7,26 @@ use machine::{Pid, SimMachine, VirtAddr};
 /// [`SimMachine`] — the glue that makes a Rowhammer flip in the victim's
 /// page corrupt its encryptions.
 ///
-/// Borrows the machine mutably for the duration of an encryption; construct
-/// one per call.
+/// # Exclusive-borrow contract
+///
+/// The source holds `&mut SimMachine` for its whole lifetime, not just
+/// during [`read_u8`](TableSource::read_u8) calls. This is deliberate:
+/// every table lookup is a *memory access* on the simulated machine
+/// (advancing time, touching caches, hitting DRAM), and the
+/// [`TableSource`] trait's `read_u8(&mut self, offset)` has no machine
+/// parameter through which a narrower borrow could flow. Holding the
+/// exclusive borrow guarantees nothing else can mutate machine state
+/// between the lookups of one encryption — which is exactly the atomicity
+/// a real in-process table read has.
+///
+/// Consequences for callers:
+///
+/// * construct one source per encryption call and let it drop immediately
+///   after (see [`VictimCipherService::encrypt`](crate::VictimCipherService::encrypt));
+/// * do not cache a source across machine operations — the borrow checker
+///   will stop you, and that is the contract working as intended;
+/// * reads outside the declared `len` are a bug in the cipher, not a
+///   recoverable condition, and panic.
 #[derive(Debug)]
 pub struct MachineTableSource<'m> {
     machine: &'m mut SimMachine,

@@ -1,0 +1,861 @@
+//! First-class attack phases and their typed artifacts.
+//!
+//! The paper's attack is five phases — template → release → steer → hammer
+//! → analyze (§V–§VI) — and this module makes each one a value: a type
+//! implementing [`Phase`], consuming one typed artifact and producing the
+//! next ([`TemplatePool`] → [`ReleasedFrame`] → [`SteeredVictim`] →
+//! [`FaultedCiphertexts`] → [`RecoveredKey`]). Phases run against a
+//! [`PhaseCtx`] carrying the machine, the attacker RNG, the run's
+//! [`Counters`], and the [`Observer`](crate::Observer) receiving
+//! [`PhaseEvent`](crate::PhaseEvent)s.
+//!
+//! Compositions are built with [`Pipeline`](crate::Pipeline), which strings
+//! phases together while preserving their shared state;
+//! [`ExplFrame::run`](crate::ExplFrame::run) is itself one such
+//! composition.
+
+use std::collections::BTreeSet;
+
+use ciphers::{
+    present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX,
+};
+use fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
+use machine::{Pid, SimMachine, VirtAddr};
+use memsim::PAGE_SIZE;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::{ExplFrameConfig, VictimCipherKind};
+use crate::error::AttackError;
+use crate::events::{Observer, PhaseEvent};
+use crate::template::{template_scan, FlipTemplate, TemplateScan};
+use crate::victim::{VictimCipherService, VictimKeys};
+
+/// Everything a phase may touch while running.
+///
+/// The context is the *only* channel between a phase and the world: the
+/// simulated machine, the attacker's seeded RNG, the run's accumulating
+/// [`Counters`], and the event [`Observer`]. Keeping it explicit is what
+/// lets phases compose in any order without hidden coupling.
+pub struct PhaseCtx<'a> {
+    /// The attack configuration.
+    pub config: &'a ExplFrameConfig,
+    /// The machine under attack.
+    pub machine: &'a mut SimMachine,
+    /// The attacker's seeded RNG (plaintext queries, known pairs).
+    pub rng: &'a mut StdRng,
+    /// Receives [`PhaseEvent`]s.
+    pub observer: &'a mut dyn Observer,
+    /// The run's accumulating tallies.
+    pub counters: &'a mut Counters,
+    /// Ground-truth victim keys (oracle — used to *start* victims and to
+    /// verify recovered keys, never read by analysis).
+    pub keys: VictimKeys,
+}
+
+impl PhaseCtx<'_> {
+    /// Emits one event to the observer.
+    pub fn emit(&mut self, event: PhaseEvent) {
+        self.observer.on_event(&event);
+    }
+}
+
+/// One attack phase: consumes a typed artifact, produces the next.
+///
+/// Stateless phases ([`TemplatePhase`], [`ReleasePhase`], [`SteerPhase`],
+/// [`HammerPhase`], [`CollectPhase`]) are unit-like and constructed per
+/// call; [`AnalyzePhase`] carries cross-round recovery state (the T-table
+/// PFA accumulator) and lives for the whole pipeline.
+pub trait Phase {
+    /// Artifact the phase consumes.
+    type In;
+    /// Artifact the phase produces.
+    type Out;
+
+    /// The phase's name (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Runs the phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`] for machine-level failures; attack-level
+    /// failures are encoded in the output artifact.
+    fn run(&mut self, ctx: &mut PhaseCtx<'_>, input: Self::In) -> Result<Self::Out, AttackError>;
+}
+
+/// Tallies accumulated across a pipeline run — the counted portion of the
+/// final [`AttackReport`](crate::AttackReport).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counters {
+    /// Raw templates found by the sweep.
+    pub templates_found: usize,
+    /// Templates usable against the most recently selected victim layout.
+    pub usable_templates: usize,
+    /// Fault rounds in which the victim verifiably received the released
+    /// frame (oracle-checked).
+    pub steering_successes: u32,
+    /// Fault rounds attempted (each victim arrival is one round).
+    pub fault_rounds: u32,
+    /// Total ciphertexts collected across rounds.
+    pub ciphertexts_collected: u64,
+    /// Recovered AES-128 key, if any analysis completed.
+    pub recovered_aes_key: Option<[u8; 16]>,
+    /// Recovered PRESENT-80 key, if any analysis completed.
+    pub recovered_present_key: Option<[u8; 10]>,
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+/// Output of the templating phase: the attacker process, its still-mapped
+/// buffer, and the raw scan results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplatePool {
+    /// The attacker process that owns the template buffer.
+    pub attacker: Pid,
+    /// Base of the template buffer in the attacker's address space.
+    pub buffer: VirtAddr,
+    /// The raw templating sweep results.
+    pub scan: TemplateScan,
+}
+
+impl TemplatePool {
+    /// Templates usable against `kind`'s table layout, best-reproducing
+    /// first: one per vulnerable page, restricted to pages where exactly one
+    /// templated flip fires against the victim image (see
+    /// [`select_attack_pages`]).
+    #[must_use]
+    pub fn usable(&self, kind: VictimCipherKind) -> Vec<FlipTemplate> {
+        let mut usable = select_attack_pages(&self.scan.templates, kind);
+        usable.sort_by(|a, b| {
+            b.reproducibility
+                .partial_cmp(&a.reproducibility)
+                .expect("reproducibility is never NaN")
+        });
+        usable
+    }
+}
+
+/// A vulnerable frame released into the CPU's page frame cache, awaiting a
+/// victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleasedFrame {
+    /// The template whose page was released (aggressors stay mapped).
+    pub template: FlipTemplate,
+    /// The released frame number (oracle-observed, reporting only).
+    pub pfn: Option<u64>,
+}
+
+/// A running victim whose table page the pipeline (maybe) steered onto the
+/// released frame, plus one pre-fault known plaintext/ciphertext pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteeredVictim {
+    /// The victim service (copyable handle; stop it via
+    /// [`Pipeline::stop_victim`](crate::Pipeline::stop_victim)).
+    pub victim: VictimCipherService,
+    /// The template targeting this victim's frame.
+    pub template: FlipTemplate,
+    /// Whether the victim's table page landed on the released frame
+    /// (oracle-checked, reporting only).
+    pub steered: bool,
+    /// Known plaintext collected before the fault (PRESENT master-key
+    /// recovery needs one clean pair).
+    pub known_plain: Vec<u8>,
+    /// The corresponding pre-fault ciphertext.
+    pub known_cipher: Vec<u8>,
+}
+
+/// How a collection round ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectOutcome {
+    /// Every needed position converged to a single missing value.
+    Converged,
+    /// A needed position saw every value: no last-round fault landed.
+    NoFault,
+    /// The ciphertext budget ran out before convergence.
+    Exhausted,
+    /// Collection was skipped (template not analytically usable — e.g. a
+    /// T-table flip outside the S-lane).
+    Skipped,
+}
+
+impl CollectOutcome {
+    /// Kebab-case label (for traces).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectOutcome::Converged => "converged",
+            CollectOutcome::NoFault => "no-fault",
+            CollectOutcome::Exhausted => "exhausted",
+            CollectOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// Faulty-ciphertext statistics collected from one steered victim.
+#[derive(Debug)]
+pub struct FaultedCiphertexts {
+    /// The victim the ciphertexts came from.
+    pub victim: SteeredVictim,
+    /// How collection ended (analysis only runs on
+    /// [`CollectOutcome::Converged`]).
+    pub outcome: CollectOutcome,
+    /// Ciphertexts collected this round.
+    pub collected: u64,
+    pub(crate) data: CollectorState,
+}
+
+/// The cipher-specific collector carrying the round's statistics. The
+/// collectors hold kilobytes of per-position counters, so they are boxed
+/// to keep the artifact small when moved between phases.
+#[derive(Debug)]
+pub(crate) enum CollectorState {
+    Aes(Box<PfaCollector>),
+    Present(Box<PresentPfa>),
+    Skipped,
+}
+
+/// A key recovered by analysis (at most one field is set, matching the
+/// victim's cipher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredKey {
+    /// Recovered AES-128 key.
+    pub aes: Option<[u8; 16]>,
+    /// Recovered PRESENT-80 key.
+    pub present: Option<[u8; 10]>,
+}
+
+impl RecoveredKey {
+    /// Wraps an AES-128 key.
+    #[must_use]
+    pub fn from_aes(key: [u8; 16]) -> Self {
+        RecoveredKey {
+            aes: Some(key),
+            present: None,
+        }
+    }
+
+    /// Wraps a PRESENT-80 key.
+    #[must_use]
+    pub fn from_present(key: [u8; 10]) -> Self {
+        RecoveredKey {
+            aes: None,
+            present: Some(key),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------------
+
+/// Phase 1 — template: spawn the attacker, map its buffer, and sweep it for
+/// repeatable flips.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemplatePhase;
+
+impl Phase for TemplatePhase {
+    type In = ();
+    type Out = TemplatePool;
+
+    fn name(&self) -> &'static str {
+        "template"
+    }
+
+    fn run(&mut self, ctx: &mut PhaseCtx<'_>, (): ()) -> Result<TemplatePool, AttackError> {
+        let cfg = ctx.config;
+        ctx.emit(PhaseEvent::TemplateStarted {
+            pages: cfg.template_pages,
+        });
+        let attacker = ctx.machine.spawn(cfg.attacker_cpu);
+        let buffer = ctx.machine.mmap(attacker, cfg.template_pages)?;
+        let scan = template_scan(
+            ctx.machine,
+            attacker,
+            buffer,
+            cfg.template_pages,
+            cfg.hammer_pairs,
+            cfg.reproducibility_rounds,
+        )?;
+        ctx.counters.templates_found = scan.templates.len();
+        ctx.emit(PhaseEvent::TemplateFinished {
+            found: scan.templates.len(),
+            rows_hammered: scan.rows_hammered,
+            hammer_failures: scan.hammer_failures,
+            elapsed: scan.elapsed,
+        });
+        Ok(TemplatePool {
+            attacker,
+            buffer,
+            scan,
+        })
+    }
+}
+
+/// Phase 2 — release: `munmap` one vulnerable page so its frame lands at
+/// the head of this CPU's page frame cache. The attacker stays active;
+/// sleeping would let the idle kernel drain the cache (§V).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReleasePhase;
+
+impl Phase for ReleasePhase {
+    type In = (Pid, FlipTemplate);
+    type Out = ReleasedFrame;
+
+    fn name(&self) -> &'static str {
+        "release"
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut PhaseCtx<'_>,
+        (attacker, template): (Pid, FlipTemplate),
+    ) -> Result<ReleasedFrame, AttackError> {
+        let pfn = ctx
+            .machine
+            .translate(attacker, template.page_va)
+            .map(|pa| pa.as_u64() / PAGE_SIZE);
+        ctx.machine.munmap(attacker, template.page_va, 1)?;
+        ctx.emit(PhaseEvent::FrameReleased {
+            page_index: template.page_index,
+            pfn,
+        });
+        Ok(ReleasedFrame { template, pfn })
+    }
+}
+
+/// Phase 3 — steer: start a victim service whose table page's first touch
+/// pops the released frame off the page frame cache head, and collect one
+/// pre-fault known pair.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteerPhase;
+
+impl Phase for SteerPhase {
+    type In = (ReleasedFrame, VictimCipherKind);
+    type Out = SteeredVictim;
+
+    fn name(&self) -> &'static str {
+        "steer"
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut PhaseCtx<'_>,
+        (released, kind): (ReleasedFrame, VictimCipherKind),
+    ) -> Result<SteeredVictim, AttackError> {
+        ctx.counters.fault_rounds += 1;
+        let victim =
+            VictimCipherService::start(ctx.machine, ctx.config.victim_cpu, kind, ctx.keys)?;
+        let victim_pfn = victim.table_pfn(ctx.machine).map(|p| p.0);
+        let steered = released.pfn.is_some() && victim_pfn == released.pfn;
+        if steered {
+            ctx.counters.steering_successes += 1;
+        }
+
+        // One pre-fault known pair (used by PRESENT master-key recovery).
+        let mut known_plain = vec![0u8; victim.block_bytes()];
+        ctx.rng.fill(&mut known_plain[..]);
+        let mut known_cipher = known_plain.clone();
+        victim.encrypt(ctx.machine, &mut known_cipher)?;
+
+        ctx.emit(PhaseEvent::VictimSteered {
+            round: ctx.counters.fault_rounds,
+            kind,
+            steered,
+            victim_pfn,
+        });
+        Ok(SteeredVictim {
+            victim,
+            template: released.template,
+            steered,
+            known_plain,
+            known_cipher,
+        })
+    }
+}
+
+/// Phase 4 — hammer: re-hammer the retained aggressor rows around the
+/// steered frame. Produces `false` when the hammer primitive rejects the
+/// aggressors (fragmented buffer).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HammerPhase;
+
+impl Phase for HammerPhase {
+    type In = (Pid, FlipTemplate);
+    type Out = bool;
+
+    fn name(&self) -> &'static str {
+        "hammer"
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut PhaseCtx<'_>,
+        (attacker, template): (Pid, FlipTemplate),
+    ) -> Result<bool, AttackError> {
+        let pairs = ctx.config.rehammer_pairs;
+        let ok = ctx
+            .machine
+            .hammer_pair_virt(
+                attacker,
+                template.aggressor_above,
+                template.aggressor_below,
+                pairs,
+            )
+            .is_ok();
+        ctx.emit(PhaseEvent::HammerFinished {
+            round: ctx.counters.fault_rounds,
+            pairs,
+            ok,
+        });
+        Ok(ok)
+    }
+}
+
+/// Phase 5a — collect: query victim encryptions until the fault statistics
+/// converge, prove no fault landed, or the ciphertext budget runs out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectPhase;
+
+impl Phase for CollectPhase {
+    type In = SteeredVictim;
+    type Out = FaultedCiphertexts;
+
+    fn name(&self) -> &'static str {
+        "collect"
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut PhaseCtx<'_>,
+        steered: SteeredVictim,
+    ) -> Result<FaultedCiphertexts, AttackError> {
+        let entry = steered.template.page_offset as usize;
+        let before = ctx.counters.ciphertexts_collected;
+        let (outcome, data) = match steered.victim.kind() {
+            VictimCipherKind::AesSbox => {
+                let needed: Vec<usize> = (0..16).collect();
+                let mut collector = PfaCollector::new();
+                let outcome = collect_aes(ctx, &steered, &mut collector, &needed)?;
+                (outcome, CollectorState::Aes(Box::new(collector)))
+            }
+            VictimCipherKind::AesTtable => {
+                let fault = TableFault {
+                    offset: entry,
+                    bit: steered.template.bit,
+                };
+                match fault.classify_te() {
+                    TeFaultClass::SLane { positions, .. } => {
+                        let mut collector = PfaCollector::new();
+                        let outcome = collect_aes(ctx, &steered, &mut collector, &positions)?;
+                        (outcome, CollectorState::Aes(Box::new(collector)))
+                    }
+                    // Filtered by template selection; defensive.
+                    _ => (CollectOutcome::Skipped, CollectorState::Skipped),
+                }
+            }
+            VictimCipherKind::Present => {
+                let mut collector = PresentPfa::new();
+                let outcome = loop {
+                    let mut block = [0u8; 8];
+                    ctx.rng.fill(&mut block[..]);
+                    steered.victim.encrypt(ctx.machine, &mut block)?;
+                    collector.observe(&block);
+                    ctx.counters.ciphertexts_collected += 1;
+                    if collector.total() % 32 == 0 || collector.all_positions_determined() {
+                        if collector.all_positions_determined() {
+                            break CollectOutcome::Converged;
+                        }
+                        if (0..16).any(|i| collector.unseen_count(i) == 0) {
+                            break CollectOutcome::NoFault;
+                        }
+                        if collector.total() >= ctx.config.max_ciphertexts {
+                            break CollectOutcome::Exhausted;
+                        }
+                    }
+                };
+                (outcome, CollectorState::Present(Box::new(collector)))
+            }
+        };
+        let collected = ctx.counters.ciphertexts_collected - before;
+        ctx.emit(PhaseEvent::CiphertextsCollected {
+            round: ctx.counters.fault_rounds,
+            collected,
+            outcome,
+        });
+        Ok(FaultedCiphertexts {
+            victim: steered,
+            outcome,
+            collected,
+            data,
+        })
+    }
+}
+
+/// Collects AES ciphertexts until `needed` positions are determined, a
+/// needed position proves unfaulted, or the budget runs out.
+fn collect_aes(
+    ctx: &mut PhaseCtx<'_>,
+    steered: &SteeredVictim,
+    collector: &mut PfaCollector,
+    needed: &[usize],
+) -> Result<CollectOutcome, AttackError> {
+    loop {
+        let mut block = [0u8; 16];
+        ctx.rng.fill(&mut block[..]);
+        steered.victim.encrypt(ctx.machine, &mut block)?;
+        collector.observe(&block);
+        ctx.counters.ciphertexts_collected += 1;
+        if collector.total() % 64 == 0 {
+            if needed.iter().all(|&p| collector.unseen_count(p) == 1) {
+                return Ok(CollectOutcome::Converged);
+            }
+            if needed.iter().any(|&p| collector.unseen_count(p) == 0) {
+                return Ok(CollectOutcome::NoFault);
+            }
+            if collector.total() >= ctx.config.max_ciphertexts {
+                return Ok(CollectOutcome::Exhausted);
+            }
+        }
+    }
+}
+
+/// Phase 5b — analyze: feed one round's statistics to the cipher's
+/// persistent-fault analysis. Stateful: T-table recovery accumulates S-lane
+/// faults across rounds until all four tables are covered.
+#[derive(Debug)]
+pub struct AnalyzePhase {
+    ttable: TTablePfa,
+    tables_needed: BTreeSet<usize>,
+}
+
+impl Default for AnalyzePhase {
+    fn default() -> Self {
+        AnalyzePhase {
+            ttable: TTablePfa::new(),
+            tables_needed: (0..4).collect(),
+        }
+    }
+}
+
+impl AnalyzePhase {
+    /// A fresh analyzer (no absorbed faults, all four T-tables needed).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// T-tables whose S-lane still lacks an absorbed fault (template
+    /// selection prefers templates landing in a still-needed table).
+    #[must_use]
+    pub fn tables_needed(&self) -> &BTreeSet<usize> {
+        &self.tables_needed
+    }
+}
+
+impl Phase for AnalyzePhase {
+    type In = FaultedCiphertexts;
+    type Out = Option<RecoveredKey>;
+
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut PhaseCtx<'_>,
+        faulted: FaultedCiphertexts,
+    ) -> Result<Option<RecoveredKey>, AttackError> {
+        let entry = faulted.victim.template.page_offset as usize;
+        let recovered = if faulted.outcome != CollectOutcome::Converged {
+            None
+        } else {
+            match (&faulted.data, faulted.victim.victim.kind()) {
+                (CollectorState::Aes(collector), VictimCipherKind::AesSbox) => collector
+                    .analyze_known_fault(TableImage::sbox()[entry])
+                    .master_key()
+                    .map(RecoveredKey::from_aes),
+                (CollectorState::Aes(collector), VictimCipherKind::AesTtable) => {
+                    let fault = TableFault {
+                        offset: entry,
+                        bit: faulted.victim.template.bit,
+                    };
+                    if self.ttable.absorb(fault, collector).is_some() {
+                        let (table, _, _) = TableImage::te_locate(entry);
+                        self.tables_needed.remove(&table);
+                    }
+                    self.ttable.master_key().map(RecoveredKey::from_aes)
+                }
+                (CollectorState::Present(collector), _) => {
+                    let v = PRESENT_SBOX[entry];
+                    let plain: [u8; 8] = faulted.victim.known_plain[..]
+                        .try_into()
+                        .expect("PRESENT block");
+                    let cipher: [u8; 8] = faulted.victim.known_cipher[..]
+                        .try_into()
+                        .expect("PRESENT block");
+                    collector
+                        .recover_master_key(v, |cand| {
+                            let mut b = plain;
+                            Present80::new(
+                                cand,
+                                RamTableSource::new(present_sbox_image().to_vec()),
+                            )
+                            .encrypt_block(&mut b);
+                            b == cipher
+                        })
+                        .map(RecoveredKey::from_present)
+                }
+                _ => None,
+            }
+        };
+        if let Some(key) = &recovered {
+            if let Some(aes) = key.aes {
+                ctx.counters.recovered_aes_key = Some(aes);
+            }
+            if let Some(present) = key.present {
+                ctx.counters.recovered_present_key = Some(present);
+            }
+        }
+        ctx.emit(PhaseEvent::RoundAnalyzed {
+            round: ctx.counters.fault_rounds,
+            key_recovered: recovered.is_some(),
+        });
+        Ok(recovered)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Template selection
+// ---------------------------------------------------------------------------
+
+/// Whether a template *fires* against the victim's image: its offset falls
+/// inside the table image and the image's bit at that location holds the
+/// charged value the flip discharges.
+fn template_fires(t: &FlipTemplate, kind: VictimCipherKind) -> bool {
+    let off = t.page_offset as usize;
+    if off >= kind.image_len() {
+        return false;
+    }
+    let image_bit = match kind {
+        VictimCipherKind::AesSbox => TableImage::sbox()[off] & (1 << t.bit) != 0,
+        VictimCipherKind::AesTtable => TableImage::te_tables()[off] & (1 << t.bit) != 0,
+        VictimCipherKind::Present => present_sbox_image()[off] & (1 << t.bit) != 0,
+    };
+    image_bit == t.required_bit_value()
+}
+
+/// Selects one attack template per vulnerable page: pages where *exactly
+/// one* templated flip fires against the victim image (several simultaneous
+/// table faults would break the single-missing-value statistics), and that
+/// flip is analytically usable ([`template_usable`]).
+pub fn select_attack_pages(
+    templates: &[FlipTemplate],
+    kind: VictimCipherKind,
+) -> Vec<FlipTemplate> {
+    let mut by_page: std::collections::BTreeMap<u64, Vec<&FlipTemplate>> =
+        std::collections::BTreeMap::new();
+    for t in templates {
+        by_page.entry(t.page_index).or_default().push(t);
+    }
+    let mut out = Vec::new();
+    for (_, page_templates) in by_page {
+        let firing: Vec<&&FlipTemplate> = page_templates
+            .iter()
+            .filter(|t| template_fires(t, kind))
+            .collect();
+        if let [only] = firing[..] {
+            if template_usable(only, kind) {
+                out.push(**only);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a template can corrupt the victim's table usefully: its offset
+/// must fall inside the table image, the image's bit at that location must
+/// hold the charged value the flip discharges, and for T-table/PRESENT
+/// victims the location must be analytically exploitable.
+pub fn template_usable(t: &FlipTemplate, kind: VictimCipherKind) -> bool {
+    let off = t.page_offset as usize;
+    if off >= kind.image_len() || t.reproducibility < 0.5 {
+        return false;
+    }
+    let image_bit = match kind {
+        VictimCipherKind::AesSbox => TableImage::sbox()[off] & (1 << t.bit) != 0,
+        VictimCipherKind::AesTtable => TableImage::te_tables()[off] & (1 << t.bit) != 0,
+        VictimCipherKind::Present => present_sbox_image()[off] & (1 << t.bit) != 0,
+    };
+    if image_bit != t.required_bit_value() {
+        return false;
+    }
+    match kind {
+        VictimCipherKind::AesSbox => true,
+        VictimCipherKind::AesTtable => TableFault {
+            offset: off,
+            bit: t.bit,
+        }
+        .classify_te()
+        .is_exploitable(),
+        // Table bytes store one 4-bit S-box value each; flips in the unused
+        // high nibble are masked out by the S-layer.
+        VictimCipherKind::Present => t.bit < 4,
+    }
+}
+
+/// Picks the next template: for T-table victims, one whose fault lands in a
+/// still-needed table; otherwise simply the most reproducible remaining.
+pub(crate) fn pick_template(
+    remaining: &mut Vec<FlipTemplate>,
+    kind: VictimCipherKind,
+    tables_needed: &BTreeSet<usize>,
+) -> Option<FlipTemplate> {
+    let idx = match kind {
+        VictimCipherKind::AesTtable => remaining.iter().position(|t| {
+            let (table, _, _) = TableImage::te_locate(t.page_offset as usize);
+            tables_needed.contains(&table)
+        })?,
+        _ => {
+            if remaining.is_empty() {
+                return None;
+            }
+            0
+        }
+    };
+    Some(remaining.remove(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::CellPolarity;
+    use machine::VirtAddr;
+
+    fn template(offset: u16, bit: u8, one_to_zero: bool) -> FlipTemplate {
+        let _ = CellPolarity::True;
+        FlipTemplate {
+            page_index: 0,
+            page_va: VirtAddr(0),
+            page_offset: offset,
+            bit,
+            one_to_zero,
+            aggressor_above: VirtAddr(0),
+            aggressor_below: VirtAddr(0),
+            reproducibility: 1.0,
+        }
+    }
+
+    #[test]
+    fn usability_respects_image_bounds_and_bits() {
+        // S-box entry 0 is 0x63 = 0b0110_0011.
+        assert!(template_usable(
+            &template(0, 0, true),
+            VictimCipherKind::AesSbox
+        ));
+        assert!(!template_usable(
+            &template(0, 2, true),
+            VictimCipherKind::AesSbox
+        ));
+        assert!(template_usable(
+            &template(0, 2, false),
+            VictimCipherKind::AesSbox
+        ));
+        // Outside the 256-byte image.
+        assert!(!template_usable(
+            &template(256, 0, true),
+            VictimCipherKind::AesSbox
+        ));
+        // Low reproducibility is rejected.
+        let mut t = template(0, 0, true);
+        t.reproducibility = 0.1;
+        assert!(!template_usable(&t, VictimCipherKind::AesSbox));
+    }
+
+    #[test]
+    fn ttable_usability_requires_s_lane() {
+        let te = TableImage::te_tables();
+        // Find an S-lane offset with a set bit and a non-S-lane one.
+        let s_lane_off = TableImage::te_entry_offset(0, 0x53) + ciphers::FINAL_ROUND_S_LANE[0];
+        let bit = (0..8).find(|&b| te[s_lane_off] & (1 << b) != 0).unwrap();
+        assert!(template_usable(
+            &template(s_lane_off as u16, bit, true),
+            VictimCipherKind::AesTtable
+        ));
+        let other_off = TableImage::te_entry_offset(0, 0x53); // lane 0 = 3S lane
+        let bit2 = (0..8).find(|&b| te[other_off] & (1 << b) != 0).unwrap();
+        assert!(!template_usable(
+            &template(other_off as u16, bit2, true),
+            VictimCipherKind::AesTtable
+        ));
+    }
+
+    #[test]
+    fn present_usability_requires_low_nibble() {
+        // PRESENT S[0] = 0xC = 0b1100: bits 2,3 set.
+        assert!(template_usable(
+            &template(0, 2, true),
+            VictimCipherKind::Present
+        ));
+        assert!(!template_usable(
+            &template(0, 4, true),
+            VictimCipherKind::Present
+        ));
+        assert!(!template_usable(
+            &template(0, 4, false),
+            VictimCipherKind::Present
+        ));
+        assert!(template_usable(
+            &template(0, 1, false),
+            VictimCipherKind::Present
+        ));
+    }
+
+    #[test]
+    fn pick_template_covers_needed_tables() {
+        let te = TableImage::te_tables();
+        let mk = |table: usize| {
+            let off = TableImage::te_entry_offset(table, 7) + ciphers::FINAL_ROUND_S_LANE[table];
+            let bit = (0..8).find(|&b| te[off] & (1 << b) != 0).unwrap();
+            template(off as u16, bit, true)
+        };
+        let mut remaining = vec![mk(1), mk(0), mk(1)];
+        let mut needed: BTreeSet<usize> = [0].into_iter().collect();
+        let picked = pick_template(&mut remaining, VictimCipherKind::AesTtable, &needed).unwrap();
+        let (table, _, _) = TableImage::te_locate(picked.page_offset as usize);
+        assert_eq!(table, 0);
+        needed.clear();
+        assert!(pick_template(&mut remaining, VictimCipherKind::AesTtable, &needed).is_none());
+    }
+
+    #[test]
+    fn template_pool_usable_sorts_by_reproducibility() {
+        let mut low = template(0, 0, true);
+        low.reproducibility = 0.7;
+        low.page_index = 1;
+        let mut high = template(0, 0, true);
+        high.reproducibility = 1.0;
+        high.page_index = 2;
+        let pool = TemplatePool {
+            attacker: Pid(1),
+            buffer: VirtAddr(0),
+            scan: TemplateScan {
+                templates: vec![low, high],
+                ..TemplateScan::default()
+            },
+        };
+        let usable = pool.usable(VictimCipherKind::AesSbox);
+        assert_eq!(usable.len(), 2);
+        assert!(usable[0].reproducibility >= usable[1].reproducibility);
+    }
+
+    #[test]
+    fn recovered_key_constructors_set_one_side() {
+        let aes = RecoveredKey::from_aes([7; 16]);
+        assert!(aes.aes.is_some() && aes.present.is_none());
+        let present = RecoveredKey::from_present([9; 10]);
+        assert!(present.present.is_some() && present.aes.is_none());
+    }
+}

@@ -36,7 +36,7 @@ impl VictimKeys {
 /// `start` maps a single page and installs the cipher's table image with the
 /// service's *first touch* — which is the exact moment the kernel hands it
 /// the head of the CPU's page frame cache (the attack's steered frame).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VictimCipherService {
     pid: Pid,
     cpu: CpuId,

@@ -1,0 +1,74 @@
+//! The phase-pipeline API, composed by hand: template once, steer many.
+//!
+//! Demonstrates what the `Pipeline` makes possible beyond `ExplFrame::run`:
+//! one templating sweep serves several victim restarts, because a stopped
+//! victim's table frame returns to the page frame cache head where the next
+//! steer picks it up again. Every phase reports a structured event; the
+//! trace is printed at the end.
+//!
+//! ```text
+//! cargo run --release --example phase_pipeline [seed]
+//! ```
+
+use explframe::attack::{ExplFrameConfig, Pipeline, TraceCollector};
+use explframe::machine::SimMachine;
+
+const VICTIMS: u32 = 3;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    println!("== phase pipeline: template once, steer {VICTIMS} victims (seed {seed}) ==\n");
+
+    let config = ExplFrameConfig::small_demo(seed).with_template_pages(1024);
+    let kind = config.victim;
+    let mut machine = SimMachine::new(config.machine.clone());
+    let mut trace = TraceCollector::new();
+    let mut pipe = Pipeline::new(&mut machine, config).with_observer(&mut trace);
+
+    // Phase 1+selection, paid once.
+    let pool = pipe.template().expect("template phase");
+    let mut remaining = pipe.select(&pool, kind);
+    let Some(template) = pipe.next_template(&mut remaining, kind) else {
+        eprintln!("no usable templates on this machine; try another seed");
+        std::process::exit(1);
+    };
+    println!(
+        "templated {} flips ({} usable), attacking page {} offset {} bit {}",
+        pool.scan.templates.len(),
+        remaining.len() + 1,
+        template.page_index,
+        template.page_offset,
+        template.bit
+    );
+
+    // Phase 2, also paid once: the frame keeps coming back.
+    let released = pipe.release(&pool, template).expect("release phase");
+
+    let mut keys = 0;
+    for round in 1..=VICTIMS {
+        let steered = pipe.steer(&released).expect("steer phase");
+        let victim = steered.victim;
+        let mut recovered = None;
+        if pipe.hammer(&pool, &steered).expect("hammer phase") {
+            let faulted = pipe.collect(steered).expect("collect phase");
+            recovered = pipe.analyze(faulted).expect("analyze phase");
+        }
+        let ok = recovered.is_some_and(|k| pipe.verify_key(kind, &k));
+        keys += u32::from(ok);
+        println!("victim {round}: key recovered = {ok}");
+        pipe.stop_victim(victim).expect("victim stop");
+        pipe.settle(); // let hammer disturbance refresh away before round+1
+    }
+    println!(
+        "\n{keys}/{VICTIMS} keys from ONE templating sweep ({} hammer pairs total)",
+        pipe.hammer_pairs_spent()
+    );
+
+    println!("\nevent trace ({} events):", trace.len());
+    for event in trace.events() {
+        println!("  {event:?}");
+    }
+}

@@ -413,7 +413,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -11,7 +11,11 @@
 //! * [`machine`] — the composed multi-CPU machine with processes and paging.
 //! * [`ciphers`] — AES and PRESENT with externalized lookup tables.
 //! * [`fault`] — Persistent Fault Analysis and DFA key recovery.
-//! * [`attack`] (crate `explframe-core`) — the ExplFrame attack pipeline.
+//! * [`attack`] (crate `explframe-core`) — the phase-pipeline attack API:
+//!   first-class phases (`Template`/`Release`/`Steer`/`Hammer`/`Collect`/
+//!   `Analyze`) over typed artifacts, composed by `Pipeline`, with
+//!   structured `PhaseEvent` traces; `ExplFrame` is the paper's standard
+//!   composition.
 //! * [`campaign`] — the deterministic parallel campaign engine driving the
 //!   `exp_*` experiment binaries (scenario matrices, SplitMix64 per-trial
 //!   seeding, thread-count-independent reduction, `results/summary.json`).

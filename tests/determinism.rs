@@ -51,6 +51,48 @@ fn different_seeds_diverge() {
 }
 
 #[test]
+fn pipeline_reproduces_the_pre_redesign_report_bytes() {
+    // Recorded from the monolithic driver immediately before the
+    // phase-pipeline redesign (seed 1, 1024 template pages). The redesign's
+    // contract is byte-for-byte identity, not mere plausibility — if any of
+    // these move, the pipeline changed the attack's observable behaviour.
+    let report = run_with_seed(1);
+    assert_eq!(
+        report.outcome,
+        explframe::attack::AttackOutcome::KeyRecovered
+    );
+    assert_eq!(report.templates_found, 297);
+    assert_eq!(report.usable_templates, 6);
+    assert_eq!(report.steering_successes, 1);
+    assert_eq!(report.fault_rounds, 1);
+    assert_eq!(report.ciphertexts_collected, 2176);
+    assert_eq!(report.hammer_pairs_spent, 753_600_000);
+    assert_eq!(
+        report.recovered_aes_key,
+        Some([104, 1, 40, 17, 13, 177, 124, 200, 38, 249, 157, 193, 49, 244, 29, 167])
+    );
+    assert!(report.key_correct);
+    assert_eq!(report.elapsed, 126_353_601_538);
+}
+
+#[test]
+fn attack_reports_are_identical_across_campaign_thread_counts() {
+    use explframe::campaign::{scenario, Campaign};
+    // The whole pipeline run as campaign trials: reducing on 1 worker and
+    // on 8 must yield byte-identical AttackReports in identical order.
+    let cells = vec![scenario("explframe-e2e", |seed| {
+        let cfg = ExplFrameConfig::small_demo(seed).with_template_pages(512);
+        ExplFrame::new(cfg).run().expect("attack run completes")
+    })];
+    let serial = Campaign::new(3, 11).with_threads(1).run(&cells);
+    let parallel = Campaign::new(3, 11).with_threads(8).run(&cells);
+    assert_eq!(
+        serial.cells, parallel.cells,
+        "thread count changed a pipeline report"
+    );
+}
+
+#[test]
 fn template_scan_is_deterministic() {
     let scan = |seed: u64| {
         let cfg = ExplFrameConfig::small_demo(seed).with_template_pages(512);

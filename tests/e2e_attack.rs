@@ -124,6 +124,92 @@ fn xor_bank_scrambling_degrades_naive_templating() {
 }
 
 #[test]
+fn empty_template_scan_reports_no_usable_templates() {
+    // An 8-page buffer is below the minimum sweep geometry: the scan is
+    // empty and the pipeline must stop cleanly after phase 1.
+    let cfg = ExplFrameConfig::small_demo(3).with_template_pages(8);
+    let report = ExplFrame::new(cfg).run().expect("machine-level success");
+    assert_eq!(report.outcome, AttackOutcome::NoUsableTemplates);
+    assert_eq!(report.templates_found, 0);
+    assert_eq!(report.usable_templates, 0);
+    assert_eq!(report.fault_rounds, 0, "no fault round without a template");
+    assert_eq!(report.ciphertexts_collected, 0);
+    assert!(!report.succeeded());
+}
+
+#[test]
+fn steering_miss_on_wrong_cpu_runs_out_of_templates() {
+    use explframe::memsim::CpuId;
+    // Victim on another CPU: every released frame sits in cpu0's page frame
+    // cache while the victim allocates from cpu1's, so no round can fault
+    // the victim's table and the driver must exhaust its budget.
+    let cfg = ExplFrameConfig::small_demo(1)
+        .with_template_pages(1024)
+        .with_victim_cpu(CpuId(1));
+    let report = ExplFrame::new(cfg).run().expect("machine-level success");
+    assert_eq!(report.outcome, AttackOutcome::OutOfTemplates);
+    assert_eq!(report.steering_successes, 0);
+    assert!(report.fault_rounds > 0, "rounds were attempted");
+    assert!(report.recovered_aes_key.is_none());
+    assert!(!report.succeeded());
+}
+
+#[test]
+fn hammer_without_flip_runs_out_of_templates() {
+    // Steering works, but 1k re-hammer pairs are far below every weak
+    // cell's threshold: no flip lands, collection proves the table is
+    // clean (NoFault) each round, and the driver runs out of templates.
+    let cfg = ExplFrameConfig::small_demo(1)
+        .with_template_pages(1024)
+        .with_rehammer_pairs(1_000);
+    let report = ExplFrame::new(cfg).run().expect("machine-level success");
+    assert_eq!(report.outcome, AttackOutcome::OutOfTemplates);
+    assert!(report.steering_successes > 0, "steering itself still works");
+    assert!(
+        report.ciphertexts_collected > 0,
+        "collection ran before proving no fault landed"
+    );
+    assert!(report.recovered_aes_key.is_none());
+    assert!(!report.succeeded());
+}
+
+#[test]
+fn template_once_steer_many_recovers_keys_across_restarts() {
+    use explframe::attack::Pipeline;
+    use explframe::machine::SimMachine;
+    // The composition the monolithic driver could not express: one
+    // templating sweep, one release, two victim restarts — both keys out.
+    let cfg = ExplFrameConfig::small_demo(1).with_template_pages(1024);
+    let kind = cfg.victim;
+    let mut machine = SimMachine::new(cfg.machine.clone());
+    let mut pipe = Pipeline::new(&mut machine, cfg);
+    let pool = pipe.template().expect("template");
+    let mut remaining = pipe.select(&pool, kind);
+    let template = pipe
+        .next_template(&mut remaining, kind)
+        .expect("usable template");
+    let released = pipe.release(&pool, template).expect("release");
+    let mut keys = 0;
+    for _ in 0..2 {
+        let steered = pipe.steer(&released).expect("steer");
+        assert!(steered.steered, "re-steering onto the same frame works");
+        let victim = steered.victim;
+        if pipe.hammer(&pool, &steered).expect("hammer") {
+            let faulted = pipe.collect(steered).expect("collect");
+            if let Some(key) = pipe.analyze(faulted).expect("analyze") {
+                keys += u32::from(pipe.verify_key(kind, &key));
+            }
+        }
+        pipe.stop_victim(victim).expect("stop");
+        pipe.settle();
+    }
+    assert_eq!(keys, 2, "both victim restarts must yield the key");
+    let report = pipe.finish(AttackOutcome::KeyRecovered);
+    assert_eq!(report.fault_rounds, 2);
+    assert_eq!(report.steering_successes, 2);
+}
+
+#[test]
 fn report_metrics_are_internally_consistent() {
     let cfg = ExplFrameConfig::small_demo(5).with_template_pages(1024);
     let report = ExplFrame::new(cfg).run().expect("run");
