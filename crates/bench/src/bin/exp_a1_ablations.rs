@@ -9,7 +9,7 @@
 //! 3. Idle-drain policy vs a sleeping attacker — the §V caveat ablated,
 //!    with an active-attacker reference cell in the same campaign.
 
-use campaign::{banner, scenario, Campaign, CampaignCli, Counter, Json, Summary, Table};
+use campaign::{banner, persist, scenario, Campaign, CampaignCli, Counter, Json, Summary, Table};
 use explframe_core::NoiseProcess;
 use machine::{IdleDrainPolicy, MachineConfig, SimMachine};
 use memsim::{CpuId, PcpConfig, PAGE_SIZE};
@@ -79,9 +79,7 @@ fn pcp_tuning(base: &Campaign) {
         table.row(&[&batch, &high, &rate]);
         summary.cell(&cell.name, &[("rate", Json::Float(ok.rate()))]);
     }
-    table.print();
-    table.write_csv("a1_pcp_tuning");
-    summary.table("a1_pcp_tuning", &table);
+    persist("a1_pcp_tuning", &table, &mut summary);
     summary.write(&result);
     println!("the LIFO head property is tuning-independent: steering survives every sane setting");
 }
@@ -139,9 +137,7 @@ fn refresh_scaling(base: &Campaign, module_seed: u64) {
         table.row(&[label, &w, &max_acts, &found]);
         summary.cell(&cell.name, &[("templates", Json::UInt(found as u64))]);
     }
-    table.print();
-    table.write_csv("a1_refresh_scaling");
-    summary.table("a1_refresh_scaling", &table);
+    persist("a1_refresh_scaling", &table, &mut summary);
     summary.write(&result);
     println!("flips die once the window holds fewer activations than the lowest cell threshold");
 }
@@ -210,8 +206,6 @@ fn idle_drain(base: &Campaign) {
         table.row(&[&cell.name, &rate]);
         summary.cell(&cell.name, &[("rate", Json::Float(ok.rate()))]);
     }
-    table.print();
-    table.write_csv("a1_idle_drain");
-    summary.table("a1_idle_drain", &table);
+    persist("a1_idle_drain", &table, &mut summary);
     summary.write(&result);
 }

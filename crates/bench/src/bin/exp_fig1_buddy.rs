@@ -6,7 +6,7 @@
 //! free), plus an allocation storm verifying that coalescing always restores
 //! the canonical state.
 
-use campaign::{banner, CampaignCli, Json, Scenario, Summary, Table};
+use campaign::{banner, persist, CampaignCli, Json, Scenario, Summary, Table};
 use memsim::{BuddyAllocator, Order, Pfn, PfnRange};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -146,9 +146,7 @@ fn main() {
             row.iter().map(|c| c as &dyn std::fmt::Display).collect();
         table.row(&cells);
     }
-    table.print();
-    table.write_csv("fig1_buddy");
-    summary.table("fig1_buddy", &table);
+    persist("fig1_buddy", &table, &mut summary);
 
     // Every storm (one per trial, independent seeds) must coalesce back to
     // the canonical state.

@@ -5,7 +5,7 @@
 //! zones → buddy free areas → per-CPU page frame caches — produced by a
 //! single-cell campaign (the workload is one deterministic trial).
 
-use campaign::{banner, scenario, CampaignCli, Json, Summary, Table};
+use campaign::{banner, persist, scenario, CampaignCli, Json, Summary, Table};
 use memsim::{CpuId, GfpFlags, MemConfig, Order, ZonedAllocator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -197,17 +197,10 @@ fn main() {
     );
 
     let out = &result.cells[0].trials[0];
-    out.zones.print();
-    out.zones.write_csv("fig2_zones");
-    out.buddy.print();
-    out.buddy.write_csv("fig2_buddy");
-    out.pcp.print();
-    out.pcp.write_csv("fig2_pcp");
-
     let mut summary = Summary::new("fig2_components", &campaign);
-    summary.table("fig2_zones", &out.zones);
-    summary.table("fig2_buddy", &out.buddy);
-    summary.table("fig2_pcp", &out.pcp);
+    persist("fig2_zones", &out.zones, &mut summary);
+    persist("fig2_buddy", &out.buddy, &mut summary);
+    persist("fig2_pcp", &out.pcp, &mut summary);
     summary.metric("pcp_hit_pct", out.pcp_hit_pct);
     summary.cell(
         "mixed_workload",

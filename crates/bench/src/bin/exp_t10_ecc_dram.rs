@@ -1,0 +1,318 @@
+//! T10 — ExplFrame against SECDED ECC DRAM: usable-fault yield and the
+//! ciphertext budget of ECC-aware collection.
+//!
+//! Server DIMMs store (72,64) check bits per word: a single templated flip
+//! is silently corrected on every read — invisible both to the victim's
+//! table lookups and to the attacker's own templating read-back. Only
+//! multi-bit faults within one 64-bit word survive as usable persistent
+//! faults. Two campaigns quantify the damage:
+//!
+//! * **yield** — device level: hammer weak rows at increasing cell
+//!   density and classify each induced fault as corrected-away (single
+//!   bit per word) or detectable-but-visible (multi-bit per word);
+//! * **budget** — pipeline level, at stress density: full attacks on
+//!   non-ECC vs ECC machines, with naive vs ECC-aware collection
+//!   (`ExplFrameConfig::ecc_aware`). The naive collector burns ~1.6k
+//!   ciphertexts per corrected round proving "no fault" by missing-value
+//!   statistics; the aware collector watches the corrected-error
+//!   telemetry (EDAC counters) and discards the round after a handful of
+//!   probes.
+//!
+//! A representative ECC-aware traced run is written to
+//! `results/trace.json` under `t10_ecc_dram` (look for `ecc-corrected`
+//! collection outcomes).
+
+use campaign::{banner, persist, scenario, CampaignCli, Json, Stream, Summary, Table};
+use dram::{DramConfig, DramCoord, DramDevice, EccMode, WeakCellParams};
+use explframe_core::{ExplFrame, ExplFrameConfig, TraceCollector};
+use machine::SimMachine;
+
+const TEMPLATE_PAGES: u64 = 256;
+/// Weak-cell density for the pipeline campaign: high enough that some
+/// words carry two cells (the ECC-surviving faults), far above any real
+/// module — a stress configuration.
+const STRESS_DENSITY: f64 = 5e-4;
+const YIELD_DENSITIES: [f64; 3] = [1e-5, 1e-4, 5e-4];
+/// Weak rows hammered per yield trial.
+const YIELD_ROWS: usize = 24;
+
+// ---------------------------------------------------------------------
+// Campaign A — device-level usable-fault yield.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct YieldTrial {
+    hammered: u32,
+    raw_flips: u64,
+    visible_rows: u32,
+    masked_rows: u32,
+}
+
+fn yield_trial(seed: u64, density: f64) -> YieldTrial {
+    let config = DramConfig::small()
+        .with_seed(seed)
+        .with_cells(WeakCellParams::flippy().with_density(density))
+        .with_ecc(EccMode::Secded);
+    let mut dev = DramDevice::new(config);
+    let g = dev.config().geometry;
+    let coord = |row: u32| DramCoord {
+        channel: 0,
+        rank: 0,
+        bank: 0,
+        row,
+        col: 0,
+    };
+    let mut out = YieldTrial::default();
+    let mut row = 2u32;
+    while out.hammered < YIELD_ROWS as u32 && row < g.rows - 2 {
+        let addr = dev.mapping().coord_to_phys(coord(row));
+        let cells = dev.weak_cells_at(addr);
+        // Hammer rows that host true cells (we charge with 0xFF).
+        let Some(max_threshold) = cells
+            .iter()
+            .filter(|c| c.polarity.charged_value())
+            .map(dram::WeakCell::threshold_acts)
+            .max()
+        else {
+            row += 1;
+            continue;
+        };
+        out.hammered += 1;
+        dev.fill(addr, u64::from(g.row_bytes), 0xFF);
+        let a = dev.mapping().coord_to_phys(coord(row - 1));
+        let b = dev.mapping().coord_to_phys(coord(row + 1));
+        let flips = dev
+            .hammer_pair(a, b, max_threshold + 16)
+            .expect("hammer")
+            .flips
+            .iter()
+            .filter(|f| f.coord.row == row)
+            .count() as u64;
+        out.raw_flips += flips;
+        if flips > 0 {
+            // Read the row back through ECC: is any corruption visible?
+            let mut buf = vec![0u8; g.row_bytes as usize];
+            dev.read(addr, &mut buf);
+            if buf.iter().any(|&v| v != 0xFF) {
+                out.visible_rows += 1;
+            } else {
+                out.masked_rows += 1;
+            }
+        }
+        // Settle disturbance before the next target.
+        dev.advance(dev.config().timing.refresh_window());
+        row += 3; // skip the blast radius of this target
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Campaign B — pipeline-level ciphertext budget, naive vs ECC-aware.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct BudgetTrial {
+    succeeded: bool,
+    usable: usize,
+    rounds: u32,
+    ciphertexts: u64,
+    corrected: u64,
+    detected: u64,
+}
+
+fn budget_trial(seed: u64, ecc: bool, aware: bool) -> BudgetTrial {
+    let mut cfg = ExplFrameConfig::small_demo(seed)
+        .with_template_pages(TEMPLATE_PAGES)
+        .with_max_ciphertexts(20_000)
+        .with_ecc_aware(aware);
+    cfg.machine.dram = cfg
+        .machine
+        .dram
+        .with_cells(WeakCellParams::flippy().with_density(STRESS_DENSITY));
+    if ecc {
+        cfg.machine.dram = cfg.machine.dram.with_ecc(EccMode::Secded);
+    }
+    let mut machine = SimMachine::new(cfg.machine.clone());
+    let report = ExplFrame::new(cfg).run_on(&mut machine).expect("run");
+    let stats = machine.dram().ecc_stats();
+    BudgetTrial {
+        succeeded: report.succeeded(),
+        usable: report.usable_templates,
+        rounds: report.fault_rounds,
+        ciphertexts: report.ciphertexts_collected,
+        corrected: stats.corrected,
+        detected: stats.detected,
+    }
+}
+
+fn main() {
+    banner(
+        "T10: fault attacks vs SECDED ECC DRAM",
+        "single-bit faults are corrected away; ECC-aware collection saves the wasted budget",
+    );
+    let cli = CampaignCli::parse();
+    let campaign = cli.campaign(8, 0x7_10);
+    println!(
+        "trials per cell: {}   seed: {}   threads: {}",
+        campaign.trials, campaign.seed, campaign.threads
+    );
+
+    // -- Campaign A: usable-fault yield vs density ----------------------
+    let yield_cells: Vec<_> = YIELD_DENSITIES
+        .iter()
+        .map(|&d| scenario(format!("density={d:.0e}"), move |seed| yield_trial(seed, d)))
+        .collect();
+    let yield_result = campaign.run(&yield_cells);
+
+    let mut yield_table = Table::new(
+        "SECDED usable-fault yield: faulted rows visible after correction",
+        &[
+            "density",
+            "rows hammered",
+            "raw flips",
+            "P(visible | flipped)",
+            "P(masked | flipped)",
+        ],
+    );
+    let mut summary = Summary::new("t10_ecc_dram", &campaign);
+    for (&density, cell) in YIELD_DENSITIES.iter().zip(&yield_result.cells) {
+        let hammered: Stream = cell.trials.iter().map(|t| f64::from(t.hammered)).collect();
+        let flips: Stream = cell.trials.iter().map(|t| t.raw_flips as f64).collect();
+        let visible: Stream = cell
+            .trials
+            .iter()
+            .filter(|t| t.visible_rows + t.masked_rows > 0)
+            .map(|t| f64::from(t.visible_rows) / f64::from(t.visible_rows + t.masked_rows))
+            .collect();
+        // No trial flipped anything: the conditional probabilities are
+        // unmeasured, not zero.
+        let p_visible = (visible.count() > 0).then(|| visible.mean());
+        let d = format!("{density:.0e}");
+        let h = format!("{:.1}", hammered.mean());
+        let f = format!("{:.1}", flips.mean());
+        let v = p_visible.map_or_else(|| "n/a".to_string(), |p| format!("{p:.3}"));
+        let m = p_visible.map_or_else(|| "n/a".to_string(), |p| format!("{:.3}", 1.0 - p));
+        yield_table.row(&[&d, &h, &f, &v, &m]);
+        summary.cell(
+            &cell.name,
+            &[("p_visible_fault", p_visible.map_or(Json::Null, Json::Float))],
+        );
+    }
+    persist("t10_ecc_yield", &yield_table, &mut summary);
+
+    // -- Campaign B: pipeline budget, naive vs aware collection ---------
+    let budget_cells: Vec<_> = [
+        ("no-ecc", false, false),
+        ("ecc,naive-collect", true, false),
+        ("ecc,aware-collect", true, true),
+    ]
+    .into_iter()
+    .map(|(name, ecc, aware)| {
+        scenario(name.to_string(), move |seed| budget_trial(seed, ecc, aware))
+    })
+    .collect();
+    let budget_result = campaign.run(&budget_cells);
+
+    let mut budget_table = Table::new(
+        "ciphertext budget under SECDED (stress density, 256-page sweep)",
+        &[
+            "cell",
+            "P(key)",
+            "usable templates",
+            "fault rounds",
+            "ciphertexts/round",
+            "ecc corrected",
+            "ecc detected",
+        ],
+    );
+    let mut cts_per_round = Vec::new();
+    for cell in &budget_result.cells {
+        let key: Stream = cell
+            .trials
+            .iter()
+            .map(|t| f64::from(u8::from(t.succeeded)))
+            .collect();
+        let usable: Stream = cell.trials.iter().map(|t| t.usable as f64).collect();
+        let rounds: Stream = cell.trials.iter().map(|t| f64::from(t.rounds)).collect();
+        let per_round: Stream = cell
+            .trials
+            .iter()
+            .filter(|t| t.rounds > 0)
+            .map(|t| t.ciphertexts as f64 / f64::from(t.rounds))
+            .collect();
+        let corrected: Stream = cell.trials.iter().map(|t| t.corrected as f64).collect();
+        let detected: Stream = cell.trials.iter().map(|t| t.detected as f64).collect();
+        let per_round_mean = (per_round.count() > 0).then(|| per_round.mean());
+        cts_per_round.push(per_round_mean);
+
+        let k = format!("{:.2}", key.mean());
+        let u = format!("{:.1}", usable.mean());
+        let r = format!("{:.1}", rounds.mean());
+        let pr = per_round_mean.map_or_else(|| "n/a".to_string(), |p| format!("{p:.0}"));
+        let c = format!("{:.0}", corrected.mean());
+        let d = format!("{:.0}", detected.mean());
+        budget_table.row(&[&cell.name, &k, &u, &r, &pr, &c, &d]);
+        summary.cell(
+            &cell.name,
+            &[
+                ("p_key", Json::Float(key.mean())),
+                (
+                    "ciphertexts_per_round",
+                    per_round_mean.map_or(Json::Null, Json::Float),
+                ),
+            ],
+        );
+    }
+    persist("t10_ecc_budget", &budget_table, &mut summary);
+    if let (Some(Some(naive)), Some(Some(aware))) = (cts_per_round.get(1), cts_per_round.get(2)) {
+        summary.metric("budget_saving_factor", naive / aware.max(1.0));
+        println!(
+            "budget saving (naive/aware ciphertexts per round): {:.1}x",
+            naive / aware.max(1.0)
+        );
+    }
+    summary.write(&budget_result);
+
+    // One representative traced ECC-aware run: scan a few seeds for one
+    // whose attack actually reaches a round the DIMM corrects away, so the
+    // persisted trace demonstrates the `ecc-corrected` outcome.
+    let mut best: Option<(TraceCollector, explframe_core::AttackOutcome, usize)> = None;
+    for offset in 0..20u64 {
+        let mut trace = TraceCollector::new();
+        let mut cfg = ExplFrameConfig::small_demo(campaign.seed + offset)
+            .with_template_pages(TEMPLATE_PAGES)
+            .with_max_ciphertexts(20_000)
+            .with_ecc_aware(true);
+        cfg.machine.dram = cfg
+            .machine
+            .dram
+            .with_cells(WeakCellParams::flippy().with_density(STRESS_DENSITY))
+            .with_ecc(EccMode::Secded);
+        let traced = ExplFrame::new(cfg)
+            .run_traced(&mut trace)
+            .expect("traced run");
+        let corrected_rounds = trace
+            .events()
+            .iter()
+            .filter(|e| e.to_json().get("outcome").and_then(Json::as_str) == Some("ecc-corrected"))
+            .count();
+        let found = corrected_rounds > 0;
+        best = Some((trace, traced.outcome, corrected_rounds));
+        if found {
+            break;
+        }
+    }
+    let (trace, outcome, corrected_rounds) = best.expect("at least one traced run");
+    trace.to_sink("t10_ecc_dram").write();
+    println!(
+        "traced run: {} events, {} ecc-corrected round(s), outcome {outcome:?}",
+        trace.len(),
+        corrected_rounds
+    );
+
+    println!("\nshape checks:");
+    println!("  - yield: at realistic density nearly every faulted row is masked (single-bit");
+    println!("    per word); only dense modules leave multi-bit words visible");
+    println!("  - budget: the naive collector burns ~1.6k ciphertexts per corrected round;");
+    println!("    the aware collector discards it after <= 8 probes");
+}

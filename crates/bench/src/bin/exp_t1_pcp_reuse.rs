@@ -8,7 +8,7 @@
 //! campaign over the (k, m, noise) matrix. Also verifies the LIFO order of
 //! reuse.
 
-use campaign::{banner, cartesian2, scenario, CampaignCli, Json, Stream, Summary, Table};
+use campaign::{banner, cartesian2, persist, scenario, CampaignCli, Json, Stream, Summary, Table};
 use machine::{warmup, MachineConfig, SimMachine};
 use memsim::{CpuId, PAGE_SIZE};
 use rand::rngs::StdRng;
@@ -124,9 +124,7 @@ fn main() {
             ],
         );
     }
-    table.print();
-    table.write_csv("t1_pcp_reuse");
-    summary.table("t1_pcp_reuse", &table);
+    persist("t1_pcp_reuse", &table, &mut summary);
     summary.write(&result);
 
     // LIFO check: the order of reuse is the reverse of the free order.

@@ -11,7 +11,7 @@
 //! is byte-identical for every `--threads` value, and `results/summary.json`
 //! records the parallel speedup under `campaigns.t2_steering.timing`.
 
-use campaign::{banner, cartesian3, scenario, CampaignCli, Counter, Json, Summary, Table};
+use campaign::{banner, cartesian3, persist, scenario, CampaignCli, Counter, Json, Summary, Table};
 use explframe_core::NoiseProcess;
 use machine::{warmup_on, MachineConfig, SimMachine};
 use memsim::{CpuId, PAGE_SIZE};
@@ -144,9 +144,7 @@ fn main() {
         );
         rate_of.insert(cell.name.clone(), counter.rate());
     }
-    table.print();
-    table.write_csv("t2_steering");
-    summary.table("t2_steering", &table);
+    persist("t2_steering", &table, &mut summary);
     summary.write(&result);
 
     let rate = |same_cpu, attacker_sleeps, noisy| {

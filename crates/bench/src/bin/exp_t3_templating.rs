@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 
-use campaign::{banner, mean_std, scenario, CampaignCli, Json, Summary, Table};
+use campaign::{banner, mean_std, persist, scenario, CampaignCli, Json, Summary, Table};
 use explframe_core::template_scan;
 use machine::{MachineConfig, SimMachine};
 use memsim::{CpuId, PAGE_SIZE};
@@ -147,9 +147,7 @@ fn main() {
             T3Trial::SameLocation { overlap, total } => same_location = Some((*overlap, *total)),
         }
     }
-    sweep.print();
-    sweep.write_csv("t3_flips_vs_hammer");
-    summary.table("t3_flips_vs_hammer", &sweep);
+    persist("t3_flips_vs_hammer", &sweep, &mut summary);
 
     // --- Series 2: reproducibility --------------------------------------
     let (mean, std) = mean_std(&scores);
@@ -169,9 +167,7 @@ fn main() {
     let std_s = format!("{std:.4}");
     let frac_s = format!("{:.4}", perfect as f64 / n.max(1) as f64);
     repro.row(&[&n, &repro_rounds, &mean_s, &std_s, &frac_s]);
-    repro.print();
-    repro.write_csv("t3_reproducibility");
-    summary.table("t3_reproducibility", &repro);
+    persist("t3_reproducibility", &repro, &mut summary);
     summary.metric("mean_reproducibility", mean);
 
     // --- Series 3: same-location stability -------------------------------

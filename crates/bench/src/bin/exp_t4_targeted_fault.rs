@@ -7,7 +7,9 @@
 //! probability the re-hammer faults the victim's table, fault rounds needed,
 //! ciphertexts to key recovery, and the end-to-end success rate.
 
-use campaign::{banner, mean_std, percentile, scenario, CampaignCli, Json, Summary, Table};
+use campaign::{
+    banner, mean_std, percentile, persist, scenario, CampaignCli, Json, Summary, Table,
+};
 use explframe_core::{AttackOutcome, ExplFrame, ExplFrameConfig, VictimCipherKind};
 
 struct Trial {
@@ -103,9 +105,7 @@ fn main() {
             ],
         );
     }
-    per_kind.print();
-    per_kind.write_csv("t4_targeted_fault");
-    summary.table("t4_targeted_fault", &per_kind);
+    persist("t4_targeted_fault", &per_kind, &mut summary);
     summary.write(&result);
 
     // A focused single-seed trace for the record.

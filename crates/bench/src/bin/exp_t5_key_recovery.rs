@@ -12,7 +12,8 @@
 //!   correct/faulty-pair-free operation.
 
 use campaign::{
-    banner, mean_std, scenario, Campaign, CampaignCli, Counter, Json, Stream, Summary, Table,
+    banner, mean_std, persist, scenario, Campaign, CampaignCli, Counter, Json, Stream, Summary,
+    Table,
 };
 use ciphers::{
     present_sbox_image, BlockCipher, Present80, RamTableSource, ReferenceAes, SboxAes, TTableAes,
@@ -98,9 +99,7 @@ fn aes_success_curve(base: &Campaign) {
         table.row(&[&budget, &rate, &md_s]);
         summary.cell(&cell.name, &[("p_full_key", Json::Float(full.rate()))]);
     }
-    table.print();
-    table.write_csv("t5_aes_pfa_curve");
-    summary.table("t5_aes_pfa_curve", &table);
+    persist("t5_aes_pfa_curve", &table, &mut summary);
     summary.write(&result);
     println!(
         "coupon-collector estimate for the knee: {:.0} ciphertexts (paper [12]: ≈2000)",
@@ -165,9 +164,7 @@ fn present_success_curve(base: &Campaign) {
         table.row(&[&budget, &r32, &rm]);
         summary.cell(&cell.name, &[("p_master_key", Json::Float(master.rate()))]);
     }
-    table.print();
-    table.write_csv("t5_present_pfa_curve");
-    summary.table("t5_present_pfa_curve", &table);
+    persist("t5_present_pfa_curve", &table, &mut summary);
     summary.write(&result);
 }
 

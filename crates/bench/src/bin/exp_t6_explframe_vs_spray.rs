@@ -11,7 +11,7 @@
 //! frame. The sweep shows the spray baseline scaling with density while
 //! ExplFrame stays near-certain.
 
-use campaign::{banner, scenario, CampaignCli, Counter, Json, Summary, Table};
+use campaign::{banner, persist, scenario, CampaignCli, Counter, Json, Summary, Table};
 use dram::WeakCellParams;
 use explframe_core::{run_spray_baseline, ExplFrame, ExplFrameConfig};
 use machine::SimMachine;
@@ -96,9 +96,7 @@ fn main() {
             ],
         );
     }
-    table.print();
-    table.write_csv("t6_explframe_vs_spray");
-    summary.table("t6_explframe_vs_spray", &table);
+    persist("t6_explframe_vs_spray", &table, &mut summary);
     summary.write(&result);
 
     println!("\nshape checks:");

@@ -15,7 +15,7 @@
 //! per-key cost collapse. A representative traced run is written to
 //! `results/trace.json` under `t7_template_reuse`.
 
-use campaign::{banner, scenario, CampaignCli, Json, Stream, Summary, Table, TraceSink};
+use campaign::{banner, persist, scenario, CampaignCli, Json, Stream, Summary, Table, TraceSink};
 use explframe_core::{ExplFrameConfig, NullObserver, Observer, Pipeline, TraceCollector};
 use machine::SimMachine;
 
@@ -168,9 +168,7 @@ fn main() {
             ],
         );
     }
-    table.print();
-    table.write_csv("t7_template_reuse");
-    summary.table("t7_template_reuse", &table);
+    persist("t7_template_reuse", &table, &mut summary);
     summary.write(&result);
 
     // One representative traced composition → results/trace.json.

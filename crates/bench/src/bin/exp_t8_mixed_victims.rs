@@ -13,7 +13,7 @@
 //! templating budget. A representative traced run is written to
 //! `results/trace.json` under `t8_mixed_victims`.
 
-use campaign::{banner, scenario, CampaignCli, Counter, Json, Stream, Summary, Table};
+use campaign::{banner, persist, scenario, CampaignCli, Counter, Json, Stream, Summary, Table};
 use explframe_core::{
     ExplFrameConfig, NullObserver, Observer, Pipeline, TemplatePool, TraceCollector,
     VictimCipherKind,
@@ -169,9 +169,7 @@ fn main() {
             ],
         );
     }
-    table.print();
-    table.write_csv("t8_mixed_victims");
-    summary.table("t8_mixed_victims", &table);
+    persist("t8_mixed_victims", &table, &mut summary);
     summary.write(&result);
 
     // One representative traced composition → results/trace.json.

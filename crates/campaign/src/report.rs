@@ -113,11 +113,49 @@ impl Table {
 ///
 /// # Panics
 ///
-/// Panics if the directory cannot be created.
+/// Panics with a clear diagnostic if `results` exists but is not a
+/// directory (e.g. a stray file of that name), or if it cannot be created.
 pub fn results_dir() -> PathBuf {
     let dir = workspace_root().join("results");
-    fs::create_dir_all(&dir).expect("create results dir");
+    if let Err(e) = ensure_dir(&dir) {
+        panic!("cannot use results directory {}: {e}", dir.display());
+    }
     dir
+}
+
+/// Creates `path` as a directory if needed, failing with a descriptive
+/// error when something non-directory already occupies the name (the
+/// mistake `create_dir_all` reports as an opaque `NotADirectory`).
+fn ensure_dir(path: &std::path::Path) -> std::io::Result<()> {
+    match fs::metadata(path) {
+        Ok(meta) if meta.is_dir() => Ok(()),
+        Ok(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!(
+                "{} exists but is not a directory; move it aside so campaign \
+                 artifacts can be written",
+                path.display()
+            ),
+        )),
+        Err(_) => fs::create_dir_all(path),
+    }
+}
+
+/// The experiment-binary reporting epilogue every `exp_*` used to
+/// copy-paste: print the table, persist it as `results/<name>.csv`, and
+/// record its row count + FNV-1a digest in the summary record (which makes
+/// cross-thread-count byte-identity machine-checkable).
+///
+/// The caller still owns `summary.write(&result)` — one summary typically
+/// aggregates several tables.
+///
+/// # Panics
+///
+/// Panics if the results directory or the CSV cannot be written.
+pub fn persist(name: &str, table: &Table, summary: &mut crate::Summary) {
+    table.print();
+    table.write_csv(name);
+    summary.table(name, table);
 }
 
 fn workspace_root() -> PathBuf {
@@ -161,6 +199,25 @@ mod tests {
             t.row(&[&1]);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn ensure_dir_rejects_files_cleanly() {
+        let dir = std::env::temp_dir().join(format!("campaign-ensure-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // A fresh subdirectory is created...
+        let sub = dir.join("results");
+        assert!(ensure_dir(&sub).is_ok());
+        // ...an existing directory is accepted...
+        assert!(ensure_dir(&sub).is_ok());
+        // ...and a file squatting on the name fails with a diagnostic
+        // instead of an opaque create_dir_all error.
+        let file = dir.join("results-file");
+        fs::write(&file, b"not a dir").unwrap();
+        let err = ensure_dir(&file).unwrap_err();
+        assert!(err.to_string().contains("not a directory"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct AttackReport {
     /// Whether the recovered key matches the victim's actual key
     /// (oracle-checked).
     pub key_correct: bool,
+    /// Times the run escalated its hammer strategy (0 for the classic
+    /// driver; the adaptive driver escalates once per TRR-suppressed
+    /// sweep).
+    pub strategy_escalations: u32,
     /// Simulated time the whole attack consumed.
     pub elapsed: dram::Nanos,
 }
@@ -158,10 +162,73 @@ impl ExplFrame {
         machine: &mut SimMachine,
         observer: &mut dyn Observer,
     ) -> Result<AttackReport, AttackError> {
+        self.drive(machine, observer, false)
+    }
+
+    /// The countermeasure-aware composition: like [`Self::run`], but when
+    /// the templating sweep comes back empty — the signature of a
+    /// Target-Row-Refresh engine refreshing every sandwiched victim before
+    /// its flip threshold — the driver escalates to many-sided hammering
+    /// ([`crate::HammerStrategy::ManySided`] with
+    /// [`ExplFrameConfig::many_sided_rows`] aggressor rows) and re-sweeps;
+    /// all later re-hammer rounds keep the escalated pattern. Combine with
+    /// [`ExplFrameConfig::ecc_aware`] to also discard rounds whose fault
+    /// an ECC DIMM silently corrects.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_adaptive(&self) -> Result<AttackReport, AttackError> {
+        let mut machine = SimMachine::new(self.config.machine.clone());
+        let mut observer = NullObserver;
+        self.run_adaptive_on_traced(&mut machine, &mut observer)
+    }
+
+    /// [`run_adaptive`](Self::run_adaptive) with an [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_adaptive_traced(
+        &self,
+        observer: &mut dyn Observer,
+    ) -> Result<AttackReport, AttackError> {
+        let mut machine = SimMachine::new(self.config.machine.clone());
+        self.run_adaptive_on_traced(&mut machine, observer)
+    }
+
+    /// [`run_adaptive`](Self::run_adaptive) on an existing machine, with an
+    /// [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_adaptive_on_traced(
+        &self,
+        machine: &mut SimMachine,
+        observer: &mut dyn Observer,
+    ) -> Result<AttackReport, AttackError> {
+        self.drive(machine, observer, true)
+    }
+
+    /// The shared five-phase loop; `adaptive` enables the templating
+    /// escalation.
+    fn drive(
+        &self,
+        machine: &mut SimMachine,
+        observer: &mut dyn Observer,
+        adaptive: bool,
+    ) -> Result<AttackReport, AttackError> {
         let cfg = &self.config;
         let mut pipe = Pipeline::new(machine, cfg.clone()).with_observer(observer);
 
-        let pool = pipe.template()?;
+        let pool = if adaptive {
+            pipe.template_adaptive(crate::HammerStrategy::ManySided {
+                rows: cfg.many_sided_rows,
+            })?
+        } else {
+            pipe.template()?
+        };
         let mut remaining = pipe.select(&pool, cfg.victim);
         if remaining.is_empty() {
             return Ok(pipe.finish(AttackOutcome::NoUsableTemplates));

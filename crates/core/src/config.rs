@@ -35,6 +35,43 @@ impl VictimCipherKind {
     }
 }
 
+/// How the attacker activates aggressor rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HammerStrategy {
+    /// Classic double-sided hammering: alternate the two rows sandwiching
+    /// the victim. Strongest per activation, but a sampling
+    /// Target-Row-Refresh tracker catches both aggressors easily.
+    #[default]
+    DoubleSided,
+    /// Many-sided (TRRespass-style) hammering: round-robin over the two
+    /// sandwiching rows plus same-bank decoy rows fanned outwards. Each
+    /// round still delivers full double-sided disturbance to the victim,
+    /// while the decoys thrash any sampler smaller than `rows` entries.
+    ManySided {
+        /// Total distinct aggressor rows per round (≥ 2; the decoys are
+        /// `rows - 2`).
+        rows: u32,
+    },
+}
+
+impl HammerStrategy {
+    /// Kebab-case label (for traces and tables).
+    pub const fn label(self) -> &'static str {
+        match self {
+            HammerStrategy::DoubleSided => "double-sided",
+            HammerStrategy::ManySided { .. } => "many-sided",
+        }
+    }
+
+    /// Distinct aggressor rows activated per round.
+    pub const fn rows(self) -> u32 {
+        match self {
+            HammerStrategy::DoubleSided => 2,
+            HammerStrategy::ManySided { rows } => rows,
+        }
+    }
+}
+
 /// Full configuration of an [`crate::ExplFrame`] run.
 ///
 /// # Examples
@@ -43,6 +80,24 @@ impl VictimCipherKind {
 /// use explframe_core::ExplFrameConfig;
 /// let cfg = ExplFrameConfig::small_demo(7).with_template_pages(2048);
 /// assert_eq!(cfg.template_pages, 2048);
+/// ```
+///
+/// A countermeasure-aware attacker against a hardened machine (see
+/// [`ExplFrame::run_adaptive`](crate::ExplFrame::run_adaptive)):
+///
+/// ```
+/// use dram::{EccMode, TrrParams};
+/// use explframe_core::ExplFrameConfig;
+///
+/// let mut cfg = ExplFrameConfig::small_demo(1)
+///     .with_many_sided_rows(8)
+///     .with_ecc_aware(true);
+/// cfg.machine.dram = cfg
+///     .machine
+///     .dram
+///     .with_trr(Some(TrrParams::ddr4_like()))
+///     .with_ecc(EccMode::Secded);
+/// assert!(cfg.ecc_aware);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExplFrameConfig {
@@ -69,6 +124,17 @@ pub struct ExplFrameConfig {
     pub max_ciphertexts: u64,
     /// Maximum steering (fault) rounds — T-table recovery needs several.
     pub max_fault_rounds: u32,
+    /// Hammering strategy the pipeline starts with.
+    pub strategy: HammerStrategy,
+    /// Aggressor rows per round after the adaptive driver escalates to
+    /// many-sided hammering (must exceed the TRR sampler size to bypass
+    /// it).
+    pub many_sided_rows: u32,
+    /// ECC-aware fault collection: probe the machine's corrected-error
+    /// telemetry (the EDAC counters every Linux box exposes) before
+    /// spending the ciphertext budget, and discard rounds whose fault the
+    /// DIMM silently corrected.
+    pub ecc_aware: bool,
 }
 
 impl ExplFrameConfig {
@@ -87,6 +153,9 @@ impl ExplFrameConfig {
             victim: VictimCipherKind::AesSbox,
             max_ciphertexts: 60_000,
             max_fault_rounds: 8,
+            strategy: HammerStrategy::DoubleSided,
+            many_sided_rows: 8,
+            ecc_aware: false,
         }
     }
 
@@ -180,6 +249,27 @@ impl ExplFrameConfig {
         self.max_fault_rounds = rounds;
         self
     }
+
+    /// Returns a copy with a different starting hammer strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: HammerStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with a different many-sided escalation width.
+    #[must_use]
+    pub fn with_many_sided_rows(mut self, rows: u32) -> Self {
+        self.many_sided_rows = rows;
+        self
+    }
+
+    /// Returns a copy with ECC-aware fault collection enabled or disabled.
+    #[must_use]
+    pub fn with_ecc_aware(mut self, aware: bool) -> Self {
+        self.ecc_aware = aware;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +302,10 @@ mod tests {
             .with_rehammer_pairs(2000)
             .with_reproducibility_rounds(5)
             .with_max_ciphertexts(9999)
-            .with_max_fault_rounds(3);
+            .with_max_fault_rounds(3)
+            .with_strategy(HammerStrategy::ManySided { rows: 6 })
+            .with_many_sided_rows(12)
+            .with_ecc_aware(true);
         assert_eq!(cfg.machine.dram.seed, machine.dram.seed);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.attacker_cpu, CpuId(3));
@@ -224,6 +317,9 @@ mod tests {
         assert_eq!(cfg.reproducibility_rounds, 5);
         assert_eq!(cfg.max_ciphertexts, 9999);
         assert_eq!(cfg.max_fault_rounds, 3);
+        assert_eq!(cfg.strategy, HammerStrategy::ManySided { rows: 6 });
+        assert_eq!(cfg.many_sided_rows, 12);
+        assert!(cfg.ecc_aware);
     }
 
     #[test]
@@ -231,6 +327,15 @@ mod tests {
         assert_eq!(VictimCipherKind::AesSbox.label(), "aes-sbox");
         assert_eq!(VictimCipherKind::AesTtable.label(), "aes-ttable");
         assert_eq!(VictimCipherKind::Present.label(), "present");
+        assert_eq!(HammerStrategy::DoubleSided.label(), "double-sided");
+        assert_eq!(HammerStrategy::ManySided { rows: 8 }.label(), "many-sided");
+    }
+
+    #[test]
+    fn strategy_row_counts() {
+        assert_eq!(HammerStrategy::DoubleSided.rows(), 2);
+        assert_eq!(HammerStrategy::ManySided { rows: 10 }.rows(), 10);
+        assert_eq!(HammerStrategy::default(), HammerStrategy::DoubleSided);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use campaign::{Json, TraceSink};
 use dram::Nanos;
 
 use crate::attack::AttackOutcome;
-use crate::config::VictimCipherKind;
+use crate::config::{HammerStrategy, VictimCipherKind};
 use crate::phase::CollectOutcome;
 
 /// A listener for [`PhaseEvent`]s emitted by a [`Pipeline`](crate::Pipeline).
@@ -78,12 +78,22 @@ pub enum PhaseEvent {
         /// Frame now backing the victim's table page (oracle).
         victim_pfn: Option<u64>,
     },
+    /// The templating sweep (or the re-hammer) switched hammer strategy —
+    /// the adaptive driver's reaction to TRR-suppressed flips.
+    StrategyEscalated {
+        /// The strategy that failed to flip anything.
+        from: HammerStrategy,
+        /// The strategy the attack continues with.
+        to: HammerStrategy,
+    },
     /// The retained aggressors were re-hammered around the steered frame.
     HammerFinished {
         /// Fault round (1-based).
         round: u32,
-        /// Aggressor pairs hammered.
+        /// Rounds hammered (pairs for the double-sided strategy).
         pairs: u64,
+        /// Distinct aggressor rows activated per round (2 = double-sided).
+        rows: u32,
         /// `false` if the hammer primitive rejected the aggressors.
         ok: bool,
     },
@@ -124,6 +134,7 @@ impl PhaseEvent {
             PhaseEvent::TemplatesSelected { .. } => "templates-selected",
             PhaseEvent::FrameReleased { .. } => "frame-released",
             PhaseEvent::VictimSteered { .. } => "victim-steered",
+            PhaseEvent::StrategyEscalated { .. } => "strategy-escalated",
             PhaseEvent::HammerFinished { .. } => "hammer-finished",
             PhaseEvent::CiphertextsCollected { .. } => "ciphertexts-collected",
             PhaseEvent::RoundAnalyzed { .. } => "round-analyzed",
@@ -169,9 +180,20 @@ impl PhaseEvent {
                 obj.set("steered", steered);
                 obj.set("victim_pfn", opt_u64(victim_pfn));
             }
-            PhaseEvent::HammerFinished { round, pairs, ok } => {
+            PhaseEvent::StrategyEscalated { from, to } => {
+                obj.set("from", from.label());
+                obj.set("to", to.label());
+                obj.set("rows", u64::from(to.rows()));
+            }
+            PhaseEvent::HammerFinished {
+                round,
+                pairs,
+                rows,
+                ok,
+            } => {
                 obj.set("round", round);
                 obj.set("pairs", pairs);
+                obj.set("rows", rows);
                 obj.set("ok", ok);
             }
             PhaseEvent::CiphertextsCollected {

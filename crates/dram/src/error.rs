@@ -24,6 +24,12 @@ pub enum DramError {
         /// The shared location.
         coord: DramCoord,
     },
+    /// A many-sided hammer needs at least two distinct aggressor rows to
+    /// generate row conflicts.
+    NotEnoughAggressors {
+        /// Aggressor addresses supplied.
+        count: usize,
+    },
 }
 
 impl fmt::Display for DramError {
@@ -36,6 +42,12 @@ impl fmt::Display for DramError {
                 write!(
                     f,
                     "hammer aggressors share row {coord}; accesses would be row hits"
+                )
+            }
+            DramError::NotEnoughAggressors { count } => {
+                write!(
+                    f,
+                    "many-sided hammering needs at least two distinct aggressor rows, got {count}"
                 )
             }
         }

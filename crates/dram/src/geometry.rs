@@ -250,6 +250,33 @@ impl DramCoord {
             })
         }
     }
+
+    /// The in-bounds neighbouring rows within `radius` on each side, in
+    /// ascending row order. Contains the row at distance `d` (for every
+    /// `1 <= d <= radius`, on both sides) exactly when that row exists in
+    /// the bank — the set a Target-Row-Refresh trigger restores.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dram::{DramCoord, DramGeometry};
+    /// let g = DramGeometry::small_256mib();
+    /// let c = DramCoord { channel: 0, rank: 0, bank: 0, row: 0, col: 0 };
+    /// let rows: Vec<u32> = c.neighbour_rows(2, &g).iter().map(|n| n.row).collect();
+    /// assert_eq!(rows, vec![1, 2]); // rows -1 and -2 are out of bounds
+    /// ```
+    pub fn neighbour_rows(&self, radius: u32, geometry: &DramGeometry) -> Vec<DramCoord> {
+        let mut out = Vec::with_capacity(2 * radius as usize);
+        for delta in -(radius as i64)..=radius as i64 {
+            if delta == 0 {
+                continue;
+            }
+            if let Some(n) = self.neighbour_row(delta, geometry) {
+                out.push(n);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

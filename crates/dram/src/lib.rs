@@ -23,6 +23,11 @@
 //! * **Refresh** — staggered auto-refresh (one group per `tREFI`, all rows
 //!   every 64 ms) that resets disturbance, so hammering races the refresh
 //!   window exactly as on hardware.
+//! * **Countermeasures** — an optional sampling Target-Row-Refresh engine
+//!   ([`TrrParams`], bypassable by many-sided hammering via
+//!   [`DramDevice::hammer_rows`]) and (72,64) SECDED ECC ([`EccMode`],
+//!   correcting single-bit flips on read). Both default to off, keeping
+//!   the unmitigated module the paper attacks byte-identical.
 //!
 //! Everything is deterministic given a seed; two devices built from the same
 //! [`DramConfig`] expose identical flip populations.
@@ -59,20 +64,24 @@
 mod bank;
 mod cells;
 mod device;
+mod ecc;
 mod error;
 mod geometry;
 mod mapping;
 mod sparse;
 mod stats;
 mod timing;
+mod trr;
 
 pub use cells::{
     CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
 };
 pub use device::{DramConfig, DramDevice, FlipEvent, HammerOutcome};
+pub use ecc::{decode_secded, encode_secded, EccMode, EccStats, SecdedDecode};
 pub use error::DramError;
 pub use geometry::{DramCoord, DramGeometry, PhysAddr};
 pub use mapping::{AddressMapping, LinearMapping, MappingKind, XorMapping};
 pub use sparse::SparseMemory;
 pub use stats::DramStats;
 pub use timing::{DramTiming, Nanos};
+pub use trr::{Burst, TrrEngine, TrrParams};

@@ -1,8 +1,8 @@
 //! Property-based tests for the DRAM model.
 
 use dram::{
-    AddressMapping, DramConfig, DramDevice, DramGeometry, LinearMapping, PhysAddr, SparseMemory,
-    XorMapping,
+    AddressMapping, DramConfig, DramCoord, DramDevice, DramGeometry, LinearMapping, PhysAddr,
+    SparseMemory, XorMapping,
 };
 use proptest::prelude::*;
 
@@ -40,6 +40,70 @@ proptest! {
         prop_assume!(a != b);
         let xor = XorMapping::new(g);
         prop_assert_ne!(xor.phys_to_coord(a), xor.phys_to_coord(b));
+    }
+
+    /// The other direction of the bijection: coord → phys → coord is the
+    /// identity for every in-range coordinate of every supported geometry,
+    /// and the encoded address is always within capacity. Together with
+    /// `mappings_roundtrip`/`mappings_injective` this makes both mappings
+    /// full bijections over `[0, capacity)`.
+    #[test]
+    fn mappings_coord_roundtrip(
+        g in geometries(),
+        ch in any::<u32>(),
+        rk in any::<u32>(),
+        ba in any::<u32>(),
+        row in any::<u32>(),
+        col in any::<u32>(),
+    ) {
+        let coord = DramCoord {
+            channel: ch % g.channels,
+            rank: rk % g.ranks,
+            bank: ba % g.banks,
+            row: row % g.rows,
+            col: col % g.row_bytes,
+        };
+        let lin = LinearMapping::new(g);
+        let xor = XorMapping::new(g);
+        for m in [&lin as &dyn AddressMapping, &xor] {
+            let addr = m.coord_to_phys(coord);
+            prop_assert!(addr.as_u64() < g.capacity_bytes());
+            prop_assert_eq!(m.phys_to_coord(addr), coord);
+        }
+    }
+
+    /// Row-neighbour symmetry: `neighbour_rows(radius)` contains the row
+    /// at signed distance `d` exactly when `0 < |d| <= radius` and the row
+    /// is in bounds; every neighbour relation is mutual (`a` neighbours
+    /// `b` iff `b` neighbours `a`) and preserves channel/rank/bank/col.
+    #[test]
+    fn neighbour_rows_symmetry(g in geometries(), row in any::<u32>(), radius in 0u32..5) {
+        let coord = DramCoord { channel: 0, rank: 0, bank: 0, row: row % g.rows, col: 17 % g.row_bytes };
+        let neighbours = coord.neighbour_rows(radius, &g);
+        for d in -(i64::from(radius) + 2)..=i64::from(radius) + 2 {
+            let target = i64::from(coord.row) + d;
+            let expected = d != 0
+                && d.unsigned_abs() <= u64::from(radius)
+                && target >= 0
+                && target < i64::from(g.rows);
+            prop_assert_eq!(
+                neighbours.iter().any(|n| i64::from(n.row) == target),
+                expected,
+                "distance {} of row {} (radius {})", d, coord.row, radius
+            );
+        }
+        for n in &neighbours {
+            prop_assert_eq!((n.channel, n.rank, n.bank, n.col),
+                            (coord.channel, coord.rank, coord.bank, coord.col));
+            // Mutuality: the victim appears among its neighbour's neighbours.
+            prop_assert!(n.neighbour_rows(radius, &g).iter().any(|b| b.row == coord.row));
+        }
+        // neighbour_row (singular) agrees with the set for ±1.
+        let set_has = |d: i64| neighbours.iter().any(|n| i64::from(n.row) == i64::from(coord.row) + d);
+        if radius >= 1 {
+            prop_assert_eq!(coord.neighbour_row(1, &g).is_some(), set_has(1));
+            prop_assert_eq!(coord.neighbour_row(-1, &g).is_some(), set_has(-1));
+        }
     }
 
     /// SparseMemory behaves like a plain byte array under random ops.

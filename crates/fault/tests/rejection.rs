@@ -1,0 +1,147 @@
+//! Rejection paths of the fault solvers: ciphertexts with *zero* faulty
+//! bytes (the table was never corrupted, or ECC corrected it away) and
+//! multi-byte double faults (two table entries corrupted at once — the
+//! shape an ECC-detectable double-bit word fault produces when its bits
+//! span bytes) must yield clean `None`/undetermined results, never panics
+//! or bogus keys.
+
+use ciphers::{
+    present80_round_keys, present_sbox_image, BlockCipher, Present80, RamTableSource, SboxAes,
+    TTableAes, TableImage, FINAL_ROUND_S_LANE, PRESENT_SBOX,
+};
+use fault::{PfaCollector, PresentPfa, TTablePfa, TableFault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEY: [u8; 16] = *b"rejection tests!";
+
+fn collect_aes(image: Vec<u8>, budget: u64, seed: u64) -> PfaCollector {
+    let mut victim = SboxAes::new_128(&KEY, RamTableSource::new(image));
+    let mut collector = PfaCollector::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..budget {
+        let mut block: [u8; 16] = rng.gen();
+        victim.encrypt_block(&mut block);
+        collector.observe(&block);
+    }
+    collector
+}
+
+#[test]
+fn aes_pfa_rejects_zero_fault_ciphertexts() {
+    // Clean table: every value eventually appears at every position, so
+    // no position is ever "determined" and both analyses return nothing.
+    let collector = collect_aes(TableImage::sbox().to_vec(), 12_000, 1);
+    assert!(!collector.all_positions_determined());
+    assert_eq!(collector.missing_values(), [None; 16]);
+    assert_eq!(collector.analyze_known_fault(0x63).master_key(), None);
+    assert!((0..16).all(|p| collector.unseen_count(p) == 0));
+
+    let plain = *b"known plaintext!";
+    let mut cipher = plain;
+    SboxAes::new_128(&KEY, RamTableSource::new(TableImage::sbox().to_vec()))
+        .encrypt_block(&mut cipher);
+    assert!(collector.analyze_unknown_fault(&plain, &cipher).is_none());
+}
+
+#[test]
+fn aes_pfa_rejects_multi_byte_double_faults() {
+    // Two distinct S-box entries corrupted (an ECC-style double fault
+    // whose bits span bytes): every position has *two* missing values, so
+    // the single-missing-value statistics can never converge — and must
+    // say so instead of producing a key.
+    let mut image = TableImage::sbox().to_vec();
+    image[0x11] ^= 0x04;
+    image[0x2A] ^= 0x20;
+    let collector = collect_aes(image, 20_000, 2);
+    assert!(!collector.all_positions_determined());
+    for p in 0..16 {
+        assert!(
+            collector.unseen_count(p) >= 2,
+            "position {p} lost its second missing value"
+        );
+    }
+    assert_eq!(collector.missing_values(), [None; 16]);
+    assert_eq!(
+        collector
+            .analyze_known_fault(TableImage::sbox()[0x11])
+            .master_key(),
+        None
+    );
+}
+
+#[test]
+fn aes_pfa_still_converges_on_same_byte_double_bit_faults() {
+    // Positive control: a double-*bit* fault confined to one entry is a
+    // single missing value with a two-bit delta — PFA handles it.
+    let entry = 0x4C;
+    let mut image = TableImage::sbox().to_vec();
+    image[entry] ^= 0b1001_0000;
+    let collector = collect_aes(image, 20_000, 3);
+    assert!(collector.all_positions_determined());
+    assert_eq!(
+        collector
+            .analyze_known_fault(TableImage::sbox()[entry])
+            .master_key(),
+        Some(KEY)
+    );
+}
+
+#[test]
+fn present_pfa_rejects_zero_fault_and_double_faults() {
+    let key: [u8; 10] = *b"presentkey";
+    let run = |image: Vec<u8>| {
+        let mut victim = Present80::new(&key, RamTableSource::new(image));
+        let mut pfa = PresentPfa::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5_000 {
+            let mut block: [u8; 8] = rng.gen();
+            victim.encrypt_block(&mut block);
+            pfa.observe(&block);
+        }
+        pfa
+    };
+
+    // Zero faulty nibbles.
+    let clean = run(present_sbox_image().to_vec());
+    assert!(!clean.all_positions_determined());
+    assert_eq!(clean.recover_round32_key(0), None);
+    assert_eq!(clean.recover_master_key(0, |_| true), None);
+
+    // Two S-box entries corrupted at once: two missing nibbles per
+    // position, never determined.
+    let mut image = present_sbox_image().to_vec();
+    image[0x3] ^= 0x1;
+    image[0xB] ^= 0x2;
+    let double = run(image);
+    assert!(!double.all_positions_determined());
+    assert_eq!(double.recover_round32_key(PRESENT_SBOX[0x3]), None);
+
+    // Sanity: the round-32 key of the clean cipher is never "recovered".
+    assert_ne!(
+        clean.recover_round32_key(0),
+        Some(present80_round_keys(&key)[31])
+    );
+}
+
+#[test]
+fn ttable_pfa_rejects_undetermined_collectors() {
+    // An exploitable S-lane fault location, but a collector that saw a
+    // *clean* T-table (e.g. ECC corrected the flip): absorb must decline
+    // instead of merging garbage key bytes.
+    let offset = TableImage::te_entry_offset(2, 0x77) + FINAL_ROUND_S_LANE[2];
+    let fault = TableFault { offset, bit: 1 };
+    let mut collector = PfaCollector::new();
+    let mut victim = TTableAes::new_128(&KEY, RamTableSource::new(TableImage::te_tables()));
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..8_000 {
+        let mut block: [u8; 16] = rng.gen();
+        victim.encrypt_block(&mut block);
+        collector.observe(&block);
+    }
+    let mut driver = TTablePfa::new();
+    assert!(driver.absorb(fault, &collector).is_none());
+    assert_eq!(driver.faults_used(), 0);
+    assert_eq!(driver.partial().known(), 0);
+    assert_eq!(driver.master_key(), None);
+}

@@ -399,6 +399,39 @@ impl SimMachine {
         self.stats.flushes += 2 * pairs;
         Ok(outcome)
     }
+
+    /// Many-sided bulk hammering: each round activates the row containing
+    /// every address in `aggressors` once, in order, with `clflush`
+    /// semantics — the round-robin pattern that thrashes a sampling
+    /// Target-Row-Refresh tracker (see [`dram::DramDevice::hammer_rows`]).
+    /// `stats().hammer_pairs` advances by the pair-equivalent activation
+    /// cost (`rounds * aggressors / 2`), keeping hammer budgets comparable
+    /// across strategies.
+    ///
+    /// # Errors
+    ///
+    /// * Address resolution errors as in [`Self::touch`].
+    /// * [`MachineError::Dram`] if the rows are not distinct rows of one
+    ///   bank, or fewer than two addresses are supplied.
+    pub fn hammer_rows_virt(
+        &mut self,
+        pid: Pid,
+        aggressors: &[VirtAddr],
+        rounds: u64,
+    ) -> Result<HammerOutcome, MachineError> {
+        let cpu = self.process(pid)?.cpu();
+        let mut phys = Vec::with_capacity(aggressors.len());
+        for &va in aggressors {
+            phys.push(self.touch(pid, va)?);
+        }
+        for &pa in &phys {
+            self.caches[cpu.0 as usize].clflush(pa.as_u64());
+        }
+        let outcome = self.dram.hammer_rows(&phys, rounds)?;
+        self.stats.hammer_pairs += outcome.acts / 2;
+        self.stats.flushes += outcome.acts;
+        Ok(outcome)
+    }
 }
 
 /// Warms the allocator on `cpu` with the spawn/mmap/fill/munmap preamble
