@@ -9,7 +9,7 @@
 //! reuse.
 
 use campaign::{banner, cartesian2, persist, scenario, CampaignCli, Json, Stream, Summary, Table};
-use machine::{warmup, MachineConfig, SimMachine};
+use machine::{warmup, MachineConfig, SimMachine, WARMUP_PAGES};
 use memsim::{CpuId, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +24,7 @@ fn trial(seed: u64, k: u64, m: u64, noise_pages: u64) -> f64 {
     let cpu = CpuId(0);
 
     // Warm-up traffic so the machine is not pristine.
-    warmup(&mut machine, 64).unwrap();
+    warmup(&mut machine, WARMUP_PAGES).unwrap();
     let proc_a = machine.spawn(cpu);
 
     let buf = machine.mmap(proc_a, k).unwrap();

@@ -13,7 +13,7 @@
 
 use campaign::{banner, cartesian3, persist, scenario, CampaignCli, Counter, Json, Summary, Table};
 use explframe_core::NoiseProcess;
-use machine::{warmup_on, MachineConfig, SimMachine};
+use machine::{warmup_on, MachineConfig, SimMachine, WARMUP_PAGES_STEERING};
 use memsim::{CpuId, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +56,7 @@ fn trial(seed: u64, c: Conditions) -> bool {
     let attacker = machine.spawn(attacker_cpu);
 
     // Prior system activity so the allocator state is not pristine.
-    warmup_on(&mut machine, attacker_cpu, 128).unwrap();
+    warmup_on(&mut machine, attacker_cpu, WARMUP_PAGES_STEERING).unwrap();
 
     let buf = machine.mmap(attacker, 4).unwrap();
     machine.fill(attacker, buf, 4 * PAGE_SIZE, 2).unwrap();

@@ -16,7 +16,7 @@ pub enum Lookup {
 }
 
 /// One set: tags ordered most-recently-used first.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct CacheSet {
     lines: Vec<u64>,
 }
@@ -60,7 +60,7 @@ impl CacheSet {
 /// assert!(c.contains(63));       // same 64-byte line
 /// assert!(!c.contains(64));      // next line
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     config: CacheConfig,
     sets: Vec<CacheSet>,

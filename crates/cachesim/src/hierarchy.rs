@@ -38,7 +38,7 @@ impl ServedBy {
 /// h.clflush(0x2000);
 /// assert_eq!(h.access(0x2000), ServedBy::Memory);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheHierarchy {
     l1: Cache,
     llc: Cache,
@@ -117,6 +117,64 @@ impl CacheHierarchy {
     /// The last-level cache.
     pub fn llc(&self) -> &Cache {
         &self.llc
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Captures both levels' resident lines, LRU order, and counters as a
+    /// [`HierarchySnapshot`].
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            inner: self.clone(),
+        }
+    }
+
+    /// Rewinds this hierarchy to `snapshot`'s state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a hierarchy with different level
+    /// geometry.
+    pub fn restore(&mut self, snapshot: &HierarchySnapshot) {
+        assert_eq!(
+            (self.l1.config(), self.llc.config()),
+            (snapshot.inner.l1.config(), snapshot.inner.llc.config()),
+            "snapshot is from a differently configured hierarchy"
+        );
+        *self = snapshot.inner.clone();
+    }
+}
+
+/// A point-in-time capture of a [`CacheHierarchy`]: every resident line in
+/// both levels, their exact LRU order, and the per-level counters. A
+/// restored or forked hierarchy serves the same hit/miss/eviction sequence
+/// as the original.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::{CacheHierarchy, ServedBy};
+/// let mut h = CacheHierarchy::tiny();
+/// h.access(0x40);
+/// let snap = h.snapshot();
+/// h.clflush(0x40);
+/// h.restore(&snap);
+/// assert_eq!(h.access(0x40), ServedBy::L1);
+/// let mut fork = snap.to_hierarchy();
+/// assert_eq!(fork.access(0x40), ServedBy::L1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchySnapshot {
+    inner: CacheHierarchy,
+}
+
+impl HierarchySnapshot {
+    /// Builds a fresh, independent hierarchy in this snapshot's state (the
+    /// fork operation).
+    pub fn to_hierarchy(&self) -> CacheHierarchy {
+        self.inner.clone()
     }
 }
 

@@ -37,5 +37,5 @@ mod stats;
 
 pub use cache::{Cache, Lookup};
 pub use config::CacheConfig;
-pub use hierarchy::{CacheHierarchy, ServedBy};
+pub use hierarchy::{CacheHierarchy, HierarchySnapshot, ServedBy};
 pub use stats::CacheStats;

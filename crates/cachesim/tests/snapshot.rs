@@ -1,0 +1,56 @@
+//! Snapshot contract of the cache hierarchy, checked differentially: for a
+//! random interleaving of access/clflush/flush-all traffic,
+//! `snapshot → mutate arbitrarily → restore → replay suffix` must be
+//! state-identical (resident lines, LRU order, counters) to a fresh boot
+//! replaying the same full sequence.
+
+use cachesim::CacheHierarchy;
+use proptest::prelude::*;
+use snaptest::{check_replay_equivalence, replay_plan};
+
+/// Tiny hierarchy so evictions and back-invalidations happen constantly.
+fn boot() -> (CacheHierarchy, ()) {
+    (CacheHierarchy::tiny(), ())
+}
+
+/// Decodes one opcode word into a hierarchy operation. Addresses are drawn
+/// from a 64 KiB window, far beyond the tiny hierarchy's capacity.
+fn step(caches: &mut CacheHierarchy, (): &mut (), word: u64) {
+    let addr = (word >> 8) % (1 << 16);
+    match word % 8 {
+        0..=5 => {
+            caches.access(addr);
+        }
+        6 => {
+            caches.clflush(addr);
+        }
+        _ => caches.flush_all(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn snapshot_restore_replay_matches_fresh_boot(plan in replay_plan(200)) {
+        check_replay_equivalence(
+            &plan,
+            boot,
+            step,
+            CacheHierarchy::snapshot,
+            |caches, snap| caches.restore(snap),
+        )?;
+    }
+
+    #[test]
+    fn snapshot_fork_serves_identical_hit_miss_sequences(words in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let (mut original, ()) = boot();
+        for &w in &words[..words.len() / 2] {
+            step(&mut original, &mut (), w);
+        }
+        let mut fork = original.snapshot().to_hierarchy();
+        for &w in &words[words.len() / 2..] {
+            let addr = (w >> 8) % (1 << 16);
+            prop_assert_eq!(original.access(addr), fork.access(addr));
+        }
+        prop_assert_eq!(original.snapshot(), fork.snapshot());
+    }
+}

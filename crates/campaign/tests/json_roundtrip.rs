@@ -1,0 +1,115 @@
+//! Property-based round-trip coverage for `campaign::json`.
+//!
+//! The trace-conformance suite only exercises JSON values the experiment
+//! binaries happen to emit. This suite generates *arbitrary* documents —
+//! strings full of escapes and control characters, negative and fractional
+//! floats, deeply nested arrays and objects — and checks the writer/parser
+//! pair is a true round trip: `write → parse` reproduces the value, and a
+//! second `write` reproduces the exact bytes.
+
+use campaign::Json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Characters deliberately over-represented in generated strings: every
+/// escape the writer knows, plus quotes, backslashes, raw control bytes
+/// and some multi-byte UTF-8.
+const SPICE: &[char] = &[
+    '"', '\\', '\n', '\t', '\r', '\u{8}', '\u{c}', '\u{0}', '\u{1f}', '/', 'é', '→', '💾', 'ß',
+    '\u{7f}',
+];
+
+fn arbitrary_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..24);
+    (0..len)
+        .map(|_| {
+            if rng.gen_range(0u32..3) == 0 {
+                SPICE[rng.gen_range(0..SPICE.len())]
+            } else {
+                char::from_u32(rng.gen_range(0x20..0x7f)).expect("printable ASCII")
+            }
+        })
+        .collect()
+}
+
+/// A finite float spanning many magnitudes, fractional and integral,
+/// positive and negative (including -0.0 and subnormals).
+fn arbitrary_float(rng: &mut StdRng) -> f64 {
+    let mantissa: f64 = rng.gen_range(-1.0..1.0);
+    let exponent = rng.gen_range(-300i32..300);
+    let value = mantissa * 10f64.powi(exponent);
+    if value.is_finite() {
+        value
+    } else {
+        0.0
+    }
+}
+
+/// Builds an arbitrary `Json` value. Depth-bounded so documents stay small;
+/// leaves cover every scalar variant the writer can emit.
+fn arbitrary_json(rng: &mut StdRng, depth: u32) -> Json {
+    let pick = if depth == 0 {
+        rng.gen_range(0u32..6) // leaves only
+    } else {
+        rng.gen_range(0u32..8)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => Json::UInt(rng.gen()),
+        // `Json::Int` is the *negative* integer variant: the writer prints
+        // non-negative i64 as bare digits, which re-parse as UInt (see
+        // `From<i64> for Json`), so only negative values round-trip as Int.
+        3 => Json::Int(-(rng.gen_range(1i64..=i64::MAX))),
+        4 => Json::Float(arbitrary_float(rng)),
+        5 => Json::Str(arbitrary_string(rng)),
+        6 => {
+            let len = rng.gen_range(0..5);
+            Json::Arr((0..len).map(|_| arbitrary_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..5);
+            let mut obj = Json::obj();
+            for i in 0..len {
+                // Unique keys: `set` replaces duplicates, which would make
+                // the *input* differ from its own round trip by design.
+                let key = format!("{}#{i}", arbitrary_string(rng));
+                obj.set(&key, arbitrary_json(rng, depth - 1));
+            }
+            obj
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_documents_survive_write_parse_write(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = arbitrary_json(&mut rng, 3);
+
+        let text = value.pretty();
+        let parsed = Json::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&parsed, &value, "value changed across write→parse");
+        prop_assert_eq!(
+            parsed.pretty(),
+            text,
+            "bytes changed across write→parse→write"
+        );
+    }
+
+    #[test]
+    fn number_variants_round_trip_distinctly(u in any::<u64>(), n in 1i64..=i64::MAX, f in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(f);
+        let float = arbitrary_float(&mut rng);
+        let doc = Json::Arr(vec![Json::UInt(u), Json::Int(-n), Json::Float(float)]);
+        let back = Json::parse(&doc.pretty()).expect("parse");
+        // Variants must not bleed into each other: u64::MAX stays UInt,
+        // negatives stay Int, and floats stay Float even when integral
+        // (the writer's trailing ".0" guarantees it).
+        prop_assert_eq!(back, doc);
+    }
+}

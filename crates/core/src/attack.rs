@@ -15,7 +15,7 @@
 //! compositions (template-once/steer-many, mixed-cipher multi-victim) use
 //! the same phases directly — see the [`Pipeline`] docs.
 
-use machine::SimMachine;
+use machine::{MachineSnapshot, SimMachine};
 
 use crate::config::ExplFrameConfig;
 use crate::error::AttackError;
@@ -139,6 +139,38 @@ impl ExplFrame {
     pub fn run_on(&self, machine: &mut SimMachine) -> Result<AttackReport, AttackError> {
         let mut observer = NullObserver;
         self.run_on_traced(machine, &mut observer)
+    }
+
+    /// Runs the attack on a machine forked from `snapshot` — the warm-pool
+    /// fast path: boot + warm once, snapshot, then run thousands of trials
+    /// without paying the boot cost again. The report is byte-identical to
+    /// [`Self::run_on`] against a machine in the snapshot's state.
+    ///
+    /// The snapshot must come from a machine built from
+    /// [`ExplFrameConfig::machine`] (the fork inherits the snapshot's
+    /// configuration, weak-cell population included).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_snapshot(&self, snapshot: &MachineSnapshot) -> Result<AttackReport, AttackError> {
+        let mut machine = snapshot.fork();
+        self.run_on(&mut machine)
+    }
+
+    /// [`run_adaptive`](Self::run_adaptive) on a machine forked from
+    /// `snapshot` (see [`Self::run_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_adaptive_snapshot(
+        &self,
+        snapshot: &MachineSnapshot,
+    ) -> Result<AttackReport, AttackError> {
+        let mut machine = snapshot.fork();
+        let mut observer = NullObserver;
+        self.run_adaptive_on_traced(&mut machine, &mut observer)
     }
 
     /// [`run`](Self::run) with an [`Observer`] receiving every phase event

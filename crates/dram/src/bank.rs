@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use crate::timing::{DramTiming, Nanos};
 
 /// Disturbance accumulated by one victim row within its current window.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Disturbance {
     units: u64,
     window: u64,
@@ -27,7 +27,7 @@ pub(crate) struct DisturbDelta {
 }
 
 /// State of a single DRAM bank.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct BankState {
     open_row: Option<u32>,
     acts: u64,

@@ -163,6 +163,18 @@ pub struct WeakCellMap {
     cache: HashMap<u64, Arc<[WeakCell]>>,
 }
 
+/// Two maps are equal when they describe the same population — the memo
+/// cache is excluded, since it only reflects which rows happen to have been
+/// queried (an oracle call must not make two otherwise-identical devices
+/// compare unequal).
+impl PartialEq for WeakCellMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed
+            && self.params == other.params
+            && self.bits_per_row == other.bits_per_row
+    }
+}
+
 /// SplitMix64 step — used to derive independent per-row seeds.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);

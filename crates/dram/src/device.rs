@@ -768,6 +768,57 @@ impl DramDevice {
     }
 
     // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Captures the complete device state as a [`DramSnapshot`].
+    ///
+    /// The data array is captured as a copy-on-write overlay: materialised
+    /// chunks are `Arc`-shared with the live device, so the snapshot costs
+    /// O(touched chunks) pointer copies and untouched banks are never
+    /// duplicated. The device and the snapshot diverge lazily as either
+    /// side is written.
+    pub fn snapshot(&self) -> DramSnapshot {
+        DramSnapshot {
+            config: self.config,
+            banks: self.banks.clone(),
+            mem: self.mem.clone(),
+            cells: self.cells.clone(),
+            stats: self.stats,
+            flip_log: self.flip_log.clone(),
+            now: self.now,
+            trr: self.trr.clone(),
+            ecc: self.ecc.clone(),
+        }
+    }
+
+    /// Rewinds this device to `snapshot`'s state.
+    ///
+    /// After the call the device replays byte-identically to the device the
+    /// snapshot was taken from: same data, same row buffers and disturbance
+    /// counters, same clock, same TRR/ECC state, same flip log and stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a device with a different
+    /// configuration (the address mapping is derived from the config and is
+    /// not re-built here).
+    pub fn restore(&mut self, snapshot: &DramSnapshot) {
+        assert_eq!(
+            self.config, snapshot.config,
+            "snapshot is from a differently configured device"
+        );
+        self.banks = snapshot.banks.clone();
+        self.mem = snapshot.mem.clone();
+        self.cells = snapshot.cells.clone();
+        self.stats = snapshot.stats;
+        self.flip_log = snapshot.flip_log.clone();
+        self.now = snapshot.now;
+        self.trr = snapshot.trr.clone();
+        self.ecc = snapshot.ecc.clone();
+    }
+
+    // ------------------------------------------------------------------
     // Introspection (experiment ground truth — not attacker-visible)
     // ------------------------------------------------------------------
 
@@ -815,6 +866,74 @@ impl DramDevice {
             row_start = row_start + row_bytes;
         }
         out
+    }
+}
+
+/// A point-in-time capture of a [`DramDevice`], cheap enough to take per
+/// campaign trial.
+///
+/// **Captured:** the data array (as a copy-on-write `Arc` overlay over the
+/// sparse chunk store — untouched banks are shared, never copied), per-bank
+/// row buffers and disturbance counters, the simulated clock, aggregate
+/// stats, the flip log, and the full Target-Row-Refresh sampler and ECC
+/// tracker state.
+///
+/// **Not captured:** the address mapping (a pure function of the config,
+/// re-built by [`DramSnapshot::to_device`]) and the weak-cell memo cache's
+/// *contents* (the population is a pure function of the seed; the memo is
+/// carried along only as a warm-start optimisation and is excluded from
+/// snapshot equality).
+///
+/// # Examples
+///
+/// ```
+/// use dram::{DramConfig, DramDevice, PhysAddr};
+/// let mut dev = DramDevice::new(DramConfig::small());
+/// dev.write(PhysAddr::new(0x1000), b"warm");
+/// let snap = dev.snapshot();
+/// dev.write(PhysAddr::new(0x1000), b"cold");
+/// dev.restore(&snap);
+/// let mut buf = [0u8; 4];
+/// dev.read(PhysAddr::new(0x1000), &mut buf);
+/// assert_eq!(&buf, b"warm");
+/// // Forking builds an independent device from the same state.
+/// let fork = snap.to_device();
+/// assert_eq!(fork.snapshot(), snap);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramSnapshot {
+    config: DramConfig,
+    banks: Vec<BankState>,
+    mem: SparseMemory,
+    cells: WeakCellMap,
+    stats: DramStats,
+    flip_log: Vec<FlipEvent>,
+    now: Nanos,
+    trr: Option<TrrEngine>,
+    ecc: Option<EccTracker>,
+}
+
+impl DramSnapshot {
+    /// The configuration of the device this snapshot came from.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Builds a fresh, independent device in this snapshot's state (the
+    /// fork operation). Shared data chunks are unshared lazily on write.
+    pub fn to_device(&self) -> DramDevice {
+        DramDevice {
+            config: self.config,
+            mapping: self.config.mapping.build(self.config.geometry),
+            banks: self.banks.clone(),
+            mem: self.mem.clone(),
+            cells: self.cells.clone(),
+            stats: self.stats,
+            flip_log: self.flip_log.clone(),
+            now: self.now,
+            trr: self.trr.clone(),
+            ecc: self.ecc.clone(),
+        }
     }
 }
 

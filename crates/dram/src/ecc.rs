@@ -149,7 +149,7 @@ pub fn decode_secded(word: u64, check: u8) -> SecdedDecode {
 /// Device-side ECC bookkeeping: stored check bits for every word whose
 /// data has deviated since its last write. Words without an entry match
 /// their (implicit) check bits by construction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EccTracker {
     checks: HashMap<u64, u8>,
     stats: EccStats,

@@ -76,7 +76,7 @@ mod trr;
 pub use cells::{
     CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
 };
-pub use device::{DramConfig, DramDevice, FlipEvent, HammerOutcome};
+pub use device::{DramConfig, DramDevice, DramSnapshot, FlipEvent, HammerOutcome};
 pub use ecc::{decode_secded, encode_secded, EccMode, EccStats, SecdedDecode};
 pub use error::DramError;
 pub use geometry::{DramCoord, DramGeometry, PhysAddr};

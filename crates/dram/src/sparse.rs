@@ -5,17 +5,39 @@
 //! during templating). The store keeps 4 KiB chunks in one of two forms:
 //! `Uniform(byte)` for untouched / memset chunks, and materialised byte
 //! buffers for anything written with structure.
+//!
+//! Materialised chunks sit behind an [`Arc`], so cloning the store — the
+//! snapshot/fork path — is a copy-on-write overlay: the clone shares every
+//! chunk with the original, and a chunk's bytes are only duplicated when one
+//! side writes into it ([`Arc::make_mut`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::geometry::PhysAddr;
 
 const CHUNK: usize = 4096;
 
+/// One materialised 4 KiB chunk.
+type ChunkBytes = [u8; CHUNK];
+
 #[derive(Debug, Clone)]
 enum ChunkData {
     Uniform(u8),
-    Bytes(Box<[u8]>),
+    Bytes(Arc<ChunkBytes>),
+}
+
+impl ChunkData {
+    /// Effective content comparison: a `Uniform` chunk equals a materialised
+    /// chunk holding the same byte everywhere.
+    fn content_eq(&self, other: &ChunkData) -> bool {
+        match (self, other) {
+            (ChunkData::Uniform(a), ChunkData::Uniform(b)) => a == b,
+            (ChunkData::Bytes(a), ChunkData::Bytes(b)) => Arc::ptr_eq(a, b) || a == b,
+            (ChunkData::Uniform(u), ChunkData::Bytes(bytes))
+            | (ChunkData::Bytes(bytes), ChunkData::Uniform(u)) => bytes.iter().all(|&b| b == *u),
+        }
+    }
 }
 
 /// Sparse memory: a byte array of `capacity` bytes, materialised on demand.
@@ -35,6 +57,32 @@ pub struct SparseMemory {
     capacity: u64,
     default_byte: u8,
     chunks: HashMap<u64, ChunkData>,
+}
+
+/// Equality is over *effective contents*: an absent chunk, a `Uniform`
+/// chunk of the default byte, and a materialised chunk holding that byte
+/// everywhere all compare equal. Snapshot round-trip tests rely on this —
+/// representation may differ between a restored store and a freshly
+/// replayed one without changing a single observable byte.
+impl PartialEq for SparseMemory {
+    fn eq(&self, other: &Self) -> bool {
+        if self.capacity != other.capacity || self.default_byte != other.default_byte {
+            return false;
+        }
+        let covers = |map: &HashMap<u64, ChunkData>, key: u64, rhs: &Self| {
+            let a = map.get(&key);
+            let b = rhs.chunks.get(&key);
+            match (a, b) {
+                (Some(x), Some(y)) => x.content_eq(y),
+                (Some(x), None) | (None, Some(x)) => {
+                    x.content_eq(&ChunkData::Uniform(self.default_byte))
+                }
+                (None, None) => true,
+            }
+        };
+        self.chunks.keys().all(|&k| covers(&self.chunks, k, other))
+            && other.chunks.keys().all(|&k| covers(&other.chunks, k, self))
+    }
 }
 
 impl SparseMemory {
@@ -90,10 +138,11 @@ impl SparseMemory {
             .entry(chunk)
             .or_insert(ChunkData::Uniform(default));
         if let ChunkData::Uniform(b) = *entry {
-            *entry = ChunkData::Bytes(vec![b; CHUNK].into_boxed_slice());
+            *entry = ChunkData::Bytes(Arc::new([b; CHUNK]));
         }
         match entry {
-            ChunkData::Bytes(bytes) => bytes,
+            // Copy-on-write: unshare the chunk if a snapshot still holds it.
+            ChunkData::Bytes(bytes) => &mut Arc::make_mut(bytes)[..],
             ChunkData::Uniform(_) => unreachable!("just materialised"),
         }
     }
@@ -310,6 +359,53 @@ mod tests {
         m.write(PhysAddr::new(4096), &[0x42u8; 4096]);
         assert_eq!(m.materialized_chunks(), 0);
         assert_eq!(m.read_byte(PhysAddr::new(8191)), 0x42);
+    }
+
+    #[test]
+    fn clone_shares_materialised_chunks_until_written() {
+        let mut m = SparseMemory::new(1 << 16);
+        m.write(PhysAddr::new(0), b"structured");
+        let fork = m.clone();
+        // The clone holds the *same* allocation, not a copy.
+        let (ChunkData::Bytes(a), ChunkData::Bytes(b)) =
+            (m.chunks.get(&0).unwrap(), fork.chunks.get(&0).unwrap())
+        else {
+            panic!("chunk 0 should be materialised in both stores");
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must share chunk storage");
+        // Writing into the original unshares only the touched chunk and
+        // leaves the fork's view untouched.
+        m.write_byte(PhysAddr::new(1), b'X');
+        assert_eq!(m.read_byte(PhysAddr::new(1)), b'X');
+        assert_eq!(fork.read_byte(PhysAddr::new(1)), b't');
+        let (ChunkData::Bytes(a), ChunkData::Bytes(b)) =
+            (m.chunks.get(&0).unwrap(), fork.chunks.get(&0).unwrap())
+        else {
+            panic!("chunk 0 should stay materialised");
+        };
+        assert!(!Arc::ptr_eq(a, b), "write must unshare the chunk");
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let mut uniform = SparseMemory::new(1 << 16);
+        let mut materialised = SparseMemory::new(1 << 16);
+        uniform.fill(PhysAddr::new(0), 4096, 0xAB);
+        // Same bytes, but forced through the materialising path.
+        materialised.write(PhysAddr::new(0), &[0xCD; 4096]);
+        materialised.fill(PhysAddr::new(0), 1, 0xAB);
+        materialised.write(PhysAddr::new(1), &[0xAB; 4095]);
+        assert_eq!(uniform, materialised);
+        // An untouched store equals one explicitly zero-filled.
+        let zeroed = {
+            let mut m = SparseMemory::new(1 << 16);
+            m.write(PhysAddr::new(100), &[1]);
+            m.write(PhysAddr::new(100), &[0]);
+            m
+        };
+        assert_eq!(SparseMemory::new(1 << 16), zeroed);
+        materialised.write_byte(PhysAddr::new(7), 0x11);
+        assert_ne!(uniform, materialised);
     }
 
     #[test]

@@ -159,7 +159,7 @@ pub enum Burst {
 }
 
 /// The deterministic TRR mitigation engine (one sampler per bank).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrrEngine {
     params: TrrParams,
     banks: Vec<TrrBank>,

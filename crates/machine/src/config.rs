@@ -33,7 +33,7 @@ pub enum IdleDrainPolicy {
 /// let cfg = MachineConfig::small(7);
 /// assert_eq!(cfg.dram.geometry.capacity_bytes(), cfg.mem.total_bytes);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// DRAM device settings (geometry, mapping, weak cells, timing).
     pub dram: DramConfig,

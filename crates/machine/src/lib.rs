@@ -53,10 +53,12 @@ mod config;
 mod error;
 mod machine;
 mod process;
+mod snapshot;
 mod stats;
 
 pub use config::{IdleDrainPolicy, MachineConfig};
 pub use error::MachineError;
-pub use machine::{warmup, warmup_on, SimMachine};
+pub use machine::{warm_boot, warmup, warmup_on, SimMachine, WARMUP_PAGES, WARMUP_PAGES_STEERING};
 pub use process::{Pid, ProcState, Process, VirtAddr};
+pub use snapshot::MachineSnapshot;
 pub use stats::MachineStats;

@@ -26,13 +26,13 @@ const CLFLUSH_NS: Nanos = 5;
 /// documentation for an end-to-end example.
 #[derive(Debug)]
 pub struct SimMachine {
-    config: MachineConfig,
-    dram: DramDevice,
-    caches: Vec<CacheHierarchy>,
-    alloc: ZonedAllocator,
-    procs: BTreeMap<Pid, Process>,
-    next_pid: u32,
-    stats: MachineStats,
+    pub(crate) config: MachineConfig,
+    pub(crate) dram: DramDevice,
+    pub(crate) caches: Vec<CacheHierarchy>,
+    pub(crate) alloc: ZonedAllocator,
+    pub(crate) procs: BTreeMap<Pid, Process>,
+    pub(crate) next_pid: u32,
+    pub(crate) stats: MachineStats,
 }
 
 impl SimMachine {
@@ -434,6 +434,33 @@ impl SimMachine {
     }
 }
 
+/// Standard warm-up size (pages) for the [`warmup`] ritual.
+///
+/// This is the single source of truth for the constant the experiment
+/// binaries, the warm-pool boot path, and the substrate tests used to
+/// inline independently — tune it here and every campaign stays in sync.
+pub const WARMUP_PAGES: u64 = 64;
+
+/// Heavier warm-up size (pages) used by the steering experiments, which
+/// need a deeper page frame cache before measuring reuse under noise.
+pub const WARMUP_PAGES_STEERING: u64 = 128;
+
+/// Boots a machine from `config` and runs the [`warmup_on`] ritual on
+/// `cpu` — the per-trial preamble every campaign used to hand-roll. This is
+/// the one-call boot path behind the snapshot warm pool: boot + warm once,
+/// [`SimMachine::snapshot`] the result, and fork per trial.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent, `cpu` is out of range, or
+/// warm-up runs out of memory (`pages` exceeding free memory is a
+/// configuration bug, not a runtime condition).
+pub fn warm_boot(config: MachineConfig, cpu: CpuId, pages: u64) -> SimMachine {
+    let mut machine = SimMachine::new(config);
+    warmup_on(&mut machine, cpu, pages).expect("warm-up exceeds machine memory");
+    machine
+}
+
 /// Warms the allocator on `cpu` with the spawn/mmap/fill/munmap preamble
 /// the experiment binaries and tests used to hand-roll: a transient process
 /// maps and touches `pages` pages, then frees the first three quarters, so
@@ -766,10 +793,10 @@ mod tests {
     fn warmup_leaves_non_pristine_allocator_state() {
         let mut m = small();
         let free0 = m.allocator().total_free_pages();
-        warmup_on(&mut m, CpuId(1), 64).unwrap();
+        warmup_on(&mut m, CpuId(1), WARMUP_PAGES).unwrap();
         // Three quarters released, one quarter still held by the warm
         // process.
-        assert_eq!(m.allocator().total_free_pages(), free0 - 16);
+        assert_eq!(m.allocator().total_free_pages(), free0 - WARMUP_PAGES / 4);
         // The released frames sit in cpu1's page frame cache: the very next
         // touch on cpu1 is served from it (LIFO reuse), not the buddy.
         let p = m.spawn(CpuId(1));

@@ -66,7 +66,7 @@ const MMAP_BASE: u64 = 0x7f00_0000_0000;
 ///
 /// The structure is pure bookkeeping; all side effects (allocation, DRAM
 /// traffic) happen in [`crate::SimMachine`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Process {
     pid: Pid,
     cpu: CpuId,

@@ -1,0 +1,218 @@
+//! Machine snapshot / restore / fork.
+//!
+//! A [`MachineSnapshot`] captures the *entire* simulated system at one point
+//! in simulated time, cheaply enough to take per campaign trial:
+//!
+//! * **DRAM** — data array (copy-on-write `Arc` overlay: untouched banks are
+//!   shared, never copied), row buffers, disturbance counters, the simulated
+//!   clock, TRR sampler tables and ECC tracker state ([`dram::DramSnapshot`]).
+//! * **Caches** — every CPU's L1 + LLC contents, LRU order and counters.
+//! * **Allocator** — buddy free lists, allocated-block metadata, per-CPU
+//!   page frame caches in LIFO order, watermarks and the event trace.
+//! * **Processes** — the full process table (VMAs, page tables, CPU pins,
+//!   scheduling states) and the next-pid counter, so a restored machine
+//!   hands out the same pids and virtual addresses.
+//!
+//! The contract is **byte-identical replay**: any operation sequence applied
+//! to a restored (or forked) machine produces exactly the state, reports and
+//! traces it would have produced on the original. Attacker RNG streams are
+//! part of that contract too — they are seeded from configuration
+//! (`ExplFrameConfig::seed`, the DRAM weak-cell seed), which the snapshot
+//! carries, so a forked trial re-derives the same streams a fresh boot
+//! would. Nothing in the machine draws from an unseeded source.
+
+use std::collections::BTreeMap;
+
+use cachesim::HierarchySnapshot;
+use dram::DramSnapshot;
+use memsim::AllocatorSnapshot;
+
+use crate::config::MachineConfig;
+use crate::machine::SimMachine;
+use crate::process::{Pid, Process};
+use crate::stats::MachineStats;
+
+/// A point-in-time capture of a whole [`SimMachine`].
+///
+/// **Captured:** the DRAM data array (as a copy-on-write `Arc` overlay —
+/// untouched banks are shared, never copied), per-bank row buffers and
+/// disturbance counters, the simulated clock, TRR sampler tables and ECC
+/// tracker state, every CPU's L1 + LLC contents with exact LRU order and
+/// counters, the allocator's buddy free lists, allocated-block metadata and
+/// per-CPU page frame caches in LIFO order, the allocation event trace, and
+/// the full process table (VMAs, page tables, CPU pins, scheduling states,
+/// next-pid counter).
+///
+/// **Not captured:** the DRAM address mapping (a pure function of the
+/// configuration, re-built on fork) and the weak-cell memo cache contents
+/// (also pure; carried only as a warm-start optimisation). Attacker-side
+/// RNGs live *outside* the machine and are re-derived from the seed in the
+/// configuration, which is captured.
+///
+/// # Examples
+///
+/// One warm boot, many byte-identical trials:
+///
+/// ```
+/// use machine::{warm_boot, MachineConfig, SimMachine, WARMUP_PAGES};
+/// use memsim::CpuId;
+///
+/// let warm = warm_boot(MachineConfig::small(7), CpuId(0), WARMUP_PAGES).snapshot();
+/// let mut a = warm.fork();
+/// let mut b = warm.fork();
+/// let pa = a.spawn(CpuId(0));
+/// let pb = b.spawn(CpuId(0));
+/// assert_eq!(pa, pb); // same pids, same frames, same everything
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    pub(crate) config: MachineConfig,
+    pub(crate) dram: DramSnapshot,
+    pub(crate) caches: Vec<HierarchySnapshot>,
+    pub(crate) alloc: AllocatorSnapshot,
+    pub(crate) procs: BTreeMap<Pid, Process>,
+    pub(crate) next_pid: u32,
+    pub(crate) stats: MachineStats,
+}
+
+impl MachineSnapshot {
+    /// The configuration of the machine this snapshot came from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Builds a fresh, independent machine in this snapshot's state — the
+    /// fork operation. DRAM data chunks stay `Arc`-shared with the snapshot
+    /// (and every other fork) until written, so forking is O(touched state
+    /// metadata), not O(memory).
+    pub fn fork(&self) -> SimMachine {
+        SimMachine {
+            config: self.config.clone(),
+            dram: self.dram.to_device(),
+            caches: self
+                .caches
+                .iter()
+                .map(HierarchySnapshot::to_hierarchy)
+                .collect(),
+            alloc: self.alloc.to_allocator(),
+            procs: self.procs.clone(),
+            next_pid: self.next_pid,
+            stats: self.stats,
+        }
+    }
+}
+
+impl SimMachine {
+    /// Captures the whole machine as a [`MachineSnapshot`].
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            config: self.config.clone(),
+            dram: self.dram.snapshot(),
+            caches: self.caches.iter().map(|c| c.snapshot()).collect(),
+            alloc: self.alloc.snapshot(),
+            procs: self.procs.clone(),
+            next_pid: self.next_pid,
+            stats: self.stats,
+        }
+    }
+
+    /// Rewinds this machine to `snapshot`'s state. Subsequent operations
+    /// replay byte-identically to the machine the snapshot was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a machine with a different
+    /// configuration.
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        assert_eq!(
+            self.config, snapshot.config,
+            "snapshot is from a differently configured machine"
+        );
+        self.dram.restore(&snapshot.dram);
+        for (cache, snap) in self.caches.iter_mut().zip(&snapshot.caches) {
+            cache.restore(snap);
+        }
+        self.alloc.restore(&snapshot.alloc);
+        self.procs = snapshot.procs.clone();
+        self.next_pid = snapshot.next_pid;
+        self.stats = snapshot.stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{warm_boot, WARMUP_PAGES};
+    use memsim::{CpuId, PAGE_SIZE};
+
+    fn warm() -> SimMachine {
+        warm_boot(MachineConfig::small(3), CpuId(0), WARMUP_PAGES)
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut m = warm();
+        let snap = m.snapshot();
+        // Mutate every layer: processes, allocator, caches, DRAM, clock.
+        let p = m.spawn(CpuId(1));
+        let va = m.mmap(p, 8).unwrap();
+        m.fill(p, va, 8 * PAGE_SIZE, 0xEE).unwrap();
+        m.sleep(p, 1_000_000).unwrap();
+        m.restore(&snap);
+        assert_eq!(m.snapshot(), snap);
+    }
+
+    #[test]
+    fn fork_is_independent_and_identical() {
+        let snap = warm().snapshot();
+        let mut a = snap.fork();
+        let mut b = snap.fork();
+        let run = |m: &mut SimMachine| {
+            let p = m.spawn(CpuId(2));
+            let va = m.mmap(p, 4).unwrap();
+            m.fill(p, va, 4 * PAGE_SIZE, 0x5A).unwrap();
+            let frame = m.translate(p, va).unwrap();
+            (p, va, frame, m.now(), m.stats())
+        };
+        assert_eq!(run(&mut a), run(&mut b));
+        // Mutating one fork never leaks into the other or the snapshot.
+        assert_ne!(a.snapshot(), snap);
+        assert_eq!(snap.fork().snapshot(), snap);
+    }
+
+    #[test]
+    fn fork_matches_fresh_boot_at_time_zero() {
+        // A snapshot taken straight after boot forks into a machine
+        // indistinguishable from a second fresh boot.
+        let booted = SimMachine::new(MachineConfig::small(9));
+        let forked = booted.snapshot().fork();
+        assert_eq!(
+            forked.snapshot(),
+            SimMachine::new(MachineConfig::small(9)).snapshot()
+        );
+    }
+
+    #[test]
+    fn cow_dram_keeps_snapshot_bytes_after_fork_writes() {
+        let mut m = warm();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 1).unwrap();
+        m.write(p, va, b"snapshotted").unwrap();
+        let snap = m.snapshot();
+        // The original keeps writing over the same page...
+        m.write(p, va, b"overwritten").unwrap();
+        // ...but a fork still reads the snapshot-time bytes.
+        let mut fork = snap.fork();
+        let mut buf = [0u8; 11];
+        fork.read(p, va, &mut buf).unwrap();
+        assert_eq!(&buf, b"snapshotted");
+    }
+
+    #[test]
+    #[should_panic(expected = "differently configured machine")]
+    fn restore_rejects_mismatched_config() {
+        let snap = SimMachine::new(MachineConfig::small(1)).snapshot();
+        let mut other = SimMachine::new(MachineConfig::small(2));
+        other.restore(&snap);
+    }
+}

@@ -1,0 +1,135 @@
+//! Snapshot contract of the whole machine, checked differentially with the
+//! shared `snaptest` harness: the machine-level op generator composes every
+//! substrate at once (processes and demand paging drive the allocator, data
+//! traffic drives the caches and DRAM, sleep drives idle reclaim), so
+//! `snapshot → mutate arbitrarily → restore → replay suffix` being
+//! state-identical to a fresh boot covers the cross-layer interactions the
+//! per-crate suites cannot see.
+
+use machine::{warm_boot, MachineConfig, Pid, SimMachine, VirtAddr, WARMUP_PAGES};
+use memsim::{CpuId, PAGE_SIZE};
+use proptest::prelude::*;
+use snaptest::{check_replay_equivalence, replay_plan};
+
+/// Interpreter bookkeeping: live processes and their live mappings, so
+/// generated ops stay structurally valid and replayable from any prefix.
+#[derive(Debug, Clone, Default)]
+struct Book {
+    procs: Vec<(Pid, Vec<(VirtAddr, u64)>)>,
+}
+
+fn boot() -> (SimMachine, Book) {
+    // Start from warmed (non-pristine) state: that is what real campaign
+    // trials snapshot, and it seeds the pcp lists the ops then churn.
+    let machine = warm_boot(MachineConfig::small(21), CpuId(0), WARMUP_PAGES);
+    (machine, Book::default())
+}
+
+/// Decodes one opcode word into a machine operation. Structurally
+/// impossible ops (touch with no process, unmap with no mapping) are
+/// skipped — every word is still interpreted deterministically.
+fn step(machine: &mut SimMachine, book: &mut Book, word: u64) {
+    let cpu = CpuId(((word >> 8) % 4) as u32);
+    match word % 8 {
+        0 => {
+            let pid = machine.spawn(cpu);
+            book.procs.push((pid, Vec::new()));
+        }
+        1 | 2 => {
+            // mmap a small VMA on an existing process.
+            if !book.procs.is_empty() {
+                let idx = (word >> 16) as usize % book.procs.len();
+                let pages = 1 + (word >> 32) % 6;
+                let (pid, vmas) = &mut book.procs[idx];
+                let va = machine.mmap(*pid, pages).expect("mmap");
+                vmas.push((va, pages));
+            }
+        }
+        3 | 4 => {
+            // Touch/overwrite part of a live mapping (demand paging, cache
+            // and DRAM traffic).
+            if let Some((pid, va, pages)) = pick_vma(book, word) {
+                // Clamp so the 8-byte write cannot cross the VMA end into
+                // the guard hole `Process::reserve` leaves between VMAs.
+                let offset = (word >> 40) % (pages * PAGE_SIZE - 8);
+                machine
+                    .write(pid, va + offset, &word.to_le_bytes())
+                    .expect("write into live VMA");
+            }
+        }
+        5 => {
+            // Unmap a whole VMA: its frames return to the pcp head.
+            if !book.procs.is_empty() {
+                let idx = (word >> 16) as usize % book.procs.len();
+                let (pid, vmas) = &mut book.procs[idx];
+                if !vmas.is_empty() {
+                    let v = (word >> 32) as usize % vmas.len();
+                    let (va, pages) = vmas.swap_remove(v);
+                    machine.munmap(*pid, va, pages).expect("munmap whole VMA");
+                }
+            }
+        }
+        6 => {
+            // Sleep: may trigger the idle-drain reclaim path.
+            if !book.procs.is_empty() {
+                let idx = (word >> 16) as usize % book.procs.len();
+                let ns = (word >> 32) % 10_000_000;
+                machine.sleep(book.procs[idx].0, ns).expect("sleep");
+            }
+        }
+        _ => {
+            // Exit: frees every resident frame.
+            if !book.procs.is_empty() {
+                let idx = (word >> 16) as usize % book.procs.len();
+                let (pid, _) = book.procs.swap_remove(idx);
+                machine.exit(pid).expect("exit live process");
+            }
+        }
+    }
+}
+
+fn pick_vma(book: &Book, word: u64) -> Option<(Pid, VirtAddr, u64)> {
+    if book.procs.is_empty() {
+        return None;
+    }
+    let idx = (word >> 16) as usize % book.procs.len();
+    let (pid, vmas) = &book.procs[idx];
+    if vmas.is_empty() {
+        return None;
+    }
+    let (va, pages) = vmas[(word >> 24) as usize % vmas.len()];
+    Some((*pid, va, pages))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_restore_replay_matches_fresh_boot(plan in replay_plan(80)) {
+        check_replay_equivalence(
+            &plan,
+            boot,
+            step,
+            SimMachine::snapshot,
+            |machine, snap| machine.restore(snap),
+        )?;
+    }
+
+    #[test]
+    fn snapshot_forks_replay_identically_under_shared_ops(words in proptest::collection::vec(any::<u64>(), 1..60)) {
+        let (mut original, mut book) = boot();
+        for &w in &words[..words.len() / 2] {
+            step(&mut original, &mut book, w);
+        }
+        let snap = original.snapshot();
+        let mut fork = snap.fork();
+        let mut fork_book = book.clone();
+        for &w in &words[words.len() / 2..] {
+            step(&mut original, &mut book, w);
+            step(&mut fork, &mut fork_book, w);
+        }
+        prop_assert_eq!(original.snapshot(), fork.snapshot());
+        // And the snapshot itself was never disturbed by either replay.
+        prop_assert_eq!(snap.fork().snapshot(), snap);
+    }
+}

@@ -46,7 +46,7 @@ pub struct BuddyStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BuddyAllocator {
     span: PfnRange,
     free_lists: Vec<BTreeSet<u64>>,

@@ -69,7 +69,7 @@ pub struct PcpStats {
 ///
 /// The structure itself is pure bookkeeping; refill and drain move frames to
 /// and from the zone's buddy allocator and are driven by [`crate::Zone`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PerCpuPages {
     config: PcpConfig,
     list: VecDeque<Pfn>,

@@ -75,7 +75,7 @@ pub struct AllocEvent {
 /// log.record(CpuId(0), ZoneKind::Normal, EventKind::Reclaim);
 /// assert_eq!(log.len(), 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceLog {
     events: VecDeque<AllocEvent>,
     capacity: usize,

@@ -99,7 +99,7 @@ pub struct ZoneFree {
 }
 
 /// A memory zone: kind, span, buddy allocator, per-CPU lists, watermarks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Zone {
     kind: ZoneKind,
     buddy: BuddyAllocator,

@@ -7,7 +7,10 @@
 //! stops being reproducible. These tests pin the contract: same seed, same
 //! bytes out; different seed, different flip population.
 
-use explframe::attack::{template_scan, AttackReport, ExplFrame, ExplFrameConfig};
+use explframe::attack::{
+    template_scan, AttackReport, ExplFrame, ExplFrameConfig, VictimCipherKind,
+};
+use explframe::dram::TrrParams;
 use explframe::machine::SimMachine;
 use explframe::memsim::CpuId;
 
@@ -73,6 +76,109 @@ fn pipeline_reproduces_the_pre_redesign_report_bytes() {
     );
     assert!(report.key_correct);
     assert_eq!(report.elapsed, 126_353_601_538);
+}
+
+#[test]
+fn snapshot_forked_attack_is_byte_identical_to_fresh_boot_for_every_victim() {
+    // The snapshot/fork differential guarantee, end to end: for every
+    // shipped victim cipher, running the full attack on a machine forked
+    // from a boot-time snapshot produces an AttackReport byte-identical to
+    // the same seed on a freshly booted machine. This is what lets the
+    // warm-pool campaign path replace per-trial boots without changing a
+    // single reported number.
+    for victim in [
+        VictimCipherKind::AesSbox,
+        VictimCipherKind::AesTtable,
+        VictimCipherKind::Present,
+    ] {
+        for seed in [1, 5] {
+            let cfg = ExplFrameConfig::small_demo(seed)
+                .with_template_pages(1024)
+                .with_victim(victim);
+            let fresh = ExplFrame::new(cfg.clone()).run().expect("fresh run");
+            let snapshot = SimMachine::new(cfg.machine.clone()).snapshot();
+            let forked = ExplFrame::new(cfg)
+                .run_snapshot(&snapshot)
+                .expect("forked run");
+            assert_eq!(
+                forked, fresh,
+                "forked report diverged (victim {victim:?}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_forked_adaptive_attack_matches_fresh_boot_under_trr() {
+    // Same differential, through the adaptive (strategy-escalating) driver
+    // against a TRR-hardened module — the snapshot must carry the sampler
+    // state faithfully enough that escalation happens identically.
+    let mut cfg = ExplFrameConfig::small_demo(1).with_template_pages(1024);
+    cfg.machine.dram = cfg
+        .machine
+        .dram
+        .with_trr(Some(TrrParams::ddr4_like().with_sampler_size(2)));
+    let fresh = ExplFrame::new(cfg.clone())
+        .run_adaptive()
+        .expect("fresh adaptive run");
+    let snapshot = SimMachine::new(cfg.machine.clone()).snapshot();
+    let forked = ExplFrame::new(cfg)
+        .run_adaptive_snapshot(&snapshot)
+        .expect("forked adaptive run");
+    assert_eq!(forked, fresh, "forked adaptive report diverged");
+    assert_eq!(
+        fresh.strategy_escalations, 1,
+        "test must exercise the escalation path"
+    );
+}
+
+#[test]
+fn snapshot_forked_run_reproduces_the_pinned_seed1_report_bytes() {
+    // The forked path must hit the exact golden bytes pinned for the fresh
+    // path (seed 1, 1024 template pages) — not merely agree with whatever
+    // the fresh path currently produces.
+    let cfg = ExplFrameConfig::small_demo(1).with_template_pages(1024);
+    let snapshot = SimMachine::new(cfg.machine.clone()).snapshot();
+    let report = ExplFrame::new(cfg)
+        .run_snapshot(&snapshot)
+        .expect("forked run");
+    assert_eq!(
+        report.outcome,
+        explframe::attack::AttackOutcome::KeyRecovered
+    );
+    assert_eq!(report.templates_found, 297);
+    assert_eq!(report.usable_templates, 6);
+    assert_eq!(report.fault_rounds, 1);
+    assert_eq!(report.ciphertexts_collected, 2176);
+    assert_eq!(report.hammer_pairs_spent, 753_600_000);
+    assert_eq!(report.elapsed, 126_353_601_538);
+    assert!(report.key_correct);
+}
+
+#[test]
+fn snapshot_of_warm_machine_replays_attack_identically_after_mutation() {
+    // Warm-pool shape: warm the machine, snapshot, let the original machine
+    // diverge arbitrarily — the fork must still replay the attack the warm
+    // state implies, untouched by the divergence (copy-on-write isolation).
+    let cfg = ExplFrameConfig::small_demo(3).with_template_pages(512);
+    let mut warm = SimMachine::new(cfg.machine.clone());
+    explframe::machine::warmup(&mut warm, explframe::machine::WARMUP_PAGES).expect("warmup");
+    let snapshot = warm.snapshot();
+
+    let reference = ExplFrame::new(cfg.clone())
+        .run_on(&mut snapshot.fork())
+        .expect("reference run");
+    // Divergence: the original machine keeps running a whole other attack.
+    let _ = ExplFrame::new(cfg.clone())
+        .run_on(&mut warm)
+        .expect("noise");
+    let replay = ExplFrame::new(cfg)
+        .run_snapshot(&snapshot)
+        .expect("replay run");
+    assert_eq!(
+        replay, reference,
+        "mutating the original leaked into a fork"
+    );
 }
 
 #[test]
