@@ -1,0 +1,170 @@
+//! T12 — campaignd service throughput: jobs/sec through the work-stealing
+//! scheduler with the shared warm-pool cache.
+//!
+//! A fixed matrix of machine-probe jobs (several jobs per machine config)
+//! streams through one [`CampaignServer`]: the first job per config boots a
+//! warm machine into the cache, the rest fork from the cached snapshot.
+//! The experiment measures service throughput (jobs/sec, trials/sec) and
+//! the cache hit rate, then asserts the acceptance property of the warm
+//! pool on every run: each job's reduced cell fingerprint — whether the
+//! job was served from a cache hit or from the boot itself — is identical
+//! to a from-scratch cold boot of the same spec. Timing lands in
+//! `results/summary.json` and in the committed `BENCH_campaignd.json`
+//! series; the per-job fingerprints in the table are deterministic.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use campaign::{
+    banner, fnv1a, persist, trial_seed, CampaignCli, CampaignResult, Json, Summary, Table,
+};
+use campaignd::{CampaignServer, JobResult, ProbeJob, SchedulerKind, ServerConfig};
+use machine::{warm_boot, MachineConfig};
+use memsim::CpuId;
+
+/// Machine-config seeds the job matrix cycles through. Two configs and
+/// [`JOBS`] jobs means `JOBS - 2` of the boots are cache hits.
+const CONFIG_SEEDS: [u64; 2] = [1, 2];
+
+/// Jobs submitted per run.
+const JOBS: u64 = 8;
+
+/// Warm-up depth for every job (pages touched before the snapshot).
+const WARM_PAGES: u64 = 64;
+
+/// Base campaign seed; job `j` runs with seed `base + j`.
+fn job_seed(base: u64, j: u64) -> u64 {
+    base.wrapping_add(j)
+}
+
+fn config_for(j: u64) -> MachineConfig {
+    MachineConfig::small(CONFIG_SEEDS[(j % CONFIG_SEEDS.len() as u64) as usize])
+}
+
+/// Recomputes one job's expected cell fingerprint from a dedicated cold
+/// boot, bypassing the service and its cache entirely.
+fn cold_fingerprint(j: u64, base_seed: u64, trials: u32) -> u64 {
+    let snap = warm_boot(config_for(j), CpuId(0), WARM_PAGES).snapshot();
+    let trials: Vec<Json> = (0..u64::from(trials))
+        .map(|t| {
+            let mut machine = snap.fork();
+            Json::UInt(ProbeJob::probe(
+                &mut machine,
+                trial_seed(job_seed(base_seed, j), t),
+            ))
+        })
+        .collect();
+    fnv1a(Json::Arr(trials).pretty().as_bytes())
+}
+
+/// The served fingerprint: `cells[0].fingerprint` of the job's summary.
+fn served_fingerprint(result: &JobResult) -> u64 {
+    let summary = Json::parse(&result.summary_bytes().expect("job completed"))
+        .expect("summary is valid JSON");
+    summary
+        .get("cells")
+        .and_then(|cells| match cells {
+            Json::Arr(cells) => cells.first(),
+            _ => None,
+        })
+        .and_then(|cell| cell.get("fingerprint"))
+        .and_then(Json::as_u64)
+        .expect("summary carries a cell fingerprint")
+}
+
+fn main() {
+    banner(
+        "T12: campaignd service throughput",
+        "work-stealing job service over a shared warm-pool cache (jobs/sec, hit rate)",
+    );
+    let cli = CampaignCli::parse();
+    let campaign = cli.campaign(32, 1200);
+    println!(
+        "jobs: {JOBS}   trials per job: {}   seed: {}   workers: {}   configs: {}",
+        campaign.trials,
+        campaign.seed,
+        campaign.threads,
+        CONFIG_SEEDS.len()
+    );
+
+    let (server, rx) = CampaignServer::start(ServerConfig {
+        workers: campaign.threads,
+        queue_bound: JOBS as usize,
+        cache_capacity: CONFIG_SEEDS.len(),
+        scheduler: SchedulerKind::WorkStealing,
+    });
+    let start = Instant::now();
+    for j in 0..JOBS {
+        server
+            .submit(Arc::new(ProbeJob::new(
+                format!("probe-{j}"),
+                config_for(j),
+                WARM_PAGES,
+                campaign.trials,
+                job_seed(campaign.seed, j),
+            )))
+            .expect("queue sized to hold the whole matrix");
+    }
+    let mut results: Vec<JobResult> = (0..JOBS).map(|_| rx.recv().expect("job streams")).collect();
+    let wall_clock = start.elapsed();
+    results.sort_by_key(|r| r.id);
+    let stats = server.shutdown();
+
+    // Acceptance: every served fingerprint — cache hits included — equals a
+    // from-scratch cold boot of the same job spec.
+    assert_eq!(stats.jobs_failed, 0, "no job may fail");
+    assert!(
+        stats.cache.hits > 0,
+        "matrix must exercise the warm-hit path (hits: {:?})",
+        stats.cache
+    );
+    assert_eq!(
+        stats.cache.misses,
+        CONFIG_SEEDS.len() as u64,
+        "one boot per distinct machine config"
+    );
+    let mut table = Table::new(
+        "campaignd served jobs (fingerprints are deterministic; timing lives in BENCH_campaignd.json)",
+        &["job", "trials", "fingerprint_fnv1a"],
+    );
+    let mut summary = Summary::new("t12_campaignd_throughput", &campaign);
+    for (j, result) in results.iter().enumerate() {
+        let served = served_fingerprint(result);
+        let cold = cold_fingerprint(j as u64, campaign.seed, campaign.trials);
+        assert_eq!(
+            served, cold,
+            "job {} diverged from its cold-boot reference",
+            result.name
+        );
+        let d = format!("{served:#018x}");
+        table.row(&[&result.name, &campaign.trials, &d]);
+        summary.cell(&result.name, &[("fingerprint", Json::Str(d.clone()))]);
+    }
+    persist("t12_campaignd_throughput", &table, &mut summary);
+
+    let total_trials = JOBS * u64::from(campaign.trials);
+    let result = CampaignResult::<u64> {
+        cells: Vec::new(),
+        threads: campaign.threads,
+        wall_clock,
+        total_trials,
+    };
+    let wall = wall_clock.as_secs_f64();
+    let jobs_per_s = if wall > 0.0 { JOBS as f64 / wall } else { 0.0 };
+    let hit_rate = stats.cache.hit_rate();
+    println!(
+        "\njobs/sec: {jobs_per_s:.2}   trials/sec: {:.1}   cache hit rate: {hit_rate:.2} ({} hits / {} misses)",
+        result.trials_per_second(),
+        stats.cache.hits,
+        stats.cache.misses
+    );
+    summary.timing_metric("jobs_per_s", jobs_per_s);
+    summary.timing_metric("cache_hit_rate", hit_rate);
+    summary.timing_metric("warm_boots", stats.cache.misses as f64);
+    summary.write(&result);
+    summary.write_bench("campaignd", &result);
+
+    println!(
+        "shape check PASS: all {JOBS} served fingerprints (incl. cache hits) match cold boots"
+    );
+}

@@ -158,7 +158,7 @@ pub fn persist(name: &str, table: &Table, summary: &mut crate::Summary) {
     summary.table(name, table);
 }
 
-fn workspace_root() -> PathBuf {
+pub(crate) fn workspace_root() -> PathBuf {
     // This crate lives at <root>/crates/campaign.
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()

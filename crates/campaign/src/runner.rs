@@ -1,20 +1,22 @@
 //! The multi-threaded campaign runner.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::scenario::Scenario;
+use crate::sched::{TrialScheduler, WorkStealing};
 use crate::seed::trial_seed;
 
 /// A campaign: `trials` independent trials of every scenario cell, seeded
 /// from `seed`, executed on `threads` worker threads.
 ///
-/// Trials are distributed over workers by a shared counter (so slow cells do
-/// not serialize the grid), but results are **reduced in trial-index order**:
-/// the output of [`Campaign::run`] is byte-for-byte identical for every
-/// thread count, including 1. See `crates/campaign/tests/determinism.rs`.
+/// Trials are scheduled over workers by a [`TrialScheduler`] —
+/// work-stealing by default, so slow cells do not serialize the grid — but
+/// results are **reduced in trial-index order**: the output of
+/// [`Campaign::run`] is byte-for-byte identical for every thread count and
+/// every scheduler, including 1 thread. See
+/// `crates/campaign/tests/determinism.rs` and the scheduler-equivalence
+/// suite in the workspace `tests/`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Campaign {
     /// Trials per scenario cell.
@@ -47,36 +49,44 @@ impl Campaign {
     /// Runs `trials` trials of every cell and returns the per-cell results
     /// in declaration order, each cell's trials in trial-index order.
     ///
-    /// The trial at cell `c`, index `t` always receives the seed
-    /// `trial_seed(self.seed, c * trials + t)` regardless of scheduling, so
-    /// any reduction over the returned vectors is deterministic.
+    /// Equivalent to [`Campaign::run_with`] under the default
+    /// [`WorkStealing`] scheduler.
     ///
     /// # Panics
     ///
     /// Panics if any trial panics (the panic is propagated).
     pub fn run<S: Scenario>(&self, cells: &[S]) -> CampaignResult<S::Trial> {
+        self.run_with(cells, &WorkStealing)
+    }
+
+    /// Runs the campaign grid under an explicit [`TrialScheduler`].
+    ///
+    /// The trial at cell `c`, index `t` always receives the seed
+    /// `trial_seed(self.seed, c * trials + t)` regardless of scheduling, so
+    /// any reduction over the returned vectors is deterministic: the
+    /// scheduler affects wall-clock only, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trial panics (the panic is propagated).
+    pub fn run_with<S: Scenario>(
+        &self,
+        cells: &[S],
+        scheduler: &dyn TrialScheduler,
+    ) -> CampaignResult<S::Trial> {
         let trials = self.trials as usize;
         let total = cells.len() * trials;
         let threads = self.threads.clamp(1, total.max(1));
         let start = Instant::now();
 
-        // One slot per (cell, trial) grid point; workers claim flat indices
-        // from the shared counter and fill their slot. Slots — not a shared
-        // push-vector — are what make the reduction order independent of
-        // completion order.
+        // One slot per (cell, trial) grid point; whichever worker the
+        // scheduler assigns an index fills that index's slot. Slots — not a
+        // shared push-vector — are what make the reduction order independent
+        // of completion order, and therefore of the scheduler.
         let slots: Vec<Mutex<Option<S::Trial>>> = (0..total).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= total {
-                        break;
-                    }
-                    let out = cells[index / trials].run_trial(trial_seed(self.seed, index as u64));
-                    *slots[index].lock().expect("slot poisoned") = Some(out);
-                });
-            }
+        scheduler.execute(total, threads, &|index| {
+            let out = cells[index / trials].run_trial(trial_seed(self.seed, index as u64));
+            *slots[index].lock().expect("slot poisoned") = Some(out);
         });
         let wall_clock = start.elapsed();
 
@@ -172,6 +182,23 @@ mod tests {
         let serial = Campaign::new(16, 7).with_threads(1).run(&cells);
         let parallel = Campaign::new(16, 7).with_threads(8).run(&cells);
         assert_eq!(serial.cells, parallel.cells);
+    }
+
+    #[test]
+    fn schedulers_are_unobservable_in_results() {
+        use crate::sched::{AdversarialSteal, StaticPartition};
+        let cells: Vec<_> = (0..3u64)
+            .map(|c| scenario(format!("c{c}"), move |seed| seed.rotate_left(c as u32)))
+            .collect();
+        let campaign = Campaign::new(8, 31).with_threads(4);
+        let reference = campaign.run_with(&cells, &StaticPartition);
+        for scheduler in [
+            &WorkStealing as &dyn TrialScheduler,
+            &AdversarialSteal::new(9),
+            &AdversarialSteal::new(0xDEAD),
+        ] {
+            assert_eq!(campaign.run_with(&cells, scheduler).cells, reference.cells);
+        }
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Trial scheduling: how a fixed grid of trials is mapped onto workers.
+//!
+//! The campaign contract is that scheduling is *invisible*: results are
+//! reduced in trial-index order into pre-addressed slots, so any scheduler
+//! that executes every index exactly once produces byte-identical output.
+//! That freedom is what this module makes explicit. A [`TrialScheduler`]
+//! decides which worker runs which trial and in what order; the three
+//! shipped implementations span the useful space:
+//!
+//! * [`StaticPartition`] — each worker owns one contiguous chunk of the
+//!   grid. Zero coordination, but a slow cell serializes its whole chunk.
+//! * [`WorkStealing`] — each worker owns a [`StealDeque`] seeded with its
+//!   chunk; idle workers steal from the opposite end of their victims'
+//!   deques (Chase–Lev discipline: owner works the bottom, thieves take the
+//!   top). This is the default, and what `campaignd` runs across jobs.
+//! * [`AdversarialSteal`] — a deliberately worst-case work stealer: the
+//!   initial distribution, the victim order, and the pop-vs-steal choice
+//!   are all scrambled by a seeded RNG. It exists for the differential
+//!   scheduler-equivalence suite, which uses it to show that even a
+//!   pathological steal interleaving cannot change campaign output.
+//!
+//! The deque itself is [`StealDeque`]: Chase–Lev *semantics* (owner end /
+//! thief end, single-item steals) over a mutex — the workspace forbids
+//! `unsafe`, which a lock-free Chase–Lev array requires. The scheduling
+//! behaviour and the equivalence guarantees are identical; only the
+//! constant factor differs, and trials are orders of magnitude heavier
+//! than a lock acquisition.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+use crate::seed::mix64;
+
+/// A strategy for executing tasks `0..total` on `threads` workers.
+///
+/// Implementations must call `task(index)` exactly once for every index in
+/// `0..total`, from at most `threads` concurrent workers, and must not
+/// return until every task has finished. Which worker runs which index, and
+/// in what order, is the scheduler's own business — the campaign runner's
+/// slot-based reduction makes it unobservable in the results.
+pub trait TrialScheduler: Sync {
+    /// Short stable name, used by reports and the equivalence suite.
+    fn name(&self) -> &'static str;
+
+    /// Executes `task(0..total)` on up to `threads` workers.
+    fn execute(&self, total: usize, threads: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// The static scheduler: worker `w` runs the contiguous index chunk
+/// `[w·⌈total/threads⌉, (w+1)·⌈total/threads⌉)` serially, with no
+/// coordination after spawn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticPartition;
+
+impl TrialScheduler for StaticPartition {
+    fn name(&self) -> &'static str {
+        "static-partition"
+    }
+
+    fn execute(&self, total: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        let threads = threads.clamp(1, total.max(1));
+        let chunk = total.div_ceil(threads);
+        thread::scope(|scope| {
+            for w in 0..threads {
+                let lo = (w * chunk).min(total);
+                let hi = ((w + 1) * chunk).min(total);
+                scope.spawn(move || {
+                    for index in lo..hi {
+                        task(index);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The work-stealing scheduler: worker `w`'s deque is seeded with the same
+/// chunk [`StaticPartition`] would give it, the owner pops from the bottom,
+/// and a worker whose deque runs dry scans the others round-robin and
+/// steals one task from the top. Load imbalance (one slow cell, skewed
+/// per-trial cost) is absorbed instead of serializing a chunk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStealing;
+
+impl TrialScheduler for WorkStealing {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn execute(&self, total: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        let threads = threads.clamp(1, total.max(1));
+        let chunk = total.div_ceil(threads);
+        let deques: Vec<StealDeque<usize>> = (0..threads).map(|_| StealDeque::new()).collect();
+        for (w, deque) in deques.iter().enumerate() {
+            for index in (w * chunk).min(total)..((w + 1) * chunk).min(total) {
+                deque.push(index);
+            }
+        }
+        let deques = &deques;
+        thread::scope(|scope| {
+            for w in 0..threads {
+                scope.spawn(move || loop {
+                    if let Some(index) = deques[w].pop() {
+                        task(index);
+                        continue;
+                    }
+                    // Own deque dry: steal round-robin, starting just past
+                    // ourselves. No task is ever re-queued, so a full dry
+                    // scan means the grid is exhausted.
+                    let stolen = (1..threads).find_map(|step| deques[(w + step) % threads].steal());
+                    match stolen {
+                        Some(index) => task(index),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The adversarial scheduler: work stealing with every degree of freedom
+/// scrambled by a seeded RNG — tasks are dealt to deques in shuffled order,
+/// victims are scanned in per-worker shuffled order, and workers steal even
+/// while their own deque is non-empty. It deliberately manufactures the
+/// steal interleavings a benign scheduler makes rare, so the equivalence
+/// suite can assert they are harmless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversarialSteal {
+    /// Seed scrambling the distribution, victim order and steal choices.
+    pub seed: u64,
+}
+
+impl AdversarialSteal {
+    /// An adversarial scheduler scrambled by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        AdversarialSteal { seed }
+    }
+}
+
+impl TrialScheduler for AdversarialSteal {
+    fn name(&self) -> &'static str {
+        "adversarial-steal"
+    }
+
+    fn execute(&self, total: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        let threads = threads.clamp(1, total.max(1));
+        let deques: Vec<StealDeque<usize>> = (0..threads).map(|_| StealDeque::new()).collect();
+        // Deal the shuffled grid round-robin so every deque starts with an
+        // arbitrary, non-contiguous slice of the work.
+        let mut order: Vec<usize> = (0..total).collect();
+        let mut stream = SplitMix::new(self.seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, (stream.next() as usize) % (i + 1));
+        }
+        for (position, index) in order.into_iter().enumerate() {
+            deques[position % threads].push(index);
+        }
+        let deques = &deques;
+        thread::scope(|scope| {
+            for w in 0..threads {
+                let mut rng = SplitMix::new(self.seed ^ mix64(w as u64 + 1));
+                scope.spawn(move || loop {
+                    // Worst-case discipline: steal *first* every third roll,
+                    // so tasks migrate even under zero load imbalance.
+                    let steal_first = rng.next() % 3 == 0;
+                    let steal = |rng: &mut SplitMix| {
+                        let start = (rng.next() as usize) % threads.max(1);
+                        (0..threads).find_map(|step| deques[(start + step) % threads].steal())
+                    };
+                    let next = if steal_first {
+                        steal(&mut rng).or_else(|| deques[w].pop())
+                    } else {
+                        deques[w].pop().or_else(|| steal(&mut rng))
+                    };
+                    match next {
+                        Some(index) => task(index),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// A Chase–Lev-style work-stealing deque: the owner pushes and pops at the
+/// *bottom* (LIFO, newest first), thieves steal single items from the *top*
+/// (FIFO, oldest first), so owner and thieves contend only when one item
+/// remains.
+///
+/// Implemented over a mutex because the workspace forbids `unsafe` (a
+/// lock-free Chase–Lev needs a raw circular buffer); the end discipline and
+/// steal granularity are the Chase–Lev ones, which is what the scheduler
+/// semantics — and the linearizability proptests — care about.
+///
+/// # Examples
+///
+/// ```
+/// use campaign::sched::StealDeque;
+///
+/// let d = StealDeque::new();
+/// d.push(1);
+/// d.push(2);
+/// assert_eq!(d.steal(), Some(1)); // thief takes the oldest
+/// assert_eq!(d.pop(), Some(2));   // owner takes the newest
+/// assert_eq!(d.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct StealDeque<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> StealDeque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Self {
+        StealDeque {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes an item at the owner end (bottom).
+    pub fn push(&self, item: T) {
+        self.items.lock().expect("deque poisoned").push_back(item);
+    }
+
+    /// Pops the most recently pushed item (owner end).
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steals the oldest item (thief end).
+    pub fn steal(&self) -> Option<T> {
+        self.items.lock().expect("deque poisoned").pop_front()
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("deque poisoned").len()
+    }
+
+    /// `true` if no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Minimal SplitMix64 sequence generator (state + [`mix64`] output), used
+/// by [`AdversarialSteal`] for its seeded shuffles.
+#[derive(Debug, Clone)]
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn run_counts(scheduler: &dyn TrialScheduler, total: usize, threads: usize) -> Vec<u32> {
+        let counts: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+        scheduler.execute(total, threads, &|index| {
+            counts[index].fetch_add(1, Ordering::SeqCst);
+        });
+        counts.into_iter().map(AtomicU32::into_inner).collect()
+    }
+
+    #[test]
+    fn every_scheduler_runs_each_task_exactly_once() {
+        let schedulers: [&dyn TrialScheduler; 3] =
+            [&StaticPartition, &WorkStealing, &AdversarialSteal::new(7)];
+        for scheduler in schedulers {
+            for (total, threads) in [(0, 1), (1, 4), (17, 3), (64, 8), (5, 16)] {
+                let counts = run_counts(scheduler, total, threads);
+                assert!(
+                    counts.iter().all(|&c| c == 1),
+                    "{} dropped or duplicated tasks at total={total} threads={threads}: {counts:?}",
+                    scheduler.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deque_ends_follow_chase_lev_discipline() {
+        let d = StealDeque::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.steal(), Some(0));
+        assert_eq!(d.steal(), Some(1));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert!(d.is_empty());
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn scheduler_names_are_distinct() {
+        let names = [
+            StaticPartition.name(),
+            WorkStealing.name(),
+            AdversarialSteal::new(0).name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property suite for the work-stealing scheduler substrate.
+//!
+//! Two layers, matching the two things that can go wrong:
+//!
+//! * **Deque discipline** — [`StealDeque`] must behave like a double-ended
+//!   queue with owner-LIFO / thief-FIFO semantics. A seeded op-sequence
+//!   explorer checks it against a `VecDeque` model, sequentially and under
+//!   real thread interleaving (owner + stealers racing), asserting no index
+//!   is ever lost or duplicated.
+//! * **Scheduler exactly-once** — every [`TrialScheduler`] implementation
+//!   must run each flat trial index exactly once for any `(total, threads)`
+//!   shape, since the campaign runner's slot reduction (and therefore every
+//!   artifact byte) is built on that contract.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use campaign::{AdversarialSteal, StaticPartition, StealDeque, TrialScheduler, WorkStealing};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    /// Sequential model check: a seeded script of push/pop/steal against a
+    /// `VecDeque` oracle. Owner pops must match the model's back, steals
+    /// its front, and every pushed value must come out exactly once.
+    #[test]
+    fn deque_matches_a_vecdeque_model(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deque = StealDeque::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut next_value = 0u32;
+        let mut consumed = Vec::new();
+        for _ in 0..rng.gen_range(1..200) {
+            match rng.gen_range(0u32..4) {
+                // Bias toward pushes so the deque actually fills up.
+                0 | 1 => {
+                    deque.push(next_value);
+                    model.push_back(next_value);
+                    next_value += 1;
+                }
+                2 => {
+                    let got = deque.pop();
+                    prop_assert_eq!(got, model.pop_back(), "owner pop must be LIFO");
+                    consumed.extend(got);
+                }
+                _ => {
+                    let got = deque.steal();
+                    prop_assert_eq!(got, model.pop_front(), "steal must be FIFO");
+                    consumed.extend(got);
+                }
+            }
+            prop_assert_eq!(deque.len(), model.len());
+        }
+        while let Some(got) = deque.pop() {
+            prop_assert_eq!(Some(got), model.pop_back());
+            consumed.push(got);
+        }
+        prop_assert!(model.is_empty());
+        // Exactly-once: the consumed set is a permutation of 0..next_value.
+        consumed.sort_unstable();
+        prop_assert_eq!(consumed, (0..next_value).collect::<Vec<_>>());
+    }
+
+    /// Interleaving explorer: one owner races seeded stealers on a shared
+    /// deque. Whatever the interleaving, the union of owner pops and steals
+    /// must be exactly the pushed set — nothing lost, nothing duplicated.
+    #[test]
+    fn racing_stealers_never_lose_or_duplicate(seed in any::<u64>(), stealers in 1usize..4) {
+        let deque = Arc::new(StealDeque::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = rng.gen_range(1u32..400);
+        let handles: Vec<_> = (0..stealers)
+            .map(|_| {
+                let deque = Arc::clone(&deque);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    let mut stolen = Vec::new();
+                    // Keep stealing until the owner is done *and* the deque
+                    // reads empty (a final sweep catches stragglers).
+                    while !done.load(Ordering::Acquire) || !deque.is_empty() {
+                        if let Some(v) = deque.steal() {
+                            stolen.push(v);
+                        }
+                    }
+                    stolen
+                })
+            })
+            .collect();
+        let mut consumed = Vec::new();
+        for value in 0..total {
+            deque.push(value);
+            // Seeded owner behaviour: sometimes pop own work immediately.
+            if rng.gen_range(0u32..3) == 0 {
+                consumed.extend(deque.pop());
+            }
+        }
+        while let Some(v) = deque.pop() {
+            consumed.push(v);
+        }
+        done.store(true, Ordering::Release);
+        for handle in handles {
+            consumed.extend(handle.join().expect("stealer panicked"));
+        }
+        consumed.sort_unstable();
+        prop_assert_eq!(consumed, (0..total).collect::<Vec<_>>());
+    }
+
+    /// Every scheduler kind runs every index exactly once, whatever the
+    /// grid shape — including degenerate shapes (0 trials, more threads
+    /// than work).
+    #[test]
+    fn schedulers_run_each_index_exactly_once(
+        total in 0usize..150,
+        threads in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let schedulers: [&dyn TrialScheduler; 3] =
+            [&StaticPartition, &WorkStealing, &AdversarialSteal::new(seed)];
+        for scheduler in schedulers {
+            let counters: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+            scheduler.execute(total, threads, &|index| {
+                counters[index].fetch_add(1, Ordering::SeqCst);
+            });
+            for (index, counter) in counters.iter().enumerate() {
+                prop_assert_eq!(
+                    counter.load(Ordering::SeqCst),
+                    1,
+                    "{} ran index {} a wrong number of times (total {}, threads {})",
+                    scheduler.name(),
+                    index,
+                    total,
+                    threads
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property suite for the fingerprint-keyed warm-pool LRU ([`WarmCache`]).
+//!
+//! The cache's contract has three legs, each exercised over seeded random
+//! access patterns:
+//!
+//! * **transparency** — a cache hit hands back a value indistinguishable
+//!   from a cold boot of the same key (warm pools must never change
+//!   results, only wall-clock);
+//! * **safety under eviction** — values held by in-flight users (live
+//!   `Arc`s) are never corrupted when their entry is evicted;
+//! * **accounting coherence** — hits + misses equals the number of
+//!   lookups, the resident set never exceeds capacity, and evictions are
+//!   exactly the booted-but-no-longer-resident entries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use campaign::{mix64, WarmCache};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The "boot" under test: a pure function of the key, so transparency is
+/// checkable by recomputation.
+fn cold_boot(key: u64) -> u64 {
+    mix64(key ^ 0xC0FF_EE00)
+}
+
+proptest! {
+    /// Random access patterns: every lookup returns the cold-boot value,
+    /// every held Arc survives later evictions unchanged, and the counters
+    /// reconcile exactly.
+    #[test]
+    fn hits_match_cold_boots_and_stats_reconcile(
+        seed in any::<u64>(),
+        capacity in 0usize..5,
+        key_space in 1u64..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cache = WarmCache::new(capacity);
+        let mut held: Vec<(u64, Arc<u64>)> = Vec::new();
+        let mut boots: HashMap<u64, u64> = HashMap::new();
+        let lookups = rng.gen_range(1u64..120);
+        for _ in 0..lookups {
+            let key = rng.gen_range(0..key_space);
+            let value = cache.get_or_boot(key, || {
+                *boots.entry(key).or_insert(0) += 1;
+                cold_boot(key)
+            });
+            // Transparency: hit or miss, the value is the cold-boot value.
+            prop_assert_eq!(*value, cold_boot(key));
+            held.push((key, value));
+        }
+        // Eviction safety: every Arc handed out is still intact, however
+        // many evictions happened since.
+        for (key, value) in &held {
+            prop_assert_eq!(**value, cold_boot(*key));
+        }
+        let stats = cache.stats();
+        let total_boots: u64 = boots.values().sum();
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+        prop_assert_eq!(stats.misses, total_boots, "every miss boots exactly once");
+        prop_assert!(cache.len() <= capacity);
+        // Booted entries are either resident or were evicted (capacity 0
+        // never retains, so everything booted is "evicted" on arrival).
+        let retained = cache.len() as u64;
+        if capacity == 0 {
+            prop_assert_eq!(retained, 0);
+            prop_assert_eq!(stats.evictions, 0, "uncached entries are not evictions");
+        } else {
+            prop_assert_eq!(stats.evictions, stats.misses - retained);
+        }
+    }
+
+    /// LRU policy: after touching a key, booting `capacity` distinct other
+    /// keys evicts everything *but* stops short of the freshly touched key
+    /// until it becomes the coldest.
+    #[test]
+    fn recently_touched_keys_outlive_colder_ones(seed in any::<u64>(), capacity in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cache = WarmCache::new(capacity);
+        // Fill to capacity: keys 0..capacity, key 0 last-touched.
+        for key in (0..capacity as u64).rev() {
+            let _unused = cache.get_or_boot(key, || cold_boot(key));
+        }
+        // Touch a random resident key, making it MRU.
+        let hot = rng.gen_range(0..capacity as u64);
+        let before = cache.stats();
+        let _unused = cache.get_or_boot(hot, || panic!("resident key must not re-boot"));
+        prop_assert_eq!(cache.stats().hits, before.hits + 1);
+        // Boot capacity-1 fresh keys: the hot key must still be resident.
+        for fresh in 0..(capacity as u64 - 1) {
+            let _unused = cache.get_or_boot(1000 + fresh, || cold_boot(1000 + fresh));
+        }
+        let _unused = cache.get_or_boot(hot, || panic!("MRU key evicted too early"));
+        // One more fresh boot now evicts the hot key's last cold peer; the
+        // hot key itself is only displaced once it is the coldest entry.
+        prop_assert!(cache.len() <= capacity);
+    }
+
+    /// Concurrent get-or-boot on one key boots exactly once, whatever the
+    /// thread interleaving — the server's boots-once guarantee.
+    #[test]
+    fn concurrent_lookups_boot_once(threads in 2usize..6, key in any::<u64>()) {
+        let cache = Arc::new(WarmCache::new(2));
+        let boots = Arc::new(AtomicU64::new(0));
+        let values: Vec<u64> = (0..threads)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let boots = Arc::clone(&boots);
+                thread::spawn(move || {
+                    *cache.get_or_boot(key, || {
+                        boots.fetch_add(1, Ordering::SeqCst);
+                        cold_boot(key)
+                    })
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().expect("lookup thread panicked"))
+            .collect();
+        prop_assert_eq!(boots.load(Ordering::SeqCst), 1);
+        prop_assert!(values.iter().all(|&v| v == cold_boot(key)));
+    }
+}

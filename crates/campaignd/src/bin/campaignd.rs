@@ -1,0 +1,115 @@
+//! The `campaignd` daemon: a file-queue front end over [`campaignd::CampaignServer`].
+//!
+//! ```text
+//! campaignd --spool DIR [--workers N] [--queue N] [--cache N] [--poll-ms M] [--once]
+//! ```
+//!
+//! Watches `DIR` for `<stem>.job.json` files (see [`campaignd::spool`] for
+//! the format), runs each as a machine-probe campaign, and writes
+//! `<stem>.result.json`. With `--once` it processes the files present and
+//! exits; otherwise it polls until a `campaignd.stop` file appears, then
+//! drains and exits. Exit stats (jobs, cache hit rate) print to stdout.
+
+use std::process::ExitCode;
+use std::thread;
+use std::time::Duration;
+
+use campaignd::{ServerConfig, Spool};
+
+struct Args {
+    spool: String,
+    config: ServerConfig,
+    poll: Duration,
+    once: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spool: String::new(),
+        config: ServerConfig::default(),
+        poll: Duration::from_millis(200),
+        once: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--spool" => args.spool = value("--spool")?,
+            "--workers" => {
+                args.config.workers = parse_num(&value("--workers")?, "--workers")?.max(1);
+            }
+            "--queue" => args.config.queue_bound = parse_num(&value("--queue")?, "--queue")?.max(1),
+            "--cache" => args.config.cache_capacity = parse_num(&value("--cache")?, "--cache")?,
+            "--poll-ms" => {
+                args.poll =
+                    Duration::from_millis(parse_num(&value("--poll-ms")?, "--poll-ms")? as u64);
+            }
+            "--once" => args.once = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if args.spool.is_empty() {
+        return Err(format!("--spool is required\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: bad number '{text}'"))
+}
+
+const USAGE: &str =
+    "usage: campaignd --spool DIR [--workers N] [--queue N] [--cache N] [--poll-ms M] [--once]";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spool = match Spool::open(&args.spool, args.config) {
+        Ok(spool) => spool,
+        Err(e) => {
+            eprintln!("campaignd: cannot open spool '{}': {e}", args.spool);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "campaignd: serving {} ({} workers, queue {}, cache {})",
+        spool.dir().display(),
+        args.config.workers,
+        args.config.queue_bound,
+        args.config.cache_capacity
+    );
+    let outcome = serve(&mut spool, &args);
+    if let Err(e) = outcome {
+        eprintln!("campaignd: spool I/O failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = spool.shutdown();
+    println!(
+        "campaignd: done — {} submitted, {} completed, {} failed, cache hit rate {:.2}",
+        stats.jobs_submitted,
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.cache.hit_rate()
+    );
+    ExitCode::SUCCESS
+}
+
+fn serve(spool: &mut Spool, args: &Args) -> std::io::Result<()> {
+    loop {
+        spool.poll()?;
+        if args.once || spool.stop_requested() {
+            spool.drain()?;
+            return Ok(());
+        }
+        if spool.pending_jobs() == 0 {
+            thread::sleep(args.poll);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Scheduler-equivalence harness: the executable form of the server's
+//! output contract.
+//!
+//! The contract: a job's rendered artifacts (`summary`/`trace` bytes) are a
+//! pure function of its spec — scheduler kind, worker count, steal
+//! interleaving and warm-cache state must all be unobservable. This module
+//! runs the same job matrix under every scheduler kind and a grid of
+//! worker counts, and asserts all artifact bytes equal the single-worker
+//! static baseline, byte for byte.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::job::{JobResult, JobSpec};
+use crate::server::{CampaignServer, SchedulerKind, ServerConfig, ServerStats};
+
+/// A completed job's rendered artifacts, keyed by submission id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobArtifacts {
+    /// Submission id within its server run.
+    pub id: u64,
+    /// The job's name.
+    pub name: String,
+    /// Rendered `summary` bytes ([`JobResult::summary_bytes`]).
+    pub summary: String,
+    /// Rendered `trace` bytes ([`JobResult::trace_bytes`]).
+    pub trace: String,
+}
+
+/// Runs `jobs` to completion on a fresh server with `config` and returns
+/// their artifacts in submission order plus the server's lifetime stats.
+///
+/// # Panics
+///
+/// Panics if any job fails — equivalence is only defined over completed
+/// jobs.
+#[must_use]
+pub fn run_jobs(
+    config: ServerConfig,
+    jobs: Vec<Arc<dyn JobSpec>>,
+) -> (Vec<JobArtifacts>, ServerStats) {
+    let expected = jobs.len();
+    let (server, rx) = CampaignServer::start(config);
+    let mut results: Vec<JobResult> = Vec::with_capacity(expected);
+    let mut submitted = 0;
+    for job in jobs {
+        // Blocking submit respects the queue bound; drain any results that
+        // streamed in the meantime so small bounds cannot deadlock us.
+        server.submit(job).expect("equivalence server accepts jobs");
+        submitted += 1;
+        while let Ok(result) = rx.try_recv() {
+            results.push(result);
+        }
+    }
+    while results.len() < submitted {
+        results.push(rx.recv().expect("server streams every accepted job"));
+    }
+    let stats = server.shutdown();
+    results.sort_by_key(|r| r.id);
+    let artifacts = results
+        .into_iter()
+        .map(|result| {
+            assert!(
+                result.is_completed(),
+                "job '{}' failed during an equivalence run: {:?}",
+                result.name,
+                result.outcome
+            );
+            JobArtifacts {
+                id: result.id,
+                name: result.name.clone(),
+                summary: result.summary_bytes().expect("completed job has summary"),
+                trace: result.trace_bytes().expect("completed job has trace"),
+            }
+        })
+        .collect();
+    (artifacts, stats)
+}
+
+/// Runs the job matrix produced by `make_jobs` under every scheduler kind
+/// (static, work-stealing, and one adversarial variant per seed) crossed
+/// with every worker count, asserting all artifacts are byte-identical to
+/// the 1-worker static baseline. Returns the baseline artifacts.
+///
+/// `make_jobs` is called once per configuration so specs need not be
+/// `Clone`; it must produce the same logical matrix each call.
+///
+/// # Panics
+///
+/// Panics (with the offending configuration, job and artifact named) on
+/// the first byte difference, or if any run fails a job.
+pub fn assert_scheduler_equivalence(
+    make_jobs: &dyn Fn() -> Vec<Arc<dyn JobSpec>>,
+    worker_counts: &[usize],
+    adversarial_seeds: &[u64],
+) -> Vec<JobArtifacts> {
+    let config_for = |scheduler, workers| ServerConfig {
+        workers,
+        scheduler,
+        ..ServerConfig::default()
+    };
+    let (baseline, _) = run_jobs(config_for(SchedulerKind::StaticPartition, 1), make_jobs());
+    let mut kinds = vec![SchedulerKind::StaticPartition, SchedulerKind::WorkStealing];
+    kinds.extend(
+        adversarial_seeds
+            .iter()
+            .map(|&s| SchedulerKind::AdversarialSteal(s)),
+    );
+    for &workers in worker_counts {
+        for &kind in &kinds {
+            let (artifacts, _) = run_jobs(config_for(kind, workers), make_jobs());
+            assert_eq!(
+                artifacts.len(),
+                baseline.len(),
+                "{kind:?} x {workers} workers completed a different job count"
+            );
+            for (got, want) in artifacts.iter().zip(&baseline) {
+                assert!(
+                    got.summary == want.summary,
+                    "summary bytes diverged for job '{}' under {kind:?} x {workers} workers",
+                    want.name
+                );
+                assert!(
+                    got.trace == want.trace,
+                    "trace bytes diverged for job '{}' under {kind:?} x {workers} workers",
+                    want.name
+                );
+            }
+        }
+    }
+    baseline
+}
+
+/// Collects exactly `expected` results from a receiver (completion order).
+///
+/// # Panics
+///
+/// Panics if the channel closes early.
+#[must_use]
+pub fn collect_results(rx: &mpsc::Receiver<JobResult>, expected: usize) -> Vec<JobResult> {
+    (0..expected)
+        .map(|_| rx.recv().expect("server streams every accepted job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::fn_job;
+    use campaign::Json;
+
+    fn matrix() -> Vec<Arc<dyn JobSpec>> {
+        (0..3u64)
+            .map(|j| {
+                Arc::new(fn_job(
+                    format!("arith-{j}"),
+                    &["a", "b", "c"],
+                    5,
+                    100 + j,
+                    |_, cell, seed| Json::UInt(seed ^ (cell as u64).wrapping_mul(0x9E37)),
+                )) as Arc<dyn JobSpec>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_matrix_is_scheduler_invariant() {
+        let baseline = assert_scheduler_equivalence(&matrix, &[1, 2, 4], &[7]);
+        assert_eq!(baseline.len(), 3);
+        assert!(baseline[0].summary.contains("\"fingerprint\""));
+    }
+}

@@ -1,0 +1,444 @@
+//! Jobs: the unit of work `campaignd` multiplexes.
+//!
+//! A [`JobSpec`] is a self-contained campaign — named cells, a trial count,
+//! a seed, and optionally a warm machine requirement ([`WarmSpec`]) — whose
+//! trials return [`Json`] measurements. Type-erasing trial output to `Json`
+//! is what lets one server interleave heterogeneous jobs on one worker
+//! pool: a probe job, an attack campaign and a pure-arithmetic smoke job
+//! are all just grids of `(cell, seed) → Json` tasks to the scheduler.
+//!
+//! Seeding follows the campaign engine exactly: the trial at cell `c`,
+//! index `t` receives `trial_seed(job_seed, c·trials + t)`, so a job's
+//! reduced output is the same whether it ran in-process through
+//! [`campaign::Campaign`] or remotely through the server — and identical
+//! under every scheduler, worker count, steal interleaving and cache state.
+
+use std::sync::Arc;
+
+use campaign::{fnv1a, mix64, Json};
+use machine::{warm_boot, MachineConfig, MachineSnapshot, SimMachine};
+use memsim::{CpuId, PAGE_SIZE};
+
+/// A campaign job the server can schedule: a named grid of seeded trials
+/// producing [`Json`] measurements.
+///
+/// Implementations must be pure in the scheduler's sense: `run_trial` may
+/// depend only on its arguments (forking the warm snapshot first if it
+/// needs a mutable machine), never on execution order, thread identity or
+/// wall-clock — that is what makes the server's output contract
+/// (byte-identical artifacts under any scheduler) hold.
+pub trait JobSpec: Send + Sync + 'static {
+    /// Job name, used in results and artifacts.
+    fn name(&self) -> String;
+
+    /// Names of the scenario cells; the grid is `cells × trials`.
+    fn cells(&self) -> Vec<String>;
+
+    /// Trials per cell.
+    fn trials(&self) -> u32;
+
+    /// Job seed; per-trial seeds derive via [`campaign::trial_seed`].
+    fn seed(&self) -> u64;
+
+    /// The warm machine this job's trials fork from, if any. Jobs with
+    /// equal [`WarmSpec::key`]s share one boot through the server's warm
+    /// cache.
+    fn warm(&self) -> Option<WarmSpec> {
+        None
+    }
+
+    /// Runs one trial. `warm` is the shared warm snapshot when
+    /// [`JobSpec::warm`] returned one (fork it; never mutate it), `cell`
+    /// indexes into [`JobSpec::cells`], and `seed` is the trial's derived
+    /// seed.
+    fn run_trial(&self, warm: Option<&MachineSnapshot>, cell: usize, seed: u64) -> Json;
+}
+
+/// A job's warm-machine requirement: the configuration to boot and how many
+/// pages of allocator warm-up to run ([`machine::warmup_on`] ritual).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmSpec {
+    /// Machine configuration to boot.
+    pub config: MachineConfig,
+    /// Warm-up depth in pages (see [`machine::WARMUP_PAGES`]).
+    pub warm_pages: u64,
+}
+
+impl WarmSpec {
+    /// The warm-cache key: the config fingerprint mixed with the warm-up
+    /// depth, so jobs share a boot exactly when both agree.
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        mix64(self.config.fingerprint() ^ mix64(self.warm_pages))
+    }
+
+    /// Boots the warm machine: fresh boot + warm-up ritual on CPU 0, then
+    /// snapshot. Pure function of the spec — the boot-once cache depends on
+    /// that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or warm-up exceeds the
+    /// machine's memory (a spec bug, not a runtime condition).
+    #[must_use]
+    pub fn boot(&self) -> MachineSnapshot {
+        warm_boot(self.config.clone(), CpuId(0), self.warm_pages).snapshot()
+    }
+}
+
+/// A [`JobSpec`] built from a closure — the lightest way to declare a job
+/// (tests, experiment binaries). Produced by [`fn_job`].
+#[derive(Debug, Clone)]
+pub struct FnJob<F> {
+    name: String,
+    cells: Vec<String>,
+    trials: u32,
+    seed: u64,
+    warm: Option<WarmSpec>,
+    f: F,
+}
+
+impl<F> FnJob<F> {
+    /// Attaches a warm-machine requirement.
+    #[must_use]
+    pub fn with_warm(mut self, warm: WarmSpec) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+}
+
+impl<F> JobSpec for FnJob<F>
+where
+    F: Fn(Option<&MachineSnapshot>, usize, u64) -> Json + Send + Sync + 'static,
+{
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn cells(&self) -> Vec<String> {
+        self.cells.clone()
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn warm(&self) -> Option<WarmSpec> {
+        self.warm.clone()
+    }
+
+    fn run_trial(&self, warm: Option<&MachineSnapshot>, cell: usize, seed: u64) -> Json {
+        (self.f)(warm, cell, seed)
+    }
+}
+
+/// Wraps a closure as a [`JobSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use campaignd::fn_job;
+/// use campaign::Json;
+///
+/// let job = fn_job("parity", &["even", "odd"], 16, 42, |_, cell, seed| {
+///     Json::Bool(seed % 2 == cell as u64)
+/// });
+/// # use campaignd::JobSpec;
+/// assert_eq!(job.cells().len(), 2);
+/// ```
+pub fn fn_job<F>(name: impl Into<String>, cells: &[&str], trials: u32, seed: u64, f: F) -> FnJob<F>
+where
+    F: Fn(Option<&MachineSnapshot>, usize, u64) -> Json + Send + Sync + 'static,
+{
+    FnJob {
+        name: name.into(),
+        cells: cells.iter().map(|c| (*c).to_string()).collect(),
+        trials,
+        seed,
+        warm: None,
+        f,
+    }
+}
+
+/// The built-in machine-probe job: fork the warm machine, run a short burst
+/// of steering-shaped allocator traffic, and fingerprint the resulting
+/// frames + clock + stats. This is the job the `campaignd` file queue
+/// accepts and the `exp_t12` throughput campaign streams — heavy enough to
+/// exercise fork + substrate, cheap enough to run by the hundred.
+#[derive(Debug, Clone)]
+pub struct ProbeJob {
+    name: String,
+    config: MachineConfig,
+    warm_pages: u64,
+    trials: u32,
+    seed: u64,
+}
+
+impl ProbeJob {
+    /// A probe job over `config`, warmed with `warm_pages` pages.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        config: MachineConfig,
+        warm_pages: u64,
+        trials: u32,
+        seed: u64,
+    ) -> Self {
+        ProbeJob {
+            name: name.into(),
+            config,
+            warm_pages,
+            trials,
+            seed,
+        }
+    }
+
+    /// The measured per-trial workload, shared with the cold-boot reference
+    /// paths: a seed-dependent mmap/fill burst, fingerprinted over the
+    /// frames it received, the simulated clock and the machine stats.
+    #[must_use]
+    pub fn probe(machine: &mut SimMachine, seed: u64) -> u64 {
+        let proc = machine.spawn(CpuId(0));
+        let pages = 2 + seed % 7;
+        let va = machine.mmap(proc, pages).expect("probe mmap");
+        machine
+            .fill(proc, va, pages * PAGE_SIZE, (seed % 251) as u8)
+            .expect("probe fill");
+        let frames: Vec<u64> = (0..pages)
+            .map(|i| {
+                machine
+                    .translate(proc, va + i * PAGE_SIZE)
+                    .expect("touched page translates")
+                    .as_u64()
+                    / PAGE_SIZE
+            })
+            .collect();
+        fnv1a(format!("{frames:?}|{}|{}", machine.now(), machine.stats()).as_bytes())
+    }
+}
+
+impl JobSpec for ProbeJob {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec!["probe".to_string()]
+    }
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn warm(&self) -> Option<WarmSpec> {
+        Some(WarmSpec {
+            config: self.config.clone(),
+            warm_pages: self.warm_pages,
+        })
+    }
+
+    fn run_trial(&self, warm: Option<&MachineSnapshot>, _cell: usize, seed: u64) -> Json {
+        let mut machine = warm.expect("probe jobs declare a warm spec").fork();
+        Json::UInt(Self::probe(&mut machine, seed))
+    }
+}
+
+/// One reduced cell of a finished job: the cell name and its trial outputs
+/// in trial-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobCell {
+    /// Cell name from [`JobSpec::cells`].
+    pub name: String,
+    /// Trial outputs, index `t` holding the trial seeded with grid index
+    /// `cell · trials + t`.
+    pub trials: Vec<Json>,
+}
+
+/// What the server emits — streamed per job, as each job finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Server-assigned submission id (monotonic in submission order).
+    pub id: u64,
+    /// The job's [`JobSpec::name`].
+    pub name: String,
+    /// Success or failure.
+    pub outcome: JobOutcome,
+}
+
+/// A finished job's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// All trials ran; deterministic artifacts reduced in trial-index
+    /// order.
+    Completed {
+        /// The job's summary record (see [`reduce_job`] for the schema).
+        summary: Json,
+        /// The job's event trace (deterministic lifecycle events only).
+        trace: Json,
+    },
+    /// A trial panicked; the job was isolated and reported, the server
+    /// kept serving.
+    Failed {
+        /// The panic message of the first failing trial.
+        error: String,
+    },
+}
+
+impl JobResult {
+    /// `true` if the job completed.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self.outcome, JobOutcome::Completed { .. })
+    }
+
+    /// The rendered summary artifact bytes, if completed. This is the
+    /// per-job analogue of `results/summary.json`: byte-identical across
+    /// schedulers, worker counts and cache states.
+    #[must_use]
+    pub fn summary_bytes(&self) -> Option<String> {
+        match &self.outcome {
+            JobOutcome::Completed { summary, .. } => Some(summary.pretty()),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The rendered trace artifact bytes, if completed — same contract as
+    /// [`JobResult::summary_bytes`].
+    #[must_use]
+    pub fn trace_bytes(&self) -> Option<String> {
+        match &self.outcome {
+            JobOutcome::Completed { trace, .. } => Some(trace.pretty()),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Reduces a finished job's cells into its deterministic `(summary, trace)`
+/// artifacts.
+///
+/// The summary mirrors a campaign's `summary.json` record: seed, trials per
+/// cell, and per-cell trial arrays with FNV-1a fingerprints. The trace is
+/// the job's lifecycle event list. Both are pure functions of the job spec
+/// and the trial outputs in trial-index order — nothing scheduler-visible
+/// (worker ids, steal counts, cache hits, wall-clock) may appear here, and
+/// the scheduler-equivalence suite enforces that byte-for-byte.
+#[must_use]
+pub fn reduce_job(spec: &dyn JobSpec, cells: &[JobCell]) -> (Json, Json) {
+    let mut summary = Json::obj();
+    summary.set("name", spec.name());
+    summary.set("seed", spec.seed());
+    summary.set("trials_per_cell", spec.trials());
+    let mut events = vec![{
+        let mut e = Json::obj();
+        e.set("event", "job-accepted");
+        e.set("job", spec.name());
+        e.set("cells", cells.len());
+        e.set("trials_per_cell", spec.trials());
+        e
+    }];
+    let mut rendered_cells = Vec::new();
+    let mut job_digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for cell in cells {
+        let fingerprint = fnv1a(Json::Arr(cell.trials.clone()).pretty().as_bytes());
+        job_digest = fnv1a(format!("{job_digest:x}:{fingerprint:x}").as_bytes());
+        let mut record = Json::obj();
+        record.set("name", cell.name.as_str());
+        record.set("trials", Json::Arr(cell.trials.clone()));
+        record.set("fingerprint", fingerprint);
+        rendered_cells.push(record);
+        let mut e = Json::obj();
+        e.set("event", "cell-reduced");
+        e.set("cell", cell.name.as_str());
+        e.set("fingerprint", fingerprint);
+        events.push(e);
+    }
+    summary.set("cells", Json::Arr(rendered_cells));
+    summary.set("fingerprint", job_digest);
+    let mut done = Json::obj();
+    done.set("event", "job-reduced");
+    done.set("job", spec.name());
+    done.set("fingerprint", job_digest);
+    events.push(done);
+
+    let mut trace = Json::obj();
+    trace.set("event_count", events.len());
+    trace.set("events", Json::Arr(events));
+    (summary, trace)
+}
+
+/// Builds the warm artifact for a job's spec through a shared cache —
+/// `campaignd`'s single warm-pool implementation (the same
+/// [`campaign::WarmCache`] the exp binaries use via
+/// [`campaign::warm_scenario_in`]).
+pub fn warm_for(
+    cache: &campaign::WarmCache<MachineSnapshot>,
+    spec: &dyn JobSpec,
+) -> Option<Arc<MachineSnapshot>> {
+    spec.warm()
+        .map(|warm| cache.get_or_boot(warm.key(), || warm.boot()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_spec_keys_separate_config_and_depth() {
+        let spec = |seed, pages| WarmSpec {
+            config: MachineConfig::small(seed),
+            warm_pages: pages,
+        };
+        assert_eq!(spec(1, 64).key(), spec(1, 64).key());
+        assert_ne!(spec(1, 64).key(), spec(2, 64).key());
+        assert_ne!(spec(1, 64).key(), spec(1, 128).key());
+    }
+
+    #[test]
+    fn reduce_is_a_pure_function_of_cells() {
+        let job = fn_job("j", &["a", "b"], 2, 7, |_, _, seed| Json::UInt(seed));
+        let cells = vec![
+            JobCell {
+                name: "a".into(),
+                trials: vec![Json::UInt(1), Json::UInt(2)],
+            },
+            JobCell {
+                name: "b".into(),
+                trials: vec![Json::UInt(3), Json::UInt(4)],
+            },
+        ];
+        let (s1, t1) = reduce_job(&job, &cells);
+        let (s2, t2) = reduce_job(&job, &cells);
+        assert_eq!(s1.pretty(), s2.pretty());
+        assert_eq!(t1.pretty(), t2.pretty());
+        // Different trial bytes change the job fingerprint.
+        let mut other = cells.clone();
+        other[1].trials[1] = Json::UInt(5);
+        let (s3, _) = reduce_job(&job, &other);
+        assert_ne!(
+            s1.get("fingerprint").and_then(Json::as_u64),
+            s3.get("fingerprint").and_then(Json::as_u64)
+        );
+    }
+
+    #[test]
+    fn probe_job_is_deterministic_per_seed() {
+        let warm = WarmSpec {
+            config: MachineConfig::small(3),
+            warm_pages: 64,
+        }
+        .boot();
+        let job = ProbeJob::new("p", MachineConfig::small(3), 64, 4, 9);
+        let a = job.run_trial(Some(&warm), 0, 1234);
+        let b = job.run_trial(Some(&warm), 0, 1234);
+        assert_eq!(a, b);
+        assert_ne!(a, job.run_trial(Some(&warm), 0, 1235));
+    }
+}

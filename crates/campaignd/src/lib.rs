@@ -1,0 +1,49 @@
+//! Campaign-as-a-service for the ExplFrame workspace.
+//!
+//! The in-process [`campaign`] engine runs one campaign at a time: build a
+//! scenario matrix, call `run`, get a summary. `campaignd` turns that into
+//! a **service**: a resident [`CampaignServer`] accepts many concurrent,
+//! heterogeneous [`JobSpec`]s, schedules their trials across a shared
+//! worker pool with a work-stealing deque ([`campaign::StealDeque`]),
+//! reuses warm [`machine::MachineSnapshot`]s across jobs through a
+//! fingerprint-keyed LRU ([`campaign::WarmCache`]), applies backpressure
+//! at a configurable in-flight bound, and streams each job's result the
+//! moment it reduces.
+//!
+//! # The output contract
+//!
+//! A job's artifacts are a pure function of its spec. Scheduler kind
+//! ([`SchedulerKind`]), worker count, steal interleaving and warm-cache
+//! hits are **byte-level unobservable** in every `summary`/`trace` the
+//! server emits, because trials write into index-addressed slots and the
+//! reduction always walks them in trial-index order. The [`equiv`] module
+//! is the executable statement of this contract and the
+//! scheduler-equivalence test battery enforces it.
+//!
+//! # Modules
+//!
+//! * [`job`] — [`JobSpec`], the closure job [`fn_job`], the built-in
+//!   machine [`ProbeJob`], warm requirements ([`WarmSpec`]) and the
+//!   deterministic per-job reduction ([`reduce_job`]).
+//! * [`server`] — [`CampaignServer`] itself: submission, backpressure,
+//!   expansion, stealing, panic isolation, streaming.
+//! * [`equiv`] — the scheduler-equivalence harness
+//!   ([`assert_scheduler_equivalence`]).
+//! * [`spool`] — the daemon's file-queue job API (the `campaignd` binary
+//!   is a thin loop over [`Spool`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod equiv;
+pub mod job;
+pub mod server;
+pub mod spool;
+
+pub use equiv::{assert_scheduler_equivalence, collect_results, run_jobs, JobArtifacts};
+pub use job::{
+    fn_job, reduce_job, warm_for, FnJob, JobCell, JobOutcome, JobResult, JobSpec, ProbeJob,
+    WarmSpec,
+};
+pub use server::{CampaignServer, SchedulerKind, ServerConfig, ServerStats, SubmitError};
+pub use spool::{parse_job_file, render_result, Spool, SpoolError};

@@ -1,0 +1,677 @@
+//! The campaign server: a resident worker pool that multiplexes many
+//! concurrent campaign jobs.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  submit ──▶ pending queue ──▶ expansion ──▶ per-worker steal deques
+//!   (backpressure:  bounded)    (warm cache     (owner pops bottom,
+//!                                get-or-boot)    thieves steal top)
+//!                                      │
+//!                                      ▼
+//!                               trial slots[index]
+//!                                      │  last task
+//!                                      ▼
+//!                        index-order reduce ──▶ streamed JobResult
+//! ```
+//!
+//! Workers drain their own deque LIFO, steal FIFO from peers when dry, and
+//! expand the next pending job when there is nothing to steal. A job's
+//! trials write into a pre-sized slot table addressed by flat trial index;
+//! whichever task finishes last reduces the slots **in index order** and
+//! streams the [`JobResult`]. That reduction discipline is the whole
+//! determinism story: any scheduler that runs every index exactly once
+//! produces byte-identical artifacts, so worker count, steal interleaving
+//! and cache hits are unobservable in job output (the scheduler-equivalence
+//! suite pins this).
+//!
+//! # Failure containment
+//!
+//! A panicking trial (or warm boot) marks its job failed without touching
+//! the pool: remaining trials of the job still run (their slots are simply
+//! discarded), the job streams a [`JobOutcome::Failed`], and every other
+//! job proceeds untouched.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use campaign::{mix64, trial_seed, CacheStats, Json, StealDeque, WarmCache};
+use machine::MachineSnapshot;
+
+use crate::job::{reduce_job, warm_for, JobCell, JobOutcome, JobResult, JobSpec};
+
+/// How a server distributes and balances a job's trials.
+///
+/// Every kind satisfies the exactly-once contract, so they are
+/// **unobservable in job artifacts** — the choice only affects load
+/// balance (and, for [`SchedulerKind::AdversarialSteal`], how hard the
+/// equivalence suite shakes the pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Contiguous per-worker chunks, no stealing — the static distribution
+    /// the in-process campaign runner used before work stealing existed.
+    StaticPartition,
+    /// Expanding worker keeps the whole job; idle peers steal FIFO from
+    /// the top (Chase–Lev discipline). The default.
+    WorkStealing,
+    /// Seeded chaos for testing: trials are dealt shuffled across workers
+    /// and thieves pick seeded victims, maximising interleaving diversity
+    /// per seed.
+    AdversarialSteal(u64),
+}
+
+/// Server tuning: pool size, backpressure bound, warm-cache capacity and
+/// scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Maximum jobs accepted but not yet finished; [`CampaignServer::submit`]
+    /// blocks and [`CampaignServer::try_submit`] rejects at the bound.
+    pub queue_bound: usize,
+    /// Warm snapshot cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Trial distribution / balancing policy.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_bound: 8,
+            cache_capacity: 4,
+            scheduler: SchedulerKind::WorkStealing,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The in-flight bound is reached ([`CampaignServer::try_submit`] only;
+    /// `submit` blocks instead).
+    Full,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// Lifetime counters, returned by [`CampaignServer::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Jobs accepted.
+    pub jobs_submitted: u64,
+    /// Jobs that completed with artifacts.
+    pub jobs_completed: u64,
+    /// Jobs isolated after a panicking trial or warm boot.
+    pub jobs_failed: u64,
+    /// Warm snapshot cache counters.
+    pub cache: CacheStats,
+}
+
+/// One accepted job mid-execution: its spec, warm snapshot, slot table and
+/// completion bookkeeping.
+struct JobRun {
+    id: u64,
+    spec: Arc<dyn JobSpec>,
+    warm: Option<Arc<MachineSnapshot>>,
+    trials: usize,
+    slots: Vec<Mutex<Option<Json>>>,
+    remaining: AtomicUsize,
+    failure: Mutex<Option<String>>,
+}
+
+/// A schedulable unit: one trial of one job.
+struct Task {
+    job: Arc<JobRun>,
+    index: usize,
+}
+
+struct State {
+    pending: VecDeque<(u64, Arc<dyn JobSpec>)>,
+    jobs_in_flight: usize,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    config: ServerConfig,
+    state: Mutex<State>,
+    wakeup: Condvar,
+    deques: Vec<StealDeque<Task>>,
+    cache: WarmCache<MachineSnapshot>,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+}
+
+/// The campaign-as-a-service entry point: start once, submit many jobs,
+/// read streamed [`JobResult`]s from the receiver, then
+/// [`shutdown`](CampaignServer::shutdown).
+///
+/// # Examples
+///
+/// ```
+/// use campaignd::{fn_job, CampaignServer, ServerConfig};
+/// use campaign::Json;
+/// use std::sync::Arc;
+///
+/// let (server, results) = CampaignServer::start(ServerConfig::default());
+/// server.submit(Arc::new(fn_job("double", &["c"], 4, 7, |_, _, seed| {
+///     Json::UInt(seed.wrapping_mul(2))
+/// }))).unwrap();
+/// let result = results.recv().unwrap();
+/// assert!(result.is_completed());
+/// let stats = server.shutdown();
+/// assert_eq!(stats.jobs_completed, 1);
+/// ```
+pub struct CampaignServer {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl CampaignServer {
+    /// Starts the worker pool; returns the server handle and the result
+    /// stream. Results arrive in **completion** order; pair them with
+    /// submissions via [`JobResult::id`].
+    #[must_use]
+    pub fn start(config: ServerConfig) -> (CampaignServer, mpsc::Receiver<JobResult>) {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            config: ServerConfig { workers, ..config },
+            state: Mutex::new(State {
+                pending: VecDeque::new(),
+                jobs_in_flight: 0,
+                next_id: 0,
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            deques: (0..workers).map(|_| StealDeque::new()).collect(),
+            cache: WarmCache::new(config.cache_capacity),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        let handles = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                let tx = tx.clone();
+                thread::Builder::new()
+                    .name(format!("campaignd-worker-{w}"))
+                    .spawn(move || worker_loop(&inner, w, &tx))
+                    .expect("spawn campaignd worker")
+            })
+            .collect();
+        (
+            CampaignServer {
+                inner,
+                handles: Mutex::new(handles),
+            },
+            rx,
+        )
+    }
+
+    /// Submits a job, blocking while the in-flight bound is reached.
+    /// Returns the job's id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShuttingDown`] once [`shutdown`](Self::shutdown) has
+    /// begun (including while blocked waiting for capacity).
+    pub fn submit(&self, spec: Arc<dyn JobSpec>) -> Result<u64, SubmitError> {
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        loop {
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.jobs_in_flight < self.inner.config.queue_bound {
+                return Ok(self.inner.accept(&mut state, spec));
+            }
+            state = self
+                .inner
+                .wakeup
+                .wait(state)
+                .expect("server state poisoned");
+        }
+    }
+
+    /// Non-blocking submit: rejects with [`SubmitError::Full`] at the
+    /// bound instead of waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at the in-flight bound;
+    /// [`SubmitError::ShuttingDown`] once shutdown has begun.
+    pub fn try_submit(&self, spec: Arc<dyn JobSpec>) -> Result<u64, SubmitError> {
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.jobs_in_flight >= self.inner.config.queue_bound {
+            return Err(SubmitError::Full);
+        }
+        Ok(self.inner.accept(&mut state, spec))
+    }
+
+    /// Blocks until every accepted job has streamed its result. New
+    /// submissions remain possible afterwards.
+    pub fn drain(&self) {
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        while state.jobs_in_flight > 0 {
+            state = self
+                .inner
+                .wakeup
+                .wait(state)
+                .expect("server state poisoned");
+        }
+    }
+
+    /// Jobs accepted but not yet finished.
+    #[must_use]
+    pub fn jobs_in_flight(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .jobs_in_flight
+    }
+
+    /// Current lifetime counters (also returned by
+    /// [`shutdown`](Self::shutdown)).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let state = self.inner.state.lock().expect("server state poisoned");
+        ServerStats {
+            jobs_submitted: state.next_id,
+            jobs_completed: self.inner.jobs_completed.load(Ordering::SeqCst),
+            jobs_failed: self.inner.jobs_failed.load(Ordering::SeqCst),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// Begins shutdown without waiting: submissions are refused from this
+    /// point on, but accepted jobs still run to completion and stream
+    /// their results. Call [`shutdown`](Self::shutdown) (or drop the
+    /// server) to wait for the workers. This is the daemon's signal path —
+    /// safe to call from any thread, idempotent.
+    pub fn begin_shutdown(&self) {
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        state.shutdown = true;
+        self.inner.wakeup.notify_all();
+    }
+
+    /// Drains every accepted job (in-flight work always completes), stops
+    /// the workers, and returns the lifetime counters.
+    #[must_use]
+    pub fn shutdown(self) -> ServerStats {
+        self.finish();
+        self.stats()
+    }
+
+    fn finish(&self) {
+        self.begin_shutdown();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("handle list poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            handle.join().expect("campaignd worker panicked");
+        }
+    }
+}
+
+impl Drop for CampaignServer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+impl Inner {
+    /// Accepts a job under the state lock: assigns its id, counts it
+    /// in-flight, queues it for expansion and wakes a worker.
+    fn accept(&self, state: &mut State, spec: Arc<dyn JobSpec>) -> u64 {
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs_in_flight += 1;
+        state.pending.push_back((id, spec));
+        self.wakeup.notify_all();
+        id
+    }
+
+    /// Marks a job finished: streams its result, releases its in-flight
+    /// slot and wakes blocked submitters / drainers.
+    fn finish_job(&self, result: JobResult, tx: &mpsc::Sender<JobResult>) {
+        let counter = if result.is_completed() {
+            &self.jobs_completed
+        } else {
+            &self.jobs_failed
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        // The receiver may be gone (caller only wanted stats); that must
+        // not wedge the pool.
+        let _ = tx.send(result);
+        let mut state = self.state.lock().expect("server state poisoned");
+        state.jobs_in_flight -= 1;
+        self.wakeup.notify_all();
+    }
+}
+
+/// A worker: pop own deque, steal, expand the next pending job, or idle.
+fn worker_loop(inner: &Inner, w: usize, tx: &mpsc::Sender<JobResult>) {
+    // Deterministic per-worker RNG stream for AdversarialSteal victim
+    // selection (splitmix64 over a worker-salted state).
+    let mut rng_state = match inner.config.scheduler {
+        SchedulerKind::AdversarialSteal(seed) => seed ^ mix64(w as u64 + 1),
+        _ => 0,
+    };
+    let mut next = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(rng_state)
+    };
+    loop {
+        if let Some(task) = inner.deques[w].pop() {
+            run_task(inner, task, tx);
+            continue;
+        }
+        if let Some(task) = steal_task(inner, w, &mut next) {
+            run_task(inner, task, tx);
+            continue;
+        }
+        if expand_next_job(inner, w, &mut next, tx) {
+            continue;
+        }
+        let state = inner.state.lock().expect("server state poisoned");
+        if state.shutdown && state.jobs_in_flight == 0 {
+            return;
+        }
+        // Short timed wait instead of a bare condvar wait: tasks appear in
+        // peer deques without a notification, so a sleeping worker must
+        // recheck for steal opportunities on its own.
+        let _unused = inner
+            .wakeup
+            .wait_timeout(state, Duration::from_millis(2))
+            .expect("server state poisoned");
+    }
+}
+
+/// Victim scan per scheduler kind. `StaticPartition` never steals; the
+/// others scan every peer once, starting round-robin or at a seeded victim.
+fn steal_task(inner: &Inner, w: usize, next: &mut impl FnMut() -> u64) -> Option<Task> {
+    let n = inner.deques.len();
+    let start = match inner.config.scheduler {
+        SchedulerKind::StaticPartition => return None,
+        SchedulerKind::WorkStealing => w + 1,
+        SchedulerKind::AdversarialSteal(_) => (next() % n.max(1) as u64) as usize,
+    };
+    (0..n)
+        .map(|step| (start + step) % n)
+        .filter(|&victim| victim != w)
+        .find_map(|victim| inner.deques[victim].steal())
+}
+
+/// Pops one pending job, boots (or cache-hits) its warm machine, and deals
+/// its trial tasks across the deques per the scheduler kind. Returns
+/// `false` when no job was pending.
+fn expand_next_job(
+    inner: &Inner,
+    w: usize,
+    next: &mut impl FnMut() -> u64,
+    tx: &mpsc::Sender<JobResult>,
+) -> bool {
+    let Some((id, spec)) = inner
+        .state
+        .lock()
+        .expect("server state poisoned")
+        .pending
+        .pop_front()
+    else {
+        return false;
+    };
+    let warm = match catch_unwind(AssertUnwindSafe(|| warm_for(&inner.cache, spec.as_ref()))) {
+        Ok(warm) => warm,
+        Err(panic) => {
+            inner.finish_job(
+                JobResult {
+                    id,
+                    name: spec.name(),
+                    outcome: JobOutcome::Failed {
+                        error: format!("warm boot panicked: {}", panic_message(panic.as_ref())),
+                    },
+                },
+                tx,
+            );
+            return true;
+        }
+    };
+    let trials = spec.trials() as usize;
+    let total = spec.cells().len() * trials;
+    let job = Arc::new(JobRun {
+        id,
+        spec,
+        warm,
+        trials,
+        slots: (0..total).map(|_| Mutex::new(None)).collect(),
+        remaining: AtomicUsize::new(total),
+        failure: Mutex::new(None),
+    });
+    if total == 0 {
+        finalize_job(inner, &job, tx);
+        return true;
+    }
+    let n = inner.deques.len();
+    match inner.config.scheduler {
+        // Contiguous chunks, one per worker — the legacy static split.
+        SchedulerKind::StaticPartition => {
+            let chunk = total.div_ceil(n);
+            for (worker, indices) in (0..total).collect::<Vec<_>>().chunks(chunk).enumerate() {
+                for &index in indices {
+                    inner.deques[worker].push(Task {
+                        job: Arc::clone(&job),
+                        index,
+                    });
+                }
+            }
+        }
+        // The expanding worker keeps the whole job; peers steal.
+        SchedulerKind::WorkStealing => {
+            for index in 0..total {
+                inner.deques[w].push(Task {
+                    job: Arc::clone(&job),
+                    index,
+                });
+            }
+        }
+        // Shuffle the indices (Fisher–Yates over a job-salted stream) and
+        // deal them round-robin, so no worker holds a contiguous range.
+        SchedulerKind::AdversarialSteal(seed) => {
+            let mut indices: Vec<usize> = (0..total).collect();
+            let mut shuffle_state = mix64(seed ^ mix64(id + 1));
+            let mut shuffle_next = || {
+                shuffle_state = shuffle_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                mix64(shuffle_state)
+            };
+            for i in (1..indices.len()).rev() {
+                indices.swap(i, (shuffle_next() % (i as u64 + 1)) as usize);
+            }
+            let offset = (next() % n as u64) as usize;
+            for (k, index) in indices.into_iter().enumerate() {
+                inner.deques[(offset + k) % n].push(Task {
+                    job: Arc::clone(&job),
+                    index,
+                });
+            }
+        }
+    }
+    inner.wakeup.notify_all();
+    true
+}
+
+/// Runs one trial with panic containment and finalizes the job if this was
+/// its last outstanding task.
+fn run_task(inner: &Inner, task: Task, tx: &mpsc::Sender<JobResult>) {
+    let job = task.job;
+    let spec = job.spec.as_ref();
+    let already_failed = job.failure.lock().expect("failure flag poisoned").is_some();
+    if !already_failed {
+        let cell = task.index / job.trials;
+        let seed = trial_seed(spec.seed(), task.index as u64);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            spec.run_trial(job.warm.as_deref(), cell, seed)
+        }));
+        match outcome {
+            Ok(value) => {
+                *job.slots[task.index].lock().expect("slot poisoned") = Some(value);
+            }
+            Err(panic) => {
+                let mut failure = job.failure.lock().expect("failure flag poisoned");
+                if failure.is_none() {
+                    *failure = Some(format!(
+                        "trial {} panicked: {}",
+                        task.index,
+                        panic_message(panic.as_ref())
+                    ));
+                }
+            }
+        }
+    }
+    if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        finalize_job(inner, &job, tx);
+    }
+}
+
+/// Reduces a finished job's slots in trial-index order and streams the
+/// result.
+fn finalize_job(inner: &Inner, job: &Arc<JobRun>, tx: &mpsc::Sender<JobResult>) {
+    let spec = job.spec.as_ref();
+    let failure = job.failure.lock().expect("failure flag poisoned").take();
+    let outcome = if let Some(error) = failure {
+        JobOutcome::Failed { error }
+    } else {
+        let cells: Vec<JobCell> = spec
+            .cells()
+            .into_iter()
+            .enumerate()
+            .map(|(c, name)| JobCell {
+                name,
+                trials: (0..job.trials)
+                    .map(|t| {
+                        job.slots[c * job.trials + t]
+                            .lock()
+                            .expect("slot poisoned")
+                            .take()
+                            .expect("every trial slot is filled before finalize")
+                    })
+                    .collect(),
+            })
+            .collect();
+        let (summary, trace) = reduce_job(spec, &cells);
+        JobOutcome::Completed { summary, trace }
+    };
+    inner.finish_job(
+        JobResult {
+            id: job.id,
+            name: spec.name(),
+            outcome,
+        },
+        tx,
+    );
+}
+
+/// Best-effort panic payload rendering (str / String payloads, the common
+/// cases; anything else gets a placeholder).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::fn_job;
+
+    fn arith_job(name: &str, trials: u32, seed: u64) -> Arc<dyn JobSpec> {
+        Arc::new(fn_job(
+            name,
+            &["lo", "hi"],
+            trials,
+            seed,
+            |_, cell, seed| Json::UInt(seed.rotate_left(cell as u32)),
+        ))
+    }
+
+    #[test]
+    fn jobs_complete_and_ids_are_submission_ordered() {
+        let (server, rx) = CampaignServer::start(ServerConfig::default());
+        let a = server.submit(arith_job("a", 8, 1)).unwrap();
+        let b = server.submit(arith_job("b", 8, 2)).unwrap();
+        assert_eq!((a, b), (0, 1));
+        let mut results: Vec<JobResult> = (0..2).map(|_| rx.recv().unwrap()).collect();
+        results.sort_by_key(|r| r.id);
+        assert_eq!(results[0].name, "a");
+        assert_eq!(results[1].name, "b");
+        assert!(results.iter().all(JobResult::is_completed));
+        let stats = server.shutdown();
+        assert_eq!(stats.jobs_submitted, 2);
+        assert_eq!(stats.jobs_completed, 2);
+        assert_eq!(stats.jobs_failed, 0);
+    }
+
+    #[test]
+    fn zero_trial_jobs_complete_with_empty_cells() {
+        let (server, rx) = CampaignServer::start(ServerConfig::default());
+        server.submit(arith_job("empty", 0, 3)).unwrap();
+        let result = rx.recv().unwrap();
+        assert!(result.is_completed());
+        let summary = result.summary_bytes().unwrap();
+        assert!(summary.contains("\"trials_per_cell\": 0"));
+        drop(rx);
+        assert_eq!(server.shutdown().jobs_completed, 1);
+    }
+
+    #[test]
+    fn results_stream_while_server_keeps_running() {
+        let (server, rx) = CampaignServer::start(ServerConfig::default());
+        server.submit(arith_job("first", 4, 1)).unwrap();
+        let first = rx.recv().unwrap();
+        assert_eq!(first.name, "first");
+        // The pool is still serving: a job submitted after the first
+        // result arrived completes too.
+        server.submit(arith_job("second", 4, 2)).unwrap();
+        assert_eq!(rx.recv().unwrap().name, "second");
+        drop(rx);
+        let _stats = server.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_receiver_does_not_wedge_the_pool() {
+        let (server, rx) = CampaignServer::start(ServerConfig::default());
+        drop(rx);
+        server.submit(arith_job("orphan", 16, 5)).unwrap();
+        server.drain();
+        assert_eq!(server.shutdown().jobs_completed, 1);
+    }
+}

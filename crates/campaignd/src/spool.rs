@@ -1,0 +1,320 @@
+//! The `campaignd` file-queue: a directory-based job API for the daemon.
+//!
+//! Clients drop `<stem>.job.json` files into the spool directory; the
+//! daemon claims each file (rename to `<stem>.job.claimed`, so a crashed
+//! run never double-submits), schedules it on its [`CampaignServer`], and
+//! writes `<stem>.result.json` (atomic temp-file + rename) when the job
+//! streams back. Dropping a file named `campaignd.stop` asks the daemon to
+//! drain and exit.
+//!
+//! A job file is a flat JSON object:
+//!
+//! ```json
+//! {
+//!   "name": "probe-small",
+//!   "preset": "small",
+//!   "config_seed": 7,
+//!   "warm_pages": 64,
+//!   "trials": 32,
+//!   "seed": 42
+//! }
+//! ```
+//!
+//! `preset` selects a [`MachineConfig`] preset (`small`, `medium`,
+//! `desktop`); the job runs the built-in machine probe
+//! ([`crate::ProbeJob`]) over a warm snapshot of that machine, so two job
+//! files naming the same preset, seed and warm-up share one boot through
+//! the server's warm cache.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use campaign::Json;
+use machine::MachineConfig;
+
+use crate::job::{JobOutcome, JobResult, ProbeJob};
+use crate::server::{CampaignServer, ServerConfig, ServerStats};
+
+/// Suffix of submittable job files.
+pub const JOB_SUFFIX: &str = ".job.json";
+/// Suffix a claimed job file is renamed to.
+pub const CLAIMED_SUFFIX: &str = ".job.claimed";
+/// Suffix of written result files.
+pub const RESULT_SUFFIX: &str = ".result.json";
+/// Sentinel file requesting daemon shutdown.
+pub const STOP_FILE: &str = "campaignd.stop";
+
+/// A malformed job file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpoolError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad job file: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpoolError {}
+
+/// Parses a job file's text into the probe job it describes.
+///
+/// # Errors
+///
+/// [`SpoolError`] naming the missing/bad field or the JSON parse failure.
+pub fn parse_job_file(text: &str) -> Result<ProbeJob, SpoolError> {
+    let doc = Json::parse(text).map_err(|e| SpoolError {
+        message: e.to_string(),
+    })?;
+    let str_field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| SpoolError {
+                message: format!("missing string field '{key}'"),
+            })
+    };
+    let u64_field = |key: &str, default: u64| match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| SpoolError {
+            message: format!("field '{key}' must be a non-negative integer"),
+        }),
+    };
+    let name = str_field("name")?;
+    let preset = str_field("preset")?;
+    let config_seed = u64_field("config_seed", 0)?;
+    let config = match preset.as_str() {
+        "small" => MachineConfig::small(config_seed),
+        "medium" => MachineConfig::medium(config_seed),
+        "desktop" => MachineConfig::desktop(config_seed),
+        other => {
+            return Err(SpoolError {
+                message: format!("unknown preset '{other}' (small|medium|desktop)"),
+            })
+        }
+    };
+    let warm_pages = u64_field("warm_pages", machine::WARMUP_PAGES)?;
+    let trials = u32::try_from(u64_field("trials", 16)?).map_err(|_| SpoolError {
+        message: "field 'trials' out of range".to_string(),
+    })?;
+    let seed = u64_field("seed", 0)?;
+    Ok(ProbeJob::new(name, config, warm_pages, trials, seed))
+}
+
+/// Renders a streamed [`JobResult`] as the result-file document.
+#[must_use]
+pub fn render_result(result: &JobResult) -> String {
+    let mut doc = Json::obj();
+    doc.set("id", result.id);
+    doc.set("name", result.name.as_str());
+    match &result.outcome {
+        JobOutcome::Completed { summary, trace } => {
+            doc.set("status", "completed");
+            doc.set("summary", summary.clone());
+            doc.set("trace", trace.clone());
+        }
+        JobOutcome::Failed { error } => {
+            doc.set("status", "failed");
+            doc.set("error", error.as_str());
+        }
+    }
+    doc.pretty()
+}
+
+/// A spool directory bound to a running server: scan, submit, write
+/// results.
+pub struct Spool {
+    dir: PathBuf,
+    server: CampaignServer,
+    rx: mpsc::Receiver<JobResult>,
+    pending: HashMap<u64, String>,
+}
+
+impl Spool {
+    /// Opens `dir` (created if absent) and starts a server with `config`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: impl Into<PathBuf>, config: ServerConfig) -> io::Result<Spool> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let (server, rx) = CampaignServer::start(config);
+        Ok(Spool {
+            dir,
+            server,
+            rx,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// The spool directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// One daemon tick: claim and submit every new job file, then write a
+    /// result file for every job that has streamed back. Malformed job
+    /// files get an immediate failed result instead of poisoning the
+    /// server. Returns `(submitted, results_written)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors scanning the directory or writing files.
+    pub fn poll(&mut self) -> io::Result<(usize, usize)> {
+        let mut submitted = 0;
+        for path in self.job_files()? {
+            let stem = job_stem(&path).expect("job_files only yields job files");
+            let text = fs::read_to_string(&path)?;
+            fs::rename(&path, self.dir.join(format!("{stem}{CLAIMED_SUFFIX}")))?;
+            match parse_job_file(&text) {
+                Ok(job) => {
+                    // Blocking submit: the file queue is elastic, so the
+                    // daemon simply waits out its own backpressure bound.
+                    let id = self
+                        .server
+                        .submit(Arc::new(job))
+                        .expect("spool server accepts jobs until shutdown");
+                    self.pending.insert(id, stem);
+                    submitted += 1;
+                }
+                Err(e) => {
+                    let mut doc = Json::obj();
+                    doc.set("name", stem.as_str());
+                    doc.set("status", "rejected");
+                    doc.set("error", e.to_string());
+                    self.write_result_file(&stem, &doc.pretty())?;
+                    // A rejection is this job's final result: drop the claim
+                    // marker just like a completed job does.
+                    let _ = fs::remove_file(self.dir.join(format!("{stem}{CLAIMED_SUFFIX}")));
+                }
+            }
+        }
+        let mut written = 0;
+        while let Ok(result) = self.rx.try_recv() {
+            self.write_one(&result)?;
+            written += 1;
+        }
+        Ok((submitted, written))
+    }
+
+    /// Blocks until every submitted job has a result file on disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing result files.
+    pub fn drain(&mut self) -> io::Result<usize> {
+        let mut written = 0;
+        while !self.pending.is_empty() {
+            let result = self.rx.recv().expect("server streams every accepted job");
+            self.write_one(&result)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// `true` once the stop sentinel exists in the spool directory.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.dir.join(STOP_FILE).exists()
+    }
+
+    /// Jobs submitted but without a result file yet.
+    #[must_use]
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Stops the server (draining in-flight work) and returns its stats.
+    #[must_use]
+    pub fn shutdown(self) -> ServerStats {
+        self.server.shutdown()
+    }
+
+    fn write_one(&mut self, result: &JobResult) -> io::Result<()> {
+        let stem = self
+            .pending
+            .remove(&result.id)
+            .unwrap_or_else(|| format!("job-{}", result.id));
+        self.write_result_file(&stem, &render_result(result))?;
+        // The claim marker has served its purpose once the result exists.
+        let _ = fs::remove_file(self.dir.join(format!("{stem}{CLAIMED_SUFFIX}")));
+        Ok(())
+    }
+
+    fn write_result_file(&self, stem: &str, text: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".{stem}{RESULT_SUFFIX}.tmp"));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.dir.join(format!("{stem}{RESULT_SUFFIX}")))
+    }
+
+    /// Submittable job files, sorted by name for deterministic intake
+    /// order.
+    fn job_files(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| job_stem(p).is_some())
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+}
+
+/// The `<stem>` of a `<stem>.job.json` path, if it is one.
+fn job_stem(path: &Path) -> Option<String> {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_suffix(JOB_SUFFIX))
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_job_file() {
+        let job = parse_job_file(
+            r#"{"name":"p","preset":"small","config_seed":3,"warm_pages":32,"trials":4,"seed":9}"#,
+        )
+        .unwrap();
+        use crate::job::JobSpec;
+        assert_eq!(job.name(), "p");
+        assert_eq!(job.trials(), 4);
+        assert_eq!(job.seed(), 9);
+        let warm = job.warm().unwrap();
+        assert_eq!(warm.config, MachineConfig::small(3));
+        assert_eq!(warm.warm_pages, 32);
+    }
+
+    #[test]
+    fn defaults_and_errors_are_reported() {
+        let job = parse_job_file(r#"{"name":"p","preset":"small"}"#).unwrap();
+        use crate::job::JobSpec;
+        assert_eq!(job.trials(), 16);
+        assert_eq!(job.warm().unwrap().warm_pages, machine::WARMUP_PAGES);
+        for bad in [
+            "{",
+            r#"{"preset":"small"}"#,
+            r#"{"name":"p","preset":"tiny"}"#,
+            r#"{"name":"p","preset":"small","trials":-1}"#,
+        ] {
+            assert!(parse_job_file(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn job_stem_matches_only_job_files() {
+        assert_eq!(job_stem(Path::new("/s/x.job.json")).as_deref(), Some("x"));
+        assert_eq!(job_stem(Path::new("/s/x.result.json")), None);
+        assert_eq!(job_stem(Path::new("/s/campaignd.stop")), None);
+    }
+}

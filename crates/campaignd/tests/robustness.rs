@@ -1,0 +1,235 @@
+//! Robustness battery for [`CampaignServer`]: backpressure, panic
+//! isolation, and drain-on-shutdown.
+//!
+//! These tests drive the server through its failure and saturation modes
+//! with gated jobs (trials that block on a condvar until the test opens
+//! them), so every assertion about "queue full" or "still in flight" is
+//! deterministic rather than timing-dependent.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use campaign::Json;
+use campaignd::{fn_job, CampaignServer, JobOutcome, JobSpec, ServerConfig, SubmitError};
+
+/// A reusable open/closed gate; closed gates block trial bodies.
+struct Gate {
+    open: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl Gate {
+    fn closed() -> Arc<Gate> {
+        Arc::new(Gate {
+            open: Mutex::new(false),
+            signal: Condvar::new(),
+        })
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.signal.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.signal.wait(open).unwrap();
+        }
+    }
+}
+
+/// A 1-cell job whose single trial blocks until `gate` opens.
+fn gated_job(name: &str, gate: &Arc<Gate>) -> Arc<dyn JobSpec> {
+    let gate = Arc::clone(gate);
+    Arc::new(fn_job(name, &["gated"], 1, 0, move |_, _, seed| {
+        gate.wait();
+        Json::UInt(seed)
+    }))
+}
+
+fn quick_job(name: &str, seed: u64) -> Arc<dyn JobSpec> {
+    Arc::new(fn_job(name, &["quick"], 4, seed, |_, _, seed| {
+        Json::UInt(seed.wrapping_mul(3))
+    }))
+}
+
+#[test]
+fn try_submit_rejects_deterministically_at_the_bound() {
+    let gate = Gate::closed();
+    let (server, rx) = CampaignServer::start(ServerConfig {
+        workers: 1,
+        queue_bound: 2,
+        ..ServerConfig::default()
+    });
+    // Two gated jobs fill the bound exactly; neither can finish while the
+    // gate is closed, so the third submission's rejection is guaranteed.
+    server.submit(gated_job("g0", &gate)).unwrap();
+    server.submit(gated_job("g1", &gate)).unwrap();
+    assert_eq!(server.jobs_in_flight(), 2);
+    assert_eq!(
+        server.try_submit(quick_job("overflow", 1)).unwrap_err(),
+        SubmitError::Full
+    );
+    // Still full after a retry — rejection is stable, not racy.
+    assert_eq!(
+        server.try_submit(quick_job("overflow", 1)).unwrap_err(),
+        SubmitError::Full
+    );
+    gate.open();
+    server.drain();
+    // Capacity freed: the same job is now accepted and completes.
+    server.try_submit(quick_job("overflow", 1)).unwrap();
+    let results: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
+    assert!(results.iter().all(|r| r.is_completed()));
+    assert_eq!(server.shutdown().jobs_completed, 3);
+}
+
+#[test]
+fn blocking_submit_waits_out_the_bound_instead_of_failing() {
+    let gate = Gate::closed();
+    let (server, rx) = CampaignServer::start(ServerConfig {
+        workers: 1,
+        queue_bound: 1,
+        ..ServerConfig::default()
+    });
+    let server = Arc::new(server);
+    server.submit(gated_job("blocker", &gate)).unwrap();
+    // A second blocking submit must park, then succeed once the opener
+    // thread releases the in-flight job.
+    let opener = {
+        let gate = Arc::clone(&gate);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            gate.open();
+        })
+    };
+    let id = server
+        .submit(quick_job("parked", 2))
+        .expect("blocking submit succeeds after capacity frees");
+    assert_eq!(id, 1);
+    opener.join().unwrap();
+    let mut names: Vec<String> = (0..2).map(|_| rx.recv().unwrap().name).collect();
+    names.sort();
+    assert_eq!(names, ["blocker", "parked"]);
+    drop(rx);
+    assert_eq!(
+        Arc::try_unwrap(server)
+            .ok()
+            .unwrap()
+            .shutdown()
+            .jobs_completed,
+        2
+    );
+}
+
+#[test]
+fn a_panicking_job_is_isolated_and_reported() {
+    let (server, rx) = CampaignServer::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    server.submit(quick_job("before", 1)).unwrap();
+    server
+        .submit(Arc::new(fn_job(
+            "bomb",
+            &["a", "b"],
+            3,
+            9,
+            |_, cell, seed| {
+                assert!(cell != 1, "boom at cell 1");
+                Json::UInt(seed)
+            },
+        )))
+        .unwrap();
+    server.submit(quick_job("after", 2)).unwrap();
+    let mut results: Vec<_> = (0..3).map(|_| rx.recv().unwrap()).collect();
+    results.sort_by_key(|r| r.id);
+    assert!(results[0].is_completed(), "job before the bomb unaffected");
+    assert!(results[2].is_completed(), "job after the bomb unaffected");
+    match &results[1].outcome {
+        JobOutcome::Failed { error } => {
+            assert!(error.contains("panicked"), "error names the panic: {error}");
+            assert!(error.contains("boom"), "panic message preserved: {error}");
+        }
+        other => panic!("bomb job must fail, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!((stats.jobs_completed, stats.jobs_failed), (2, 1));
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_before_stopping() {
+    let (server, rx) = CampaignServer::start(ServerConfig {
+        workers: 2,
+        queue_bound: 16,
+        ..ServerConfig::default()
+    });
+    let accepted = 10;
+    for j in 0..accepted {
+        server.submit(quick_job(&format!("drain-{j}"), j)).unwrap();
+    }
+    // Shut down immediately: every accepted job must still stream a result.
+    let stats = server.shutdown();
+    assert_eq!(stats.jobs_submitted, accepted);
+    assert_eq!(stats.jobs_completed, accepted);
+    let results: Vec<_> = rx.try_iter().collect();
+    assert_eq!(results.len(), accepted as usize);
+    assert!(results.iter().all(|r| r.is_completed()));
+}
+
+#[test]
+fn submissions_after_shutdown_begins_are_refused_but_inflight_completes() {
+    let gate = Gate::closed();
+    let (server, rx) = CampaignServer::start(ServerConfig {
+        workers: 1,
+        queue_bound: 4,
+        ..ServerConfig::default()
+    });
+    server.submit(gated_job("inflight", &gate)).unwrap();
+    server.begin_shutdown();
+    // Both submit flavours refuse, deterministically, while the accepted
+    // job is still running.
+    assert_eq!(
+        server.try_submit(quick_job("late", 7)).unwrap_err(),
+        SubmitError::ShuttingDown
+    );
+    assert_eq!(
+        server.submit(quick_job("late", 7)).unwrap_err(),
+        SubmitError::ShuttingDown
+    );
+    gate.open();
+    let stats = server.shutdown();
+    assert_eq!((stats.jobs_submitted, stats.jobs_completed), (1, 1));
+    assert_eq!(rx.recv().unwrap().name, "inflight");
+}
+
+#[test]
+fn warm_boot_panics_fail_the_job_not_the_server() {
+    use campaignd::WarmSpec;
+    use machine::MachineConfig;
+    // A warm-up depth far beyond the machine's memory makes `warm_boot`
+    // panic ("warm-up exceeds machine memory") — a spec bug the server
+    // must contain.
+    let bad = Arc::new(
+        fn_job("badwarm", &["c"], 2, 1, |_, _, seed| Json::UInt(seed)).with_warm(WarmSpec {
+            config: MachineConfig::small(1),
+            warm_pages: 10_000_000,
+        }),
+    );
+    let (server, rx) = CampaignServer::start(ServerConfig::default());
+    server.submit(bad).unwrap();
+    server.submit(quick_job("survivor", 3)).unwrap();
+    let mut results: Vec<_> = (0..2).map(|_| rx.recv().unwrap()).collect();
+    results.sort_by_key(|r| r.id);
+    match &results[0].outcome {
+        JobOutcome::Failed { error } => {
+            assert!(error.contains("warm boot panicked"), "{error}");
+        }
+        other => panic!("bad-warm job must fail, got {other:?}"),
+    }
+    assert!(results[1].is_completed(), "pool survives a failed boot");
+    let stats = server.shutdown();
+    assert_eq!((stats.jobs_completed, stats.jobs_failed), (1, 1));
+}

@@ -1,0 +1,263 @@
+//! Service-level warm-pool integration: cache hits are invisible in
+//! results, boots are shared across jobs, and the daemon's file queue
+//! round-trips jobs end to end.
+//!
+//! The boots-once guarantee is the regression fix for the PR-5 warm pool:
+//! `warm_scenario` used to give every campaign a private `OnceLock`-style
+//! slot, so two campaigns (or two service jobs) over identical machine
+//! configs booted twice. The shared fingerprint-keyed [`WarmCache`] hoists
+//! that state: one boot per distinct `(config, warm-up)` key per process,
+//! observable through cache statistics and asserted here at both layers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use explframe::attack::{ExplFrame, ExplFrameConfig};
+use explframe::campaign::{fnv1a, trial_seed, warm_scenario_in, Campaign, Json, WarmCache};
+use explframe::campaignd::{
+    fn_job, CampaignServer, JobSpec, ProbeJob, SchedulerKind, ServerConfig, Spool, WarmSpec,
+};
+use explframe::machine::{warm_boot, MachineConfig, MachineSnapshot};
+use explframe::memsim::CpuId;
+
+fn server(
+    cache_capacity: usize,
+) -> (
+    CampaignServer,
+    std::sync::mpsc::Receiver<explframe::campaignd::JobResult>,
+) {
+    CampaignServer::start(ServerConfig {
+        workers: 2,
+        cache_capacity,
+        scheduler: SchedulerKind::WorkStealing,
+        ..ServerConfig::default()
+    })
+}
+
+#[test]
+fn a_cache_hit_attack_report_equals_a_cold_boot_one() {
+    let make_attack = || {
+        Arc::new(
+            fn_job("attack", &["aes"], 1, 77, |snap, _cell, seed| {
+                let mut cfg = ExplFrameConfig::small_demo(3).with_template_pages(256);
+                cfg.seed = seed;
+                let report = ExplFrame::new(cfg)
+                    .run_snapshot(snap.expect("warm"))
+                    .expect("attack runs");
+                Json::UInt(fnv1a(format!("{report:?}").as_bytes()))
+            })
+            .with_warm(WarmSpec {
+                config: MachineConfig::small(3),
+                warm_pages: 64,
+            }),
+        ) as Arc<dyn JobSpec>
+    };
+    let (server, rx) = server(4);
+    // Two identical jobs: the first boots (miss), the second rides the
+    // cached snapshot (hit).
+    server.submit(make_attack()).unwrap();
+    server.submit(make_attack()).unwrap();
+    let mut results: Vec<_> = (0..2).map(|_| rx.recv().unwrap()).collect();
+    results.sort_by_key(|r| r.id);
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.misses, 1, "identical warm specs boot once");
+    assert_eq!(stats.cache.hits, 1);
+    // Hit and miss produced byte-identical artifacts...
+    assert_eq!(results[0].summary_bytes(), results[1].summary_bytes());
+    // ...and both equal an in-process cold boot of the same spec.
+    let snap = warm_boot(MachineConfig::small(3), CpuId(0), 64).snapshot();
+    let mut cfg = ExplFrameConfig::small_demo(3).with_template_pages(256);
+    cfg.seed = trial_seed(77, 0);
+    let report = ExplFrame::new(cfg)
+        .run_snapshot(&snap)
+        .expect("attack runs");
+    let expected = fnv1a(format!("{report:?}").as_bytes());
+    let summary = Json::parse(&results[0].summary_bytes().unwrap()).unwrap();
+    let trial = summary
+        .get("cells")
+        .and_then(|c| match c {
+            Json::Arr(cells) => cells.first(),
+            _ => None,
+        })
+        .and_then(|cell| cell.get("trials"))
+        .and_then(|t| match t {
+            Json::Arr(trials) => trials.first(),
+            _ => None,
+        })
+        .and_then(Json::as_u64);
+    assert_eq!(
+        trial,
+        Some(expected),
+        "cache hit must not change the report"
+    );
+}
+
+#[test]
+fn two_service_jobs_with_identical_configs_boot_exactly_once() {
+    let (server, rx) = server(4);
+    for (name, seed) in [("probe-a", 1u64), ("probe-b", 2)] {
+        // Different job names and campaign seeds — but the same machine
+        // config and warm-up, hence one shared boot.
+        server
+            .submit(Arc::new(ProbeJob::new(
+                name,
+                MachineConfig::small(9),
+                64,
+                4,
+                seed,
+            )))
+            .unwrap();
+    }
+    let results: Vec<_> = (0..2).map(|_| rx.recv().unwrap()).collect();
+    assert!(results.iter().all(|r| r.is_completed()));
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.misses, 1, "one boot for two jobs");
+    assert_eq!(stats.cache.hits, 1);
+}
+
+#[test]
+fn exp_binaries_share_boots_across_campaigns_through_one_cache() {
+    // The exp-binary pattern after the hoist: a process-wide cache passed
+    // to `warm_scenario_in`, so *separate campaign runs* with identical
+    // machine configs reuse one boot. The counter is the regression probe:
+    // it counts actual boots, independent of cache bookkeeping.
+    let cache: Arc<WarmCache<MachineSnapshot>> = Arc::new(WarmCache::new(2));
+    let boots = Arc::new(AtomicU64::new(0));
+    let spec = WarmSpec {
+        config: MachineConfig::small(9),
+        warm_pages: 64,
+    };
+    let run_one_campaign = |name: &str, campaign_seed: u64| {
+        let boots = Arc::clone(&boots);
+        let spec = spec.clone();
+        let key = spec.key();
+        let cells = vec![warm_scenario_in(
+            name,
+            &cache,
+            key,
+            move || {
+                boots.fetch_add(1, Ordering::SeqCst);
+                spec.boot()
+            },
+            |snap: &MachineSnapshot, seed| {
+                let mut machine = snap.fork();
+                ProbeJob::probe(&mut machine, seed)
+            },
+        )];
+        Campaign::new(4, campaign_seed).with_threads(2).run(&cells)
+    };
+    let first = run_one_campaign("campaign-one", 10);
+    let second = run_one_campaign("campaign-two", 10);
+    assert_eq!(
+        boots.load(Ordering::SeqCst),
+        1,
+        "second campaign must not re-boot"
+    );
+    // Same campaign seed ⇒ same derived trial seeds ⇒ identical trials,
+    // whether served cold or from the cache.
+    assert_eq!(first.cells[0].trials, second.cells[0].trials);
+}
+
+#[test]
+fn mixed_config_jobs_stream_results_matching_cold_references() {
+    let (server, rx) = server(4);
+    let trials = 3u32;
+    for cfg_seed in [1u64, 2] {
+        server
+            .submit(Arc::new(ProbeJob::new(
+                format!("probe-{cfg_seed}"),
+                MachineConfig::small(cfg_seed),
+                64,
+                trials,
+                100 + cfg_seed,
+            )))
+            .unwrap();
+    }
+    let mut results: Vec<_> = (0..2).map(|_| rx.recv().unwrap()).collect();
+    results.sort_by_key(|r| r.id);
+    let stats = server.shutdown();
+    assert_eq!(stats.cache.misses, 2, "two distinct configs, two boots");
+    for (result, cfg_seed) in results.iter().zip([1u64, 2]) {
+        // Cold reference: fork a fresh warm boot per trial, same seeding
+        // rule as the server's.
+        let snap = warm_boot(MachineConfig::small(cfg_seed), CpuId(0), 64).snapshot();
+        let expected: Vec<Json> = (0..u64::from(trials))
+            .map(|t| {
+                let mut machine = snap.fork();
+                Json::UInt(ProbeJob::probe(&mut machine, trial_seed(100 + cfg_seed, t)))
+            })
+            .collect();
+        let summary = Json::parse(&result.summary_bytes().unwrap()).unwrap();
+        let got = summary
+            .get("cells")
+            .and_then(|c| match c {
+                Json::Arr(cells) => cells.first(),
+                _ => None,
+            })
+            .and_then(|cell| cell.get("trials"))
+            .cloned();
+        assert_eq!(got, Some(Json::Arr(expected)), "job probe-{cfg_seed}");
+    }
+}
+
+#[test]
+fn spool_round_trips_job_files_into_result_files() {
+    let dir = std::env::temp_dir().join(format!("campaignd-spool-{}", std::process::id()));
+    let _cleanup = scopeguard_rmdir(&dir);
+    let mut spool = Spool::open(
+        &dir,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // Two well-formed jobs sharing a config (one boot) and one malformed
+    // file that must be rejected without derailing the rest.
+    std::fs::write(
+        dir.join("alpha.job.json"),
+        r#"{"name":"alpha","preset":"small","config_seed":4,"trials":3,"seed":21,"warm_pages":64}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("beta.job.json"),
+        r#"{"name":"beta","preset":"small","config_seed":4,"trials":3,"seed":22,"warm_pages":64}"#,
+    )
+    .unwrap();
+    std::fs::write(dir.join("broken.job.json"), "{not json").unwrap();
+    let (submitted, _) = spool.poll().unwrap();
+    assert_eq!(submitted, 2, "well-formed jobs submitted");
+    spool.drain().unwrap();
+    let stats = spool.shutdown();
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.cache.misses, 1, "alpha and beta share one boot");
+    for stem in ["alpha", "beta"] {
+        let text = std::fs::read_to_string(dir.join(format!("{stem}.result.json"))).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("completed"));
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some(stem));
+        assert!(doc.get("summary").is_some());
+    }
+    let rejected = std::fs::read_to_string(dir.join("broken.result.json")).unwrap();
+    let doc = Json::parse(&rejected).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("rejected"));
+    // Every job reached its final result, so no claim markers linger.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".job.claimed"))
+        .collect();
+    assert_eq!(leftovers, Vec::<String>::new());
+}
+
+/// Minimal drop-guard so the spool temp dir is removed even on panic.
+fn scopeguard_rmdir(dir: &std::path::Path) -> impl Drop {
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    Cleanup(dir.to_path_buf())
+}

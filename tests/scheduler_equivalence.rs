@@ -1,0 +1,194 @@
+//! The scheduler-equivalence battery: trial scheduling is byte-level
+//! unobservable in campaign artifacts.
+//!
+//! Two layers of the system promise the same contract and both are pinned
+//! here against a 1-thread static baseline:
+//!
+//! * the in-process engine — [`Campaign::run_with`] under every
+//!   [`TrialScheduler`] and thread count renders identical
+//!   `summary.json`/`trace.json` bytes;
+//! * the service — a mixed job matrix (arithmetic, machine probes, a full
+//!   ExplFrame attack riding the warm cache) through
+//!   [`campaignd::assert_scheduler_equivalence`] across scheduler kinds ×
+//!   worker counts.
+//!
+//! Machine-backed cells share warm snapshots through one [`WarmCache`]
+//! across *all* runs of the matrix, so cache cold/warm state is part of
+//! what is proven unobservable.
+
+use std::sync::Arc;
+
+use explframe::attack::{ExplFrame, ExplFrameConfig};
+use explframe::campaign::{
+    fnv1a, warm_scenario_in, AdversarialSteal, Campaign, Json, StaticPartition, Summary, TraceSink,
+    TrialScheduler, WarmCache, WorkStealing,
+};
+use explframe::campaignd::{fn_job, JobSpec, ProbeJob, WarmSpec};
+use explframe::machine::{warm_boot, MachineConfig, MachineSnapshot};
+use explframe::memsim::CpuId;
+
+const THREAD_GRID: [usize; 3] = [1, 2, 8];
+
+/// Renders the deterministic artifacts (summary bytes, trace bytes) of one
+/// campaign run over machine-probe cells.
+fn render_campaign(
+    campaign: &Campaign,
+    scheduler: &dyn TrialScheduler,
+    cache: &Arc<WarmCache<MachineSnapshot>>,
+) -> (String, String) {
+    // Three probe cells over two machine configs and two warm-up depths:
+    // cells 0 and 2 share a config but not a depth, so the cache sees
+    // multiple keys and (across the grid of runs) both cold and warm paths.
+    let cells: Vec<_> = [(1u64, 32u64), (2, 32), (1, 64)]
+        .into_iter()
+        .map(|(cfg_seed, pages)| {
+            let spec = WarmSpec {
+                config: MachineConfig::small(cfg_seed),
+                warm_pages: pages,
+            };
+            let key = spec.key();
+            warm_scenario_in(
+                format!("probe-s{cfg_seed}-p{pages}"),
+                cache,
+                key,
+                move || spec.boot(),
+                |snap: &MachineSnapshot, seed| {
+                    let mut machine = snap.fork();
+                    ProbeJob::probe(&mut machine, seed)
+                },
+            )
+        })
+        .collect();
+    let result = campaign.run_with(&cells, scheduler);
+    let mut summary = Summary::new("sched_equiv", campaign);
+    let mut trace = TraceSink::new("sched_equiv");
+    for cell in &result.cells {
+        let fingerprint = fnv1a(format!("{:?}", cell.trials).as_bytes());
+        summary.cell(&cell.name, &[("fingerprint", Json::UInt(fingerprint))]);
+        let mut event = Json::obj();
+        event.set("event", "cell-reduced");
+        event.set("cell", cell.name.as_str());
+        event.set("fingerprint", fingerprint);
+        trace.push(event);
+    }
+    (
+        summary.deterministic_json().pretty(),
+        trace.record().pretty(),
+    )
+}
+
+#[test]
+fn campaign_engine_renders_identical_bytes_under_every_scheduler() {
+    let cache = Arc::new(WarmCache::new(4));
+    let baseline = render_campaign(
+        &Campaign::new(4, 42).with_threads(1),
+        &StaticPartition,
+        &cache,
+    );
+    let schedulers: [&dyn TrialScheduler; 4] = [
+        &StaticPartition,
+        &WorkStealing,
+        &AdversarialSteal::new(5),
+        &AdversarialSteal::new(0xFEED),
+    ];
+    for threads in THREAD_GRID {
+        for scheduler in schedulers {
+            let run = render_campaign(
+                &Campaign::new(4, 42).with_threads(threads),
+                scheduler,
+                &cache,
+            );
+            assert_eq!(
+                run.0,
+                baseline.0,
+                "summary bytes diverged under {} x {threads} threads",
+                scheduler.name()
+            );
+            assert_eq!(
+                run.1,
+                baseline.1,
+                "trace bytes diverged under {} x {threads} threads",
+                scheduler.name()
+            );
+        }
+    }
+    // The shared cache actually served warm state across runs (13 runs, 3
+    // keys): the equivalence above covered cold *and* hit paths.
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 3, "three distinct warm keys boot once each");
+    assert!(stats.hits > stats.misses, "later runs rode the warm cache");
+}
+
+/// Fingerprint of an ExplFrame attack report — the value the attack job
+/// emits per trial. Any report field difference changes it.
+fn report_fingerprint(report: &explframe::attack::AttackReport) -> u64 {
+    fnv1a(format!("{report:?}").as_bytes())
+}
+
+/// The mixed service job matrix: pure arithmetic, machine probes sharing a
+/// warm key, and a real end-to-end attack forked off the same warm
+/// snapshot as the probes.
+fn service_matrix() -> Vec<Arc<dyn JobSpec>> {
+    let arith = Arc::new(fn_job("arith", &["rot", "mul"], 6, 3, |_, cell, seed| {
+        Json::UInt(if cell == 0 {
+            seed.rotate_left(9)
+        } else {
+            seed.wrapping_mul(0x9E37_79B9)
+        })
+    })) as Arc<dyn JobSpec>;
+    let probe =
+        Arc::new(ProbeJob::new("probe", MachineConfig::small(5), 64, 6, 11)) as Arc<dyn JobSpec>;
+    let attack = Arc::new(
+        fn_job("attack-aes", &["aes"], 1, 77, |snap, _cell, seed| {
+            let mut cfg = ExplFrameConfig::small_demo(5).with_template_pages(256);
+            cfg.seed = seed;
+            let report = ExplFrame::new(cfg)
+                .run_snapshot(snap.expect("attack job declares a warm spec"))
+                .expect("attack runs at machine level");
+            Json::UInt(report_fingerprint(&report))
+        })
+        .with_warm(WarmSpec {
+            // Same config and depth as the probe job: the attack and the
+            // probes share one boot through the server's warm cache.
+            config: MachineConfig::small(5),
+            warm_pages: 64,
+        }),
+    ) as Arc<dyn JobSpec>;
+    vec![arith, probe, attack]
+}
+
+#[test]
+fn service_streams_identical_bytes_under_every_scheduler_and_worker_count() {
+    let baseline =
+        explframe::campaignd::assert_scheduler_equivalence(&service_matrix, &THREAD_GRID, &[11]);
+    assert_eq!(baseline.len(), 3);
+    // Sanity: the attack actually ran and reduced into the summary (a
+    // passing equivalence over trivially-empty artifacts would be vacuous).
+    let attack = &baseline[2];
+    assert_eq!(attack.name, "attack-aes");
+    let summary = Json::parse(&attack.summary).expect("summary is valid JSON");
+    let fingerprint = summary.get("fingerprint").and_then(Json::as_u64);
+    assert!(fingerprint.is_some_and(|f| f != 0));
+    // And it matches a from-scratch in-process run of the same spec: the
+    // service layer adds scheduling, never semantics.
+    let snap = warm_boot(MachineConfig::small(5), CpuId(0), 64).snapshot();
+    let mut cfg = ExplFrameConfig::small_demo(5).with_template_pages(256);
+    cfg.seed = explframe::campaign::trial_seed(77, 0);
+    let report = ExplFrame::new(cfg)
+        .run_snapshot(&snap)
+        .expect("attack runs");
+    let expected = report_fingerprint(&report);
+    let cell_trial = summary
+        .get("cells")
+        .and_then(|cells| match cells {
+            Json::Arr(cells) => cells.first(),
+            _ => None,
+        })
+        .and_then(|cell| cell.get("trials"))
+        .and_then(|trials| match trials {
+            Json::Arr(trials) => trials.first(),
+            _ => None,
+        })
+        .and_then(Json::as_u64);
+    assert_eq!(cell_trial, Some(expected));
+}
