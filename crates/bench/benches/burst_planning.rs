@@ -1,0 +1,51 @@
+//! Criterion: many-sided `hammer_rows` burst planning — the TRR-aware
+//! round scheduler against an unmitigated device, at paper-scale round
+//! counts where the analytic fast-forward carries most of the work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram::{DramConfig, DramCoord, DramDevice, PhysAddr, TrrParams};
+
+/// Rounds per burst: enough activations per aggressor to cross weak-cell
+/// thresholds and trip the TRR sampler several times over.
+const ROUNDS: u64 = 50_000;
+
+fn aggressors(dev: &DramDevice, rows: &[u32]) -> Vec<PhysAddr> {
+    rows.iter()
+        .map(|&row| {
+            dev.mapping().coord_to_phys(DramCoord {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row,
+                col: 0,
+            })
+        })
+        .collect()
+}
+
+fn bench_burst_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("burst_planning");
+
+    group.bench_function("hammer_rows_4sided_no_trr", |b| {
+        let mut dev = DramDevice::new(DramConfig::small());
+        let rows = aggressors(&dev, &[100, 102, 104, 106]);
+        b.iter(|| dev.hammer_rows(black_box(&rows), ROUNDS).unwrap())
+    });
+
+    group.bench_function("hammer_rows_4sided_trr", |b| {
+        let mut dev = DramDevice::new(DramConfig::small().with_trr(Some(TrrParams::ddr4_like())));
+        let rows = aggressors(&dev, &[100, 102, 104, 106]);
+        b.iter(|| dev.hammer_rows(black_box(&rows), ROUNDS).unwrap())
+    });
+
+    group.bench_function("hammer_rows_8sided_trr", |b| {
+        let mut dev = DramDevice::new(DramConfig::small().with_trr(Some(TrrParams::ddr4_like())));
+        let rows = aggressors(&dev, &[100, 102, 104, 106, 108, 110, 112, 114]);
+        b.iter(|| dev.hammer_rows(black_box(&rows), ROUNDS).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_burst_planning);
+criterion_main!(benches);

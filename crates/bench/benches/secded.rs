@@ -1,0 +1,56 @@
+//! Criterion: SECDED (72,64) encode/decode word loops — the per-word cost
+//! the ECC read path pays, and the batched-row skip-clean avoids.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dram::{decode_secded, encode_secded};
+
+/// Words per iteration: one 4 KiB page of 64-bit words.
+const WORDS: u64 = 512;
+
+/// A cheap word-pattern generator (SplitMix64-style mix), so the parity
+/// trees see varied data instead of a constant.
+fn word(i: u64) -> u64 {
+    let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 27)
+}
+
+fn bench_secded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secded");
+
+    group.bench_function("encode_4kib_of_words", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for i in 0..WORDS {
+                acc ^= encode_secded(black_box(word(i)));
+            }
+            acc
+        })
+    });
+
+    let encoded: Vec<(u64, u8)> = (0..WORDS)
+        .map(|i| (word(i), encode_secded(word(i))))
+        .collect();
+
+    group.bench_function("decode_clean_4kib_of_words", |b| {
+        b.iter(|| {
+            for &(data, code) in &encoded {
+                black_box(decode_secded(black_box(data), black_box(code)));
+            }
+        })
+    });
+
+    group.bench_function("decode_single_bit_flips", |b| {
+        b.iter(|| {
+            for (i, &(data, code)) in encoded.iter().enumerate() {
+                let corrupted = data ^ (1u64 << (i % 64));
+                black_box(decode_secded(black_box(corrupted), black_box(code)));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_secded);
+criterion_main!(benches);

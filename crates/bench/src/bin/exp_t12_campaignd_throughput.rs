@@ -161,6 +161,9 @@ fn main() {
     summary.timing_metric("jobs_per_s", jobs_per_s);
     summary.timing_metric("cache_hit_rate", hit_rate);
     summary.timing_metric("warm_boots", stats.cache.misses as f64);
+    if let Some(pr) = cli.pr_label() {
+        summary.pr(&pr);
+    }
     summary.write(&result);
     summary.write_bench("campaignd", &result);
 

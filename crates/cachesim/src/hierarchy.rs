@@ -1,5 +1,7 @@
 //! Two-level inclusive cache hierarchy.
 
+use std::sync::Arc;
+
 use crate::cache::{Cache, Lookup};
 use crate::config::CacheConfig;
 
@@ -127,7 +129,7 @@ impl CacheHierarchy {
     /// [`HierarchySnapshot`].
     pub fn snapshot(&self) -> HierarchySnapshot {
         HierarchySnapshot {
-            inner: self.clone(),
+            inner: Arc::new(self.clone()),
         }
     }
 
@@ -143,7 +145,7 @@ impl CacheHierarchy {
             (snapshot.inner.l1.config(), snapshot.inner.llc.config()),
             "snapshot is from a differently configured hierarchy"
         );
-        *self = snapshot.inner.clone();
+        *self = (*snapshot.inner).clone();
     }
 }
 
@@ -165,16 +167,29 @@ impl CacheHierarchy {
 /// let mut fork = snap.to_hierarchy();
 /// assert_eq!(fork.access(0x40), ServedBy::L1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HierarchySnapshot {
-    inner: CacheHierarchy,
+    // Shared immutably: cloning a snapshot (as machine fork/restore does in
+    // the inner trial loop) must not copy ~8k cache sets, and comparing two
+    // clones of one snapshot must not walk them either.
+    inner: Arc<CacheHierarchy>,
 }
+
+impl PartialEq for HierarchySnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // Snapshots taken from the same capture share one allocation, so
+        // the common no-divergence comparison short-circuits on identity.
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner == other.inner
+    }
+}
+
+impl Eq for HierarchySnapshot {}
 
 impl HierarchySnapshot {
     /// Builds a fresh, independent hierarchy in this snapshot's state (the
     /// fork operation).
     pub fn to_hierarchy(&self) -> CacheHierarchy {
-        self.inner.clone()
+        (*self.inner).clone()
     }
 }
 

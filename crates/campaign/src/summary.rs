@@ -29,6 +29,7 @@ pub struct Summary {
     metrics: Vec<(String, Json)>,
     tables: Vec<Json>,
     timing_metrics: Vec<(String, Json)>,
+    pr: Option<String>,
 }
 
 impl Summary {
@@ -43,7 +44,16 @@ impl Summary {
             metrics: Vec::new(),
             tables: Vec::new(),
             timing_metrics: Vec::new(),
+            pr: None,
         }
+    }
+
+    /// Labels this run with the PR ordinal it belongs to (see
+    /// [`CampaignCli::pr_label`](crate::CampaignCli::pr_label)). Recorded
+    /// as the `pr` field of `BENCH_*.json` run entries so trajectory plots
+    /// can order the series without wall-clock timestamps.
+    pub fn pr(&mut self, label: &str) {
+        self.pr = Some(label.to_string());
     }
 
     /// Records one cell with its headline metric(s).
@@ -206,6 +216,9 @@ impl Summary {
         }
 
         let mut run = Json::obj();
+        if let Some(pr) = &self.pr {
+            run.set("pr", pr.as_str());
+        }
         run.set("campaign", self.name.as_str());
         run.set("seed", self.seed);
         run.set("trials_per_cell", self.trials_per_cell);
@@ -381,6 +394,7 @@ mod tests {
         let mut doc = Json::obj();
         let mut s = summary();
         s.timing_metric("jobs_per_s", 12.5f64);
+        s.pr("7");
         for i in 0..(BENCH_RUNS_CAP + 3) {
             s.merge_bench_into("demo", &mut doc, &result(2, 100 + i as u64));
         }
@@ -396,6 +410,18 @@ mod tests {
         assert_eq!(last.get("campaign").and_then(Json::as_str), Some("demo"));
         assert_eq!(last.get("jobs_per_s").and_then(Json::as_f64), Some(12.5));
         assert_eq!(last.get("threads").and_then(Json::as_u64), Some(2));
+        // The PR ordinal orders trajectory plots (no wall-clock timestamps).
+        assert_eq!(last.get("pr").and_then(Json::as_str), Some("7"));
+    }
+
+    #[test]
+    fn bench_runs_omit_pr_when_unlabelled() {
+        let mut doc = Json::obj();
+        summary().merge_bench_into("demo", &mut doc, &result(1, 10));
+        let Some(Json::Arr(runs)) = doc.get("runs") else {
+            panic!("runs array missing");
+        };
+        assert!(runs[0].get("pr").is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::config::ExplFrameConfig;
 use crate::error::AttackError;
 use crate::events::{NullObserver, Observer};
 use crate::pipeline::Pipeline;
+use crate::template::TemplateMemo;
 
 /// Why an attack run ended.
 #[must_use = "inspect the outcome to distinguish key recovery from failure modes"]
@@ -158,6 +159,42 @@ impl ExplFrame {
         self.run_on(&mut machine)
     }
 
+    /// [`run_snapshot`](Self::run_snapshot) with the templating sweep
+    /// served through a [`TemplateMemo`]: the first trial from a given
+    /// snapshot runs (and caches) the sweep, every later trial from the
+    /// same snapshot replays it from the cache. Reports are byte-identical
+    /// to [`Self::run_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_snapshot_memo(
+        &self,
+        snapshot: &MachineSnapshot,
+        memo: &mut TemplateMemo,
+    ) -> Result<AttackReport, AttackError> {
+        let mut machine = snapshot.fork();
+        let mut observer = NullObserver;
+        self.drive(&mut machine, &mut observer, false, Some((snapshot, memo)))
+    }
+
+    /// [`run_adaptive_snapshot`](Self::run_adaptive_snapshot) through a
+    /// [`TemplateMemo`] (see [`Self::run_snapshot_memo`]); an escalating
+    /// run memoizes both sweeps.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_adaptive_snapshot_memo(
+        &self,
+        snapshot: &MachineSnapshot,
+        memo: &mut TemplateMemo,
+    ) -> Result<AttackReport, AttackError> {
+        let mut machine = snapshot.fork();
+        let mut observer = NullObserver;
+        self.drive(&mut machine, &mut observer, true, Some((snapshot, memo)))
+    }
+
     /// [`run_adaptive`](Self::run_adaptive) on a machine forked from
     /// `snapshot` (see [`Self::run_snapshot`]).
     ///
@@ -194,7 +231,7 @@ impl ExplFrame {
         machine: &mut SimMachine,
         observer: &mut dyn Observer,
     ) -> Result<AttackReport, AttackError> {
-        self.drive(machine, observer, false)
+        self.drive(machine, observer, false, None)
     }
 
     /// The countermeasure-aware composition: like [`Self::run`], but when
@@ -240,26 +277,34 @@ impl ExplFrame {
         machine: &mut SimMachine,
         observer: &mut dyn Observer,
     ) -> Result<AttackReport, AttackError> {
-        self.drive(machine, observer, true)
+        self.drive(machine, observer, true, None)
     }
 
     /// The shared five-phase loop; `adaptive` enables the templating
-    /// escalation.
+    /// escalation, `memo` routes the sweep(s) through a [`TemplateMemo`]
+    /// keyed on the snapshot the machine was forked from. Building the
+    /// pipeline does not touch the machine and templating is the first
+    /// phase, so the fork source *is* the pre-sweep state — keying on it
+    /// lets memo hits compare against the caller's capture by shared
+    /// structure instead of re-snapshotting every trial.
     fn drive(
         &self,
         machine: &mut SimMachine,
         observer: &mut dyn Observer,
         adaptive: bool,
+        memo: Option<(&MachineSnapshot, &mut TemplateMemo)>,
     ) -> Result<AttackReport, AttackError> {
         let cfg = &self.config;
         let mut pipe = Pipeline::new(machine, cfg.clone()).with_observer(observer);
 
-        let pool = if adaptive {
-            pipe.template_adaptive(crate::HammerStrategy::ManySided {
-                rows: cfg.many_sided_rows,
-            })?
-        } else {
-            pipe.template()?
+        let escalate_to = crate::HammerStrategy::ManySided {
+            rows: cfg.many_sided_rows,
+        };
+        let pool = match (adaptive, memo) {
+            (true, Some((pre, memo))) => pipe.template_adaptive_memo_at(pre, escalate_to, memo)?,
+            (true, None) => pipe.template_adaptive(escalate_to)?,
+            (false, Some((pre, memo))) => pipe.template_memo_at(pre, memo)?,
+            (false, None) => pipe.template()?,
         };
         let mut remaining = pipe.select(&pool, cfg.victim);
         if remaining.is_empty() {

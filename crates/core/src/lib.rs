@@ -71,7 +71,7 @@ pub use attack::{AttackOutcome, AttackReport, ExplFrame};
 pub use baseline::{run_spray_baseline, SprayReport};
 pub use config::{ExplFrameConfig, HammerStrategy, VictimCipherKind};
 pub use error::AttackError;
-pub use events::{NullObserver, Observer, PhaseEvent, TraceCollector};
+pub use events::{NullObserver, Observer, PerfObserver, PhaseEvent, TraceCollector};
 pub use memsource::MachineTableSource;
 pub use noise::NoiseProcess;
 pub use phase::{
@@ -80,5 +80,5 @@ pub use phase::{
     SteerPhase, SteeredVictim, TemplatePhase, TemplatePool,
 };
 pub use pipeline::Pipeline;
-pub use template::{template_scan, template_scan_with, FlipTemplate, TemplateScan};
+pub use template::{template_scan, template_scan_with, FlipTemplate, TemplateMemo, TemplateScan};
 pub use victim::{VictimCipherService, VictimKeys};

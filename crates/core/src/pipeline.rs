@@ -15,7 +15,7 @@
 //!   (`exp_t8_mixed_victims`).
 
 use dram::Nanos;
-use machine::SimMachine;
+use machine::{MachineSnapshot, SimMachine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,7 +28,7 @@ use crate::phase::{
     PhaseCtx, RecoveredKey, ReleasePhase, ReleasedFrame, SteerPhase, SteeredVictim, TemplatePhase,
     TemplatePool,
 };
-use crate::template::FlipTemplate;
+use crate::template::{FlipTemplate, TemplateMemo};
 use crate::victim::{VictimCipherService, VictimKeys};
 
 /// Salt mixed into the configuration seed for the attacker RNG (matches the
@@ -129,7 +129,15 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     }
 
     /// Runs one phase against this pipeline's context.
+    ///
+    /// This is the single choke point every phase passes through, so it is
+    /// also where the run attributes host wall-clock and machine ops to the
+    /// phase's `perf` key. With the registry disabled (the default) both
+    /// hooks reduce to one relaxed atomic load; perf can never feed back
+    /// into the simulation.
     fn phase<P: Phase>(&mut self, phase: &mut P, input: P::In) -> Result<P::Out, AttackError> {
+        let key = phase_perf_key(phase.name());
+        let _timer = perf::scope(key);
         let Pipeline {
             config,
             machine,
@@ -140,6 +148,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             counters,
             ..
         } = self;
+        let ops_before = perf::is_enabled().then(|| machine_ops(machine));
         let observer: &mut dyn Observer = match observer {
             Some(o) => &mut **o,
             None => null,
@@ -152,7 +161,11 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             counters,
             keys: *keys,
         };
-        phase.run(&mut ctx, input)
+        let out = phase.run(&mut ctx, input);
+        if let Some(before) = ops_before {
+            perf::count(key, machine_ops(ctx.machine).saturating_sub(before));
+        }
+        out
     }
 
     fn emit(&mut self, event: PhaseEvent) {
@@ -176,6 +189,117 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             strategy: self.strategy,
         };
         self.phase(&mut phase, ())
+    }
+
+    /// [`template`](Self::template) through a [`TemplateMemo`]: if the memo
+    /// holds a sweep taken from a byte-identical machine state with the
+    /// same scan parameters, the machine jumps straight to the cached
+    /// post-sweep state and the cached pool is returned — no hammering at
+    /// all. A miss runs the sweep live and caches it. Either way the
+    /// counters, the emitted events and every subsequent phase are
+    /// byte-identical to the uncached pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Machine`] for substrate failures.
+    pub fn template_memo(&mut self, memo: &mut TemplateMemo) -> Result<TemplatePool, AttackError> {
+        let pre = self.machine.snapshot();
+        self.template_memo_at(&pre, memo)
+    }
+
+    /// [`template_memo`](Self::template_memo) keyed on a caller-provided
+    /// snapshot of the machine's *current* state, instead of taking a fresh
+    /// one. On the warm-pool path every trial forks from one shared
+    /// snapshot and templates immediately, so the caller already holds the
+    /// exact pre-sweep state — passing it in skips the per-trial snapshot,
+    /// and, because the memo stores a clone of the same capture, the hit
+    /// comparison short-circuits on shared structure instead of walking
+    /// DRAM chunks and cache sets.
+    ///
+    /// `pre` must equal the machine's current state byte-for-byte (checked
+    /// under `debug_assertions`); a mismatched snapshot would replay a
+    /// sweep from a different machine state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Machine`] for substrate failures.
+    pub fn template_memo_at(
+        &mut self,
+        pre: &MachineSnapshot,
+        memo: &mut TemplateMemo,
+    ) -> Result<TemplatePool, AttackError> {
+        let _timer = perf::scope("phase.template");
+        debug_assert!(
+            self.machine.snapshot() == *pre,
+            "caller snapshot must match the machine state at template time"
+        );
+        if let Some((post, pool)) = memo.lookup(&self.config, self.strategy, pre) {
+            perf::count("phase.template.memo_hits", 1);
+            let pool = pool.clone();
+            self.machine.restore(post);
+            self.counters.templates_found = pool.scan.templates.len();
+            self.emit(PhaseEvent::TemplateStarted {
+                pages: self.config.template_pages,
+            });
+            self.emit(PhaseEvent::TemplateFinished {
+                found: pool.scan.templates.len(),
+                rows_hammered: pool.scan.rows_hammered,
+                hammer_failures: pool.scan.hammer_failures,
+                elapsed: pool.scan.elapsed,
+            });
+            return Ok(pool);
+        }
+        let strategy = self.strategy;
+        let pool = self.template()?;
+        memo.insert(
+            &self.config,
+            strategy,
+            pre.clone(),
+            self.machine.snapshot(),
+            pool.clone(),
+        );
+        Ok(pool)
+    }
+
+    /// [`template_adaptive`](Self::template_adaptive) through a
+    /// [`TemplateMemo`]: each of the (up to two) sweeps is memoized
+    /// individually, so an escalating run caches two entries and replays
+    /// both on later trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Machine`] for substrate failures.
+    pub fn template_adaptive_memo(
+        &mut self,
+        escalate_to: HammerStrategy,
+        memo: &mut TemplateMemo,
+    ) -> Result<TemplatePool, AttackError> {
+        let pre = self.machine.snapshot();
+        self.template_adaptive_memo_at(&pre, escalate_to, memo)
+    }
+
+    /// [`template_adaptive_memo`](Self::template_adaptive_memo) keyed on a
+    /// caller-provided pre-sweep snapshot (see
+    /// [`template_memo_at`](Self::template_memo_at)). Only the first sweep
+    /// uses `pre`; an escalated re-sweep starts from the post-sweep machine
+    /// state, which the caller cannot hold, so it is re-keyed on a fresh
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Machine`] for substrate failures.
+    pub fn template_adaptive_memo_at(
+        &mut self,
+        pre: &MachineSnapshot,
+        escalate_to: HammerStrategy,
+        memo: &mut TemplateMemo,
+    ) -> Result<TemplatePool, AttackError> {
+        let pool = self.template_memo_at(pre, memo)?;
+        if !pool.scan.templates.is_empty() || escalate_to == self.strategy {
+            return Ok(pool);
+        }
+        self.escalate(escalate_to);
+        self.template_memo(memo)
     }
 
     /// Adaptive templating: sweep with the current strategy; if the sweep
@@ -463,6 +587,28 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     }
 }
 
+/// Maps a phase's dynamic name onto its static `perf` registry key — the
+/// registry keys by `&'static str`, so the `"phase."` namespace prefix has
+/// to be baked in at compile time.
+fn phase_perf_key(name: &str) -> &'static str {
+    match name {
+        "template" => "phase.template",
+        "release" => "phase.release",
+        "steer" => "phase.steer",
+        "hammer" => "phase.hammer",
+        "collect" => "phase.collect",
+        "analyze" => "phase.analyze",
+        _ => "phase.other",
+    }
+}
+
+/// Machine operations attributed to a phase: reads + writes + hammer pairs
+/// (the three op families the hot path is made of).
+fn machine_ops(machine: &SimMachine) -> u64 {
+    let s = machine.stats();
+    s.reads + s.writes + s.hammer_pairs
+}
+
 impl std::fmt::Debug for Pipeline<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
@@ -533,6 +679,49 @@ mod tests {
         // pipeline outcome.
         assert_eq!(trace.events().first().unwrap().name(), "template-started");
         assert_eq!(trace.events().last().unwrap().name(), "pipeline-finished");
+    }
+
+    #[test]
+    fn phases_record_perf_time_and_ops_when_enabled() {
+        use crate::events::PerfObserver;
+
+        // Instrumented run: identical report, populated registry. Other
+        // tests in this binary may run concurrently and also record into
+        // the process-global registry, so assert presence, not totals.
+        let baseline = ExplFrame::new(config(7)).run().expect("baseline");
+        perf::enable();
+        perf::reset();
+        let mut observer = PerfObserver;
+        let instrumented = ExplFrame::new(config(7))
+            .run_traced(&mut observer)
+            .expect("instrumented");
+        let stats: std::collections::BTreeMap<_, _> = perf::snapshot().into_iter().collect();
+        perf::disable();
+
+        assert_eq!(
+            instrumented, baseline,
+            "perf instrumentation changed the run"
+        );
+        for key in [
+            "phase.template",
+            "phase.release",
+            "phase.steer",
+            "phase.hammer",
+            "phase.collect",
+            "phase.analyze",
+        ] {
+            let s = stats.get(key).unwrap_or_else(|| panic!("{key} missing"));
+            assert!(s.calls > 0, "{key} recorded no scope entries");
+        }
+        // The collect phase reads ciphertexts through the machine, so its
+        // op counter (machine reads+writes+hammer_pairs delta) is nonzero.
+        assert!(stats["phase.collect"].ops > 0, "collect counted no ops");
+        // The observer mapped work-carrying events onto `event.*` keys.
+        assert!(stats["event.rows_hammered"].ops > 0);
+        assert_eq!(
+            stats["event.ciphertexts"].ops,
+            baseline.ciphertexts_collected
+        );
     }
 
     #[test]

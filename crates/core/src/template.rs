@@ -9,10 +9,11 @@
 //! here taken from the machine configuration).
 
 use dram::{DramGeometry, Nanos};
-use machine::{MachineError, Pid, SimMachine, VirtAddr};
-use memsim::PAGE_SIZE;
+use machine::{MachineError, MachineSnapshot, Pid, SimMachine, VirtAddr};
+use memsim::{CpuId, PAGE_SIZE};
 
-use crate::config::HammerStrategy;
+use crate::config::{ExplFrameConfig, HammerStrategy};
+use crate::phase::TemplatePool;
 
 /// Pages separating two consecutive rows of one bank in the physical
 /// address space — banks, ranks and channels all interleave below the row
@@ -245,6 +246,160 @@ pub fn template_scan_with(
     Ok(scan)
 }
 
+/// The scan-shaping parameters a memoized sweep is keyed by. The attack
+/// seed is deliberately absent: the sweep never touches the attacker RNG
+/// or the victim keys, so two differently seeded attacks over the same
+/// machine state run the identical sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MemoKey {
+    attacker_cpu: CpuId,
+    template_pages: u64,
+    hammer_pairs: u64,
+    reproducibility_rounds: u32,
+    strategy: HammerStrategy,
+}
+
+impl MemoKey {
+    fn of(config: &ExplFrameConfig, strategy: HammerStrategy) -> Self {
+        MemoKey {
+            attacker_cpu: config.attacker_cpu,
+            template_pages: config.template_pages,
+            hammer_pairs: config.hammer_pairs,
+            reproducibility_rounds: config.reproducibility_rounds,
+            strategy,
+        }
+    }
+}
+
+struct MemoEntry {
+    key: MemoKey,
+    pre: MachineSnapshot,
+    post: MachineSnapshot,
+    pool: TemplatePool,
+}
+
+/// A cache of completed templating sweeps, for campaigns whose trials fork
+/// from a shared warm snapshot: every trial re-runs the *identical* sweep
+/// (same machine state, same parameters, no RNG involved), which dominates
+/// the non-collect half of a trial. The memo stores the sweep's
+/// [`TemplatePool`] together with the post-sweep [`MachineSnapshot`]; a hit
+/// replays both — the machine is restored to the post-sweep state and the
+/// pool is returned — skipping the hammering entirely.
+///
+/// **Exactness:** a hit requires the stored *pre-sweep* snapshot to compare
+/// equal to the current machine (DRAM data chunks stay `Arc`-shared across
+/// forks, so the comparison is pointer-fast on untouched banks). Replayed
+/// runs are therefore byte-identical to uncached runs — asserted by the
+/// `memoized_template_runs_match_uncached` tests.
+///
+/// Use via [`Pipeline::template_memo`](crate::Pipeline::template_memo) or
+/// [`ExplFrame::run_snapshot_memo`](crate::ExplFrame::run_snapshot_memo).
+///
+/// # Examples
+///
+/// ```no_run
+/// use explframe_core::{ExplFrame, ExplFrameConfig, TemplateMemo};
+/// use machine::SimMachine;
+///
+/// let config = ExplFrameConfig::small_demo(1);
+/// let warm = SimMachine::new(config.machine.clone()).snapshot();
+/// let mut memo = TemplateMemo::new();
+/// let first = ExplFrame::new(config.clone()).run_snapshot_memo(&warm, &mut memo)?;
+/// let second = ExplFrame::new(config).run_snapshot_memo(&warm, &mut memo)?;
+/// assert_eq!(first, second); // second trial skipped the sweep
+/// assert_eq!(memo.hits(), 1);
+/// # Ok::<(), explframe_core::AttackError>(())
+/// ```
+#[derive(Default)]
+pub struct TemplateMemo {
+    entries: Vec<MemoEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TemplateMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completed sweeps currently cached (one per distinct pre-state ×
+    /// parameter combination — an adaptive escalation adds a second).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no sweep has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sweeps answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Sweeps that ran live (and were then cached).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub(crate) fn lookup(
+        &mut self,
+        config: &ExplFrameConfig,
+        strategy: HammerStrategy,
+        pre: &MachineSnapshot,
+    ) -> Option<(&MachineSnapshot, &TemplatePool)> {
+        let key = MemoKey::of(config, strategy);
+        let found = self
+            .entries
+            .iter()
+            .position(|e| e.key == key && e.pre == *pre);
+        match found {
+            Some(i) => {
+                self.hits += 1;
+                let entry = &self.entries[i];
+                Some((&entry.post, &entry.pool))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(
+        &mut self,
+        config: &ExplFrameConfig,
+        strategy: HammerStrategy,
+        pre: MachineSnapshot,
+        post: MachineSnapshot,
+        pool: TemplatePool,
+    ) {
+        self.entries.push(MemoEntry {
+            key: MemoKey::of(config, strategy),
+            pre,
+            post,
+            pool,
+        });
+    }
+}
+
+impl std::fmt::Debug for TemplateMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemplateMemo")
+            .field("entries", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
 /// Reads one page, records any flips against `pattern`, and restores it.
 #[allow(clippy::too_many_arguments)]
 fn harvest_page(
@@ -468,6 +623,65 @@ mod tests {
         for va in &clipped {
             assert!(va.0 >= base.0 && va.0 < base.0 + 5 * stride * PAGE_SIZE);
         }
+    }
+
+    #[test]
+    fn memoized_template_runs_match_uncached() {
+        use crate::{ExplFrame, ExplFrameConfig};
+
+        let config = ExplFrameConfig::small_demo(2).with_template_pages(512);
+        let warm = SimMachine::new(config.machine.clone()).snapshot();
+        let baseline = ExplFrame::new(config.clone()).run_snapshot(&warm).unwrap();
+
+        let mut memo = TemplateMemo::new();
+        let first = ExplFrame::new(config.clone())
+            .run_snapshot_memo(&warm, &mut memo)
+            .unwrap();
+        let second = ExplFrame::new(config.clone())
+            .run_snapshot_memo(&warm, &mut memo)
+            .unwrap();
+        assert_eq!(first, baseline, "uncached-path trial diverged");
+        assert_eq!(second, baseline, "memo-hit trial diverged");
+        assert_eq!((memo.misses(), memo.hits(), memo.len()), (1, 1, 1));
+
+        // A different seed over the same machine reuses the cached sweep
+        // (the sweep never reads the attacker RNG)...
+        let reseeded = ExplFrameConfig::small_demo(9).with_template_pages(512);
+        let _ = ExplFrame::new(reseeded)
+            .run_snapshot_memo(&warm, &mut memo)
+            .unwrap();
+        assert_eq!((memo.hits(), memo.len()), (2, 1));
+
+        // ...but different scan parameters miss and cache a new entry.
+        let wider = config.with_template_pages(640);
+        let wide = ExplFrame::new(wider.clone())
+            .run_snapshot_memo(&warm, &mut memo)
+            .unwrap();
+        assert_eq!((memo.misses(), memo.len()), (2, 2));
+        assert_eq!(wide, ExplFrame::new(wider).run_snapshot(&warm).unwrap());
+    }
+
+    #[test]
+    fn memo_rejects_a_diverged_machine_state() {
+        use crate::{ExplFrame, ExplFrameConfig};
+
+        let config = ExplFrameConfig::small_demo(3).with_template_pages(512);
+        let warm = SimMachine::new(config.machine.clone()).snapshot();
+        let mut memo = TemplateMemo::new();
+        let _ = ExplFrame::new(config.clone())
+            .run_snapshot_memo(&warm, &mut memo)
+            .unwrap();
+
+        // Same parameters, different pre-state: the entry must not be
+        // served (a stale hit would replay the wrong machine).
+        let mut drifted = warm.fork();
+        drifted.advance(1);
+        let shifted = drifted.snapshot();
+        let a = ExplFrame::new(config.clone())
+            .run_snapshot_memo(&shifted, &mut memo)
+            .unwrap();
+        assert_eq!(memo.misses(), 2, "diverged pre-state must miss");
+        assert_eq!(a, ExplFrame::new(config).run_snapshot(&shifted).unwrap());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the row's refresh window advanced since the last update and resets the
 //! counter if so. This is exact and O(1) per update.
 
-use std::collections::HashMap;
+use perf::FastMap;
 
 use crate::timing::{DramTiming, Nanos};
 
@@ -31,7 +31,7 @@ pub(crate) struct DisturbDelta {
 pub(crate) struct BankState {
     open_row: Option<u32>,
     acts: u64,
-    disturbance: HashMap<u32, Disturbance>,
+    disturbance: FastMap<u32, Disturbance>,
 }
 
 /// Phase (ns offset within the refresh window) at which `row` is refreshed.
@@ -119,9 +119,19 @@ impl BankState {
         self.disturbance.remove(&row);
     }
 
+    /// Shifts the window index of `row`'s tracked disturbance by `delta`
+    /// windows. The bookkeeping half of the bulk-hammer fast-forward: when
+    /// the clock jumps by an exact multiple of the refresh window, a fresh
+    /// entry stays fresh (and a stale one stays stale) only if its window
+    /// index advances by the same amount.
+    pub(crate) fn shift_disturbance_window(&mut self, row: u32, delta: u64) {
+        if let Some(d) = self.disturbance.get_mut(&row) {
+            d.window += delta;
+        }
+    }
+
     /// Current in-window disturbance of `row` at time `t` (0 if refreshed
     /// since the last update).
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn disturbance(&self, row: u32, t: Nanos, timing: &DramTiming) -> u64 {
         match self.disturbance.get(&row) {
             Some(d) if d.window == window_index(row, t, timing) => d.units,

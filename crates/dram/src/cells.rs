@@ -8,9 +8,9 @@
 //! the population is a pure function of `(seed, row)`, so re-hammering a row
 //! re-finds the same cells.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use perf::FastMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -151,16 +151,149 @@ impl Default for WeakCellParams {
     }
 }
 
+/// A row's weak-cell population packed for bitsliced threshold evaluation.
+///
+/// The hammer hot path asks one question per disturbance step: *which cells
+/// cross their threshold when accumulated units move from `old` to `new`?*
+/// Instead of a per-cell compare-and-branch loop, the thresholds of up to
+/// 64 cells are transposed into u64 bit lanes — lane `b` holds bit `b` of
+/// every cell's threshold, cell `i` occupying bit `i` of each lane. A
+/// bit-serial magnitude comparison over the lanes then answers the
+/// question for the whole row at once (mask-compare-accumulate), and the
+/// `min`/`max` threshold bounds reject the common no-crossing case without
+/// touching the lanes at all.
+///
+/// Rows with more than 64 weak cells (beyond any realistic density) have
+/// no lanes and fall back to the scalar path.
+#[derive(Debug)]
+pub struct RowEval {
+    cells: Arc<[WeakCell]>,
+    /// `lanes[b]` bit `i` = bit `b` of `cells[i].threshold_units`.
+    lanes: Vec<u64>,
+    /// Occupancy: bit `i` set for each packed cell.
+    mask: u64,
+    /// Smallest threshold in the row (`u64::MAX` when empty).
+    min_threshold: u64,
+    /// Largest threshold in the row (0 when empty).
+    max_threshold: u64,
+}
+
+impl RowEval {
+    fn new(cells: Arc<[WeakCell]>) -> Self {
+        let min_threshold = cells
+            .iter()
+            .map(|c| c.threshold_units)
+            .min()
+            .unwrap_or(u64::MAX);
+        let max_threshold = cells.iter().map(|c| c.threshold_units).max().unwrap_or(0);
+        let (lanes, mask) = if cells.is_empty() || cells.len() > 64 {
+            (Vec::new(), 0)
+        } else {
+            let width = (64 - max_threshold.leading_zeros()) as usize;
+            let mut lanes = vec![0u64; width];
+            for (i, cell) in cells.iter().enumerate() {
+                for (b, lane) in lanes.iter_mut().enumerate() {
+                    *lane |= ((cell.threshold_units >> b) & 1) << i;
+                }
+            }
+            let mask = if cells.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << cells.len()) - 1
+            };
+            (lanes, mask)
+        };
+        RowEval {
+            cells,
+            lanes,
+            mask,
+            min_threshold,
+            max_threshold,
+        }
+    }
+
+    /// The row's cells, sorted by bit index.
+    pub fn cells(&self) -> &Arc<[WeakCell]> {
+        &self.cells
+    }
+
+    /// True when the row has no weak cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cheap reject: can *any* cell cross when units move from `old` to
+    /// `new`? (A cell crosses when `old < threshold <= new`.)
+    #[inline]
+    pub fn may_cross(&self, old: u64, new: u64) -> bool {
+        new >= self.min_threshold && old < self.max_threshold
+    }
+
+    /// Bitsliced mask of cells with `threshold <= x`, over the lane bits.
+    fn le_mask(&self, x: u64) -> u64 {
+        let width = self.lanes.len();
+        // Thresholds fit in `width` bits; anything at or above 2^width
+        // dominates every cell.
+        if width < 64 && x >> width != 0 {
+            return self.mask;
+        }
+        // Bit-serial magnitude compare, MSB down: `gt` collects cells whose
+        // threshold is already known greater than `x`, `eq` the still-tied.
+        let mut gt = 0u64;
+        let mut eq = self.mask;
+        for b in (0..width).rev() {
+            let lane = self.lanes[b];
+            if (x >> b) & 1 == 1 {
+                // x has a 1: cells with a 0 here are below (hence ≤) — they
+                // simply leave the tie; cells with a 1 stay tied.
+                eq &= lane;
+            } else {
+                // x has a 0: tied cells with a 1 here are strictly greater.
+                gt |= eq & lane;
+                eq &= !lane;
+            }
+        }
+        self.mask & !gt
+    }
+
+    /// Mask of cells crossing in `(old, new]`, or `None` for rows too wide
+    /// to bitslice (callers fall back to the scalar loop).
+    ///
+    /// Bit `i` of the result corresponds to `self.cells()[i]`.
+    pub fn crossed_mask(&self, old: u64, new: u64) -> Option<u64> {
+        if self.cells.len() > 64 {
+            return None;
+        }
+        if !self.may_cross(old, new) {
+            return Some(0);
+        }
+        Some(self.le_mask(new) & !self.le_mask(old))
+    }
+
+    /// The scalar reference evaluation: the exact mask a per-cell loop
+    /// produces. The hot path checks itself against this in debug builds.
+    pub fn crossed_mask_scalar(&self, old: u64, new: u64) -> u64 {
+        let mut mask = 0u64;
+        for (i, cell) in self.cells.iter().enumerate().take(64) {
+            if old < cell.threshold_units && cell.threshold_units <= new {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+}
+
 /// Lazily generated, deterministic map from rows to their weak cells.
 ///
 /// The cells of a row are a pure function of `(seed, global_row_id)`; the map
-/// memoises them so repeated hammering of the same row is cheap.
+/// memoises them — together with their bitsliced [`RowEval`] packing — so
+/// repeated hammering of the same row is cheap.
 #[derive(Debug, Clone)]
 pub struct WeakCellMap {
     seed: u64,
     params: WeakCellParams,
     bits_per_row: u32,
-    cache: HashMap<u64, Arc<[WeakCell]>>,
+    cache: FastMap<u64, Arc<RowEval>>,
 }
 
 /// Two maps are equal when they describe the same population — the memo
@@ -229,7 +362,7 @@ impl WeakCellMap {
             seed,
             params,
             bits_per_row,
-            cache: HashMap::new(),
+            cache: FastMap::default(),
         }
     }
 
@@ -241,12 +374,18 @@ impl WeakCellMap {
     /// Returns the weak cells of the row identified by `global_row_id`,
     /// generating and memoising them on first use.
     pub fn cells_for_row(&mut self, global_row_id: u64) -> Arc<[WeakCell]> {
-        if let Some(c) = self.cache.get(&global_row_id) {
-            return Arc::clone(c);
+        Arc::clone(self.row_eval(global_row_id).cells())
+    }
+
+    /// Returns the row's bitsliced evaluation structure, generating and
+    /// memoising it on first use.
+    pub fn row_eval(&mut self, global_row_id: u64) -> Arc<RowEval> {
+        if let Some(row) = self.cache.get(&global_row_id) {
+            return Arc::clone(row);
         }
-        let cells = self.generate(global_row_id);
-        self.cache.insert(global_row_id, Arc::clone(&cells));
-        cells
+        let row = Arc::new(RowEval::new(self.generate(global_row_id)));
+        self.cache.insert(global_row_id, Arc::clone(&row));
+        row
     }
 
     fn generate(&self, global_row_id: u64) -> Arc<[WeakCell]> {
@@ -381,5 +520,84 @@ mod tests {
     #[should_panic(expected = "density must be in (0, 1)")]
     fn invalid_density_rejected() {
         WeakCellParams::flippy().with_density(0.0);
+    }
+
+    /// Builds a synthetic row directly, bypassing generation.
+    fn synthetic_row(thresholds: &[u64]) -> RowEval {
+        let cells: Vec<WeakCell> = thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| WeakCell {
+                bit_in_row: i as u32,
+                polarity: CellPolarity::True,
+                threshold_units: t,
+            })
+            .collect();
+        RowEval::new(cells.into())
+    }
+
+    #[test]
+    fn bitsliced_mask_matches_scalar_on_generated_rows() {
+        let mut m = WeakCellMap::new(21, WeakCellParams::flippy().with_density(1e-4), 65536);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut crossings = 0u64;
+        for row_id in 0..500u64 {
+            let row = m.row_eval(row_id);
+            for _ in 0..8 {
+                let a: u64 = rng.gen_range(0..2_000_000);
+                let b: u64 = rng.gen_range(0..2_000_000);
+                let (old, new) = (a.min(b), a.max(b));
+                let mask = row.crossed_mask(old, new).expect("rows fit in 64 lanes");
+                assert_eq!(
+                    mask,
+                    row.crossed_mask_scalar(old, new),
+                    "row {row_id} diverged for ({old}, {new}]"
+                );
+                crossings += u64::from(mask.count_ones());
+            }
+        }
+        assert!(crossings > 0, "sweep must exercise actual crossings");
+    }
+
+    #[test]
+    fn bitsliced_mask_boundary_semantics() {
+        let row = synthetic_row(&[100, 200, 200, 4096]);
+        // Crossing is (old, new]: inclusive above, exclusive below.
+        assert_eq!(row.crossed_mask(0, 99), Some(0));
+        assert_eq!(row.crossed_mask(0, 100), Some(0b0001));
+        assert_eq!(row.crossed_mask(100, 200), Some(0b0110));
+        assert_eq!(row.crossed_mask(99, 100), Some(0b0001));
+        assert_eq!(row.crossed_mask(200, 4095), Some(0));
+        assert_eq!(row.crossed_mask(200, u64::MAX), Some(0b1000));
+        assert_eq!(row.crossed_mask(0, u64::MAX), Some(0b1111));
+        assert!(row.may_cross(0, 100));
+        assert!(!row.may_cross(0, 99));
+        assert!(!row.may_cross(4096, u64::MAX));
+    }
+
+    #[test]
+    fn empty_and_oversized_rows() {
+        let empty = synthetic_row(&[]);
+        assert!(empty.is_empty());
+        assert!(!empty.may_cross(0, u64::MAX));
+        assert_eq!(empty.crossed_mask(0, u64::MAX), Some(0));
+        // 65 cells exceed the lane width: the mask path declines and the
+        // caller must fall back to the scalar loop.
+        let wide: Vec<u64> = (1..=65u64).map(|i| i * 10).collect();
+        let wide = synthetic_row(&wide);
+        assert_eq!(wide.crossed_mask(0, 1000), None);
+        assert!(wide.may_cross(0, 10));
+    }
+
+    #[test]
+    fn full_64_cell_row_uses_a_complete_mask() {
+        let thresholds: Vec<u64> = (1..=64u64).map(|i| i * 3).collect();
+        let row = synthetic_row(&thresholds);
+        assert_eq!(row.crossed_mask(0, u64::MAX), Some(u64::MAX));
+        assert_eq!(
+            row.crossed_mask(3, 6),
+            Some(0b10),
+            "only the second cell crosses in (3, 6]"
+        );
     }
 }

@@ -18,6 +18,17 @@ use crate::trr::{Burst, TrrEngine, TrrParams};
 /// Bytes per ECC code word.
 const ECC_WORD: u64 = 8;
 
+/// Greatest common divisor (Euclid). Used to size the bulk-hammer
+/// fast-forward period.
+const fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
 /// Complete configuration of a [`DramDevice`].
 ///
 /// Countermeasures default to off, so a plain config models the
@@ -60,6 +71,11 @@ pub struct DramConfig {
     pub trr: Option<TrrParams>,
     /// ECC scheme; [`EccMode::Off`] models a non-ECC DIMM.
     pub ecc: EccMode,
+    /// Forces the scalar per-cell reference kernels instead of the
+    /// bitsliced/analytic fast paths. The two produce byte-identical
+    /// results (the fast paths `debug_assert!` against the reference);
+    /// this switch exists so equivalence tests can run both sides.
+    pub reference_kernels: bool,
 }
 
 impl DramConfig {
@@ -73,6 +89,7 @@ impl DramConfig {
             seed: 0xE49F_1A7E,
             trr: None,
             ecc: EccMode::Off,
+            reference_kernels: false,
         }
     }
 
@@ -127,6 +144,12 @@ impl DramConfig {
     /// Returns a copy with a different ECC mode.
     pub fn with_ecc(mut self, ecc: EccMode) -> Self {
         self.ecc = ecc;
+        self
+    }
+
+    /// Returns a copy pinned to the scalar reference kernels.
+    pub fn with_reference_kernels(mut self, reference: bool) -> Self {
+        self.reference_kernels = reference;
         self
     }
 }
@@ -493,10 +516,40 @@ impl DramDevice {
             return;
         }
         let row_id = geometry.global_row_id(victim);
-        let cells: Arc<[WeakCell]> = self.cells.cells_for_row(row_id);
-        for cell in cells.iter() {
-            if delta.old_units < cell.threshold_units && cell.threshold_units <= delta.new_units {
-                self.try_flip(victim, cell);
+        let row = self.cells.row_eval(row_id);
+        if row.is_empty() || !row.may_cross(delta.old_units, delta.new_units) {
+            return;
+        }
+        let mask = if self.config.reference_kernels {
+            None
+        } else {
+            row.crossed_mask(delta.old_units, delta.new_units)
+        };
+        match mask {
+            Some(mask) => {
+                debug_assert_eq!(
+                    mask,
+                    row.crossed_mask_scalar(delta.old_units, delta.new_units),
+                    "bitsliced crossing mask diverged from the per-cell oracle"
+                );
+                // `trailing_zeros` walks set bits in ascending cell index,
+                // which is ascending `bit_in_row` — the same flip order the
+                // scalar loop produces.
+                let mut m = mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    self.try_flip(victim, &row.cells()[i]);
+                }
+            }
+            None => {
+                for cell in row.cells().iter() {
+                    if delta.old_units < cell.threshold_units
+                        && cell.threshold_units <= delta.new_units
+                    {
+                        self.try_flip(victim, cell);
+                    }
+                }
             }
         }
     }
@@ -718,9 +771,72 @@ impl DramDevice {
         round_time: Nanos,
     ) {
         let timing = self.config.timing;
+
+        // Analytic fast-forward setup. Every chunk advances the clock by a
+        // multiple of `round_time` and refresh boundaries repeat every
+        // window, so the boundary walk — and with it the whole disturbance
+        // trajectory — is periodic in lcm(round_time, window) once no flip
+        // and no TRR trigger perturbs a cycle. Prime two literal cycles
+        // (the first washes out disturbance carried in from earlier
+        // hammering, the second is the periodicity witness), then jump all
+        // remaining whole periods in O(victims).
+        let w = timing.refresh_window();
+        let period = round_time / gcd(round_time, w) * w;
+        let rounds_per_period = period / round_time;
+        let mut ff_active = !self.config.reference_kernels
+            && !victims.is_empty()
+            && rounds >= 3 * rounds_per_period;
+        let mut anchor: Option<Nanos> = None;
+        let mut probe: Option<(Vec<u64>, usize)> = None;
+
         let mut remaining = rounds;
         while remaining > 0 {
             let t = self.now;
+            let plan = self
+                .trr
+                .as_ref()
+                .map(|trr| trr.plan_burst(bank_idx, agg_rows));
+
+            if ff_active {
+                if matches!(plan, Some(Burst::After(_))) {
+                    // A pending TRR trigger breaks periodicity; re-arm once
+                    // the planner settles (it rarely does — `Never` is the
+                    // eligible steady state).
+                    anchor = None;
+                    probe = None;
+                } else if let Some(a) = anchor {
+                    if t == a + period && probe.is_none() {
+                        probe = Some((
+                            self.victim_disturbances(bank_idx, victims, t, &timing),
+                            self.flip_log.len(),
+                        ));
+                    } else if t == a + 2 * period {
+                        let primed = probe.take();
+                        let v2 = self.victim_disturbances(bank_idx, victims, t, &timing);
+                        let quiet = matches!(&primed, Some((v1, flips))
+                            if *v1 == v2 && self.flip_log.len() == *flips);
+                        let q = remaining / rounds_per_period;
+                        if quiet && q > 0 {
+                            remaining -=
+                                self.hammer_fast_forward(bank_idx, victims, q, period, round_time);
+                            // The tail is shorter than one period; nothing
+                            // left for the fast-forward to win.
+                            ff_active = false;
+                            continue;
+                        }
+                        anchor = Some(t);
+                    } else if (probe.is_none() && t > a + period) || t > a + 2 * period {
+                        // The walk slid past a probe point (an irregular
+                        // first step, or a chunk clipped by `remaining`):
+                        // restart priming from a walk-produced position.
+                        anchor = Some(t);
+                        probe = None;
+                    }
+                } else {
+                    anchor = Some(t);
+                }
+            }
+
             // Rounds that complete before any victim row is refreshed. The
             // boundary can coincide with `t` only after the clock lands
             // exactly on it; force progress with at least one round. With
@@ -733,10 +849,6 @@ impl DramDevice {
                 .map_or(remaining, |boundary| {
                     remaining.min(((boundary - t) / round_time).max(1))
                 });
-            let plan = self
-                .trr
-                .as_ref()
-                .map(|trr| trr.plan_burst(bank_idx, agg_rows));
             if let Some(Burst::After(n)) = plan {
                 chunk = chunk.min(n);
             }
@@ -765,6 +877,50 @@ impl DramDevice {
             // Burst::Never: the sampler state is round-invariant and can
             // never fire for this aggressor set — nothing to advance.
         }
+    }
+
+    /// Jumps the bulk-hammer clock over `q` whole disturbance periods in
+    /// O(victims) instead of replaying O(q × boundaries) chunks.
+    ///
+    /// Sound only when [`Self::bulk_rounds`] has witnessed one full quiet
+    /// period (no flips, no TRR trigger, disturbance trajectory repeating):
+    /// every skipped cycle then replays the witnessed one exactly, so the
+    /// only state that moves is the clock and each victim's refresh-window
+    /// index. `period` is a multiple of the refresh window, so fresh
+    /// entries stay fresh and stale ones stay stale after the shift.
+    ///
+    /// Returns the number of rounds skipped.
+    fn hammer_fast_forward(
+        &mut self,
+        bank_idx: usize,
+        victims: &[(u32, u64)],
+        q: u64,
+        period: Nanos,
+        round_time: Nanos,
+    ) -> u64 {
+        let windows_per_period = period / self.config.timing.refresh_window();
+        self.now += q * period;
+        for &(row, _) in victims {
+            self.banks[bank_idx].shift_disturbance_window(row, q * windows_per_period);
+        }
+        let skipped = q * (period / round_time);
+        perf::count("dram.fast_forward_rounds", skipped);
+        skipped
+    }
+
+    /// Observable per-victim disturbance levels at time `t` — the
+    /// periodicity witness compared across priming cycles.
+    fn victim_disturbances(
+        &self,
+        bank_idx: usize,
+        victims: &[(u32, u64)],
+        t: Nanos,
+        timing: &DramTiming,
+    ) -> Vec<u64> {
+        victims
+            .iter()
+            .map(|&(row, _)| self.banks[bank_idx].disturbance(row, t, timing))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -1516,5 +1672,61 @@ mod tests {
             "found {}",
             found.len()
         );
+    }
+
+    #[test]
+    fn bulk_fast_forward_matches_reference_kernels() {
+        let cfg = DramConfig::small().with_seed(3);
+        let mut fast = DramDevice::new(cfg);
+        let mut slow = DramDevice::new(cfg.with_reference_kernels(true));
+        let (row, cell) = find_weak_row(&mut fast);
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        let a = fast.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = fast.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_addr = fast.mapping().coord_to_phys(coord(0, row, 0));
+        let row_bytes = fast.config().geometry.row_bytes as u64;
+        fast.fill(victim_addr, row_bytes, fill);
+        slow.fill(victim_addr, row_bytes, fill);
+
+        // Enough pairs for the two priming cycles, a jumped region, and a
+        // literal tail that doesn't divide the period evenly.
+        let round_time = 2 * fast.config().timing.t_rc;
+        let w = fast.config().timing.refresh_window();
+        let period_rounds = (round_time / gcd(round_time, w) * w) / round_time;
+        let pairs = 3 * period_rounds + period_rounds / 2 + 7;
+
+        perf::enable();
+        let skipped_before = perf::snapshot()
+            .iter()
+            .find(|(k, _)| *k == "dram.fast_forward_rounds")
+            .map_or(0, |(_, s)| s.ops);
+        let of = fast.hammer_pair(a, b, pairs).unwrap();
+        let skipped_after = perf::snapshot()
+            .iter()
+            .find(|(k, _)| *k == "dram.fast_forward_rounds")
+            .map_or(0, |(_, s)| s.ops);
+        perf::disable();
+        assert!(
+            skipped_after > skipped_before,
+            "fast-forward never engaged — the equivalence check would be vacuous"
+        );
+
+        let os = slow.hammer_pair(a, b, pairs).unwrap();
+        assert_eq!(of.flips, os.flips);
+        assert_eq!(of.elapsed, os.elapsed);
+        assert_eq!(fast.now(), slow.now());
+        assert_eq!(fast.stats(), slow.stats());
+
+        // The jump must leave per-victim refresh bookkeeping exact: a
+        // follow-up hammer carries over in-window disturbance identically.
+        let of2 = fast.hammer_pair(a, b, 50_000).unwrap();
+        let os2 = slow.hammer_pair(a, b, 50_000).unwrap();
+        assert_eq!(of2.flips, os2.flips);
+        assert_eq!(fast.now(), slow.now());
+        assert_eq!(fast.stats(), slow.stats());
     }
 }

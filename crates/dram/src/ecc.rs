@@ -19,7 +19,7 @@
 //! observes), the tracker is exact: untracked words are provably clean and
 //! cost nothing on the read path.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Whether a [`crate::DramDevice`] models ECC DRAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -149,9 +149,13 @@ pub fn decode_secded(word: u64, check: u8) -> SecdedDecode {
 /// Device-side ECC bookkeeping: stored check bits for every word whose
 /// data has deviated since its last write. Words without an entry match
 /// their (implicit) check bits by construction.
+///
+/// Dirty words live in an ordered map so the read path answers "which
+/// tracked words overlap this row?" as one range scan instead of a full
+/// sweep over every latent fault in the device.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EccTracker {
-    checks: HashMap<u64, u8>,
+    checks: BTreeMap<u64, u8>,
     stats: EccStats,
 }
 
@@ -181,16 +185,13 @@ impl EccTracker {
     }
 
     /// Tracked `(word_index, check_bits)` pairs overlapping word indices
-    /// `[first, last]`.
+    /// `[first, last]`, in ascending word order — an O(log n + hits)
+    /// range query over the ordered dirty-word map.
     pub(crate) fn tracked_in(&self, first: u64, last: u64) -> Vec<(u64, u8)> {
-        let mut hits: Vec<(u64, u8)> = self
-            .checks
-            .iter()
-            .filter(|(&w, _)| w >= first && w <= last)
+        self.checks
+            .range(first..=last)
             .map(|(&w, &c)| (w, c))
-            .collect();
-        hits.sort_unstable();
-        hits
+            .collect()
     }
 
     /// Drops the entry for `word` after a rewrite re-encoded it.

@@ -74,7 +74,7 @@ mod timing;
 mod trr;
 
 pub use cells::{
-    CellPolarity, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
+    CellPolarity, RowEval, WeakCell, WeakCellMap, WeakCellParams, DIST_UNITS_FAR, DIST_UNITS_NEAR,
 };
 pub use device::{DramConfig, DramDevice, DramSnapshot, FlipEvent, HammerOutcome};
 pub use ecc::{decode_secded, encode_secded, EccMode, EccStats, SecdedDecode};

@@ -11,8 +11,9 @@
 //! chunk with the original, and a chunk's bytes are only duplicated when one
 //! side writes into it ([`Arc::make_mut`]).
 
-use std::collections::HashMap;
 use std::sync::Arc;
+
+use perf::{FastMap, FastSet};
 
 use crate::geometry::PhysAddr;
 
@@ -52,11 +53,34 @@ impl ChunkData {
 /// m.write_byte(PhysAddr::new(0x1234), 0x55);
 /// assert_eq!(m.read_byte(PhysAddr::new(0x1234)), 0x55);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SparseMemory {
     capacity: u64,
     default_byte: u8,
-    chunks: HashMap<u64, ChunkData>,
+    chunks: FastMap<u64, ChunkData>,
+    /// Chunks this store believes it owns exclusively (materialised here and
+    /// not shared with any clone since). A pure *hint*: the write fast path
+    /// re-verifies uniqueness before trusting it, so a hint gone stale after
+    /// a clone costs one fallback to the copy-on-write path, never
+    /// correctness. Cleared (on the clone side) by [`Clone`].
+    owned: FastSet<u64>,
+}
+
+/// Cloning is the snapshot/fork path: the clone shares every materialised
+/// chunk with the original, so it starts with an empty owned-chunk hint set
+/// — every chunk it later writes must go through copy-on-write once. The
+/// original's hints go stale (its chunks are now shared too); the write
+/// fast path detects that and falls back, re-owning chunks as it unshares
+/// them.
+impl Clone for SparseMemory {
+    fn clone(&self) -> Self {
+        SparseMemory {
+            capacity: self.capacity,
+            default_byte: self.default_byte,
+            chunks: self.chunks.clone(),
+            owned: FastSet::default(),
+        }
+    }
 }
 
 /// Equality is over *effective contents*: an absent chunk, a `Uniform`
@@ -69,7 +93,7 @@ impl PartialEq for SparseMemory {
         if self.capacity != other.capacity || self.default_byte != other.default_byte {
             return false;
         }
-        let covers = |map: &HashMap<u64, ChunkData>, key: u64, rhs: &Self| {
+        let covers = |map: &FastMap<u64, ChunkData>, key: u64, rhs: &Self| {
             let a = map.get(&key);
             let b = rhs.chunks.get(&key);
             match (a, b) {
@@ -96,7 +120,8 @@ impl SparseMemory {
         SparseMemory {
             capacity,
             default_byte: 0,
-            chunks: HashMap::new(),
+            chunks: FastMap::default(),
+            owned: FastSet::default(),
         }
     }
 
@@ -142,9 +167,35 @@ impl SparseMemory {
         }
         match entry {
             // Copy-on-write: unshare the chunk if a snapshot still holds it.
-            ChunkData::Bytes(bytes) => &mut Arc::make_mut(bytes)[..],
+            // `make_mut` leaves the Arc uniquely owned, so the chunk joins
+            // the owned-hint set and later writes take the fast path.
+            ChunkData::Bytes(bytes) => {
+                self.owned.insert(chunk);
+                &mut Arc::make_mut(bytes)[..]
+            }
             ChunkData::Uniform(_) => unreachable!("just materialised"),
         }
+    }
+
+    /// Write fast path: a single map probe into a chunk this store already
+    /// owns. Returns `false` (after dropping the stale hint) when the
+    /// chunk is uniform, absent, or was shared out by a clone — callers
+    /// then take the copy-on-write slow path.
+    fn write_owned(&mut self, chunk: u64, off: usize, src: &[u8]) -> bool {
+        if !self.owned.contains(&chunk) {
+            return false;
+        }
+        if let Some(ChunkData::Bytes(bytes)) = self.chunks.get_mut(&chunk) {
+            // Re-verify the hint: `get_mut` is the uniqueness check the
+            // hot path skips *repeating* — it runs once per probe instead
+            // of once per write path + entry + make_mut chain.
+            if let Some(buf) = Arc::get_mut(bytes) {
+                buf[off..off + src.len()].copy_from_slice(src);
+                return true;
+            }
+        }
+        self.owned.remove(&chunk);
+        false
     }
 
     /// Reads a single byte.
@@ -170,12 +221,16 @@ impl SparseMemory {
     pub fn write_byte(&mut self, addr: PhysAddr, value: u8) {
         self.check(addr, 1);
         let chunk = addr.as_u64() / CHUNK as u64;
+        let off = (addr.as_u64() % CHUNK as u64) as usize;
+        if self.write_owned(chunk, off, &[value]) {
+            return;
+        }
         // Avoid materialising when the write is a no-op on a uniform chunk.
         if self.chunk_byte(chunk) == Some(value) {
             return;
         }
         let bytes = self.materialize(chunk);
-        bytes[(addr.as_u64() % CHUNK as u64) as usize] = value;
+        bytes[off] = value;
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -226,7 +281,9 @@ impl SparseMemory {
                     self.chunks.insert(chunk, ChunkData::Uniform(b));
                 }
                 _ => {
-                    if uniform.is_some() && self.chunk_byte(chunk) == uniform {
+                    if self.write_owned(chunk, in_chunk, src) {
+                        // Owned-chunk fast path: single probe, no CoW dance.
+                    } else if uniform.is_some() && self.chunk_byte(chunk) == uniform {
                         // No-op write into a uniform chunk of the same value.
                     } else {
                         let bytes = self.materialize(chunk);
@@ -384,6 +441,32 @@ mod tests {
             panic!("chunk 0 should stay materialised");
         };
         assert!(!Arc::ptr_eq(a, b), "write must unshare the chunk");
+    }
+
+    #[test]
+    fn owned_hint_tracks_writes_and_heals_after_clone() {
+        let mut m = SparseMemory::new(1 << 16);
+        m.write(PhysAddr::new(0), b"structured"); // materialises and owns 0
+        assert!(m.owned.contains(&0), "materialize must record ownership");
+        m.write_byte(PhysAddr::new(1), b'Y'); // owned fast path
+        let fork = m.clone();
+        assert!(
+            fork.owned.is_empty(),
+            "a clone shares every chunk, so it owns none"
+        );
+        // The original's hint is now stale. The next write must detect the
+        // sharing, fall back to copy-on-write, and re-own the fresh copy —
+        // without leaking the write into the fork.
+        m.write_byte(PhysAddr::new(2), b'Z');
+        assert!(m.owned.contains(&0), "CoW write must re-own the chunk");
+        assert_eq!(fork.read_byte(PhysAddr::new(2)), b'r');
+        assert_eq!(m.read_byte(PhysAddr::new(2)), b'Z');
+        // Overwriting the chunk with a uniform fill drops it back to the
+        // compact form; the stale hint self-heals on the next write.
+        m.fill(PhysAddr::new(0), 4096, 0xEE);
+        m.write_byte(PhysAddr::new(3), 0x01);
+        assert_eq!(m.read_byte(PhysAddr::new(3)), 0x01);
+        assert_eq!(m.read_byte(PhysAddr::new(4)), 0xEE);
     }
 
     #[test]

@@ -98,6 +98,7 @@ impl MachineSnapshot {
             procs: self.procs.clone(),
             next_pid: self.next_pid,
             stats: self.stats,
+            tlb: None,
         }
     }
 }
@@ -136,6 +137,8 @@ impl SimMachine {
         self.procs = snapshot.procs.clone();
         self.next_pid = snapshot.next_pid;
         self.stats = snapshot.stats;
+        // Restored mappings may differ from the live ones the cache saw.
+        self.tlb = None;
     }
 }
 

@@ -6,7 +6,9 @@
 //! buddy is also free, restoring larger blocks. This is the paper's Figure 1
 //! and the external-fragmentation defence described in §IV.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use perf::FastMap;
 
 use crate::error::AllocError;
 use crate::types::{Order, Pfn, PfnRange, MAX_ORDER};
@@ -50,7 +52,7 @@ pub struct BuddyStats {
 pub struct BuddyAllocator {
     span: PfnRange,
     free_lists: Vec<BTreeSet<u64>>,
-    allocated: HashMap<u64, Order>,
+    allocated: FastMap<u64, Order>,
     free_pages: u64,
     stats: BuddyStats,
 }
@@ -61,7 +63,7 @@ impl BuddyAllocator {
         let mut b = BuddyAllocator {
             span,
             free_lists: vec![BTreeSet::new(); MAX_ORDER as usize + 1],
-            allocated: HashMap::new(),
+            allocated: FastMap::default(),
             free_pages: 0,
             stats: BuddyStats::default(),
         };

@@ -1,0 +1,130 @@
+//! A deterministic, allocation-free hasher for small integer keys.
+//!
+//! The substrate's hottest maps — sparse DRAM chunks, weak-cell row
+//! caches, per-row disturbance tables, buddy-allocator bookkeeping — are
+//! all keyed by small integers, yet `std`'s default `HashMap` runs every
+//! lookup through SipHash-1-3 with a per-process random seed. Profiling
+//! the attack trial shows that hashing alone is double-digit percent of
+//! the read path. This module swaps in a fixed-key SplitMix64 finalizer:
+//! one multiply-xor-shift round per 8-byte word, no random state.
+//!
+//! Determinism note: replacing the randomly seeded default makes
+//! iteration order a pure function of inserted keys. Nothing in the
+//! workspace may depend on map iteration order either way (the default
+//! hasher's order already varied per process), so this is a pure speedup.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// SplitMix64 finalizer: the same mixer the campaign seed derivation uses.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A [`Hasher`] that folds input words through the SplitMix64 finalizer.
+///
+/// Suitable for the workspace's integer-keyed maps; not for untrusted
+/// input (no DoS resistance — irrelevant inside a simulator).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix64(self.state ^ u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = mix64(self.state ^ v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`] (zero-sized, fixed key).
+pub type BuildFastHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`]; drop-in for integer-keyed hot maps.
+pub type FastMap<K, V> = HashMap<K, V, BuildFastHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildFastHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_and_is_deterministic() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for k in 0..1000u64 {
+            m.insert(k * 4096, k as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(&(k * 4096)), Some(&(k as u32)));
+        }
+        // Equal content compares equal regardless of insertion order.
+        let mut rev: FastMap<u64, u32> = FastMap::default();
+        for k in (0..1000u64).rev() {
+            rev.insert(k * 4096, k as u32);
+        }
+        assert_eq!(m, rev);
+    }
+
+    #[test]
+    fn mixed_width_writes_hash_consistently() {
+        use std::hash::{BuildHasher, Hash};
+        let build = BuildFastHasher::default();
+        let h = |v: &dyn Fn(&mut FastHasher)| {
+            let mut hasher = FastHasher::default();
+            v(&mut hasher);
+            hasher.finish()
+        };
+        // Same u64 through write_u64 and through Hash for u64 must agree
+        // with itself across calls (fixed key, no per-process seed).
+        let a = h(&|hs| 42u64.hash(hs));
+        let b = h(&|hs| 42u64.hash(hs));
+        assert_eq!(a, b);
+        assert_ne!(a, h(&|hs| 43u64.hash(hs)));
+        let _ = build.hash_one(7u64); // BuildHasher path compiles and runs
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+    }
+}

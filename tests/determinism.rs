@@ -10,7 +10,7 @@
 use explframe::attack::{
     template_scan, AttackReport, ExplFrame, ExplFrameConfig, VictimCipherKind,
 };
-use explframe::dram::TrrParams;
+use explframe::dram::{EccMode, TrrParams};
 use explframe::machine::SimMachine;
 use explframe::memsim::CpuId;
 
@@ -195,6 +195,69 @@ fn attack_reports_are_identical_across_campaign_thread_counts() {
     assert_eq!(
         serial.cells, parallel.cells,
         "thread count changed a pipeline report"
+    );
+}
+
+#[test]
+fn fast_kernels_match_reference_kernels_for_every_victim() {
+    // The raw-speed pass (bitsliced weak-cell crossing masks, the analytic
+    // hammer fast-forward, the single-byte read path) must be invisible in
+    // every reported number. Pin that differentially: the same attack with
+    // the device forced onto the scalar per-cell reference kernels
+    // (`DramConfig::reference_kernels`) must produce a byte-identical
+    // AttackReport for every shipped victim cipher.
+    for victim in [
+        VictimCipherKind::AesSbox,
+        VictimCipherKind::AesTtable,
+        VictimCipherKind::Present,
+    ] {
+        let cfg = ExplFrameConfig::small_demo(1)
+            .with_template_pages(1024)
+            .with_victim(victim);
+        let mut oracle_cfg = cfg.clone();
+        oracle_cfg.machine.dram = oracle_cfg.machine.dram.with_reference_kernels(true);
+        let fast = ExplFrame::new(cfg).run().expect("fast-kernel run");
+        let oracle = ExplFrame::new(oracle_cfg)
+            .run()
+            .expect("reference-kernel run");
+        assert_eq!(
+            fast, oracle,
+            "fast kernels changed the report (victim {victim:?})"
+        );
+    }
+}
+
+#[test]
+fn fast_kernels_match_reference_kernels_under_trr_and_ecc() {
+    // Same differential through the adaptive driver with both
+    // countermeasures armed: a small-sampler TRR engine (forcing the
+    // escalation path, whose burst planning interleaves with the
+    // fast-forward) and SECDED ECC with the ECC-aware collector (whose
+    // read path uses the skip-clean batching). Every fast path must agree
+    // with the scalar reference under the richest interaction of features.
+    let mut cfg = ExplFrameConfig::small_demo(1)
+        .with_template_pages(1024)
+        .with_ecc_aware(true);
+    cfg.machine.dram = cfg
+        .machine
+        .dram
+        .with_trr(Some(TrrParams::ddr4_like().with_sampler_size(2)))
+        .with_ecc(EccMode::Secded);
+    let mut oracle_cfg = cfg.clone();
+    oracle_cfg.machine.dram = oracle_cfg.machine.dram.with_reference_kernels(true);
+    let fast = ExplFrame::new(cfg)
+        .run_adaptive()
+        .expect("fast-kernel adaptive run");
+    let oracle = ExplFrame::new(oracle_cfg)
+        .run_adaptive()
+        .expect("reference-kernel adaptive run");
+    assert_eq!(
+        fast, oracle,
+        "fast kernels changed the adaptive report under TRR + ECC"
+    );
+    assert_eq!(
+        fast.strategy_escalations, 1,
+        "test must exercise the escalation path"
     );
 }
 
