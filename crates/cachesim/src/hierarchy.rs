@@ -22,6 +22,19 @@ impl ServedBy {
     pub const fn reaches_dram(self) -> bool {
         matches!(self, ServedBy::Memory)
     }
+
+    /// Simulated latency of a cache hit in nanoseconds, or `None` when the
+    /// access reaches DRAM and the device's command timing decides.
+    ///
+    /// This is the authoritative hit latency for the machine's simulated
+    /// clock; both levels currently charge the same flat cost (the model
+    /// does not separate L1 from LLC service time).
+    pub const fn hit_nanos(self) -> Option<u64> {
+        match self {
+            ServedBy::L1 | ServedBy::Llc => Some(2),
+            ServedBy::Memory => None,
+        }
+    }
 }
 
 /// An inclusive L1 + LLC hierarchy.

@@ -83,6 +83,13 @@ pub struct AttackReport {
     pub strategy_escalations: u32,
     /// Simulated time the whole attack consumed.
     pub elapsed: dram::Nanos,
+    /// With the command clock on: how much faster the run could have
+    /// activated rows before exhausting the per-refresh-window activation
+    /// budget (`max_acts_per_window / achieved acts-per-window`). Values
+    /// above 1 mean the attack was nowhere near the device's command-rate
+    /// ceiling. `None` when the timing engine is off (or no activations
+    /// were issued).
+    pub hammer_rate_headroom: Option<f64>,
 }
 
 impl AttackReport {
@@ -297,10 +304,37 @@ impl ExplFrame {
         let cfg = &self.config;
         let mut pipe = Pipeline::new(machine, cfg.clone()).with_observer(observer);
 
+        if cfg.probe_mapping {
+            pipe.probe_mapping()?;
+        }
+
+        // With the command clock on, a many-sided round wider than the
+        // activation budget supports would dilute each aggressor below its
+        // flip threshold — clamp the escalation width to what one refresh
+        // window can feed.
+        let mut escalate_rows = cfg.many_sided_rows;
+        if cfg.machine.dram.timed {
+            escalate_rows = escalate_rows.min(
+                cfg.machine
+                    .dram
+                    .cells
+                    .max_feasible_rows(&cfg.machine.dram.timing),
+            );
+        }
         let escalate_to = crate::HammerStrategy::ManySided {
-            rows: cfg.many_sided_rows,
+            rows: escalate_rows,
         };
         let pool = match (adaptive, memo) {
+            // The probe mutates the machine, so the fork-source snapshot no
+            // longer matches — key the memo on a fresh capture instead.
+            (true, Some((pre, memo))) if cfg.probe_mapping => {
+                let _ = pre;
+                pipe.template_adaptive_memo(escalate_to, memo)?
+            }
+            (false, Some((pre, memo))) if cfg.probe_mapping => {
+                let _ = pre;
+                pipe.template_memo(memo)?
+            }
             (true, Some((pre, memo))) => pipe.template_adaptive_memo_at(pre, escalate_to, memo)?,
             (true, None) => pipe.template_adaptive(escalate_to)?,
             (false, Some((pre, memo))) => pipe.template_memo_at(pre, memo)?,

@@ -135,6 +135,10 @@ pub struct ExplFrameConfig {
     /// spending the ciphertext budget, and discard rounds whose fault the
     /// DIMM silently corrected.
     pub ecc_aware: bool,
+    /// Run the latency-based mapping probe (DRAMA-style row-conflict
+    /// timing) before templating, recovering the controller's bank mapping
+    /// from access latencies instead of assuming it.
+    pub probe_mapping: bool,
 }
 
 impl ExplFrameConfig {
@@ -156,6 +160,7 @@ impl ExplFrameConfig {
             strategy: HammerStrategy::DoubleSided,
             many_sided_rows: 8,
             ecc_aware: false,
+            probe_mapping: false,
         }
     }
 
@@ -270,6 +275,14 @@ impl ExplFrameConfig {
         self.ecc_aware = aware;
         self
     }
+
+    /// Returns a copy with the latency-based mapping probe enabled or
+    /// disabled.
+    #[must_use]
+    pub fn with_probe_mapping(mut self, probe: bool) -> Self {
+        self.probe_mapping = probe;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -305,7 +318,8 @@ mod tests {
             .with_max_fault_rounds(3)
             .with_strategy(HammerStrategy::ManySided { rows: 6 })
             .with_many_sided_rows(12)
-            .with_ecc_aware(true);
+            .with_ecc_aware(true)
+            .with_probe_mapping(true);
         assert_eq!(cfg.machine.dram.seed, machine.dram.seed);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.attacker_cpu, CpuId(3));
@@ -320,6 +334,7 @@ mod tests {
         assert_eq!(cfg.strategy, HammerStrategy::ManySided { rows: 6 });
         assert_eq!(cfg.many_sided_rows, 12);
         assert!(cfg.ecc_aware);
+        assert!(cfg.probe_mapping);
     }
 
     #[test]

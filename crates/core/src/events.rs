@@ -36,6 +36,18 @@ impl Observer for NullObserver {
 /// One structured record of something a pipeline phase did.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PhaseEvent {
+    /// The latency-based mapping probe finished.
+    MappingProbed {
+        /// Label of the recovered mapping (`None` if ambiguous).
+        kind: Option<&'static str>,
+        /// Page stride between same-bank neighbouring rows (0 if
+        /// unrecovered).
+        stride_pages: u64,
+        /// Address pairs probed.
+        probes: u32,
+        /// Simulated time the probe consumed.
+        elapsed: Nanos,
+    },
     /// The templating sweep began over the attacker's buffer.
     TemplateStarted {
         /// Template buffer size in pages.
@@ -129,6 +141,7 @@ impl PhaseEvent {
     #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
+            PhaseEvent::MappingProbed { .. } => "mapping-probed",
             PhaseEvent::TemplateStarted { .. } => "template-started",
             PhaseEvent::TemplateFinished { .. } => "template-finished",
             PhaseEvent::TemplatesSelected { .. } => "templates-selected",
@@ -149,6 +162,20 @@ impl PhaseEvent {
         let mut obj = Json::obj();
         obj.set("event", self.name());
         match *self {
+            PhaseEvent::MappingProbed {
+                kind,
+                stride_pages,
+                probes,
+                elapsed,
+            } => {
+                obj.set(
+                    "kind",
+                    kind.map_or(Json::Null, |label| Json::Str(label.to_owned())),
+                );
+                obj.set("stride_pages", stride_pages);
+                obj.set("probes", probes);
+                obj.set("elapsed_ns", elapsed);
+            }
             PhaseEvent::TemplateStarted { pages } => obj.set("pages", pages),
             PhaseEvent::TemplateFinished {
                 found,
@@ -369,6 +396,31 @@ mod tests {
             pfn: None,
         };
         assert_eq!(none.to_json().get("pfn"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn mapping_probe_event_serializes() {
+        let event = PhaseEvent::MappingProbed {
+            kind: Some("xor"),
+            stride_pages: 128,
+            probes: 6,
+            elapsed: 42,
+        };
+        let json = event.to_json();
+        assert_eq!(
+            json.get("event").and_then(Json::as_str),
+            Some("mapping-probed")
+        );
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("xor"));
+        assert_eq!(json.get("stride_pages").and_then(Json::as_u64), Some(128));
+        assert_eq!(json.get("probes").and_then(Json::as_u64), Some(6));
+        let ambiguous = PhaseEvent::MappingProbed {
+            kind: None,
+            stride_pages: 0,
+            probes: 6,
+            elapsed: 1,
+        };
+        assert_eq!(ambiguous.to_json().get("kind"), Some(&Json::Null));
     }
 
     #[test]

@@ -76,8 +76,9 @@ pub use memsource::MachineTableSource;
 pub use noise::NoiseProcess;
 pub use phase::{
     select_attack_pages, template_usable, AnalyzePhase, CollectOutcome, CollectPhase, Counters,
-    FaultedCiphertexts, HammerPhase, Phase, PhaseCtx, RecoveredKey, ReleasePhase, ReleasedFrame,
-    SteerPhase, SteeredVictim, TemplatePhase, TemplatePool,
+    FaultedCiphertexts, HammerPhase, MappingProbePhase, Phase, PhaseCtx, RecoveredKey,
+    RecoveredMapping, ReleasePhase, ReleasedFrame, SteerPhase, SteeredVictim, TemplatePhase,
+    TemplatePool,
 };
 pub use pipeline::Pipeline;
 pub use template::{template_scan, template_scan_with, FlipTemplate, TemplateMemo, TemplateScan};

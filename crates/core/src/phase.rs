@@ -19,6 +19,7 @@ use std::collections::BTreeSet;
 use ciphers::{
     present_sbox_image, BlockCipher, Present80, RamTableSource, TableImage, PRESENT_SBOX,
 };
+use dram::{MappingKind, Nanos};
 use fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
 use machine::{Pid, SimMachine, VirtAddr};
 use memsim::PAGE_SIZE;
@@ -117,6 +118,23 @@ pub struct Counters {
 // ---------------------------------------------------------------------------
 // Artifacts
 // ---------------------------------------------------------------------------
+
+/// Output of the mapping probe: the bank-mapping function recovered from
+/// row-conflict latencies, or `None` when the measurements were ambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredMapping {
+    /// The recovered mapping kind (`None` if no single candidate survived
+    /// every measurement).
+    pub kind: Option<MappingKind>,
+    /// Page stride between same-bank neighbouring rows under the recovered
+    /// mapping — the stride the many-sided decoy placement needs (0 when
+    /// unrecovered).
+    pub stride_pages: u64,
+    /// Address pairs probed.
+    pub probes: u32,
+    /// Simulated time the probe consumed.
+    pub elapsed: Nanos,
+}
 
 /// Output of the templating phase: the attacker process, its still-mapped
 /// buffer, and the raw scan results.
@@ -265,6 +283,145 @@ impl RecoveredKey {
 // ---------------------------------------------------------------------------
 // Phases
 // ---------------------------------------------------------------------------
+
+/// Phase 0 (optional) — mapping probe: recover the controller's bank
+/// mapping from access latencies, DRAMA-style.
+///
+/// A transient prober process times pairs of its own addresses: for each
+/// pair it alternates the two reads (flushing its cache lines so every
+/// read reaches DRAM) and keeps the *second* iteration's latency — by then
+/// the row buffers are warm, so a same-bank/different-row pair pays a full
+/// row conflict on every access while any other pair is served from an
+/// open row. Each candidate mapping ([`MappingKind::Linear`],
+/// [`MappingKind::Xor`]) predicts which pairs conflict; candidates that
+/// disagree with any measurement are eliminated. The probe set includes a
+/// guaranteed non-conflict pair (same row) and a guaranteed conflict pair
+/// (a row delta that keeps the bank under *every* candidate), so the
+/// latency threshold self-calibrates from the measured band.
+///
+/// Translating the probe addresses to physical frames is the one
+/// privileged step — the same lab-machine reverse engineering the DRAMA
+/// paper performed once per controller; the *recovered function* is what
+/// the unprivileged attack consumes afterwards.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MappingProbePhase;
+
+impl Phase for MappingProbePhase {
+    type In = ();
+    type Out = RecoveredMapping;
+
+    fn name(&self) -> &'static str {
+        "mapping-probe"
+    }
+
+    fn run(&mut self, ctx: &mut PhaseCtx<'_>, (): ()) -> Result<RecoveredMapping, AttackError> {
+        let start = ctx.machine.now();
+        let g = ctx.machine.config().dram.geometry;
+        // One row step in the linear layout (col | bank | rank | channel |
+        // row): the distance at which only the row field changes.
+        let row_stride = u64::from(g.row_bytes) * g.total_banks();
+        let banks = u64::from(g.banks);
+        let deltas = [
+            64,                     // same row: never a conflict
+            u64::from(g.row_bytes), // next bank field, same row
+            row_stride,             // row + 1: the Linear/Xor distinguisher
+            2 * row_stride,         // row + 2
+            3 * row_stride,         // row + 3
+            banks * row_stride,     // row + banks: conflict under both
+        ];
+        let span = deltas.iter().max().expect("non-empty probe set") + PAGE_SIZE;
+        let pages = span / PAGE_SIZE + 1;
+        let prober = ctx.machine.spawn(ctx.config.attacker_cpu);
+        let base = ctx.machine.mmap(prober, pages)?;
+        ctx.machine.fill(prober, base, pages * PAGE_SIZE, 0)?;
+
+        let pa_base = ctx
+            .machine
+            .translate(prober, base)
+            .expect("probe buffer is resident after the fill");
+        let mut measured = Vec::with_capacity(deltas.len());
+        for &delta in &deltas {
+            let vb = base + delta;
+            let pb = ctx
+                .machine
+                .translate(prober, vb)
+                .expect("probe buffer is resident after the fill");
+            let latency = probe_pair(ctx.machine, prober, base, vb)?;
+            measured.push((pa_base, pb, latency));
+        }
+        ctx.machine.exit(prober)?;
+
+        // Self-calibrating threshold: conflicts sit in the top half of the
+        // measured latency band. A flat band means no conflicts at all.
+        let lo = measured.iter().map(|m| m.2).min().expect("probes ran");
+        let hi = measured.iter().map(|m| m.2).max().expect("probes ran");
+        let conflicts = |latency: Nanos| hi > lo && 2 * latency >= lo + hi;
+
+        let survivors: Vec<MappingKind> = [MappingKind::Linear, MappingKind::Xor]
+            .into_iter()
+            .filter(|kind| {
+                let mapping = kind.build(g);
+                measured.iter().all(|&(a, b, latency)| {
+                    let ca = mapping.phys_to_coord(a);
+                    let cb = mapping.phys_to_coord(b);
+                    let predicted = ca.channel == cb.channel
+                        && ca.rank == cb.rank
+                        && ca.bank == cb.bank
+                        && ca.row != cb.row;
+                    predicted == conflicts(latency)
+                })
+            })
+            .collect();
+        let kind = match survivors[..] {
+            [only] => Some(only),
+            _ => None,
+        };
+
+        let row_pages = (u64::from(g.row_bytes) / PAGE_SIZE).max(1);
+        let stride_pages = match kind {
+            // Adjacent rows share the bank: one row step.
+            Some(MappingKind::Linear) => row_pages * g.total_banks(),
+            // The XOR folds the low row bits into the bank, so same-bank
+            // rows are `banks` row steps apart.
+            Some(MappingKind::Xor) => row_pages * g.total_banks() * banks,
+            None => 0,
+        };
+        let probes = measured.len() as u32;
+        let elapsed = ctx.machine.now() - start;
+        ctx.emit(PhaseEvent::MappingProbed {
+            kind: kind.map(MappingKind::label),
+            stride_pages,
+            probes,
+            elapsed,
+        });
+        Ok(RecoveredMapping {
+            kind,
+            stride_pages,
+            probes,
+            elapsed,
+        })
+    }
+}
+
+/// Times one address pair: two flush-read-read rounds, returning the second
+/// round's latency for the second address (the row buffers are warm by
+/// then, so the value is purely the conflict/no-conflict signal).
+fn probe_pair(
+    machine: &mut SimMachine,
+    pid: Pid,
+    a: VirtAddr,
+    b: VirtAddr,
+) -> Result<Nanos, AttackError> {
+    let mut byte = [0u8];
+    let mut latency = 0;
+    for _ in 0..2 {
+        machine.clflush(pid, a)?;
+        machine.clflush(pid, b)?;
+        machine.read_timed(pid, a, &mut byte)?;
+        latency = machine.read_timed(pid, b, &mut byte)?;
+    }
+    Ok(latency)
+}
 
 /// Phase 1 — template: spawn the attacker, map its buffer, and sweep it for
 /// repeatable flips using the configured [`HammerStrategy`].

@@ -24,9 +24,9 @@ use crate::config::{ExplFrameConfig, HammerStrategy, VictimCipherKind};
 use crate::error::AttackError;
 use crate::events::{NullObserver, Observer, PhaseEvent};
 use crate::phase::{
-    pick_template, AnalyzePhase, CollectPhase, Counters, FaultedCiphertexts, HammerPhase, Phase,
-    PhaseCtx, RecoveredKey, ReleasePhase, ReleasedFrame, SteerPhase, SteeredVictim, TemplatePhase,
-    TemplatePool,
+    pick_template, AnalyzePhase, CollectPhase, Counters, FaultedCiphertexts, HammerPhase,
+    MappingProbePhase, Phase, PhaseCtx, RecoveredKey, RecoveredMapping, ReleasePhase,
+    ReleasedFrame, SteerPhase, SteeredVictim, TemplatePhase, TemplatePool,
 };
 use crate::template::{FlipTemplate, TemplateMemo};
 use crate::victim::{VictimCipherService, VictimKeys};
@@ -85,6 +85,7 @@ pub struct Pipeline<'m, 'o> {
     counters: Counters,
     start_time: Nanos,
     hammer_start: u64,
+    acts_start: u64,
     analyzer: AnalyzePhase,
     strategy: HammerStrategy,
 }
@@ -104,6 +105,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
         let keys = VictimKeys::from_seed(config.seed);
         let start_time = machine.now();
         let hammer_start = machine.stats().hammer_pairs;
+        let acts_start = machine.dram().stats().acts;
         let strategy = config.strategy;
         Pipeline {
             config,
@@ -115,6 +117,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             counters: Counters::default(),
             start_time,
             hammer_start,
+            acts_start,
             analyzer: AnalyzePhase::new(),
             strategy,
         }
@@ -136,7 +139,8 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     /// hooks reduce to one relaxed atomic load; perf can never feed back
     /// into the simulation.
     fn phase<P: Phase>(&mut self, phase: &mut P, input: P::In) -> Result<P::Out, AttackError> {
-        let key = phase_perf_key(phase.name());
+        let name = phase.name();
+        let key = phase_perf_key(name);
         let _timer = perf::scope(key);
         let Pipeline {
             config,
@@ -149,6 +153,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             ..
         } = self;
         let ops_before = perf::is_enabled().then(|| machine_ops(machine));
+        let sim_before = perf::is_enabled().then(|| machine.now());
         let observer: &mut dyn Observer = match observer {
             Some(o) => &mut **o,
             None => null,
@@ -165,6 +170,15 @@ impl<'m, 'o> Pipeline<'m, 'o> {
         if let Some(before) = ops_before {
             perf::count(key, machine_ops(ctx.machine).saturating_sub(before));
         }
+        if let Some(before) = sim_before {
+            // Simulated nanoseconds attributed to the phase — with the
+            // timing engine on, this is command-clock time, the per-phase
+            // trajectory the timing campaign records.
+            perf::count(
+                phase_sim_key(name),
+                ctx.machine.now().saturating_sub(before),
+            );
+        }
         out
     }
 
@@ -177,6 +191,19 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     // ------------------------------------------------------------------
     // Phases
     // ------------------------------------------------------------------
+
+    /// Phase 0 (optional) — mapping probe: recover the controller's bank
+    /// mapping from row-conflict latencies (see
+    /// [`MappingProbePhase`]). Runs a transient prober process; the
+    /// recovered kind and same-bank stride are reported via
+    /// [`PhaseEvent::MappingProbed`](crate::PhaseEvent::MappingProbed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Machine`] for substrate failures.
+    pub fn probe_mapping(&mut self) -> Result<RecoveredMapping, AttackError> {
+        self.phase(&mut MappingProbePhase, ())
+    }
 
     /// Phase 1 — template: spawn the attacker and sweep its buffer for
     /// repeatable flips with the pipeline's current [`HammerStrategy`].
@@ -558,6 +585,21 @@ impl<'m, 'o> Pipeline<'m, 'o> {
     pub fn finish(mut self, outcome: AttackOutcome) -> AttackReport {
         let elapsed = self.elapsed();
         let hammer_pairs_spent = self.hammer_pairs_spent();
+        // How much faster the run could have activated rows before hitting
+        // the per-window activation budget the command clock enforces:
+        // (budget) / (activations per refresh window actually achieved).
+        // Only meaningful — and only computed — with the timing engine on.
+        let hammer_rate_headroom = if self.config.machine.dram.timed {
+            let timing = self.config.machine.dram.timing;
+            let acts = self.machine.dram().stats().acts - self.acts_start;
+            (acts > 0 && elapsed > 0).then(|| {
+                let achieved_per_window =
+                    acts as f64 * timing.refresh_window() as f64 / elapsed as f64;
+                timing.max_acts_per_window() as f64 / achieved_per_window
+            })
+        } else {
+            None
+        };
         self.emit(PhaseEvent::PipelineFinished {
             outcome,
             fault_rounds: self.counters.fault_rounds,
@@ -583,6 +625,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
             key_correct,
             strategy_escalations: self.counters.strategy_escalations,
             elapsed,
+            hammer_rate_headroom,
         }
     }
 }
@@ -592,6 +635,7 @@ impl<'m, 'o> Pipeline<'m, 'o> {
 /// to be baked in at compile time.
 fn phase_perf_key(name: &str) -> &'static str {
     match name {
+        "mapping-probe" => "phase.mapping_probe",
         "template" => "phase.template",
         "release" => "phase.release",
         "steer" => "phase.steer",
@@ -599,6 +643,21 @@ fn phase_perf_key(name: &str) -> &'static str {
         "collect" => "phase.collect",
         "analyze" => "phase.analyze",
         _ => "phase.other",
+    }
+}
+
+/// The simulated-time counterpart of [`phase_perf_key`]: the key under
+/// which a phase's simulated-nanosecond consumption is counted.
+fn phase_sim_key(name: &str) -> &'static str {
+    match name {
+        "mapping-probe" => "phase.mapping_probe.sim_ns",
+        "template" => "phase.template.sim_ns",
+        "release" => "phase.release.sim_ns",
+        "steer" => "phase.steer.sim_ns",
+        "hammer" => "phase.hammer.sim_ns",
+        "collect" => "phase.collect.sim_ns",
+        "analyze" => "phase.analyze.sim_ns",
+        _ => "phase.other.sim_ns",
     }
 }
 

@@ -143,6 +143,30 @@ impl WeakCellParams {
         self.mean_threshold_acts = acts;
         self
     }
+
+    /// The widest many-sided aggressor set that can still flip the most
+    /// flippable cell of this population inside one refresh window of
+    /// `timing` — the activation-budget picture the adaptive attacker plans
+    /// against.
+    ///
+    /// A victim sandwiched inside a round-robin pattern of `W` rows gains
+    /// two near-aggressor activations per round, and one round of `W` rows
+    /// costs `W × tRC`. Crossing the floor threshold before the victim's
+    /// next refresh therefore needs
+    /// `W ≤ 2 × max_acts_per_window / min_threshold_acts`. The result is
+    /// clamped to `[2, 64]`: two rows is plain double-sided hammering, and
+    /// 64 is the model's bitslice lane width (wider patterns gain nothing).
+    pub const fn max_feasible_rows(&self, timing: &crate::timing::DramTiming) -> u32 {
+        let budget = 2 * timing.max_acts_per_window() / self.min_threshold_acts;
+        let clamped = if budget < 2 {
+            2
+        } else if budget > 64 {
+            64
+        } else {
+            budget
+        };
+        clamped as u32
+    }
 }
 
 impl Default for WeakCellParams {
@@ -466,6 +490,23 @@ mod tests {
         // Sanity: 1e-4 * 65536 bits * 2000 rows ≈ 13k cells.
         let expected = 1e-4 * 65536.0 * rows as f64;
         assert!((dense as f64) > expected * 0.8 && (dense as f64) < expected * 1.2);
+    }
+
+    #[test]
+    fn max_feasible_rows_follows_the_activation_budget() {
+        use crate::timing::DramTiming;
+        let t = DramTiming::ddr3_1600();
+        // DDR3 defaults leave enormous headroom: 2 × 1.39M / 25k ≈ 111,
+        // clamped to the 64-lane ceiling — width is never the binding
+        // constraint on an unmitigated module.
+        assert_eq!(WeakCellParams::flippy().max_feasible_rows(&t), 64);
+        // A refresh window ~50× shorter makes width bind hard.
+        let scaled = t.with_refresh_scale(0.02);
+        let w = WeakCellParams::flippy().max_feasible_rows(&scaled);
+        assert!((2..8).contains(&w), "scaled width was {w}");
+        // The floor is plain double-sided hammering.
+        let tiny = t.with_refresh_scale(0.001);
+        assert_eq!(WeakCellParams::flippy().max_feasible_rows(&tiny), 2);
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::geometry::{DramCoord, DramGeometry, PhysAddr};
 use crate::mapping::{AddressMapping, MappingKind};
 use crate::sparse::SparseMemory;
 use crate::stats::DramStats;
-use crate::timing::{DramTiming, Nanos};
+use crate::timing::{
+    CommandClock, DramTiming, Nanos, ParaEngine, ParaParams, RfmEngine, RfmParams,
+};
 use crate::trr::{Burst, TrrEngine, TrrParams};
 
 /// Bytes per ECC code word.
@@ -76,6 +78,16 @@ pub struct DramConfig {
     /// results (the fast paths `debug_assert!` against the reference);
     /// this switch exists so equivalence tests can run both sides.
     pub reference_kernels: bool,
+    /// Runs the cycle-approximate [`CommandClock`] alongside the data
+    /// plane: every ACT/PRE/RD is scheduled under tRC/tRAS/tRP/tFAW and
+    /// REF commands retire on the tREFI schedule. Off by default; with no
+    /// time-domain countermeasure armed the engine is observation-only
+    /// (identical latencies, flips and elapsed time — it asserts so).
+    pub timed: bool,
+    /// PARA probabilistic neighbour refresh. Requires [`Self::timed`].
+    pub para: Option<ParaParams>,
+    /// DDR5-style Refresh Management. Requires [`Self::timed`].
+    pub rfm: Option<RfmParams>,
 }
 
 impl DramConfig {
@@ -90,6 +102,9 @@ impl DramConfig {
             trr: None,
             ecc: EccMode::Off,
             reference_kernels: false,
+            timed: false,
+            para: None,
+            rfm: None,
         }
     }
 
@@ -150,6 +165,27 @@ impl DramConfig {
     /// Returns a copy pinned to the scalar reference kernels.
     pub fn with_reference_kernels(mut self, reference: bool) -> Self {
         self.reference_kernels = reference;
+        self
+    }
+
+    /// Returns a copy with the cycle-approximate command clock enabled or
+    /// disabled.
+    pub fn with_timing_engine(mut self, timed: bool) -> Self {
+        self.timed = timed;
+        self
+    }
+
+    /// Returns a copy with PARA configured (implies nothing about
+    /// [`Self::timed`]; the device asserts the engine is on at build time).
+    pub fn with_para(mut self, para: Option<ParaParams>) -> Self {
+        self.para = para;
+        self
+    }
+
+    /// Returns a copy with RFM configured (implies nothing about
+    /// [`Self::timed`]; the device asserts the engine is on at build time).
+    pub fn with_rfm(mut self, rfm: Option<RfmParams>) -> Self {
+        self.rfm = rfm;
         self
     }
 }
@@ -215,7 +251,14 @@ pub struct DramDevice {
     now: Nanos,
     trr: Option<TrrEngine>,
     ecc: Option<EccTracker>,
+    clock: Option<CommandClock>,
+    para: Option<ParaEngine>,
+    rfm: Option<RfmEngine>,
 }
+
+/// Seed perturbation separating the PARA sampler's stream from the
+/// weak-cell population drawn from the same device seed.
+const PARA_SALT: u64 = 0x70AB_A4A5_11D0_3C77;
 
 impl DramDevice {
     /// Builds a device from `config`.
@@ -236,6 +279,27 @@ impl DramDevice {
             EccMode::Off => None,
             EccMode::Secded => Some(EccTracker::default()),
         };
+        assert!(
+            config.timed || (config.para.is_none() && config.rfm.is_none()),
+            "PARA/RFM are time-domain countermeasures and require the timing engine"
+        );
+        let clock = config.timed.then(|| {
+            assert!(
+                config.timing.commands_consistent(),
+                "timing engine requires t_ras + t_rp == t_rc and t_faw <= 3 * t_rc"
+            );
+            CommandClock::new(
+                config.timing,
+                config.geometry.channels * config.geometry.ranks,
+                config.geometry.banks,
+            )
+        });
+        let para = config
+            .para
+            .map(|p| ParaEngine::new(p, config.seed ^ PARA_SALT));
+        let rfm = config
+            .rfm
+            .map(|p| RfmEngine::new(p, config.geometry.total_banks() as usize));
         DramDevice {
             config,
             mapping,
@@ -247,6 +311,9 @@ impl DramDevice {
             now: 0,
             trr,
             ecc,
+            clock,
+            para,
+            rfm,
         }
     }
 
@@ -273,6 +340,10 @@ impl DramDevice {
     /// Advances the simulated clock by `ns` (e.g. for CPU-side work).
     pub fn advance(&mut self, ns: Nanos) {
         self.now += ns;
+        if let Some(clock) = &mut self.clock {
+            clock.drain_refreshes(self.now);
+            self.stats.refs = clock.refresh_commands();
+        }
     }
 
     /// Aggregate counters.
@@ -306,6 +377,23 @@ impl DramDevice {
     /// (0 when [`DramConfig::trr`] is `None`).
     pub fn trr_triggers(&self) -> u64 {
         self.trr.as_ref().map_or(0, TrrEngine::triggers)
+    }
+
+    /// The command clock, when [`DramConfig::timed`] is on. Exposed so
+    /// differential tests can assert full command-schedule equality.
+    pub fn command_clock(&self) -> Option<&CommandClock> {
+        self.clock.as_ref()
+    }
+
+    /// Probabilistic neighbour refreshes PARA has issued (0 without PARA).
+    pub fn para_refreshes(&self) -> u64 {
+        self.para.as_ref().map_or(0, ParaEngine::refreshes)
+    }
+
+    /// RFM commands the refresh-management engine has issued (0 without
+    /// RFM).
+    pub fn rfm_commands(&self) -> u64 {
+        self.rfm.as_ref().map_or(0, RfmEngine::commands)
     }
 
     // ------------------------------------------------------------------
@@ -461,30 +549,79 @@ impl DramDevice {
             .config
             .geometry
             .bank_index(coord.channel, coord.rank, coord.bank);
+        let (clock_rank, clock_bank) = self.clock_coords(coord);
         let missed = self.banks[bank_idx].activate(coord.row);
         if missed {
             self.stats.acts += 1;
+            let start = self.now;
             self.now += self.config.timing.t_rc;
+            if let Some(clock) = &mut self.clock {
+                let done = clock.miss_access(clock_rank, clock_bank, start);
+                debug_assert_eq!(
+                    done,
+                    start + self.config.timing.t_rc,
+                    "command clock stalled the sequential miss path"
+                );
+                clock.drain_refreshes(self.now);
+                self.stats.refs = clock.refresh_commands();
+            }
             // Activating a row restores its own cells' charge.
             self.banks[bank_idx].clear_disturbance(coord.row);
             self.disturb_neighbours(coord, 1);
             if let Some(trr) = &mut self.trr {
                 if let Some(row) = trr.record_act(bank_idx, coord.row) {
-                    self.trr_refresh_neighbours(bank_idx, DramCoord { row, ..coord });
+                    let radius = self.config.trr.map_or(0, |p| p.radius);
+                    self.refresh_neighbour_rows(bank_idx, DramCoord { row, ..coord }, radius);
                 }
+            }
+            if self.para.is_some() {
+                let mut hit = false;
+                if let Some(para) = &mut self.para {
+                    para.advance(1, |_| hit = true);
+                }
+                if hit {
+                    self.refresh_neighbour_rows(bank_idx, coord, 1);
+                    self.stats.para_refreshes = self.para_refreshes();
+                }
+            }
+            let fired = self
+                .rfm
+                .as_mut()
+                .and_then(|rfm| rfm.record_acts(bank_idx, &[coord.row], 1));
+            if let Some(rows) = fired {
+                let radius = self.config.rfm.map_or(0, |p| p.radius);
+                for row in rows {
+                    self.refresh_neighbour_rows(bank_idx, DramCoord { row, ..coord }, radius);
+                }
+                self.stats.rfm_commands = self.rfm_commands();
             }
             self.config.timing.t_rc
         } else {
             self.stats.row_hits += 1;
+            let start = self.now;
             self.now += self.config.timing.t_row_hit;
+            if let Some(clock) = &mut self.clock {
+                let issued = clock.column_read(clock_rank, clock_bank, start);
+                debug_assert_eq!(issued, start, "command clock stalled a row-buffer hit");
+                clock.drain_refreshes(self.now);
+                self.stats.refs = clock.refresh_commands();
+            }
             self.config.timing.t_row_hit
         }
     }
 
-    /// A Target-Row-Refresh trigger: refresh the rows within the
-    /// configured radius of `aggressor`, restoring their leaked charge.
-    fn trr_refresh_neighbours(&mut self, bank_idx: usize, aggressor: DramCoord) {
-        let radius = self.config.trr.map_or(0, |p| p.radius);
+    /// The `(rank, bank)` pair the command clock schedules `coord` under:
+    /// ranks are flattened across channels (each has its own tFAW window).
+    fn clock_coords(&self, coord: DramCoord) -> (u32, u32) {
+        (
+            coord.channel * self.config.geometry.ranks + coord.rank,
+            coord.bank,
+        )
+    }
+
+    /// A countermeasure trigger (TRR, PARA or RFM): refresh the rows within
+    /// `radius` of `aggressor`, restoring their leaked charge.
+    fn refresh_neighbour_rows(&mut self, bank_idx: usize, aggressor: DramCoord, radius: u32) {
         for n in aggressor.neighbour_rows(radius, &self.config.geometry) {
             self.banks[bank_idx].clear_disturbance(n.row);
         }
@@ -783,9 +920,16 @@ impl DramDevice {
         let w = timing.refresh_window();
         let period = round_time / gcd(round_time, w) * w;
         let rounds_per_period = period / round_time;
+        // PARA/RFM triggers are not periodic in the refresh window, so the
+        // quiet-period witness cannot cover them — fall back to literal
+        // chunking whenever either engine is armed.
         let mut ff_active = !self.config.reference_kernels
             && !victims.is_empty()
+            && self.para.is_none()
+            && self.rfm.is_none()
             && rounds >= 3 * rounds_per_period;
+        let fan = agg_rows.len() as u64;
+        let (clock_rank, clock_bank) = self.clock_coords(template);
         let mut anchor: Option<Nanos> = None;
         let mut probe: Option<(Vec<u64>, usize)> = None;
 
@@ -817,8 +961,14 @@ impl DramDevice {
                             if *v1 == v2 && self.flip_log.len() == *flips);
                         let q = remaining / rounds_per_period;
                         if quiet && q > 0 {
-                            remaining -=
-                                self.hammer_fast_forward(bank_idx, victims, q, period, round_time);
+                            remaining -= self.hammer_fast_forward(
+                                bank_idx,
+                                (clock_rank, clock_bank),
+                                victims,
+                                q,
+                                period,
+                                round_time,
+                            );
                             // The tail is shorter than one period; nothing
                             // left for the fast-forward to win.
                             ff_active = false;
@@ -852,6 +1002,17 @@ impl DramDevice {
             if let Some(Burst::After(n)) = plan {
                 chunk = chunk.min(n);
             }
+            // A mid-chunk PARA/RFM refresh must split the chunk: otherwise
+            // a single aggregated disturbance add could cross a threshold
+            // the countermeasure should have reset first. Cap each chunk at
+            // the round containing the next trigger (round granularity: a
+            // trigger splits at its round boundary, not mid-round).
+            if let Some(para) = &self.para {
+                chunk = chunk.min((para.acts_until_hit() / fan).max(1));
+            }
+            if let Some(rfm) = &self.rfm {
+                chunk = chunk.min((rfm.acts_until_rfm(bank_idx) / fan).max(1));
+            }
             for &(row, units_per_round) in victims {
                 let victim = DramCoord {
                     row,
@@ -860,7 +1021,14 @@ impl DramDevice {
                 };
                 self.disturb_row(victim, units_per_round * chunk);
             }
+            if let Some(clock) = &mut self.clock {
+                clock.bulk_acts(clock_rank, clock_bank, t, chunk * fan);
+            }
             self.now += chunk * round_time;
+            if let Some(clock) = &mut self.clock {
+                clock.drain_refreshes(self.now);
+                self.stats.refs = clock.refresh_commands();
+            }
             remaining -= chunk;
             if let Some(Burst::After(_)) = plan {
                 let trr = self.trr.as_mut().expect("plan implies an engine");
@@ -870,12 +1038,35 @@ impl DramDevice {
                     debug_assert_eq!(chunk, 1, "untracked bursts advance one round at a time");
                     trr.step_round(bank_idx, agg_rows)
                 };
+                let radius = self.config.trr.map_or(0, |p| p.radius);
                 for row in fired {
-                    self.trr_refresh_neighbours(bank_idx, DramCoord { row, ..template });
+                    self.refresh_neighbour_rows(bank_idx, DramCoord { row, ..template }, radius);
                 }
             }
             // Burst::Never: the sampler state is round-invariant and can
             // never fire for this aggressor set — nothing to advance.
+            if self.para.is_some() {
+                let mut hits: Vec<u64> = Vec::new();
+                if let Some(para) = &mut self.para {
+                    para.advance(chunk * fan, |off| hits.push(off));
+                }
+                for off in hits {
+                    let row = agg_rows[(off % fan) as usize];
+                    self.refresh_neighbour_rows(bank_idx, DramCoord { row, ..template }, 1);
+                }
+                self.stats.para_refreshes = self.para_refreshes();
+            }
+            let fired = self
+                .rfm
+                .as_mut()
+                .and_then(|rfm| rfm.record_acts(bank_idx, agg_rows, chunk));
+            if let Some(rows) = fired {
+                let radius = self.config.rfm.map_or(0, |p| p.radius);
+                for row in rows {
+                    self.refresh_neighbour_rows(bank_idx, DramCoord { row, ..template }, radius);
+                }
+                self.stats.rfm_commands = self.rfm_commands();
+            }
         }
     }
 
@@ -893,6 +1084,7 @@ impl DramDevice {
     fn hammer_fast_forward(
         &mut self,
         bank_idx: usize,
+        (clock_rank, clock_bank): (u32, u32),
         victims: &[(u32, u64)],
         q: u64,
         period: Nanos,
@@ -904,6 +1096,23 @@ impl DramDevice {
             self.banks[bank_idx].shift_disturbance_window(row, q * windows_per_period);
         }
         let skipped = q * (period / round_time);
+        if let Some(clock) = &mut self.clock {
+            // The skipped cycles replay the witnessed one exactly, so the
+            // hammered bank's ACT/PRE train — and the rank's tFAW ring —
+            // translate by the jump; idle banks issued nothing either way.
+            // `period` is a multiple of `round_time`, so the train's phase
+            // is preserved and the tail chunks resume at legal spacing.
+            let delta = q * period;
+            let acts = skipped * (round_time / self.config.timing.t_rc);
+            clock.shift_for_fast_forward(clock_rank, clock_bank, delta, acts);
+            clock.drain_refreshes(self.now);
+            self.stats.refs = clock.refresh_commands();
+            debug_assert_eq!(
+                clock.refresh_commands(),
+                CommandClock::refs_due_by(&self.config.timing, self.now),
+                "fast-forwarded REF count diverged from the tREFI closed form"
+            );
+        }
         perf::count("dram.fast_forward_rounds", skipped);
         skipped
     }
@@ -945,6 +1154,9 @@ impl DramDevice {
             now: self.now,
             trr: self.trr.clone(),
             ecc: self.ecc.clone(),
+            clock: self.clock.clone(),
+            para: self.para.clone(),
+            rfm: self.rfm.clone(),
         }
     }
 
@@ -972,6 +1184,9 @@ impl DramDevice {
         self.now = snapshot.now;
         self.trr = snapshot.trr.clone();
         self.ecc = snapshot.ecc.clone();
+        self.clock = snapshot.clock.clone();
+        self.para = snapshot.para.clone();
+        self.rfm = snapshot.rfm.clone();
     }
 
     // ------------------------------------------------------------------
@@ -1067,6 +1282,9 @@ pub struct DramSnapshot {
     now: Nanos,
     trr: Option<TrrEngine>,
     ecc: Option<EccTracker>,
+    clock: Option<CommandClock>,
+    para: Option<ParaEngine>,
+    rfm: Option<RfmEngine>,
 }
 
 impl DramSnapshot {
@@ -1089,6 +1307,9 @@ impl DramSnapshot {
             now: self.now,
             trr: self.trr.clone(),
             ecc: self.ecc.clone(),
+            clock: self.clock.clone(),
+            para: self.para.clone(),
+            rfm: self.rfm.clone(),
         }
     }
 }
@@ -1728,5 +1949,182 @@ mod tests {
         assert_eq!(of2.flips, os2.flips);
         assert_eq!(fast.now(), slow.now());
         assert_eq!(fast.stats(), slow.stats());
+    }
+
+    #[test]
+    fn timing_engine_alone_changes_no_latency_flip_or_clock_byte() {
+        // With the command clock on but no time-domain countermeasure, the
+        // engine is observation-only: per-access latencies, flips, elapsed
+        // time and every stat except the REF count are identical.
+        let seed = 3;
+        let mut plain = small_dev(seed);
+        let mut timed =
+            DramDevice::new(DramConfig::small().with_seed(seed).with_timing_engine(true));
+        let (row, cell) = find_weak_row(&mut plain);
+        for dev in [&mut plain, &mut timed] {
+            let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+            let hit = dev.mapping().coord_to_phys(coord(0, row - 1, 64));
+            assert_eq!(dev.access(a), dev.config().timing.t_rc);
+            assert_eq!(dev.access(hit), dev.config().timing.t_row_hit);
+            assert!(hammer_known_cell(
+                dev,
+                row,
+                cell,
+                cell.threshold_acts() + 16
+            ));
+        }
+        assert_eq!(plain.now(), timed.now());
+        assert_eq!(plain.flips(), timed.flips());
+        let mut t = timed.stats();
+        assert!(t.refs > 0, "the tREFI scheduler never retired a REF");
+        assert_eq!(
+            t.refs,
+            timed.now() / timed.config().timing.t_refi,
+            "REF count must follow the tREFI closed form"
+        );
+        t.refs = 0;
+        assert_eq!(plain.stats(), t, "timing engine perturbed a counter");
+        let clock = timed.command_clock().expect("engine on");
+        assert_eq!(clock.acts(), timed.stats().acts);
+        assert!(clock.now() <= timed.now());
+    }
+
+    #[test]
+    fn timed_bulk_fast_forward_matches_reference_kernels_with_clock() {
+        // Satellite guarantee: the analytic fast-forward advances the
+        // command clock identically to the literal chunk walk — full
+        // CommandClock equality, not just the data-plane numbers.
+        let cfg = DramConfig::small().with_seed(3).with_timing_engine(true);
+        let mut fast = DramDevice::new(cfg);
+        let mut slow = DramDevice::new(cfg.with_reference_kernels(true));
+        let (row, cell) = find_weak_row(&mut fast);
+        let fill = if cell.polarity.charged_value() {
+            0xFF
+        } else {
+            0x00
+        };
+        let a = fast.mapping().coord_to_phys(coord(0, row - 1, 0));
+        let b = fast.mapping().coord_to_phys(coord(0, row + 1, 0));
+        let victim_addr = fast.mapping().coord_to_phys(coord(0, row, 0));
+        let row_bytes = fast.config().geometry.row_bytes as u64;
+        fast.fill(victim_addr, row_bytes, fill);
+        slow.fill(victim_addr, row_bytes, fill);
+
+        let round_time = 2 * fast.config().timing.t_rc;
+        let w = fast.config().timing.refresh_window();
+        let period_rounds = (round_time / gcd(round_time, w) * w) / round_time;
+        let pairs = 3 * period_rounds + period_rounds / 2 + 7;
+
+        let of = fast.hammer_pair(a, b, pairs).unwrap();
+        let os = slow.hammer_pair(a, b, pairs).unwrap();
+        assert_eq!(of.flips, os.flips);
+        assert_eq!(of.elapsed, os.elapsed);
+        assert_eq!(fast.now(), slow.now());
+        assert_eq!(fast.stats(), slow.stats());
+        assert_eq!(
+            fast.command_clock(),
+            slow.command_clock(),
+            "fast-forward left the command clock off the literal schedule"
+        );
+        assert!(fast.stats().refs > 0);
+    }
+
+    #[test]
+    fn para_suppresses_double_sided_hammering() {
+        let seed = 3;
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        let mut dev = DramDevice::new(
+            DramConfig::small()
+                .with_seed(seed)
+                .with_timing_engine(true)
+                .with_para(Some(ParaParams::para_2014())),
+        );
+        assert!(
+            !hammer_known_cell(&mut dev, row, cell, cell.threshold_acts() + 16),
+            "PARA failed to suppress the known flip"
+        );
+        assert!(dev.para_refreshes() > 0, "PARA never fired");
+        assert_eq!(dev.stats().para_refreshes, dev.para_refreshes());
+        assert_eq!(dev.stats().flips, 0);
+    }
+
+    #[test]
+    fn rfm_suppresses_double_sided_hammering() {
+        let seed = 3;
+        let (row, cell) = find_weak_row(&mut small_dev(seed));
+        let mut dev = DramDevice::new(
+            DramConfig::small()
+                .with_seed(seed)
+                .with_timing_engine(true)
+                .with_rfm(Some(RfmParams::ddr5_like())),
+        );
+        assert!(
+            !hammer_known_cell(&mut dev, row, cell, cell.threshold_acts() + 16),
+            "RFM failed to suppress the known flip"
+        );
+        assert!(dev.rfm_commands() > 0, "RFM never fired");
+        assert_eq!(dev.stats().rfm_commands, dev.rfm_commands());
+        assert_eq!(dev.stats().flips, 0);
+    }
+
+    #[test]
+    fn fast_forward_disengages_under_para_and_rfm() {
+        // PARA/RFM triggers are aperiodic in the refresh window, so the
+        // quiet-period witness cannot cover them: the analytic jump must
+        // stay off and the walk stays literal (chunked at trigger bounds).
+        for cm in ["para", "rfm"] {
+            let mut cfg = DramConfig::small().with_seed(3).with_timing_engine(true);
+            cfg = match cm {
+                "para" => cfg.with_para(Some(ParaParams::para_2014())),
+                _ => cfg.with_rfm(Some(RfmParams::ddr5_like())),
+            };
+            let mut dev = DramDevice::new(cfg);
+            let (row, _) = find_weak_row(&mut dev);
+            let a = dev.mapping().coord_to_phys(coord(0, row - 1, 0));
+            let b = dev.mapping().coord_to_phys(coord(0, row + 1, 0));
+            let round_time = 2 * dev.config().timing.t_rc;
+            let w = dev.config().timing.refresh_window();
+            let period_rounds = (round_time / gcd(round_time, w) * w) / round_time;
+            perf::enable();
+            let skipped = |snap: &[(&'static str, perf::PhaseStats)]| {
+                snap.iter()
+                    .find(|(k, _)| *k == "dram.fast_forward_rounds")
+                    .map_or(0, |(_, s)| s.ops)
+            };
+            let before = skipped(&perf::snapshot());
+            dev.hammer_pair(a, b, 4 * period_rounds).unwrap();
+            let after = skipped(&perf::snapshot());
+            perf::disable();
+            assert_eq!(before, after, "fast-forward engaged under {cm}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "require the timing engine")]
+    fn para_without_timing_engine_is_rejected() {
+        DramDevice::new(DramConfig::small().with_para(Some(ParaParams::para_2014())));
+    }
+
+    #[test]
+    fn timed_snapshot_roundtrips_countermeasure_state() {
+        let cfg = DramConfig::small()
+            .with_seed(9)
+            .with_timing_engine(true)
+            .with_para(Some(ParaParams::para_2014()))
+            .with_rfm(Some(RfmParams::ddr5_like()));
+        let mut dev = DramDevice::new(cfg);
+        let a = dev.mapping().coord_to_phys(coord(0, 40, 0));
+        let b = dev.mapping().coord_to_phys(coord(0, 42, 0));
+        dev.hammer_pair(a, b, 30_000).unwrap();
+        let snap = dev.snapshot();
+        let cont = dev.hammer_pair(a, b, 30_000).unwrap();
+        let fork_cont = snap.to_device().hammer_pair(a, b, 30_000).unwrap();
+        assert_eq!(cont.flips, fork_cont.flips);
+        assert_eq!(cont.elapsed, fork_cont.elapsed);
+        dev.restore(&snap);
+        assert_eq!(dev.snapshot(), snap, "restore is not byte-identical");
+        let replay = dev.hammer_pair(a, b, 30_000).unwrap();
+        assert_eq!(replay.flips, cont.flips);
+        assert_eq!(replay.elapsed, cont.elapsed);
     }
 }

@@ -26,8 +26,14 @@
 //! * **Countermeasures** — an optional sampling Target-Row-Refresh engine
 //!   ([`TrrParams`], bypassable by many-sided hammering via
 //!   [`DramDevice::hammer_rows`]) and (72,64) SECDED ECC ([`EccMode`],
-//!   correcting single-bit flips on read). Both default to off, keeping
+//!   correcting single-bit flips on read). All default to off, keeping
 //!   the unmitigated module the paper attacks byte-identical.
+//! * **Command timing** — an opt-in cycle-approximate command clock
+//!   ([`CommandClock`], via [`DramConfig::timed`]) scheduling ACT/PRE/RD
+//!   under tRC/tRAS/tRP/tFAW with a tREFI REF scheduler, which unlocks the
+//!   countermeasures that only exist in the time domain: PARA probabilistic
+//!   neighbour refresh ([`ParaParams`]) and DDR5-style Refresh Management
+//!   ([`RfmParams`]).
 //!
 //! Everything is deterministic given a seed; two devices built from the same
 //! [`DramConfig`] expose identical flip populations.
@@ -83,5 +89,5 @@ pub use geometry::{DramCoord, DramGeometry, PhysAddr};
 pub use mapping::{AddressMapping, LinearMapping, MappingKind, XorMapping};
 pub use sparse::SparseMemory;
 pub use stats::DramStats;
-pub use timing::{DramTiming, Nanos};
+pub use timing::{CommandClock, DramTiming, Nanos, ParaEngine, ParaParams, RfmEngine, RfmParams};
 pub use trr::{Burst, TrrEngine, TrrParams};

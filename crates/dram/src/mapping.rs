@@ -241,6 +241,14 @@ impl MappingKind {
             MappingKind::Xor => Box::new(XorMapping::new(geometry)),
         }
     }
+
+    /// Stable lowercase label for reports and event traces.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MappingKind::Linear => "linear",
+            MappingKind::Xor => "xor",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,14 +17,29 @@ pub struct DramStats {
     pub flips: u64,
     /// Aggressor pairs hammered through the bulk path.
     pub hammer_pairs: u64,
+    /// REF commands retired by the timing engine's tREFI scheduler
+    /// (zero with the timing engine off).
+    pub refs: u64,
+    /// Probabilistic neighbour refreshes issued by PARA.
+    pub para_refreshes: u64,
+    /// RFM commands issued by the refresh-management engine.
+    pub rfm_commands: u64,
 }
 
 impl fmt::Display for DramStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "acts={} hits={} reads={} writes={} flips={} hammer_pairs={}",
-            self.acts, self.row_hits, self.reads, self.writes, self.flips, self.hammer_pairs
+            "acts={} hits={} reads={} writes={} flips={} hammer_pairs={} refs={} para={} rfm={}",
+            self.acts,
+            self.row_hits,
+            self.reads,
+            self.writes,
+            self.flips,
+            self.hammer_pairs,
+            self.refs,
+            self.para_refreshes,
+            self.rfm_commands
         )
     }
 }

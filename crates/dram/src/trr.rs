@@ -51,14 +51,26 @@ pub struct TrrParams {
 }
 
 impl TrrParams {
-    /// A representative in-DRAM mitigation: 4-entry sampler, 4096-ACT
-    /// trigger, ±2-row refresh (matching the disturbance blast radius —
-    /// a ±1 refresh leaks slow distance-2 accumulation across long
-    /// bursts, exactly the "half-double"-style escape seen on silicon).
+    /// A representative in-DRAM mitigation: 4-entry sampler, ±2-row
+    /// refresh (matching the disturbance blast radius — a ±1 refresh
+    /// leaks slow distance-2 accumulation across long bursts, exactly the
+    /// "half-double"-style escape seen on silicon), with the trigger
+    /// threshold derived from the DDR3-1600 timing set via
+    /// [`Self::for_timing`].
     pub const fn ddr4_like() -> Self {
+        Self::for_timing(&crate::timing::DramTiming::ddr3_1600())
+    }
+
+    /// Derives the mitigation from `timing`, so one timing struct is the
+    /// single source of truth: the trigger threshold is half the refresh
+    /// *group* count — the sampler must fire several times per aggressor
+    /// inside one refresh window (`refresh_groups / 2` ACTs is reached
+    /// thousands of times per window at the full hammer rate) while staying
+    /// far below every realistic flip threshold.
+    pub const fn for_timing(timing: &crate::timing::DramTiming) -> Self {
         TrrParams {
             sampler_size: 4,
-            threshold_acts: 4096,
+            threshold_acts: timing.refresh_groups as u64 / 2,
             radius: 2,
         }
     }
@@ -291,6 +303,25 @@ mod tests {
             },
             1,
         )
+    }
+
+    #[test]
+    fn ddr4_like_threshold_derives_from_timing() {
+        // The pre-derivation hard-coded value was 4096; `for_timing` must
+        // reproduce it at the DDR3-1600 defaults (refresh_groups / 2) so
+        // every golden pinned against ddr4_like() is unchanged.
+        use crate::timing::DramTiming;
+        assert_eq!(TrrParams::ddr4_like().threshold_acts, 4096);
+        assert_eq!(
+            TrrParams::ddr4_like(),
+            TrrParams::for_timing(&DramTiming::ddr3_1600())
+        );
+        // Scaling the group count scales the trigger with it.
+        let fine = DramTiming {
+            refresh_groups: 16384,
+            ..DramTiming::ddr3_1600()
+        };
+        assert_eq!(TrrParams::for_timing(&fine).threshold_acts, 8192);
     }
 
     #[test]

@@ -1,10 +1,101 @@
 //! Property-based tests for the DRAM model.
 
 use dram::{
-    AddressMapping, DramConfig, DramCoord, DramDevice, DramGeometry, LinearMapping, PhysAddr,
-    SparseMemory, XorMapping,
+    AddressMapping, CommandClock, DramConfig, DramCoord, DramDevice, DramGeometry, DramTiming,
+    LinearMapping, Nanos, PhysAddr, SparseMemory, XorMapping,
 };
 use proptest::prelude::*;
+
+/// One abstract command for driving [`CommandClock`] with arbitrary,
+/// protocol-ignorant request streams: `(opcode, rank, bank, requested
+/// delay)`. The clock must bump every start time to a legal slot no matter
+/// how hostile the requests are.
+type CmdWord = (u8, u32, u32, u64);
+
+/// Replays `words` against a fresh clock and checks the protocol
+/// invariants externally, from the returned start times alone.
+fn check_command_protocol(
+    timing: DramTiming,
+    ranks: u32,
+    banks: u32,
+    words: &[CmdWord],
+) -> Result<(), TestCaseError> {
+    let mut clock = CommandClock::new(timing, ranks, banks);
+    // Externally reconstructed history: last ACT / earliest-next-ACT per
+    // bank, ACT starts per rank (for tFAW), and the global command tape.
+    let mut last_act: Vec<Option<Nanos>> = vec![None; (ranks * banks) as usize];
+    let mut last_pre_done: Vec<Nanos> = vec![0; (ranks * banks) as usize];
+    let mut rank_acts: Vec<Vec<Nanos>> = vec![Vec::new(); ranks as usize];
+    let mut prev_start: Nanos = 0;
+    for &(op, rank, bank, delay) in words {
+        let (rank, bank) = (rank % ranks, bank % banks);
+        let idx = (rank * banks + bank) as usize;
+        let requested = prev_start + delay % 10_000;
+        let start = match op % 3 {
+            0 => {
+                let start = clock.activate(rank, bank, requested);
+                // tRC against the same bank's previous ACT.
+                if let Some(prev) = last_act[idx] {
+                    prop_assert!(
+                        start >= prev + timing.t_rc,
+                        "ACT at {start} violates tRC after ACT at {prev}"
+                    );
+                }
+                // tRP against the bank's last explicit precharge.
+                prop_assert!(start >= last_pre_done[idx], "ACT at {start} inside tRP");
+                // tFAW: at most 4 ACTs of this rank in any tFAW span —
+                // equivalently, the 4th-most-recent ACT is ≥ tFAW older.
+                rank_acts[rank as usize].push(start);
+                let acts = &rank_acts[rank as usize];
+                if acts.len() >= 5 {
+                    let fourth_back = acts[acts.len() - 5];
+                    prop_assert!(
+                        start >= fourth_back + timing.t_faw,
+                        "five ACTs of rank {rank} within tFAW at {start}"
+                    );
+                }
+                last_act[idx] = Some(start);
+                start
+            }
+            1 => {
+                let start = clock.precharge(rank, bank, requested);
+                // tRAS: the row stayed open long enough.
+                if let Some(prev) = last_act[idx] {
+                    prop_assert!(
+                        start >= prev + timing.t_ras,
+                        "PRE at {start} violates tRAS after ACT at {prev}"
+                    );
+                }
+                last_pre_done[idx] = start + timing.t_rp;
+                start
+            }
+            _ => {
+                let before = clock.acts();
+                let start = clock.column_read(rank, bank, requested);
+                if clock.acts() > before {
+                    // Closed bank: the read auto-activated it — fold the
+                    // implicit ACT into the external history.
+                    rank_acts[rank as usize].push(start);
+                    last_act[idx] = Some(start);
+                }
+                start
+            }
+        };
+        // The command clock never runs backwards and never schedules
+        // before the caller asked (monotone, causal).
+        prop_assert!(start >= prev_start, "command clock ran backwards");
+        prop_assert!(start >= requested, "command issued before it was requested");
+        prev_start = start;
+    }
+    // The refresh scheduler's closed form is consistent at any horizon.
+    let horizon = prev_start + timing.refresh_window();
+    clock.drain_refreshes(horizon);
+    prop_assert_eq!(
+        clock.refresh_commands(),
+        CommandClock::refs_due_by(&timing, horizon)
+    );
+    Ok(())
+}
 
 fn geometries() -> impl Strategy<Value = DramGeometry> {
     prop_oneof![
@@ -162,6 +253,31 @@ proptest! {
             // Aggressor rows refresh themselves by activation.
             prop_assert!(f.coord.row != row - 1 && f.coord.row != row + 1);
         }
+    }
+
+    /// The bank state machine never violates tRC/tRAS/tRP/tFAW for
+    /// arbitrary command sequences with arbitrary requested times, and the
+    /// command clock is monotone — checked externally from the returned
+    /// start times, against an independently reconstructed history.
+    #[test]
+    fn command_clock_never_violates_timing_constraints(
+        words in prop::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>()), 1..80
+        )
+    ) {
+        check_command_protocol(DramTiming::ddr3_1600(), 2, 8, &words)?;
+    }
+
+    /// Same protocol battery under a stretched tFAW (large enough to
+    /// actually bind) and a single-rank module.
+    #[test]
+    fn command_clock_honours_a_binding_faw_window(
+        words in prop::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u32>(), any::<u64>()), 1..80
+        )
+    ) {
+        let timing = DramTiming { t_faw: 130, ..DramTiming::ddr3_1600() };
+        check_command_protocol(timing, 1, 16, &words)?;
     }
 
     /// The flip population is a pure function of the seed: same seed, same

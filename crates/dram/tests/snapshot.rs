@@ -7,7 +7,7 @@
 //! TRR sampler tables, ECC tracker, stats, flip log) to a fresh boot
 //! replaying the same full sequence.
 
-use dram::{DramConfig, DramCoord, DramDevice, EccMode, TrrParams};
+use dram::{DramConfig, DramCoord, DramDevice, EccMode, ParaParams, RfmParams, TrrParams};
 use proptest::prelude::*;
 use snaptest::{check_replay_equivalence, replay_plan};
 
@@ -18,6 +18,22 @@ fn boot() -> (DramDevice, ()) {
         .with_seed(13)
         .with_trr(Some(TrrParams::ddr4_like().with_threshold_acts(1200)))
         .with_ecc(EccMode::Secded);
+    (DramDevice::new(config), ())
+}
+
+/// Everything armed at once: the command clock plus every countermeasure —
+/// PARA sampler position, RFM RAA counters/row tables, TRR, ECC. The
+/// snapshot must carry the full time-domain state byte-identically.
+fn boot_timed() -> (DramDevice, ()) {
+    let config = DramConfig::small()
+        .with_seed(13)
+        .with_trr(Some(TrrParams::ddr4_like().with_threshold_acts(1200)))
+        .with_ecc(EccMode::Secded)
+        .with_timing_engine(true)
+        .with_para(Some(
+            ParaParams::para_2014().with_mean_acts_per_refresh(700),
+        ))
+        .with_rfm(Some(RfmParams::ddr5_like().with_raaimt(1500)));
     (DramDevice::new(config), ())
 }
 
@@ -112,6 +128,36 @@ proptest! {
         prop_assert_eq!(original.stats(), fork.stats());
         prop_assert_eq!(original.trr_triggers(), fork.trr_triggers());
         prop_assert_eq!(original.ecc_stats(), fork.ecc_stats());
+        prop_assert_eq!(original.snapshot(), fork.snapshot());
+    }
+
+    #[test]
+    fn timed_snapshot_restore_replay_matches_fresh_boot(plan in replay_plan(60)) {
+        check_replay_equivalence(
+            &plan,
+            boot_timed,
+            step,
+            DramDevice::snapshot,
+            |dev, snap| dev.restore(snap),
+        )?;
+    }
+
+    #[test]
+    fn timed_snapshot_fork_induces_identical_flips(words in proptest::collection::vec(any::<u64>(), 1..40)) {
+        let (mut original, ()) = boot_timed();
+        for &w in &words[..words.len() / 2] {
+            step(&mut original, &mut (), w);
+        }
+        let mut fork = original.snapshot().to_device();
+        for &w in &words[words.len() / 2..] {
+            step(&mut original, &mut (), w);
+            step(&mut fork, &mut (), w);
+        }
+        prop_assert_eq!(original.flips(), fork.flips());
+        prop_assert_eq!(original.stats(), fork.stats());
+        prop_assert_eq!(original.para_refreshes(), fork.para_refreshes());
+        prop_assert_eq!(original.rfm_commands(), fork.rfm_commands());
+        prop_assert_eq!(original.command_clock(), fork.command_clock());
         prop_assert_eq!(original.snapshot(), fork.snapshot());
     }
 }

@@ -11,8 +11,6 @@ use crate::error::MachineError;
 use crate::process::{Pid, ProcState, Process, VirtAddr};
 use crate::stats::MachineStats;
 
-/// Cost of a cache hit (ns of simulated time).
-const CACHE_HIT_NS: Nanos = 2;
 /// Cost of a demand-paging fault (allocation + zeroing + PTE install).
 const FAULT_NS: Nanos = 1_200;
 /// Cost of a `clflush`.
@@ -298,14 +296,20 @@ impl SimMachine {
         Ok((phys, cpu))
     }
 
-    /// One cache-modelled access at `addr`'s physical line: hit costs
-    /// [`CACHE_HIT_NS`]; a full miss activates the DRAM row.
-    fn cached_access(&mut self, cpu: CpuId, phys: PhysAddr) {
+    /// One cache-modelled access at `addr`'s physical line, returning the
+    /// simulated latency it cost: hits charge the hierarchy's flat hit
+    /// latency ([`cachesim::ServedBy::hit_nanos`]); a full miss reaches
+    /// DRAM, where the device's command timing decides (a row-buffer hit
+    /// is cheaper than a row conflict once the timing engine is on — the
+    /// signal the mapping probe measures).
+    fn cached_access(&mut self, cpu: CpuId, phys: PhysAddr) -> Nanos {
         let served = self.caches[cpu.0 as usize].access(phys.as_u64());
-        if served.reaches_dram() {
-            self.dram.access(phys);
-        } else {
-            self.advance(CACHE_HIT_NS);
+        match served.hit_nanos() {
+            Some(ns) => {
+                self.advance(ns);
+                ns
+            }
+            None => self.dram.access(phys),
         }
     }
 
@@ -364,6 +368,42 @@ impl SimMachine {
             off += n;
         }
         Ok(())
+    }
+
+    /// [`Self::read`], additionally returning how much simulated time the
+    /// operation cost (faults, cache hits, DRAM activations). With the
+    /// timing engine on this is the attacker's stopwatch: a row-buffer
+    /// conflict is visibly slower than a row hit, which is what the
+    /// latency-based mapping probe measures.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`].
+    pub fn read_timed(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<Nanos, MachineError> {
+        let t0 = self.now();
+        self.read(pid, addr, buf)?;
+        Ok(self.now() - t0)
+    }
+
+    /// [`Self::write`], additionally returning the simulated time it cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::touch`].
+    pub fn write_timed(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        data: &[u8],
+    ) -> Result<Nanos, MachineError> {
+        let t0 = self.now();
+        self.write(pid, addr, data)?;
+        Ok(self.now() - t0)
     }
 
     /// Fills `len` bytes at `addr` with `value` (page-wise `memset`).
@@ -864,6 +904,27 @@ mod tests {
         let zone = m.allocator().zone_of(pfn).unwrap();
         let hits = m.allocator().zone(zone).unwrap().pcp(CpuId(1)).stats().hits;
         assert!(hits > 0, "post-warmup allocation should hit the pcp");
+    }
+
+    #[test]
+    fn timed_reads_report_cache_and_dram_latency() {
+        let mut cfg = MachineConfig::small(11);
+        cfg.dram = cfg.dram.with_timing_engine(true);
+        let mut m = SimMachine::new(cfg);
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 1).unwrap();
+        m.write(p, va, b"x").unwrap();
+        let mut b = [0u8];
+        // The line is resident after the write: a pure cache hit.
+        let warm = m.read_timed(p, va, &mut b).unwrap();
+        assert_eq!(warm, cachesim::ServedBy::L1.hit_nanos().unwrap());
+        // Flushed, the read reaches DRAM and pays command timing.
+        m.clflush(p, va).unwrap();
+        let cold = m.read_timed(p, va, &mut b).unwrap();
+        assert!(
+            cold > warm,
+            "a DRAM access ({cold} ns) must cost more than a cache hit ({warm} ns)"
+        );
     }
 
     #[test]
