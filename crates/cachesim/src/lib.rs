@@ -9,6 +9,8 @@
 //!   replacement and per-line flush.
 //! * [`CacheHierarchy`] — an inclusive L1 + LLC stack; an access that hits at
 //!   any level never reaches memory.
+//! * [`Tlb`] — a small set-associative, process-tagged TLB the machine layer
+//!   consults before walking DRAM-resident page tables.
 //!
 //! Addresses are raw `u64` physical addresses; the machine layer converts
 //! from its typed addresses. The hierarchy reports *where* an access was
@@ -34,8 +36,10 @@ mod cache;
 mod config;
 mod hierarchy;
 mod stats;
+mod tlb;
 
 pub use cache::{Cache, Lookup};
 pub use config::CacheConfig;
 pub use hierarchy::{CacheHierarchy, HierarchySnapshot, ServedBy};
 pub use stats::CacheStats;
+pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbStats};

@@ -64,6 +64,7 @@ mod memsource;
 mod noise;
 mod phase;
 mod pipeline;
+mod ptflip;
 mod template;
 mod victim;
 
@@ -81,5 +82,6 @@ pub use phase::{
     TemplatePool,
 };
 pub use pipeline::Pipeline;
+pub use ptflip::{pte_flip_escalation, PtFlipConfig, PtFlipOutcome};
 pub use template::{template_scan, template_scan_with, FlipTemplate, TemplateMemo, TemplateScan};
 pub use victim::{VictimCipherService, VictimKeys};

@@ -590,6 +590,8 @@ impl Phase for HammerPhase {
             HammerStrategy::ManySided { .. } => {
                 let geometry = ctx.machine.config().dram.geometry;
                 let aggressors = strategy_aggressors(
+                    ctx.machine,
+                    attacker,
                     self.strategy,
                     buffer,
                     ctx.config.template_pages,

@@ -1,6 +1,6 @@
 //! Machine configuration: consistent DRAM + allocator + cache settings.
 
-use cachesim::CacheConfig;
+use cachesim::{CacheConfig, TlbConfig};
 use dram::DramConfig;
 use memsim::MemConfig;
 
@@ -46,6 +46,14 @@ pub struct MachineConfig {
     pub llc: CacheConfig,
     /// Idle reclaim behaviour.
     pub idle_drain: IdleDrainPolicy,
+    /// Model page tables as allocator-owned frames whose PTEs live in
+    /// simulated DRAM (off by default: translation uses only the in-kernel
+    /// shadow map, and machine behaviour is byte-identical to builds that
+    /// predate the walk).
+    pub dram_page_tables: bool,
+    /// TLB geometry for the translation fast path (both modes; with the
+    /// walk on, a TLB hit is what skips the PTE fetches).
+    pub tlb: TlbConfig,
 }
 
 impl MachineConfig {
@@ -57,6 +65,8 @@ impl MachineConfig {
             l1: CacheConfig::l1_32k(),
             llc: CacheConfig::llc_8m(),
             idle_drain: IdleDrainPolicy::default(),
+            dram_page_tables: false,
+            tlb: TlbConfig::small(),
         }
     }
 
@@ -81,6 +91,23 @@ impl MachineConfig {
     /// Returns a copy with a different idle-drain policy.
     pub fn with_idle_drain(mut self, policy: IdleDrainPolicy) -> Self {
         self.idle_drain = policy;
+        self
+    }
+
+    /// Returns a copy with DRAM-resident page tables switched on or off.
+    /// On, processes own real table frames, every translation walks PTE
+    /// bytes stored in simulated DRAM, and `mmap` is confined to the
+    /// 2-level walk's 1 GiB window.
+    #[must_use]
+    pub fn with_dram_page_tables(mut self, on: bool) -> Self {
+        self.dram_page_tables = on;
+        self
+    }
+
+    /// Returns a copy with a different TLB geometry.
+    #[must_use]
+    pub fn with_tlb(mut self, tlb: TlbConfig) -> Self {
+        self.tlb = tlb;
         self
     }
 
@@ -143,6 +170,12 @@ mod tests {
             base,
             MachineConfig::small(7)
                 .with_idle_drain(IdleDrainPolicy::Keep)
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            MachineConfig::small(7)
+                .with_dram_page_tables(true)
                 .fingerprint()
         );
     }

@@ -32,6 +32,13 @@ pub enum MachineError {
         /// Start of the offending range.
         addr: VirtAddr,
     },
+    /// Virtual-address arithmetic overflowed: the operation would wrap the
+    /// 64-bit address space, or (with DRAM-resident page tables) leave the
+    /// walkable mmap window.
+    AddressOverflow {
+        /// The process whose address-space operation overflowed.
+        pid: Pid,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -45,6 +52,9 @@ impl fmt::Display for MachineError {
             MachineError::Dram(e) => write!(f, "dram operation failed: {e}"),
             MachineError::BadUnmap { pid, addr } => {
                 write!(f, "{pid} unmapped a range not fully mapped at {addr}")
+            }
+            MachineError::AddressOverflow { pid } => {
+                write!(f, "{pid} virtual address arithmetic overflowed")
             }
         }
     }

@@ -20,6 +20,14 @@
 //!   process must remain active" caveat.
 //! * **The hammer primitive** — access + `clflush` so every iteration
 //!   reaches DRAM, plus a bulk equivalent for large sweeps.
+//! * **DRAM-resident page tables** (opt-in via
+//!   [`MachineConfig::with_dram_page_tables`]) — processes own real radix
+//!   table frames; every translation walks 8-byte PTEs stored in simulated
+//!   DRAM behind a set-associative TLB, and 2 MiB huge mappings
+//!   ([`SimMachine::mmap_huge`]) collapse the walk to one level. Table
+//!   frames are ordinary DRAM rows, so Rowhammer flips in them redirect
+//!   translation — the PTE-flip privilege-escalation family
+//!   ([`SimMachine::translate_walk`] vs [`SimMachine::translate`]).
 //!
 //! # Examples
 //!
@@ -52,6 +60,7 @@
 mod config;
 mod error;
 mod machine;
+mod pagetable;
 mod process;
 mod snapshot;
 mod stats;
@@ -59,6 +68,6 @@ mod stats;
 pub use config::{IdleDrainPolicy, MachineConfig};
 pub use error::MachineError;
 pub use machine::{warm_boot, warmup, warmup_on, SimMachine, WARMUP_PAGES, WARMUP_PAGES_STEERING};
-pub use process::{Pid, ProcState, Process, VirtAddr};
+pub use process::{Pid, ProcState, Process, VirtAddr, Vma};
 pub use snapshot::MachineSnapshot;
 pub use stats::MachineStats;

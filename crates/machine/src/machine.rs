@@ -2,34 +2,22 @@
 
 use std::collections::BTreeMap;
 
-use cachesim::CacheHierarchy;
+use cachesim::{CacheHierarchy, Tlb};
 use dram::{DramDevice, HammerOutcome, Nanos, PhysAddr};
-use memsim::{CpuId, Order, ZonedAllocator, PAGE_SIZE};
+use memsim::{CpuId, FrameKind, Order, Pfn, ZonedAllocator, PAGE_SIZE};
 
 use crate::config::{IdleDrainPolicy, MachineConfig};
 use crate::error::MachineError;
-use crate::process::{Pid, ProcState, Process, VirtAddr};
+use crate::pagetable::{self, Pte};
+use crate::process::{Pid, ProcState, Process, VirtAddr, HUGE_PAGES, MMAP_BASE};
 use crate::stats::MachineStats;
 
 /// Cost of a demand-paging fault (allocation + zeroing + PTE install).
 const FAULT_NS: Nanos = 1_200;
 /// Cost of a `clflush`.
 const CLFLUSH_NS: Nanos = 5;
-
-/// One remembered translation: the page the last data access touched.
-///
-/// A pure cache over the process table — holding an entry implies the pid
-/// is alive (invalidated on [`SimMachine::exit`]) and the mapping valid
-/// (invalidated on [`SimMachine::munmap`] and snapshot restore). Cipher
-/// table walks hit the same page for thousands of consecutive byte reads,
-/// so this single entry removes two B-tree lookups from almost every one.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct TlbEntry {
-    pid: Pid,
-    vpn: u64,
-    phys_base: u64,
-    cpu: CpuId,
-}
+/// Buddy order of a 2 MiB huge chunk (`2^9` pages = [`HUGE_PAGES`]).
+const HUGE_ORDER: u8 = 9;
 
 /// The simulated system: DRAM + per-CPU caches + the Linux allocator +
 /// processes with demand paging.
@@ -46,7 +34,13 @@ pub struct SimMachine {
     pub(crate) procs: BTreeMap<Pid, Process>,
     pub(crate) next_pid: u32,
     pub(crate) stats: MachineStats,
-    pub(crate) tlb: Option<TlbEntry>,
+    /// Translation cache over the process table / DRAM-resident walk. A
+    /// live entry implies the pid is alive and the mapping valid — flushed
+    /// wholesale on [`SimMachine::munmap`], [`SimMachine::exit`] and
+    /// snapshot restore. Cipher table walks hit the same few pages for
+    /// thousands of consecutive byte reads, so hits skip the B-tree lookups
+    /// (and, with DRAM page tables on, the PTE fetches).
+    pub(crate) tlb: Tlb,
 }
 
 impl SimMachine {
@@ -72,9 +66,9 @@ impl SimMachine {
             alloc: ZonedAllocator::new(config.mem),
             procs: BTreeMap::new(),
             next_pid: 1,
+            tlb: Tlb::new(config.tlb),
             config,
             stats: MachineStats::default(),
-            tlb: None,
         }
     }
 
@@ -127,16 +121,32 @@ impl SimMachine {
     // Process lifecycle
     // ------------------------------------------------------------------
 
-    /// Spawns a process pinned to `cpu`.
+    /// Spawns a process pinned to `cpu`. With DRAM-resident page tables on,
+    /// the kernel allocates (and zeroes) the process's root table frame
+    /// here — `spawn` itself consumes the head of `cpu`'s page frame cache,
+    /// which steering compositions must account for.
     ///
     /// # Panics
     ///
-    /// Panics if `cpu` is out of range.
+    /// Panics if `cpu` is out of range, or if the machine is so small that
+    /// a root table frame cannot be allocated (a configuration bug).
     pub fn spawn(&mut self, cpu: CpuId) -> Pid {
         assert!(cpu.0 < self.cpu_count(), "cpu {cpu} out of range");
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         self.procs.insert(pid, Process::new(pid, cpu));
+        if self.config.dram_page_tables {
+            let root = self
+                .alloc
+                .alloc_pages_kind(cpu, Order(0), FrameKind::PageTable)
+                .expect("out of memory allocating a root page table");
+            self.dram
+                .fill(PhysAddr::new(root.phys_addr()), PAGE_SIZE, 0);
+            self.procs
+                .get_mut(&pid)
+                .expect("just inserted")
+                .set_root_table(root);
+        }
         pid
     }
 
@@ -157,20 +167,35 @@ impl SimMachine {
             .ok_or(MachineError::NoSuchProcess { pid })
     }
 
-    /// Terminates `pid`, freeing every resident frame.
+    /// Terminates `pid`, freeing every resident frame (huge mappings free
+    /// their order-9 blocks whole) and, with DRAM-resident page tables on,
+    /// the process's page-table frames.
     ///
     /// # Errors
     ///
     /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
     pub fn exit(&mut self, pid: Pid) -> Result<(), MachineError> {
-        self.tlb = None;
+        self.tlb.flush();
         let proc = self
             .procs
             .remove(&pid)
             .ok_or(MachineError::NoSuchProcess { pid })?;
         let cpu = proc.cpu();
-        for (_, pfn) in proc.resident() {
-            self.alloc.free_pages(cpu, pfn)?;
+        let mut freed_blocks = std::collections::BTreeSet::new();
+        for (vpn, pfn) in proc.resident() {
+            let huge = proc.vma_of(vpn).is_some_and(|(_, vma)| vma.huge);
+            if huge {
+                // 512 resident entries share one order-9 block; free it once.
+                let block = Pfn(pfn.0 & !(HUGE_PAGES - 1));
+                if freed_blocks.insert(block) {
+                    self.alloc.free_pages(cpu, block)?;
+                }
+            } else {
+                self.alloc.free_pages(cpu, pfn)?;
+            }
+        }
+        for table in proc.table_frames() {
+            self.alloc.free_pages(cpu, table)?;
         }
         Ok(())
     }
@@ -204,35 +229,120 @@ impl SimMachine {
     // Virtual memory
     // ------------------------------------------------------------------
 
+    /// The highest VPN (exclusive) a reservation may end at: with
+    /// DRAM-resident page tables, the 2-level walk's window; otherwise the
+    /// whole address space.
+    fn max_end_vpn(&self) -> u64 {
+        if self.config.dram_page_tables {
+            MMAP_BASE / PAGE_SIZE + pagetable::WINDOW_PAGES
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Maps `pages` of anonymous memory; physical frames are only assigned
     /// on first touch.
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
+    /// * [`MachineError::NoSuchProcess`] — unknown pid.
+    /// * [`MachineError::AddressOverflow`] — the reservation would wrap the
+    ///   address space, or (with DRAM-resident page tables) exceed the
+    ///   walkable window.
     pub fn mmap(&mut self, pid: Pid, pages: u64) -> Result<VirtAddr, MachineError> {
-        Ok(self.process_mut(pid)?.reserve(pages))
+        let max_end = self.max_end_vpn();
+        self.process_mut(pid)?
+            .reserve(pages, false, max_end)
+            .ok_or(MachineError::AddressOverflow { pid })
+    }
+
+    /// Maps `chunks` 2 MiB huge mappings (512 pages each, 512-aligned
+    /// base). A huge chunk is faulted in as one order-9 block on first
+    /// touch and — with DRAM-resident page tables — mapped by a single
+    /// root-level PTE, collapsing the walk to one level. Huge VMAs can only
+    /// be unmapped whole.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::mmap`].
+    pub fn mmap_huge(&mut self, pid: Pid, chunks: u64) -> Result<VirtAddr, MachineError> {
+        let max_end = self.max_end_vpn();
+        let pages = chunks
+            .checked_mul(HUGE_PAGES)
+            .ok_or(MachineError::AddressOverflow { pid })?;
+        self.process_mut(pid)?
+            .reserve(pages, true, max_end)
+            .ok_or(MachineError::AddressOverflow { pid })
     }
 
     /// Unmaps `pages` starting at `addr` (which must be page-aligned within
-    /// one VMA). Touched frames are freed — order-0, so they land at the
-    /// head of this CPU's page frame cache.
+    /// one VMA; huge VMAs unmap only whole). Touched frames are freed —
+    /// order-0 (or the whole order-9 block for huge chunks), so they land
+    /// at the head of this CPU's page frame cache / buddy lists. With
+    /// DRAM-resident page tables, the covering PTEs are cleared in DRAM.
     ///
     /// # Errors
     ///
     /// * [`MachineError::NoSuchProcess`] — unknown pid.
-    /// * [`MachineError::BadUnmap`] — range not fully inside a live VMA.
+    /// * [`MachineError::BadUnmap`] — range not fully inside a live VMA, or
+    ///   a partial unmap of a huge VMA.
     pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, pages: u64) -> Result<(), MachineError> {
-        self.tlb = None;
-        let cpu = self.process(pid)?.cpu();
+        self.tlb.flush();
+        let proc = self.process(pid)?;
+        let cpu = proc.cpu();
+        let huge = proc.vma_of(addr.vpn()).is_some_and(|(_, vma)| vma.huge);
         let freed = self
             .process_mut(pid)?
             .remove_range(addr, pages)
             .ok_or(MachineError::BadUnmap { pid, addr })?;
-        for pfn in freed {
-            self.alloc.free_pages(cpu, pfn)?;
+        if self.config.dram_page_tables {
+            self.clear_ptes(pid, &freed, huge);
+        }
+        if huge {
+            let mut freed_blocks = std::collections::BTreeSet::new();
+            for (_, pfn) in freed {
+                let block = Pfn(pfn.0 & !(HUGE_PAGES - 1));
+                if freed_blocks.insert(block) {
+                    self.alloc.free_pages(cpu, block)?;
+                }
+            }
+        } else {
+            for (_, pfn) in freed {
+                self.alloc.free_pages(cpu, pfn)?;
+            }
         }
         Ok(())
+    }
+
+    /// Zeroes the DRAM PTEs covering `freed` pages: each touched base page's
+    /// leaf slot, or — for huge VMAs — each chunk's root slot, once.
+    fn clear_ptes(&mut self, pid: Pid, freed: &[(u64, Pfn)], huge: bool) {
+        let Some(proc) = self.procs.get(&pid) else {
+            return;
+        };
+        let Some(root) = proc.root_table() else {
+            return;
+        };
+        let mut slots = Vec::new();
+        for &(vpn, _) in freed {
+            let Some(rel) = pagetable::rel_vpn(vpn) else {
+                continue;
+            };
+            let root_idx = pagetable::root_index(rel);
+            let slot = if huge {
+                pagetable::pte_addr(root, root_idx)
+            } else {
+                match proc.leaf_table(root_idx) {
+                    Some(leaf) => pagetable::pte_addr(leaf, pagetable::leaf_index(rel)),
+                    None => continue,
+                }
+            };
+            slots.push(slot);
+        }
+        slots.dedup();
+        for slot in slots {
+            self.dram.write(PhysAddr::new(slot), &Pte(0).to_bytes());
+        }
     }
 
     /// Virtual→physical translation, if the page has been touched.
@@ -246,6 +356,102 @@ impl SimMachine {
         Some(PhysAddr::new(pfn.phys_addr() + addr.page_offset()))
     }
 
+    /// The *hardware's* view of a translation: with DRAM-resident page
+    /// tables on, walks the live PTE bytes (no timing, no cache traffic,
+    /// no faulting — a pure probe) and decodes whatever they say now. A
+    /// divergence from [`Self::translate`]'s shadow pagemap is the PTE-flip
+    /// attack signal: the walk has been redirected to a frame the kernel
+    /// never granted. Returns `None` for non-present entries and for
+    /// corrupt entries decoding outside DRAM. Feature-off it falls back to
+    /// the shadow map (both views are the same structure then).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
+    pub fn translate_walk(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+    ) -> Result<Option<PhysAddr>, MachineError> {
+        if !self.config.dram_page_tables {
+            return Ok(self.translate(pid, addr));
+        }
+        let proc = self.process(pid)?;
+        let Some(root) = proc.root_table() else {
+            return Ok(None);
+        };
+        let Some(rel) = pagetable::rel_vpn(addr.vpn()) else {
+            return Ok(None);
+        };
+        let root_idx = pagetable::root_index(rel);
+        let leaf_idx = pagetable::leaf_index(rel);
+        let cap = self.config.dram.geometry.capacity_bytes();
+        let mut bytes = [0u8; 8];
+        self.dram.read(
+            PhysAddr::new(pagetable::pte_addr(root, root_idx)),
+            &mut bytes,
+        );
+        let root_pte = Pte::from_bytes(bytes);
+        if !root_pte.present() {
+            return Ok(None);
+        }
+        if root_pte.is_huge() {
+            let phys = root_pte.frame().phys_addr() + leaf_idx * PAGE_SIZE + addr.page_offset();
+            return Ok((phys < cap).then(|| PhysAddr::new(phys)));
+        }
+        let table = root_pte.frame();
+        if table.phys_addr() + PAGE_SIZE > cap {
+            return Ok(None);
+        }
+        self.dram.read(
+            PhysAddr::new(pagetable::pte_addr(table, leaf_idx)),
+            &mut bytes,
+        );
+        let leaf_pte = Pte::from_bytes(bytes);
+        if !leaf_pte.present() {
+            return Ok(None);
+        }
+        let phys = leaf_pte.frame().phys_addr() + addr.page_offset();
+        Ok((phys < cap).then(|| PhysAddr::new(phys)))
+    }
+
+    /// Physical address of the DRAM PTE slot that maps `addr` — the cell a
+    /// PTE-flip campaign aims its templating at. For huge VMAs this is the
+    /// root-table slot; otherwise the leaf slot (known once the leaf table
+    /// exists, i.e. after any page under that root slot has been touched).
+    /// `None` feature-off, outside the window, or before the covering table
+    /// exists.
+    pub fn pte_phys(&self, pid: Pid, addr: VirtAddr) -> Option<PhysAddr> {
+        if !self.config.dram_page_tables {
+            return None;
+        }
+        let proc = self.procs.get(&pid)?;
+        let root = proc.root_table()?;
+        let rel = pagetable::rel_vpn(addr.vpn())?;
+        let root_idx = pagetable::root_index(rel);
+        let (_, vma) = proc.vma_of(addr.vpn())?;
+        if vma.huge {
+            return Some(PhysAddr::new(pagetable::pte_addr(root, root_idx)));
+        }
+        let leaf = proc.leaf_table(root_idx)?;
+        Some(PhysAddr::new(pagetable::pte_addr(
+            leaf,
+            pagetable::leaf_index(rel),
+        )))
+    }
+
+    /// Flushes the TLB — the shootdown a campaign models after hammering a
+    /// table frame, so victims stop reading through stale entries and the
+    /// next access takes the (now corrupted) walk.
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush();
+    }
+
+    /// The translation cache (hit/miss/eviction counters, residency).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
     /// Faults in the page containing `addr` if needed and returns its
     /// physical address (demand paging: allocate order-0 on this CPU, zero
     /// the frame, install the PTE).
@@ -256,14 +462,20 @@ impl SimMachine {
     /// * [`MachineError::Unmapped`] — `addr` outside every VMA.
     /// * [`MachineError::Alloc`] — out of physical memory.
     pub fn touch(&mut self, pid: Pid, addr: VirtAddr) -> Result<PhysAddr, MachineError> {
-        let proc = self.process(pid)?;
-        if !proc.is_mapped(addr) {
-            return Err(MachineError::Unmapped { pid, addr });
+        if self.config.dram_page_tables {
+            return self.touch_walk(pid, addr);
         }
+        let proc = self.process(pid)?;
+        let Some((_, vma)) = proc.vma_of(addr.vpn()) else {
+            return Err(MachineError::Unmapped { pid, addr });
+        };
         if let Some(pfn) = proc.frame_of(addr) {
             return Ok(PhysAddr::new(pfn.phys_addr() + addr.page_offset()));
         }
         let cpu = proc.cpu();
+        if vma.huge {
+            return self.fault_huge_chunk(pid, addr, cpu, None);
+        }
         let pfn = self.alloc.alloc_pages(cpu, Order(0))?;
         // Anonymous pages are zero-filled by the kernel.
         self.dram.fill(PhysAddr::new(pfn.phys_addr()), PAGE_SIZE, 0);
@@ -273,26 +485,139 @@ impl SimMachine {
         Ok(PhysAddr::new(pfn.phys_addr() + addr.page_offset()))
     }
 
-    /// [`Self::touch`] through the one-entry translation cache, also
-    /// returning the process's CPU without a table lookup on a hit. The
-    /// fast path is exact: resident pages never move while mapped, and the
-    /// cache is dropped on every operation that could unmap one.
+    /// [`Self::touch`] with DRAM-resident page tables: resolves `addr`
+    /// through the 2-level radix walk, reading PTE bytes from simulated
+    /// DRAM (and charging cache-modelled fetch traffic for them), faulting
+    /// absent levels in on demand. Because the PTE fetch reads the *live*
+    /// DRAM cells, a Rowhammer flip in a table frame redirects this path
+    /// immediately — the escalation primitive `exp_t15_ptflip` builds on.
+    fn touch_walk(&mut self, pid: Pid, addr: VirtAddr) -> Result<PhysAddr, MachineError> {
+        let proc = self.process(pid)?;
+        let cpu = proc.cpu();
+        let root = proc
+            .root_table()
+            .expect("dram_page_tables processes always own a root table");
+        let Some((_, vma)) = proc.vma_of(addr.vpn()) else {
+            return Err(MachineError::Unmapped { pid, addr });
+        };
+        let rel = pagetable::rel_vpn(addr.vpn()).ok_or(MachineError::AddressOverflow { pid })?;
+        let root_idx = pagetable::root_index(rel);
+        let leaf_idx = pagetable::leaf_index(rel);
+        let root_slot = pagetable::pte_addr(root, root_idx);
+        let root_pte = Pte(self.walk_read_pte(cpu, root_slot));
+        if root_pte.present() && root_pte.is_huge() {
+            let phys = root_pte.frame().phys_addr() + leaf_idx * PAGE_SIZE + addr.page_offset();
+            return self.guard_phys(pid, addr, phys);
+        }
+        if vma.huge {
+            // First touch of a huge chunk: map the whole 2 MiB behind one
+            // root-level PTE — the walk for it is now a single DRAM fetch.
+            return self.fault_huge_chunk(pid, addr, cpu, Some(root_slot));
+        }
+        let leaf_table = if root_pte.present() {
+            let t = root_pte.frame();
+            // A flipped root PTE can point anywhere; a decode outside DRAM
+            // is the segfault analog, surfaced rather than masked.
+            self.guard_phys(pid, addr, t.phys_addr() + PAGE_SIZE - 1)?;
+            t
+        } else {
+            let t = self
+                .alloc
+                .alloc_pages_kind(cpu, Order(0), FrameKind::PageTable)?;
+            self.dram.fill(PhysAddr::new(t.phys_addr()), PAGE_SIZE, 0);
+            self.write_pte(root_slot, Pte::table(t));
+            self.process_mut(pid)?.set_leaf_table(root_idx, t);
+            t
+        };
+        let leaf_slot = pagetable::pte_addr(leaf_table, leaf_idx);
+        let leaf_pte = Pte(self.walk_read_pte(cpu, leaf_slot));
+        if leaf_pte.present() {
+            let phys = leaf_pte.frame().phys_addr() + addr.page_offset();
+            return self.guard_phys(pid, addr, phys);
+        }
+        let pfn = self.alloc.alloc_pages(cpu, Order(0))?;
+        self.dram.fill(PhysAddr::new(pfn.phys_addr()), PAGE_SIZE, 0);
+        self.write_pte(leaf_slot, Pte::leaf(pfn));
+        self.process_mut(pid)?.install(addr.vpn(), pfn);
+        self.stats.page_faults += 1;
+        self.advance(FAULT_NS);
+        Ok(PhysAddr::new(pfn.phys_addr() + addr.page_offset()))
+    }
+
+    /// Demand-faults the whole 2 MiB chunk containing `addr`: one order-9
+    /// block, one fault, 512 shadow-pagemap entries — and, when `root_slot`
+    /// is given (walk mode), one huge root PTE written to DRAM.
+    fn fault_huge_chunk(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        cpu: CpuId,
+        root_slot: Option<u64>,
+    ) -> Result<PhysAddr, MachineError> {
+        // Huge VMAs are chunk-aligned by `reserve`, so masking the VPN
+        // lands on the chunk base.
+        let chunk_start = addr.vpn() & !(HUGE_PAGES - 1);
+        let block = self.alloc.alloc_pages(cpu, Order(HUGE_ORDER))?;
+        self.dram
+            .fill(PhysAddr::new(block.phys_addr()), HUGE_PAGES * PAGE_SIZE, 0);
+        if let Some(slot) = root_slot {
+            self.write_pte(slot, Pte::huge(block));
+        }
+        let proc = self.process_mut(pid)?;
+        for i in 0..HUGE_PAGES {
+            proc.install(chunk_start + i, Pfn(block.0 + i));
+        }
+        self.stats.page_faults += 1;
+        self.advance(FAULT_NS);
+        let in_chunk = addr.vpn() - chunk_start;
+        Ok(PhysAddr::new(
+            block.phys_addr() + in_chunk * PAGE_SIZE + addr.page_offset(),
+        ))
+    }
+
+    /// One PTE fetch during a walk: cache-modelled traffic on the slot's
+    /// line, then the live bytes from DRAM (the cache models *time*, not
+    /// contents — a hammered flip is visible on the very next walk).
+    fn walk_read_pte(&mut self, cpu: CpuId, slot: u64) -> u64 {
+        let pa = PhysAddr::new(slot);
+        self.cached_access(cpu, pa);
+        let mut bytes = [0u8; 8];
+        self.dram.read(pa, &mut bytes);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Stores a PTE's wire bytes at physical `slot`.
+    fn write_pte(&mut self, slot: u64, pte: Pte) {
+        self.dram.write(PhysAddr::new(slot), &pte.to_bytes());
+    }
+
+    /// Bounds-checks a walk-decoded physical byte address against DRAM
+    /// capacity: a corrupted PTE decoding outside the device faults
+    /// ([`MachineError::Unmapped`] — the segfault analog).
+    fn guard_phys(&self, pid: Pid, addr: VirtAddr, phys: u64) -> Result<PhysAddr, MachineError> {
+        if phys < self.config.dram.geometry.capacity_bytes() {
+            Ok(PhysAddr::new(phys))
+        } else {
+            Err(MachineError::Unmapped { pid, addr })
+        }
+    }
+
+    /// [`Self::touch`] through the TLB, also returning the process's CPU.
+    /// A hit implies the pid is alive and the mapping valid (the TLB is
+    /// flushed wholesale by every operation that could unmap a page), so
+    /// hits skip the page-table walk entirely — exactly the traffic a
+    /// hardware TLB hides.
     #[inline]
     fn touch_cached(&mut self, pid: Pid, va: VirtAddr) -> Result<(PhysAddr, CpuId), MachineError> {
         let vpn = va.vpn();
-        if let Some(e) = self.tlb {
-            if e.pid == pid && e.vpn == vpn {
-                return Ok((PhysAddr::new(e.phys_base + va.page_offset()), e.cpu));
-            }
+        if let Some(base) = self.tlb.lookup(u64::from(pid.0), vpn) {
+            let cpu = self.process(pid)?.cpu();
+            return Ok((PhysAddr::new(base + va.page_offset()), cpu));
         }
         let cpu = self.process(pid)?.cpu();
         let phys = self.touch(pid, va)?;
-        self.tlb = Some(TlbEntry {
-            pid,
-            vpn,
-            phys_base: phys.as_u64() - va.page_offset(),
-            cpu,
-        });
+        self.tlb
+            .insert(u64::from(pid.0), vpn, phys.as_u64() - va.page_offset());
         Ok((phys, cpu))
     }
 
@@ -335,7 +660,9 @@ impl SimMachine {
         }
         let mut off = 0usize;
         while off < buf.len() {
-            let va = addr + off as u64;
+            let va = addr
+                .checked_add(off as u64)
+                .ok_or(MachineError::AddressOverflow { pid })?;
             let in_page = (PAGE_SIZE - va.page_offset()) as usize;
             let n = in_page.min(buf.len() - off);
             let (phys, cpu) = self.touch_cached(pid, va)?;
@@ -359,7 +686,9 @@ impl SimMachine {
         }
         let mut off = 0usize;
         while off < data.len() {
-            let va = addr + off as u64;
+            let va = addr
+                .checked_add(off as u64)
+                .ok_or(MachineError::AddressOverflow { pid })?;
             let in_page = (PAGE_SIZE - va.page_offset()) as usize;
             let n = in_page.min(data.len() - off);
             let (phys, cpu) = self.touch_cached(pid, va)?;
@@ -425,7 +754,9 @@ impl SimMachine {
         }
         let mut off = 0u64;
         while off < len {
-            let va = addr + off;
+            let va = addr
+                .checked_add(off)
+                .ok_or(MachineError::AddressOverflow { pid })?;
             let in_page = PAGE_SIZE - va.page_offset();
             let n = in_page.min(len - off);
             let (phys, cpu) = self.touch_cached(pid, va)?;
@@ -925,6 +1256,175 @@ mod tests {
             cold > warm,
             "a DRAM access ({cold} ns) must cost more than a cache hit ({warm} ns)"
         );
+    }
+
+    fn walk_machine() -> SimMachine {
+        SimMachine::new(MachineConfig::small(11).with_dram_page_tables(true))
+    }
+
+    #[test]
+    fn walk_mode_round_trips_data_like_shadow_mode() {
+        // The DRAM-resident walk changes *how* addresses resolve, never
+        // what a program reads back.
+        for on in [false, true] {
+            let mut m = SimMachine::new(MachineConfig::small(11).with_dram_page_tables(on));
+            let p = m.spawn(CpuId(0));
+            let va = m.mmap(p, 3).unwrap();
+            let data: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+            m.write(p, va + 100, &data).unwrap();
+            let mut back = vec![0u8; data.len()];
+            m.read(p, va + 100, &mut back).unwrap();
+            assert_eq!(back, data, "dram_page_tables={on}");
+            // Hardware walk and shadow pagemap agree on every touched page.
+            for i in 0..3 {
+                let page = va + i * PAGE_SIZE;
+                assert_eq!(m.translate_walk(p, page).unwrap(), m.translate(p, page));
+            }
+        }
+    }
+
+    #[test]
+    fn walk_mode_accounts_for_table_frames() {
+        let mut m = walk_machine();
+        let free0 = m.allocator().total_free_pages();
+        let p = m.spawn(CpuId(0));
+        // spawn consumed the root table frame off this CPU's pcp head.
+        assert_eq!(m.allocator().total_free_pages(), free0 - 1);
+        assert_eq!(m.allocator().table_frame_count(), 1);
+        let va = m.mmap(p, 4).unwrap();
+        m.fill(p, va, 4 * PAGE_SIZE, 7).unwrap();
+        // 4 data frames + 1 leaf table.
+        assert_eq!(m.allocator().total_free_pages(), free0 - 6);
+        assert_eq!(m.allocator().table_frame_count(), 2);
+        m.exit(p).unwrap();
+        assert_eq!(m.allocator().total_free_pages(), free0);
+        assert_eq!(m.allocator().table_frame_count(), 0);
+    }
+
+    #[test]
+    fn huge_mappings_fault_whole_chunks() {
+        for on in [false, true] {
+            let mut m = SimMachine::new(MachineConfig::small(11).with_dram_page_tables(on));
+            let p = m.spawn(CpuId(0));
+            let va = m.mmap_huge(p, 1).unwrap();
+            assert_eq!(va.vpn() % HUGE_PAGES, 0, "huge VMAs are chunk-aligned");
+            m.write(p, va + 5 * PAGE_SIZE, b"h").unwrap();
+            // One fault populates the whole 2 MiB chunk, contiguously.
+            assert_eq!(m.stats().page_faults, 1);
+            assert_eq!(m.process(p).unwrap().resident_pages(), HUGE_PAGES);
+            let base = m.translate(p, va).unwrap();
+            assert_eq!(
+                m.translate(p, va + 17 * PAGE_SIZE).unwrap().as_u64(),
+                base.as_u64() + 17 * PAGE_SIZE
+            );
+            assert_eq!(
+                m.translate_walk(p, va + 17 * PAGE_SIZE).unwrap(),
+                m.translate(p, va + 17 * PAGE_SIZE)
+            );
+            // Partial unmap of a huge VMA is rejected; whole unmap frees
+            // the order-9 block once.
+            assert!(matches!(
+                m.munmap(p, va, 1),
+                Err(MachineError::BadUnmap { .. })
+            ));
+            let free_before = m.allocator().total_free_pages();
+            m.munmap(p, va, HUGE_PAGES).unwrap();
+            assert_eq!(m.allocator().total_free_pages(), free_before + HUGE_PAGES);
+        }
+    }
+
+    #[test]
+    fn mmap_rejects_wrap_and_window_overflow() {
+        // Feature-off: only a genuine u64 wrap can fail.
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        assert!(matches!(
+            m.mmap(p, u64::MAX),
+            Err(MachineError::AddressOverflow { .. })
+        ));
+        // Feature-on: the 2-level walk's 1 GiB window bounds reservations.
+        let mut w = walk_machine();
+        let p = w.spawn(CpuId(0));
+        assert!(matches!(
+            w.mmap(p, pagetable::WINDOW_PAGES),
+            Err(MachineError::AddressOverflow { .. })
+        ));
+        assert!(matches!(
+            w.mmap_huge(p, u64::MAX / 4),
+            Err(MachineError::AddressOverflow { .. })
+        ));
+        // Failed reservations commit nothing: the window is still whole.
+        let va = w.mmap(p, pagetable::WINDOW_PAGES - 1).unwrap();
+        w.write(p, va, b"still fits").unwrap();
+    }
+
+    #[test]
+    fn tlb_serves_repeat_accesses() {
+        let mut m = small();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 1).unwrap();
+        m.write(p, va, b"x").unwrap(); // miss + fill
+        let mut b = [0u8];
+        m.read(p, va, &mut b).unwrap(); // hit
+        let stats = m.tlb().stats();
+        assert!(stats.hits >= 1, "repeat access should hit: {stats:?}");
+        m.munmap(p, va, 1).unwrap();
+        assert_eq!(m.tlb().resident(), 0, "munmap flushes the TLB");
+    }
+
+    #[test]
+    fn pte_flip_redirects_the_walk() {
+        // The escalation primitive in miniature: corrupt one leaf PTE the
+        // way a Rowhammer flip would and watch the hardware view diverge
+        // from the kernel's shadow pagemap.
+        let mut m = walk_machine();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 2).unwrap();
+        m.write(p, va, b"AAAA").unwrap();
+        m.write(p, va + PAGE_SIZE, b"BBBB").unwrap();
+        let pa_a = m.translate(p, va).unwrap();
+        let pa_b = m.translate(p, va + PAGE_SIZE).unwrap();
+        assert_ne!(pa_a, pa_b);
+        assert_eq!(m.translate_walk(p, va).unwrap(), Some(pa_a));
+
+        // Flip the frame-number bits of page A's PTE so it decodes to B's
+        // frame (both addresses are page-aligned, so the XOR delta is pure
+        // frame bits).
+        let slot = m.pte_phys(p, va).unwrap();
+        let mut bytes = [0u8; 8];
+        m.dram_mut().read(slot, &mut bytes);
+        let flipped = u64::from_le_bytes(bytes) ^ (pa_a.as_u64() ^ pa_b.as_u64());
+        m.dram_mut().write(slot, &flipped.to_le_bytes());
+        m.flush_tlb(); // shootdown: stop serving the stale translation
+
+        // Hardware walk now lands on B; the shadow map still says A.
+        assert_eq!(m.translate_walk(p, va).unwrap(), Some(pa_b));
+        assert_eq!(m.translate(p, va), Some(pa_a));
+        // And ordinary loads through A read B's bytes — the remap is live.
+        let mut buf = [0u8; 4];
+        m.read(p, va, &mut buf).unwrap();
+        assert_eq!(&buf, b"BBBB");
+    }
+
+    #[test]
+    fn corrupt_pte_decoding_outside_dram_faults() {
+        let mut m = walk_machine();
+        let p = m.spawn(CpuId(0));
+        let va = m.mmap(p, 1).unwrap();
+        m.write(p, va, b"x").unwrap();
+        let slot = m.pte_phys(p, va).unwrap();
+        // Set a frame bit far above DRAM capacity.
+        let mut bytes = [0u8; 8];
+        m.dram_mut().read(slot, &mut bytes);
+        let wild = u64::from_le_bytes(bytes) | (1 << 40);
+        m.dram_mut().write(slot, &wild.to_le_bytes());
+        m.flush_tlb();
+        // The walk refuses to fabricate an address: segfault analog.
+        assert_eq!(m.translate_walk(p, va).unwrap(), None);
+        assert!(matches!(
+            m.read(p, va, &mut [0u8; 1]),
+            Err(MachineError::Unmapped { .. })
+        ));
     }
 
     #[test]

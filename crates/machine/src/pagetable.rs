@@ -1,0 +1,151 @@
+//! PTE encoding and radix-walk arithmetic for DRAM-resident page tables.
+//!
+//! With [`crate::MachineConfig`]`::with_dram_page_tables` on, every
+//! translation is stored as an 8-byte little-endian PTE inside an
+//! allocator-owned 4 KiB table frame in simulated DRAM. The layout is a
+//! compact 2-level radix tree over the anonymous-mmap window:
+//!
+//! ```text
+//! vpn − MMAP_BASE/4K  =  rel  (18 bits: 1 GiB of virtual address space)
+//!                        ├── rel[17:9]  root-table index  (512 slots)
+//!                        └── rel[8:0]   leaf-table index  (512 slots)
+//! ```
+//!
+//! A root slot either points at a leaf table ([`Pte::table`]), or — for
+//! 2 MiB huge mappings — directly at an order-9 data block with the HUGE
+//! bit set ([`Pte::huge`]), collapsing the walk to one level. PTE bytes are
+//! ordinary DRAM cells: they sit in weak-cell-eligible rows, are covered by
+//! snapshots, and flip under Rowhammer like any data byte — which is the
+//! whole point of the `exp_t15_ptflip` campaign.
+
+use memsim::{Pfn, PAGE_SIZE};
+
+use crate::process::MMAP_BASE;
+
+/// Bytes per PTE.
+pub(crate) const PTE_BYTES: u64 = 8;
+/// PTE slots per 4 KiB table frame.
+pub(crate) const PTES_PER_TABLE: u64 = PAGE_SIZE / PTE_BYTES;
+/// Bits of the VPN consumed by one radix level.
+pub(crate) const LEVEL_BITS: u32 = 9;
+/// Bits of relative VPN the 2-level walk can map (root × leaf).
+pub(crate) const WINDOW_BITS: u32 = 2 * LEVEL_BITS;
+/// Pages in the walkable window (2^18 pages = 1 GiB of VA).
+pub(crate) const WINDOW_PAGES: u64 = 1 << WINDOW_BITS;
+
+/// PTE bit 0: the entry maps something.
+pub(crate) const PTE_PRESENT: u64 = 1;
+/// PTE bit 1: root-level entry maps a 2 MiB block directly.
+pub(crate) const PTE_HUGE: u64 = 1 << 1;
+/// Frame-address bits (bits ≥ 12, 4 KiB-aligned).
+const PTE_ADDR_MASK: u64 = !(PAGE_SIZE - 1);
+
+/// One decoded 8-byte page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Pte(pub u64);
+
+impl Pte {
+    /// A present leaf entry mapping one 4 KiB frame.
+    pub(crate) fn leaf(frame: Pfn) -> Self {
+        Pte(frame.phys_addr() | PTE_PRESENT)
+    }
+
+    /// A present root entry pointing at a leaf table frame.
+    pub(crate) fn table(frame: Pfn) -> Self {
+        Pte(frame.phys_addr() | PTE_PRESENT)
+    }
+
+    /// A present root entry mapping a 2 MiB block directly.
+    pub(crate) fn huge(block: Pfn) -> Self {
+        Pte(block.phys_addr() | PTE_PRESENT | PTE_HUGE)
+    }
+
+    /// Whether the PRESENT bit is set.
+    pub(crate) fn present(self) -> bool {
+        self.0 & PTE_PRESENT != 0
+    }
+
+    /// Whether the HUGE bit is set (meaningful at root level only).
+    pub(crate) fn is_huge(self) -> bool {
+        self.0 & PTE_HUGE != 0
+    }
+
+    /// The frame this entry points at (leaf frame, leaf table, or huge
+    /// block base, depending on level and HUGE bit).
+    pub(crate) fn frame(self) -> Pfn {
+        Pfn::containing(self.0 & PTE_ADDR_MASK)
+    }
+
+    /// Little-endian wire form — the bytes stored in DRAM.
+    pub(crate) fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decodes the wire form.
+    pub(crate) fn from_bytes(bytes: [u8; 8]) -> Self {
+        Pte(u64::from_le_bytes(bytes))
+    }
+}
+
+/// VPN relative to the window base, or `None` outside the walkable window.
+pub(crate) fn rel_vpn(vpn: u64) -> Option<u64> {
+    let rel = vpn.checked_sub(MMAP_BASE / PAGE_SIZE)?;
+    (rel < WINDOW_PAGES).then_some(rel)
+}
+
+/// Root-table slot index for a relative VPN.
+pub(crate) fn root_index(rel: u64) -> u64 {
+    rel >> LEVEL_BITS
+}
+
+/// Leaf-table slot index for a relative VPN.
+pub(crate) fn leaf_index(rel: u64) -> u64 {
+    rel & (PTES_PER_TABLE - 1)
+}
+
+/// Physical address of slot `index` inside table frame `table`.
+pub(crate) fn pte_addr(table: Pfn, index: u64) -> u64 {
+    debug_assert!(index < PTES_PER_TABLE);
+    table.phys_addr() + index * PTE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pte_codec_round_trips_flags_and_frame() {
+        let leaf = Pte::leaf(Pfn(0x1234));
+        assert!(leaf.present());
+        assert!(!leaf.is_huge());
+        assert_eq!(leaf.frame(), Pfn(0x1234));
+        let huge = Pte::huge(Pfn(512));
+        assert!(huge.present());
+        assert!(huge.is_huge());
+        assert_eq!(huge.frame(), Pfn(512));
+        assert_eq!(Pte::from_bytes(huge.to_bytes()), huge);
+        assert!(!Pte(0).present());
+    }
+
+    #[test]
+    fn window_arithmetic_splits_vpns() {
+        let base = MMAP_BASE / PAGE_SIZE;
+        assert_eq!(rel_vpn(base), Some(0));
+        assert_eq!(rel_vpn(base - 1), None);
+        assert_eq!(rel_vpn(base + WINDOW_PAGES - 1), Some(WINDOW_PAGES - 1));
+        assert_eq!(rel_vpn(base + WINDOW_PAGES), None);
+        let rel = (3 << LEVEL_BITS) | 7;
+        assert_eq!(root_index(rel), 3);
+        assert_eq!(leaf_index(rel), 7);
+    }
+
+    #[test]
+    fn pte_addr_lands_inside_the_table_frame() {
+        let t = Pfn(42);
+        assert_eq!(pte_addr(t, 0), t.phys_addr());
+        assert_eq!(
+            pte_addr(t, PTES_PER_TABLE - 1),
+            t.phys_addr() + PAGE_SIZE - PTE_BYTES
+        );
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::collections::BTreeMap;
 
-use cachesim::HierarchySnapshot;
+use cachesim::{HierarchySnapshot, Tlb};
 use dram::DramSnapshot;
 use memsim::AllocatorSnapshot;
 
@@ -39,9 +39,10 @@ use crate::stats::MachineStats;
 /// disturbance counters, the simulated clock, TRR sampler tables and ECC
 /// tracker state, every CPU's L1 + LLC contents with exact LRU order and
 /// counters, the allocator's buddy free lists, allocated-block metadata and
-/// per-CPU page frame caches in LIFO order, the allocation event trace, and
-/// the full process table (VMAs, page tables, CPU pins, scheduling states,
-/// next-pid counter).
+/// per-CPU page frame caches in LIFO order, the allocation event trace, the
+/// TLB (entries, LRU order and counters), and the full process table (VMAs,
+/// page tables — including table-frame ownership for DRAM-resident walks —
+/// CPU pins, scheduling states, next-pid counter).
 ///
 /// **Not captured:** the DRAM address mapping (a pure function of the
 /// configuration, re-built on fork) and the weak-cell memo cache contents
@@ -73,6 +74,7 @@ pub struct MachineSnapshot {
     pub(crate) procs: BTreeMap<Pid, Process>,
     pub(crate) next_pid: u32,
     pub(crate) stats: MachineStats,
+    pub(crate) tlb: Tlb,
 }
 
 impl MachineSnapshot {
@@ -98,7 +100,10 @@ impl MachineSnapshot {
             procs: self.procs.clone(),
             next_pid: self.next_pid,
             stats: self.stats,
-            tlb: None,
+            // Deterministic replay extends to the TLB: a fork resumes with
+            // the exact translation-cache state (and counters) the original
+            // had, so replays stay byte-identical.
+            tlb: self.tlb.clone(),
         }
     }
 }
@@ -114,6 +119,7 @@ impl SimMachine {
             procs: self.procs.clone(),
             next_pid: self.next_pid,
             stats: self.stats,
+            tlb: self.tlb.clone(),
         }
     }
 
@@ -137,8 +143,9 @@ impl SimMachine {
         self.procs = snapshot.procs.clone();
         self.next_pid = snapshot.next_pid;
         self.stats = snapshot.stats;
-        // Restored mappings may differ from the live ones the cache saw.
-        self.tlb = None;
+        // Live mappings may differ from the snapshot's; adopt its TLB
+        // wholesale so replay matches the original byte-for-byte.
+        self.tlb = snapshot.tlb.clone();
     }
 }
 

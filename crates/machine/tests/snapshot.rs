@@ -5,24 +5,48 @@
 //! `snapshot → mutate arbitrarily → restore → replay suffix` being
 //! state-identical to a fresh boot covers the cross-layer interactions the
 //! per-crate suites cannot see.
+//!
+//! Two boot flavors run the same plans: the shadow-translation machine and
+//! the DRAM-page-tables machine (radix walk + TLB + huge mappings). The
+//! latter additionally exercises `mmap_huge` and table-walk traffic, so
+//! page-table frames, PTE bytes in DRAM, and TLB state must all survive
+//! snapshot/restore/fork byte-identically — `template_memo_at`'s
+//! snapshot-equality fast path depends on it.
 
 use machine::{warm_boot, MachineConfig, Pid, SimMachine, VirtAddr, WARMUP_PAGES};
 use memsim::{CpuId, PAGE_SIZE};
 use proptest::prelude::*;
 use snaptest::{check_replay_equivalence, replay_plan};
 
+/// Pages per 2 MiB huge chunk (mirrors `SimMachine::mmap_huge`).
+const HUGE_PAGES: u64 = 512;
+
+/// `(base, pages-or-chunks)` per live mapping.
+type Vmas = Vec<(VirtAddr, u64)>;
+
 /// Interpreter bookkeeping: live processes and their live mappings, so
 /// generated ops stay structurally valid and replayable from any prefix.
+/// Huge VMAs are tracked separately: they only unmap whole.
 #[derive(Debug, Clone, Default)]
 struct Book {
-    procs: Vec<(Pid, Vec<(VirtAddr, u64)>)>,
+    procs: Vec<(Pid, Vmas, Vmas)>,
+}
+
+fn boot_with(config: MachineConfig) -> SimMachine {
+    // Start from warmed (non-pristine) state: that is what real campaign
+    // trials snapshot, and it seeds the pcp lists the ops then churn.
+    warm_boot(config, CpuId(0), WARMUP_PAGES)
 }
 
 fn boot() -> (SimMachine, Book) {
-    // Start from warmed (non-pristine) state: that is what real campaign
-    // trials snapshot, and it seeds the pcp lists the ops then churn.
-    let machine = warm_boot(MachineConfig::small(21), CpuId(0), WARMUP_PAGES);
-    (machine, Book::default())
+    (boot_with(MachineConfig::small(21)), Book::default())
+}
+
+fn boot_walk() -> (SimMachine, Book) {
+    (
+        boot_with(MachineConfig::small(21).with_dram_page_tables(true)),
+        Book::default(),
+    )
 }
 
 /// Decodes one opcode word into a machine operation. Structurally
@@ -30,24 +54,25 @@ fn boot() -> (SimMachine, Book) {
 /// skipped — every word is still interpreted deterministically.
 fn step(machine: &mut SimMachine, book: &mut Book, word: u64) {
     let cpu = CpuId(((word >> 8) % 4) as u32);
-    match word % 8 {
+    match word % 10 {
         0 => {
             let pid = machine.spawn(cpu);
-            book.procs.push((pid, Vec::new()));
+            book.procs.push((pid, Vec::new(), Vec::new()));
         }
         1 | 2 => {
             // mmap a small VMA on an existing process.
             if !book.procs.is_empty() {
                 let idx = (word >> 16) as usize % book.procs.len();
                 let pages = 1 + (word >> 32) % 6;
-                let (pid, vmas) = &mut book.procs[idx];
+                let (pid, vmas, _) = &mut book.procs[idx];
                 let va = machine.mmap(*pid, pages).expect("mmap");
                 vmas.push((va, pages));
             }
         }
         3 | 4 => {
             // Touch/overwrite part of a live mapping (demand paging, cache
-            // and DRAM traffic).
+            // and DRAM traffic — and, in walk mode, PTE reads/writes in
+            // simulated DRAM plus TLB fills).
             if let Some((pid, va, pages)) = pick_vma(book, word) {
                 // Clamp so the 8-byte write cannot cross the VMA end into
                 // the guard hole `Process::reserve` leaves between VMAs.
@@ -61,7 +86,7 @@ fn step(machine: &mut SimMachine, book: &mut Book, word: u64) {
             // Unmap a whole VMA: its frames return to the pcp head.
             if !book.procs.is_empty() {
                 let idx = (word >> 16) as usize % book.procs.len();
-                let (pid, vmas) = &mut book.procs[idx];
+                let (pid, vmas, _) = &mut book.procs[idx];
                 if !vmas.is_empty() {
                     let v = (word >> 32) as usize % vmas.len();
                     let (va, pages) = vmas.swap_remove(v);
@@ -77,11 +102,40 @@ fn step(machine: &mut SimMachine, book: &mut Book, word: u64) {
                 machine.sleep(book.procs[idx].0, ns).expect("sleep");
             }
         }
-        _ => {
-            // Exit: frees every resident frame.
+        7 => {
+            // mmap_huge + first touch: whole-chunk fault, order-9 block,
+            // and (walk mode) a huge root-level PTE written into DRAM.
             if !book.procs.is_empty() {
                 let idx = (word >> 16) as usize % book.procs.len();
-                let (pid, _) = book.procs.swap_remove(idx);
+                let chunks = 1 + (word >> 32) % 2;
+                let (pid, _, huge) = &mut book.procs[idx];
+                let va = machine.mmap_huge(*pid, chunks).expect("mmap_huge");
+                let offset = (word >> 40) % (chunks * HUGE_PAGES * PAGE_SIZE - 8);
+                machine
+                    .write(*pid, va + offset, &word.to_le_bytes())
+                    .expect("write into huge VMA");
+                huge.push((va, chunks));
+            }
+        }
+        8 => {
+            // Unmap a whole huge VMA (partial huge unmaps are rejected).
+            if !book.procs.is_empty() {
+                let idx = (word >> 16) as usize % book.procs.len();
+                let (pid, _, huge) = &mut book.procs[idx];
+                if !huge.is_empty() {
+                    let v = (word >> 32) as usize % huge.len();
+                    let (va, chunks) = huge.swap_remove(v);
+                    machine
+                        .munmap(*pid, va, chunks * HUGE_PAGES)
+                        .expect("munmap whole huge VMA");
+                }
+            }
+        }
+        _ => {
+            // Exit: frees every resident frame (and table frames).
+            if !book.procs.is_empty() {
+                let idx = (word >> 16) as usize % book.procs.len();
+                let (pid, _, _) = book.procs.swap_remove(idx);
                 machine.exit(pid).expect("exit live process");
             }
         }
@@ -93,11 +147,18 @@ fn pick_vma(book: &Book, word: u64) -> Option<(Pid, VirtAddr, u64)> {
         return None;
     }
     let idx = (word >> 16) as usize % book.procs.len();
-    let (pid, vmas) = &book.procs[idx];
-    if vmas.is_empty() {
+    let (pid, vmas, huge) = &book.procs[idx];
+    // Interleave small and huge targets so walk traffic covers both the
+    // two-level and the collapsed one-level translation paths.
+    let all: Vec<(VirtAddr, u64)> = vmas
+        .iter()
+        .copied()
+        .chain(huge.iter().map(|&(va, c)| (va, c * HUGE_PAGES)))
+        .collect();
+    if all.is_empty() {
         return None;
     }
-    let (va, pages) = vmas[(word >> 24) as usize % vmas.len()];
+    let (va, pages) = all[(word >> 24) as usize % all.len()];
     Some((*pid, va, pages))
 }
 
@@ -116,20 +177,63 @@ proptest! {
     }
 
     #[test]
+    fn walk_mode_snapshot_restore_replay_matches_fresh_boot(plan in replay_plan(80)) {
+        check_replay_equivalence(
+            &plan,
+            boot_walk,
+            step,
+            SimMachine::snapshot,
+            |machine, snap| machine.restore(snap),
+        )?;
+    }
+
+    #[test]
     fn snapshot_forks_replay_identically_under_shared_ops(words in proptest::collection::vec(any::<u64>(), 1..60)) {
-        let (mut original, mut book) = boot();
-        for &w in &words[..words.len() / 2] {
-            step(&mut original, &mut book, w);
+        for boot_fn in [boot as fn() -> (SimMachine, Book), boot_walk] {
+            let (mut original, mut book) = boot_fn();
+            for &w in &words[..words.len() / 2] {
+                step(&mut original, &mut book, w);
+            }
+            let snap = original.snapshot();
+            let mut fork = snap.fork();
+            let mut fork_book = book.clone();
+            for &w in &words[words.len() / 2..] {
+                step(&mut original, &mut book, w);
+                step(&mut fork, &mut fork_book, w);
+            }
+            prop_assert_eq!(original.snapshot(), fork.snapshot());
+            // And the snapshot itself was never disturbed by either replay.
+            prop_assert_eq!(snap.fork().snapshot(), snap);
         }
-        let snap = original.snapshot();
-        let mut fork = snap.fork();
-        let mut fork_book = book.clone();
-        for &w in &words[words.len() / 2..] {
-            step(&mut original, &mut book, w);
-            step(&mut fork, &mut fork_book, w);
+    }
+
+    #[test]
+    fn walk_mode_table_state_survives_restore(words in proptest::collection::vec(any::<u64>(), 1..40)) {
+        // Drive the walk machine, snapshot, trash it with more ops, then
+        // restore: table-frame accounting, live translations, and the TLB
+        // must all come back byte-identically.
+        let (mut m, mut book) = boot_walk();
+        for &w in &words {
+            step(&mut m, &mut book, w);
         }
-        prop_assert_eq!(original.snapshot(), fork.snapshot());
-        // And the snapshot itself was never disturbed by either replay.
-        prop_assert_eq!(snap.fork().snapshot(), snap);
+        let snap = m.snapshot();
+        let tables_at_snap = m.allocator().table_frame_count();
+        let translations_at_snap: Vec<_> = book
+            .procs
+            .iter()
+            .flat_map(|(pid, vmas, _)| vmas.iter().map(|&(va, _)| (*pid, va, m.translate(*pid, va))))
+            .collect();
+        let mut trash_book = book.clone();
+        for &w in &words {
+            step(&mut m, &mut trash_book, w.rotate_left(13));
+        }
+        m.restore(&snap);
+        prop_assert_eq!(m.snapshot(), snap);
+        prop_assert_eq!(m.allocator().table_frame_count(), tables_at_snap);
+        for (pid, va, shadow) in translations_at_snap {
+            // The restored machine's hardware walk agrees with the shadow
+            // pagemap captured at snapshot time.
+            prop_assert_eq!(m.translate_walk(pid, va).expect("walk"), shadow);
+        }
     }
 }

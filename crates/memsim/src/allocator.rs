@@ -5,11 +5,13 @@
 //! zone fails, it runs a direct-reclaim pass (draining all pcp lists, the
 //! simulator's kswapd stand-in) and retries once.
 
+use std::collections::BTreeSet;
+
 use crate::error::AllocError;
 use crate::gfp::GfpFlags;
 use crate::pcp::PcpConfig;
 use crate::trace::{EventKind, ServedFrom, TraceLog};
-use crate::types::{CpuId, Order, Pfn, PfnRange, MAX_ORDER, PAGE_SIZE};
+use crate::types::{CpuId, FrameKind, Order, Pfn, PfnRange, MAX_ORDER, PAGE_SIZE};
 use crate::zone::{Zone, ZoneKind, ZonePath};
 
 /// Machine memory layout configuration.
@@ -121,6 +123,10 @@ pub struct ZonedAllocator {
     config: MemConfig,
     zones: Vec<Zone>,
     trace: TraceLog,
+    /// Block-start frames currently allocated as [`FrameKind::PageTable`].
+    /// Only table frames are recorded — ordinary data allocations leave
+    /// this set (and therefore allocator equality) untouched.
+    table_frames: BTreeSet<Pfn>,
 }
 
 impl ZonedAllocator {
@@ -143,6 +149,7 @@ impl ZonedAllocator {
             config,
             zones,
             trace: TraceLog::new(config.trace_capacity),
+            table_frames: BTreeSet::new(),
         }
     }
 
@@ -221,6 +228,46 @@ impl ZonedAllocator {
             .ok_or(AllocError::OutOfMemory { order })
     }
 
+    /// [`Self::alloc_pages`] with an explicit [`FrameKind`] tag: a
+    /// `PageTable` allocation is recorded so the frame can later be
+    /// recognised as kernel-owned (and the tag dropped again on free).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::alloc_pages_with`].
+    pub fn alloc_pages_kind(
+        &mut self,
+        cpu: CpuId,
+        order: Order,
+        kind: FrameKind,
+    ) -> Result<Pfn, AllocError> {
+        let pfn = self.alloc_pages(cpu, order)?;
+        if kind == FrameKind::PageTable {
+            self.table_frames.insert(pfn);
+        }
+        Ok(pfn)
+    }
+
+    /// What the live block starting at `pfn` was allocated to hold.
+    /// Untagged (or free) frames report [`FrameKind::Data`].
+    pub fn frame_kind(&self, pfn: Pfn) -> FrameKind {
+        if self.table_frames.contains(&pfn) {
+            FrameKind::PageTable
+        } else {
+            FrameKind::Data
+        }
+    }
+
+    /// Number of live page-table frames.
+    pub fn table_frame_count(&self) -> usize {
+        self.table_frames.len()
+    }
+
+    /// Iterates over live page-table block-start frames in ascending order.
+    pub fn table_frames(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.table_frames.iter().copied()
+    }
+
     fn try_zonelist(&mut self, cpu: CpuId, order: Order, gfp: GfpFlags) -> Option<Pfn> {
         for kind in gfp.zonelist() {
             let Some(idx) = self.zones.iter().position(|z| z.kind() == kind) else {
@@ -269,6 +316,7 @@ impl ZonedAllocator {
             .ok_or(AllocError::UnknownFrame { pfn })?;
         let kind = self.zones[idx].kind();
         let out = self.zones[idx].free(cpu, pfn)?;
+        self.table_frames.remove(&pfn);
         let to = match out.path {
             ZonePath::PcpCache => ServedFrom::PcpCache,
             ZonePath::Buddy => ServedFrom::Buddy,
@@ -549,6 +597,34 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn page_table_tag_follows_the_frame_lifetime() {
+        let mut a = ZonedAllocator::new(MemConfig::small_256mib());
+        let data = a.alloc_pages(CpuId(0), Order(0)).unwrap();
+        let table = a
+            .alloc_pages_kind(CpuId(0), Order(0), FrameKind::PageTable)
+            .unwrap();
+        assert_eq!(a.frame_kind(data), FrameKind::Data);
+        assert_eq!(a.frame_kind(table), FrameKind::PageTable);
+        assert_eq!(a.table_frame_count(), 1);
+        assert_eq!(a.table_frames().collect::<Vec<_>>(), vec![table]);
+        a.free_pages(CpuId(0), table).unwrap();
+        assert_eq!(a.frame_kind(table), FrameKind::Data);
+        assert_eq!(a.table_frame_count(), 0);
+    }
+
+    #[test]
+    fn data_tagged_allocation_leaves_state_identical_to_untagged() {
+        let mut tagged = ZonedAllocator::new(MemConfig::small_256mib());
+        let mut plain = ZonedAllocator::new(MemConfig::small_256mib());
+        let p1 = tagged
+            .alloc_pages_kind(CpuId(0), Order(0), FrameKind::Data)
+            .unwrap();
+        let p2 = plain.alloc_pages(CpuId(0), Order(0)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(tagged, plain);
     }
 
     #[test]

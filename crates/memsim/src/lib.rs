@@ -60,5 +60,5 @@ pub use error::AllocError;
 pub use gfp::GfpFlags;
 pub use pcp::{PcpConfig, PcpStats, PerCpuPages};
 pub use trace::{AllocEvent, EventKind, ServedFrom, TraceLog};
-pub use types::{CpuId, Order, Pfn, PfnRange, MAX_ORDER, PAGE_SIZE};
+pub use types::{CpuId, FrameKind, Order, Pfn, PfnRange, MAX_ORDER, PAGE_SIZE};
 pub use zone::{Watermarks, Zone, ZoneKind, ZoneStats};

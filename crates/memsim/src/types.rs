@@ -103,6 +103,22 @@ impl fmt::Display for Order {
     }
 }
 
+/// What a frame was allocated to hold — lets the allocator account for
+/// kernel-owned page-table frames separately from ordinary data frames.
+///
+/// Only [`FrameKind::PageTable`] frames are tracked explicitly; `Data` is
+/// the untagged default, so a workload that never allocates page tables
+/// leaves the allocator state bit-identical to one built before the tag
+/// existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrameKind {
+    /// An ordinary data frame (anonymous memory, file cache, ...).
+    #[default]
+    Data,
+    /// A frame holding page-table entries (kernel-owned, walk-visible).
+    PageTable,
+}
+
 /// A logical CPU identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CpuId(pub u32);
