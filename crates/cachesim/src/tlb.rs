@@ -209,6 +209,24 @@ impl Tlb {
         }
     }
 
+    /// Drops every entry for `pid` whose VPN lies in
+    /// `[start_vpn, start_vpn + pages)` — the ranged shootdown an `munmap`
+    /// issues. Entries of other processes (and of `pid` outside the range)
+    /// survive, so their hit-rate statistics stay meaningful. Returns how
+    /// many entries were removed.
+    pub fn invalidate_range(&mut self, pid: u64, start_vpn: u64, pages: u64) -> usize {
+        let end = start_vpn.saturating_add(pages);
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.entries.len();
+            set.entries
+                .retain(|e| e.pid != pid || e.vpn < start_vpn || e.vpn >= end);
+            removed += before - set.entries.len();
+        }
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
     /// Drops every entry belonging to `pid` (address-space teardown).
     /// Returns how many were removed.
     pub fn invalidate_pid(&mut self, pid: u64) -> usize {
@@ -293,6 +311,24 @@ mod tests {
         assert_eq!(t.resident(), 1);
         assert_eq!(t.lookup(2, 2), Some(0x3000));
         assert_eq!(t.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn invalidate_range_is_pid_and_vpn_scoped() {
+        let mut t = Tlb::new(TlbConfig::small());
+        t.insert(1, 10, 0x1000);
+        t.insert(1, 11, 0x2000);
+        t.insert(1, 12, 0x3000);
+        t.insert(2, 11, 0x4000); // other process, in-range vpn
+        assert_eq!(t.invalidate_range(1, 10, 2), 2);
+        assert_eq!(t.lookup(1, 10), None);
+        assert_eq!(t.lookup(1, 11), None);
+        assert_eq!(t.lookup(1, 12), Some(0x3000)); // outside the range
+        assert_eq!(t.lookup(2, 11), Some(0x4000)); // other pid untouched
+        assert_eq!(t.stats().invalidations, 2);
+        // Empty and wrapping ranges are no-ops, not panics.
+        assert_eq!(t.invalidate_range(1, 12, 0), 0);
+        assert_eq!(t.invalidate_range(3, u64::MAX, 5), 0);
     }
 
     #[test]

@@ -283,6 +283,21 @@ impl ExplFrameConfig {
         self.probe_mapping = probe;
         self
     }
+
+    /// Returns a copy with DRAM-resident page tables switched on or off
+    /// (forwards to [`MachineConfig::with_dram_page_tables`]). On, every
+    /// translation in the attack walks live PTE bytes in hammerable DRAM:
+    /// table-walk traffic perturbs caches and TRR sampling, victim spawn
+    /// and first touch consume extra page-frame-cache entries for table
+    /// frames (which steering must account for), and `Unmapped` segfault
+    /// analogs become reachable mid-phase. Off (the default), translation
+    /// comes free from the shadow pagemap and reports are byte-identical
+    /// to the pre-walk-mode pipeline.
+    #[must_use]
+    pub fn with_dram_page_tables(mut self, on: bool) -> Self {
+        self.machine = self.machine.with_dram_page_tables(on);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -319,8 +334,10 @@ mod tests {
             .with_strategy(HammerStrategy::ManySided { rows: 6 })
             .with_many_sided_rows(12)
             .with_ecc_aware(true)
-            .with_probe_mapping(true);
+            .with_probe_mapping(true)
+            .with_dram_page_tables(true);
         assert_eq!(cfg.machine.dram.seed, machine.dram.seed);
+        assert!(cfg.machine.dram_page_tables);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.attacker_cpu, CpuId(3));
         assert_eq!(cfg.victim_cpu, CpuId(1));

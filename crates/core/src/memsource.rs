@@ -1,7 +1,7 @@
 //! A [`TableSource`] backed by simulated machine memory.
 
 use ciphers::TableSource;
-use machine::{Pid, SimMachine, VirtAddr};
+use machine::{MachineError, Pid, SimMachine, VirtAddr};
 
 /// Reads cipher table bytes through a process's virtual memory on a
 /// [`SimMachine`] — the glue that makes a Rowhammer flip in the victim's
@@ -27,12 +27,27 @@ use machine::{Pid, SimMachine, VirtAddr};
 ///   will stop you, and that is the contract working as intended;
 /// * reads outside the declared `len` are a bug in the cipher, not a
 ///   recoverable condition, and panic.
+///
+/// # Fault capture (DRAM-resident page tables)
+///
+/// On a shadow-translation machine a table read cannot fail while the
+/// service holds its mapping. With page tables in DRAM, however, the
+/// victim's *translation* is itself hammerable: a collateral flip in one of
+/// its table frames can detach the table page mid-encryption (the
+/// [`MachineError::Unmapped`] segfault analog) or send the walk outside the
+/// device. The [`TableSource`] trait has no error channel, so the source
+/// records the **first** such fault and returns `0` for that read and every
+/// later one — the cipher finishes on garbage, exactly like a process
+/// running between a corrupted load and its delayed crash. Callers must
+/// check [`take_fault`](Self::take_fault) after the encryption and discard
+/// the block if a fault fired.
 #[derive(Debug)]
 pub struct MachineTableSource<'m> {
     machine: &'m mut SimMachine,
     pid: Pid,
     base: VirtAddr,
     len: usize,
+    fault: Option<MachineError>,
 }
 
 impl<'m> MachineTableSource<'m> {
@@ -44,7 +59,20 @@ impl<'m> MachineTableSource<'m> {
             pid,
             base,
             len,
+            fault: None,
         }
+    }
+
+    /// The first machine fault a table read hit, if any (reads after the
+    /// first fault return `0` without touching the machine again).
+    #[must_use]
+    pub fn fault(&self) -> Option<&MachineError> {
+        self.fault.as_ref()
+    }
+
+    /// Consumes the recorded fault, leaving the source clean.
+    pub fn take_fault(&mut self) -> Option<MachineError> {
+        self.fault.take()
     }
 }
 
@@ -55,11 +83,20 @@ impl TableSource for MachineTableSource<'_> {
             "table read at {offset} beyond image length {}",
             self.len
         );
+        if self.fault.is_some() {
+            return 0;
+        }
         let mut byte = [0u8];
-        self.machine
+        match self
+            .machine
             .read(self.pid, self.base + offset as u64, &mut byte)
-            .expect("victim table page is mapped for the service lifetime");
-        byte[0]
+        {
+            Ok(()) => byte[0],
+            Err(e) => {
+                self.fault = Some(e);
+                0
+            }
+        }
     }
 
     fn len(&mut self) -> usize {
@@ -83,6 +120,24 @@ mod tests {
         assert_eq!(src.read_u8(0), 10);
         assert_eq!(src.read_u8(2), 30);
         assert_eq!(src.len(), 3);
+    }
+
+    #[test]
+    fn faulting_read_is_recorded_and_returns_zero() {
+        let mut m = SimMachine::new(MachineConfig::small(3));
+        let pid = m.spawn(CpuId(0));
+        // No mapping at this address: every read is the segfault analog.
+        let va = VirtAddr(0x40_0000);
+        let mut src = MachineTableSource::new(&mut m, pid, va, 4);
+        assert_eq!(src.read_u8(0), 0);
+        assert!(matches!(src.fault(), Some(MachineError::Unmapped { .. })));
+        // Later reads short-circuit on the sticky fault.
+        assert_eq!(src.read_u8(3), 0);
+        assert!(matches!(
+            src.take_fault(),
+            Some(MachineError::Unmapped { .. })
+        ));
+        assert_eq!(src.take_fault(), None);
     }
 
     #[test]

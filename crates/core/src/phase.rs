@@ -21,7 +21,7 @@ use ciphers::{
 };
 use dram::{MappingKind, Nanos};
 use fault::{PfaCollector, PresentPfa, TTablePfa, TableFault, TeFaultClass};
-use machine::{Pid, SimMachine, VirtAddr};
+use machine::{MachineError, Pid, SimMachine, VirtAddr};
 use memsim::PAGE_SIZE;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -38,6 +38,21 @@ use crate::victim::{VictimCipherService, VictimKeys};
 /// of magnitude below what the missing-value statistics would burn to
 /// prove the same round hopeless.
 const ECC_PROBE_CIPHERTEXTS: u64 = 8;
+
+/// Page-table frames a walk-mode victim consumes from the frame-cache head
+/// *before* its table page's first touch: the spawn's root table and the
+/// first VMA's leaf table.
+const WALK_TABLE_POPS: u64 = 2;
+
+/// Whether a machine error is a walk-mode casualty: the segfault analog
+/// ([`MachineError::Unmapped`]) or a DRAM decode error, both reachable only
+/// when page tables live in DRAM and a collateral flip corrupted a live
+/// translation. Shadow-mode runs can never hit these mid-phase, so the
+/// graceful-degradation paths below are dead code there and the pinned
+/// shadow goldens are unaffected.
+fn walk_casualty(e: &MachineError) -> bool {
+    matches!(e, MachineError::Unmapped { .. } | MachineError::Dram(_))
+}
 
 /// Everything a phase may touch while running.
 ///
@@ -211,6 +226,12 @@ pub enum CollectOutcome {
     /// discarded after a handful of probe queries instead of feeding
     /// corrected ciphertexts to the solvers.
     Corrected,
+    /// The victim segfaulted mid-collection (walk mode only): a collateral
+    /// flip landed in one of its DRAM-resident page-table frames instead of
+    /// the cipher table, detaching the table page or sending the walk off
+    /// the device. The round yields no statistics — the analog of a
+    /// real-world victim process crashing under the attack.
+    VictimCrashed,
 }
 
 impl CollectOutcome {
@@ -223,6 +244,7 @@ impl CollectOutcome {
             CollectOutcome::Exhausted => "exhausted",
             CollectOutcome::Skipped => "skipped",
             CollectOutcome::Corrected => "ecc-corrected",
+            CollectOutcome::VictimCrashed => "victim-crashed",
         }
     }
 }
@@ -335,17 +357,26 @@ impl Phase for MappingProbePhase {
         let base = ctx.machine.mmap(prober, pages)?;
         ctx.machine.fill(prober, base, pages * PAGE_SIZE, 0)?;
 
+        // The buffer is resident right after the fill, but on a walk
+        // machine a collateral flip may already have detached a page —
+        // propagate the segfault analog instead of panicking the worker.
         let pa_base = ctx
             .machine
             .translate(prober, base)
-            .expect("probe buffer is resident after the fill");
+            .ok_or(MachineError::Unmapped {
+                pid: prober,
+                addr: base,
+            })?;
         let mut measured = Vec::with_capacity(deltas.len());
         for &delta in &deltas {
             let vb = base + delta;
             let pb = ctx
                 .machine
                 .translate(prober, vb)
-                .expect("probe buffer is resident after the fill");
+                .ok_or(MachineError::Unmapped {
+                    pid: prober,
+                    addr: vb,
+                })?;
             let latency = probe_pair(ctx.machine, prober, base, vb)?;
             measured.push((pa_base, pb, latency));
         }
@@ -473,6 +504,17 @@ impl Phase for TemplatePhase {
 /// Phase 2 — release: `munmap` one vulnerable page so its frame lands at
 /// the head of this CPU's page frame cache. The attacker stays active;
 /// sleeping would let the idle kernel drain the cache (§V).
+///
+/// With DRAM-resident page tables the victim's arrival is not one
+/// allocation but three: its spawn pops a root-table frame and its table
+/// page's first touch pops a leaf-table frame *before* the table-data
+/// frame. A bare release would land the templated frame under the victim's
+/// root table — a self-defeating steer. The walk-aware release therefore
+/// stages `WALK_TABLE_POPS` (two) fresh sacrificial pages first (their faults'
+/// own allocations happen before any release, so they cannot consume the
+/// template frame) and unmaps template-first, so the frame-cache LIFO reads
+/// `[sac2, sac1, template]` and the victim's pops are root ← sac2,
+/// leaf ← sac1, table data ← template.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReleasePhase;
 
@@ -493,12 +535,42 @@ impl Phase for ReleasePhase {
             .machine
             .translate(attacker, template.page_va)
             .map(|pa| pa.as_u64() / PAGE_SIZE);
+        let staged = if ctx.machine.config().dram_page_tables {
+            stage_walk_sacrifices(ctx, attacker)?
+        } else {
+            None
+        };
         ctx.machine.munmap(attacker, template.page_va, 1)?;
+        if let Some(sac) = staged {
+            // One page at a time, ascending, so the LIFO order is exact.
+            for i in 0..WALK_TABLE_POPS {
+                ctx.machine.munmap(attacker, sac + i * PAGE_SIZE, 1)?;
+            }
+        }
         ctx.emit(PhaseEvent::FrameReleased {
             page_index: template.page_index,
             pfn,
         });
         Ok(ReleasedFrame { template, pfn })
+    }
+}
+
+/// Maps and touches the walk-mode sacrificial region (see [`ReleasePhase`]).
+/// Returns its base, or `None` when the attacker's own walk is corrupted —
+/// self-hazard is real on walk machines, and a failed staging should cost
+/// one degraded round, not the campaign.
+fn stage_walk_sacrifices(
+    ctx: &mut PhaseCtx<'_>,
+    attacker: Pid,
+) -> Result<Option<VirtAddr>, AttackError> {
+    let sac = ctx.machine.mmap(attacker, WALK_TABLE_POPS)?;
+    match ctx
+        .machine
+        .fill(attacker, sac, WALK_TABLE_POPS * PAGE_SIZE, 0)
+    {
+        Ok(()) => Ok(Some(sac)),
+        Err(e) if walk_casualty(&e) => Ok(None),
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -534,7 +606,16 @@ impl Phase for SteerPhase {
         let mut known_plain = vec![0u8; victim.block_bytes()];
         ctx.rng.fill(&mut known_plain[..]);
         let mut known_cipher = known_plain.clone();
-        victim.encrypt(ctx.machine, &mut known_cipher)?;
+        if let Err(e) = victim.encrypt(ctx.machine, &mut known_cipher) {
+            // Walk mode: a collateral flip in the victim's freshly popped
+            // table frames can crash it on its very first encryption. Keep
+            // the garbage pair — collection will classify the round as
+            // crashed, and analysis only ever reads pairs from converged
+            // rounds.
+            if !walk_casualty(&e) {
+                return Err(e.into());
+            }
+        }
 
         ctx.emit(PhaseEvent::VictimSteered {
             round: ctx.counters.fault_rounds,
@@ -682,7 +763,11 @@ impl Phase for CollectPhase {
                 let outcome = loop {
                     let mut block = [0u8; 8];
                     ctx.rng.fill(&mut block[..]);
-                    steered.victim.encrypt(ctx.machine, &mut block)?;
+                    match steered.victim.encrypt(ctx.machine, &mut block) {
+                        Ok(()) => {}
+                        Err(e) if walk_casualty(&e) => break CollectOutcome::VictimCrashed,
+                        Err(e) => return Err(e.into()),
+                    }
                     collector.observe(&block);
                     ctx.counters.ciphertexts_collected += 1;
                     if collector.total() % 32 == 0 || collector.all_positions_determined() {
@@ -730,7 +815,11 @@ fn ecc_probe(
     for _ in 0..ECC_PROBE_CIPHERTEXTS {
         let mut block = vec![0u8; steered.victim.block_bytes()];
         ctx.rng.fill(&mut block[..]);
-        steered.victim.encrypt(ctx.machine, &mut block)?;
+        match steered.victim.encrypt(ctx.machine, &mut block) {
+            Ok(()) => {}
+            Err(e) if walk_casualty(&e) => return Ok(Some(CollectOutcome::VictimCrashed)),
+            Err(e) => return Err(e.into()),
+        }
         ctx.counters.ciphertexts_collected += 1;
         let now = ctx.machine.dram().ecc_stats();
         if now.detected > baseline.detected {
@@ -756,7 +845,11 @@ fn collect_aes(
     loop {
         let mut block = [0u8; 16];
         ctx.rng.fill(&mut block[..]);
-        steered.victim.encrypt(ctx.machine, &mut block)?;
+        match steered.victim.encrypt(ctx.machine, &mut block) {
+            Ok(()) => {}
+            Err(e) if walk_casualty(&e) => return Ok(CollectOutcome::VictimCrashed),
+            Err(e) => return Err(e.into()),
+        }
         collector.observe(&block);
         ctx.counters.ciphertexts_collected += 1;
         if collector.total() % 64 == 0 {

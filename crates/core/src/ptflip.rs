@@ -174,11 +174,14 @@ pub fn pte_flip_escalation(config: &PtFlipConfig) -> Result<PtFlipOutcome, Attac
     outcome.template_found = true;
 
     let tmpl_page = plan.template.page_va;
-    let tmpl_frame = m
-        .translate(attacker, tmpl_page)
-        .expect("templated page is resident")
-        .as_u64()
-        / PAGE_SIZE;
+    // On a walk machine the attacker's own templating can detach this page
+    // (self-hazard); report a non-escalation instead of panicking.
+    let Some(tmpl_pa) = m.translate(attacker, tmpl_page) else {
+        outcome.hammer_pairs = m.stats().hammer_pairs;
+        outcome.elapsed = m.now();
+        return Ok(outcome);
+    };
+    let tmpl_frame = tmpl_pa.as_u64() / PAGE_SIZE;
 
     let (victim, target) = if config.huge_victim {
         // Root steering: the released templated frame sits at the pcp head

@@ -107,7 +107,13 @@ impl VictimCipherService {
     ///
     /// # Errors
     ///
-    /// Propagates machine errors.
+    /// On a shadow-translation machine this cannot fail: the table page
+    /// stays mapped for the service lifetime. On a machine with
+    /// DRAM-resident page tables the victim's *walk* is hammerable, so a
+    /// collateral PTE flip surfaces here as the first fault any table read
+    /// hit — [`MachineError::Unmapped`] (segfault analog) or a DRAM decode
+    /// error. The block contents are garbage in that case and must be
+    /// discarded.
     ///
     /// # Panics
     ///
@@ -115,21 +121,22 @@ impl VictimCipherService {
     pub fn encrypt(&self, machine: &mut SimMachine, block: &mut [u8]) -> Result<(), MachineError> {
         assert_eq!(block.len(), self.block_bytes(), "block size mismatch");
         let len = self.kind.image_len();
+        let mut src = MachineTableSource::new(machine, self.pid, self.base, len);
         match self.kind {
             VictimCipherKind::AesSbox => {
-                let src = MachineTableSource::new(machine, self.pid, self.base, len);
-                SboxAes::new_128(&self.keys.aes, src).encrypt_block(block);
+                SboxAes::new_128(&self.keys.aes, &mut src).encrypt_block(block);
             }
             VictimCipherKind::AesTtable => {
-                let src = MachineTableSource::new(machine, self.pid, self.base, len);
-                TTableAes::new_128(&self.keys.aes, src).encrypt_block(block);
+                TTableAes::new_128(&self.keys.aes, &mut src).encrypt_block(block);
             }
             VictimCipherKind::Present => {
-                let src = MachineTableSource::new(machine, self.pid, self.base, len);
-                Present80::new(&self.keys.present, src).encrypt_block(block);
+                Present80::new(&self.keys.present, &mut src).encrypt_block(block);
             }
         }
-        Ok(())
+        match src.take_fault() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Base virtual address of the table page.

@@ -35,11 +35,14 @@ pub struct SimMachine {
     pub(crate) next_pid: u32,
     pub(crate) stats: MachineStats,
     /// Translation cache over the process table / DRAM-resident walk. A
-    /// live entry implies the pid is alive and the mapping valid — flushed
-    /// wholesale on [`SimMachine::munmap`], [`SimMachine::exit`] and
-    /// snapshot restore. Cipher table walks hit the same few pages for
-    /// thousands of consecutive byte reads, so hits skip the B-tree lookups
-    /// (and, with DRAM page tables on, the PTE fetches).
+    /// live entry implies the pid is alive and the mapping valid —
+    /// [`SimMachine::munmap`] shoots down exactly the unmapped `(pid, vpn)`
+    /// range, [`SimMachine::exit`] drops the dead pid's entries, and
+    /// snapshot restore replaces the whole TLB; unrelated processes keep
+    /// their entries (and their hit-rate statistics) across a victim's
+    /// `munmap`. Cipher table walks hit the same few pages for thousands of
+    /// consecutive byte reads, so hits skip the B-tree lookups (and, with
+    /// DRAM page tables on, the PTE fetches).
     pub(crate) tlb: Tlb,
 }
 
@@ -175,7 +178,9 @@ impl SimMachine {
     ///
     /// Returns [`MachineError::NoSuchProcess`] if the pid is unknown.
     pub fn exit(&mut self, pid: Pid) -> Result<(), MachineError> {
-        self.tlb.flush();
+        // Pids are never reused, so dropping exactly this pid's entries is a
+        // complete shootdown; other processes keep their translations.
+        self.tlb.invalidate_pid(u64::from(pid.0));
         let proc = self
             .procs
             .remove(&pid)
@@ -287,7 +292,12 @@ impl SimMachine {
     /// * [`MachineError::BadUnmap`] — range not fully inside a live VMA, or
     ///   a partial unmap of a huge VMA.
     pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, pages: u64) -> Result<(), MachineError> {
-        self.tlb.flush();
+        // Targeted shootdown: only the unmapped (pid, vpn) range leaves the
+        // TLB. Flushing wholesale here would wipe every other process's
+        // entries too, skewing hit-rate statistics and masking stale-entry
+        // bugs behind over-invalidation.
+        self.tlb
+            .invalidate_range(u64::from(pid.0), addr.vpn(), pages);
         let proc = self.process(pid)?;
         let cpu = proc.cpu();
         let huge = proc.vma_of(addr.vpn()).is_some_and(|(_, vma)| vma.huge);
@@ -603,10 +613,10 @@ impl SimMachine {
     }
 
     /// [`Self::touch`] through the TLB, also returning the process's CPU.
-    /// A hit implies the pid is alive and the mapping valid (the TLB is
-    /// flushed wholesale by every operation that could unmap a page), so
-    /// hits skip the page-table walk entirely — exactly the traffic a
-    /// hardware TLB hides.
+    /// A hit implies the pid is alive and the mapping valid (`munmap`
+    /// shoots down the unmapped range, `exit` the dead pid, and pids are
+    /// never reused), so hits skip the page-table walk entirely — exactly
+    /// the traffic a hardware TLB hides.
     #[inline]
     fn touch_cached(&mut self, pid: Pid, va: VirtAddr) -> Result<(PhysAddr, CpuId), MachineError> {
         let vpn = va.vpn();
@@ -1369,7 +1379,47 @@ mod tests {
         let stats = m.tlb().stats();
         assert!(stats.hits >= 1, "repeat access should hit: {stats:?}");
         m.munmap(p, va, 1).unwrap();
-        assert_eq!(m.tlb().resident(), 0, "munmap flushes the TLB");
+        assert_eq!(
+            m.tlb().resident(),
+            0,
+            "munmap shoots down the unmapped range"
+        );
+    }
+
+    #[test]
+    fn munmap_shootdown_spares_unrelated_processes() {
+        // The victim's munmap must not wipe the attacker's translations:
+        // over-invalidation would reset every other process's TLB locality
+        // (and its hit-rate statistics) on each steering round.
+        let mut m = small();
+        let attacker = m.spawn(CpuId(0));
+        let victim = m.spawn(CpuId(0));
+        let abuf = m.mmap(attacker, 2).unwrap();
+        m.fill(attacker, abuf, 2 * PAGE_SIZE, 1).unwrap();
+        let vbuf = m.mmap(victim, 2).unwrap();
+        m.fill(victim, vbuf, 2 * PAGE_SIZE, 2).unwrap();
+        let resident_before = m.tlb().resident();
+        assert!(resident_before >= 4, "both working sets are cached");
+
+        m.munmap(victim, vbuf, 1).unwrap();
+        // Exactly one entry left: the victim's unmapped page.
+        assert_eq!(m.tlb().resident(), resident_before - 1);
+        // The attacker's entries still serve hits without a walk.
+        let hits_before = m.tlb().stats().hits;
+        let mut b = [0u8];
+        m.read(attacker, abuf, &mut b).unwrap();
+        m.read(attacker, abuf + PAGE_SIZE, &mut b).unwrap();
+        assert_eq!(m.tlb().stats().hits, hits_before + 2);
+        // The victim's surviving page is still cached too.
+        m.read(victim, vbuf + PAGE_SIZE, &mut b).unwrap();
+        assert_eq!(m.tlb().stats().hits, hits_before + 3);
+
+        // Process exit drops only the dead pid's entries.
+        m.exit(victim).unwrap();
+        let survivors = m.tlb().resident();
+        assert!(survivors >= 2, "attacker entries survive a victim exit");
+        m.read(attacker, abuf, &mut b).unwrap();
+        assert_eq!(m.tlb().stats().hits, hits_before + 4);
     }
 
     #[test]

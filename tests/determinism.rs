@@ -285,3 +285,201 @@ fn template_scan_is_deterministic() {
     assert_eq!(first, second, "same-seed template scans diverged");
     assert_eq!(first.templates, second.templates, "flip templates diverged");
 }
+
+// ---------------------------------------------------------------------------
+// Walk-mode battery: the same contracts with page tables resident in DRAM.
+// ---------------------------------------------------------------------------
+
+fn walk_config(seed: u64) -> ExplFrameConfig {
+    ExplFrameConfig::small_demo(seed)
+        .with_template_pages(1024)
+        .with_dram_page_tables(true)
+}
+
+#[test]
+fn walk_mode_attack_is_deterministic_and_reproduces_pinned_bytes() {
+    // Recorded when the phase pipeline first ran end to end on a
+    // DRAM-resident-page-table machine (seed 1, 1024 template pages). The
+    // numbers differ from the shadow goldens exactly where walk mode says
+    // they should: one extra frame consumed during templating shifts the
+    // weak-cell overlap slightly (298 vs 297 raw templates), the victim's
+    // table allocations and walk traffic cost extra hammer pairs and time.
+    let first = ExplFrame::new(walk_config(1)).run().expect("walk run");
+    let second = ExplFrame::new(walk_config(1)).run().expect("walk run");
+    assert_eq!(first, second, "same-seed walk runs diverged");
+    assert_eq!(
+        first.outcome,
+        explframe::attack::AttackOutcome::KeyRecovered
+    );
+    assert_eq!(first.templates_found, 298);
+    assert_eq!(first.usable_templates, 4);
+    assert_eq!(first.steering_successes, 1);
+    assert_eq!(first.fault_rounds, 1);
+    assert_eq!(first.ciphertexts_collected, 2176);
+    assert_eq!(first.hammer_pairs_spent, 754_800_000);
+    assert_eq!(
+        first.recovered_aes_key,
+        Some([104, 1, 40, 17, 13, 177, 124, 200, 38, 249, 157, 193, 49, 244, 29, 167])
+    );
+    assert!(first.key_correct);
+    assert_eq!(first.elapsed, 126_656_028_659);
+}
+
+#[test]
+fn walk_mode_flag_off_is_byte_identical_to_the_default_config() {
+    // `with_dram_page_tables(false)` must be a true no-op: the explicit-off
+    // report carries the exact pre-walk golden bytes (pinned above in
+    // `pipeline_reproduces_the_pre_redesign_report_bytes`).
+    let explicit_off = ExplFrameConfig::small_demo(1)
+        .with_template_pages(1024)
+        .with_dram_page_tables(false);
+    let report = ExplFrame::new(explicit_off).run().expect("shadow run");
+    assert_eq!(
+        report,
+        run_with_seed(1),
+        "flag-off run diverged from default"
+    );
+    assert_eq!(report.templates_found, 297);
+    assert_eq!(report.hammer_pairs_spent, 753_600_000);
+    assert_eq!(report.elapsed, 126_353_601_538);
+}
+
+#[test]
+fn walk_mode_snapshot_fork_matches_fresh_boot() {
+    // Snapshot/fork fidelity with mid-attack table state: the fork carries
+    // the table frames, the TLB contents, and the walk-traffic history into
+    // byte-identical reports for every victim cipher.
+    for victim in [
+        VictimCipherKind::AesSbox,
+        VictimCipherKind::AesTtable,
+        VictimCipherKind::Present,
+    ] {
+        let cfg = walk_config(1).with_victim(victim);
+        let fresh = ExplFrame::new(cfg.clone()).run().expect("fresh walk run");
+        let snapshot = SimMachine::new(cfg.machine.clone()).snapshot();
+        let forked = ExplFrame::new(cfg)
+            .run_snapshot(&snapshot)
+            .expect("forked walk run");
+        assert_eq!(forked, fresh, "walk-mode fork diverged (victim {victim:?})");
+    }
+}
+
+#[test]
+fn walk_mode_memoized_template_runs_match_uncached() {
+    // The sweep memo keyed with table-frame state: a second walk trial from
+    // the same warm snapshot replays the sweep from the memo and still
+    // produces byte-identical reports.
+    use explframe::attack::TemplateMemo;
+    let cfg = walk_config(1);
+    let warm = SimMachine::new(cfg.machine.clone()).snapshot();
+    let mut memo = TemplateMemo::new();
+    let first = ExplFrame::new(cfg.clone())
+        .run_snapshot_memo(&warm, &mut memo)
+        .expect("first memoized walk run");
+    let second = ExplFrame::new(cfg)
+        .run_snapshot_memo(&warm, &mut memo)
+        .expect("second memoized walk run");
+    assert_eq!(first, second, "memo replay changed a walk report");
+    assert_eq!(memo.hits(), 1, "second trial must hit the memo");
+}
+
+#[test]
+fn walk_mode_adaptive_escalates_through_trr_and_recovers_key() {
+    // The adaptive driver on a walk machine against a sampling TRR: the
+    // double-sided sweep is suppressed, the driver escalates to many-sided,
+    // and the key still comes out — with the page-table walk traffic feeding
+    // the same TRR sampler the hammer is trying to thrash. Forked replay
+    // must agree byte for byte.
+    let mut cfg = ExplFrameConfig::small_demo(1)
+        .with_template_pages(512)
+        .with_many_sided_rows(8)
+        .with_dram_page_tables(true);
+    cfg.machine.dram = cfg
+        .machine
+        .dram
+        .with_trr(Some(TrrParams::ddr4_like().with_sampler_size(2)));
+    let fresh = ExplFrame::new(cfg.clone())
+        .run_adaptive()
+        .expect("adaptive walk run");
+    assert_eq!(fresh.strategy_escalations, 1, "must exercise escalation");
+    assert!(
+        fresh.key_correct,
+        "escalated walk attack must recover the key"
+    );
+    let snapshot = SimMachine::new(cfg.machine.clone()).snapshot();
+    let forked = ExplFrame::new(cfg)
+        .run_adaptive_snapshot(&snapshot)
+        .expect("forked adaptive walk run");
+    assert_eq!(forked, fresh, "forked adaptive walk report diverged");
+}
+
+#[test]
+fn walk_mode_adaptive_under_trr_and_ecc_completes_deterministically() {
+    // Both countermeasures armed on a walk machine: SECDED corrects every
+    // single-bit templating flip (exactly as in shadow mode), so the run
+    // ends keyless after one escalation — but it must end *identically*
+    // across fresh and forked executions, never panic mid-phase.
+    let mut cfg = walk_config(1).with_ecc_aware(true);
+    cfg.machine.dram = cfg
+        .machine
+        .dram
+        .with_trr(Some(TrrParams::ddr4_like().with_sampler_size(2)))
+        .with_ecc(EccMode::Secded);
+    let fresh = ExplFrame::new(cfg.clone())
+        .run_adaptive()
+        .expect("adaptive walk run under TRR+ECC");
+    assert_eq!(fresh.strategy_escalations, 1);
+    let snapshot = SimMachine::new(cfg.machine.clone()).snapshot();
+    let forked = ExplFrame::new(cfg)
+        .run_adaptive_snapshot(&snapshot)
+        .expect("forked adaptive walk run under TRR+ECC");
+    assert_eq!(forked, fresh, "TRR+ECC walk report diverged across forks");
+}
+
+#[test]
+fn walk_mode_reports_are_identical_across_campaign_thread_counts() {
+    use explframe::campaign::{scenario, Campaign};
+    // The exp_t16 shape: full walk-mode attacks as campaign trials must
+    // reduce to byte-identical reports regardless of worker count.
+    let cells = vec![scenario("walk-e2e", |seed| {
+        let cfg = ExplFrameConfig::small_demo(seed)
+            .with_template_pages(512)
+            .with_dram_page_tables(true);
+        ExplFrame::new(cfg).run().expect("walk attack completes")
+    })];
+    let serial = Campaign::new(3, 11).with_threads(1).run(&cells);
+    let parallel = Campaign::new(3, 11).with_threads(8).run(&cells);
+    assert_eq!(
+        serial.cells, parallel.cells,
+        "thread count changed a walk-mode report"
+    );
+}
+
+#[test]
+fn walk_mode_templating_writes_off_remapped_pages_as_casualties() {
+    // Regression: this seed lands a collateral flip in the leaf table
+    // mapping the template buffer itself, silently remapping one template
+    // page to a foreign frame. The sweep's read-back then diverges on all
+    // 32768 bits of that page, and an unguarded harvest recorded every one
+    // as a "weak cell" — 33102 raw templates instead of ~334 — then burned
+    // ~50x the hammer budget reproducibility-scoring the phantoms. The
+    // remap guard writes the page off as a translation casualty, so the
+    // walk run stays within a whisker of its shadow twin.
+    let seed = 17_632_468_870_407_644_954;
+    let run = |walk: bool| {
+        let cfg = ExplFrameConfig::small_demo(seed)
+            .with_template_pages(1024)
+            .with_dram_page_tables(walk);
+        ExplFrame::new(cfg).run().expect("attack completes")
+    };
+    let shadow = run(false);
+    let walk = run(true);
+    assert!(shadow.key_correct && walk.key_correct);
+    assert_eq!(shadow.templates_found, 336);
+    assert_eq!(walk.templates_found, 334, "phantom templates harvested");
+    assert_eq!(walk.hammer_pairs_spent, 798_000_000);
+    assert!(
+        walk.hammer_pairs_spent < 2 * shadow.hammer_pairs_spent,
+        "walk sweep burned its budget scoring translation artifacts"
+    );
+}
